@@ -1,0 +1,123 @@
+//! Criterion microbenchmarks for the engine substrate: row codec, page
+//! operations, lock manager, point lookups and single-row DML.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sqlengine::engine::{Durable, Engine};
+use sqlengine::schema::{decode_row, encode_row};
+use sqlengine::storage::disk::DiskModel;
+use sqlengine::types::Value;
+use sqlengine::wal::recovery::RecoveryConfig;
+
+fn bench_row_codec(c: &mut Criterion) {
+    let row = vec![
+        Value::Int(123456),
+        Value::Str("some medium length string".into()),
+        Value::Float(3.25),
+        Value::Date(8035),
+        Value::Null,
+    ];
+    let mut buf = Vec::new();
+    encode_row(&row, &mut buf);
+    c.bench_function("codec/encode_row", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(64);
+            encode_row(std::hint::black_box(&row), &mut out);
+            out
+        })
+    });
+    c.bench_function("codec/decode_row", |b| {
+        b.iter(|| decode_row(std::hint::black_box(&buf)).unwrap())
+    });
+}
+
+fn bench_page_ops(c: &mut Criterion) {
+    use sqlengine::storage::page::Page;
+    c.bench_function("page/insert_until_full", |b| {
+        b.iter(|| {
+            let mut buf = Box::new([0u8; 8192]);
+            let mut p = Page::init(&mut buf, 1);
+            let tuple = [7u8; 64];
+            let mut n = 0;
+            while p.insert(&tuple).is_some() {
+                n += 1;
+            }
+            n
+        })
+    });
+}
+
+fn bench_locks(c: &mut Criterion) {
+    use sqlengine::txn::locks::{LockManager, LockMode, LockTarget};
+    let m = LockManager::default();
+    let mut key = 0u64;
+    c.bench_function("locks/row_lock_acquire_release", |b| {
+        b.iter(|| {
+            key += 1;
+            m.lock(1, LockTarget::row(1, key), LockMode::Exclusive)
+                .unwrap();
+            m.release_all(1, [LockTarget::row(1, key)]);
+        })
+    });
+}
+
+fn engine_with_rows(n: i64) -> (Durable, Engine, sqlengine::session::SessionId) {
+    let durable = Durable::new(DiskModel::default());
+    let engine = Engine::recover(&durable, RecoveryConfig::default()).unwrap();
+    let sid = engine.create_session().unwrap();
+    engine
+        .execute(sid, "CREATE TABLE t (k INT PRIMARY KEY, v VARCHAR(32))")
+        .unwrap();
+    for chunk in (0..n).collect::<Vec<_>>().chunks(400) {
+        let vals: Vec<String> = chunk.iter().map(|k| format!("({k}, 'value-{k}')")).collect();
+        engine
+            .execute(sid, &format!("INSERT INTO t VALUES {}", vals.join(",")))
+            .unwrap();
+    }
+    (durable, engine, sid)
+}
+
+fn bench_engine_sql(c: &mut Criterion) {
+    let (_d, engine, sid) = engine_with_rows(10_000);
+    let mut k = 0i64;
+    c.bench_function("engine/pk_point_select", |b| {
+        b.iter(|| {
+            k = (k + 7919) % 10_000;
+            let (_, rows) = engine
+                .execute_collect(sid, &format!("SELECT v FROM t WHERE k = {k}"))
+                .unwrap();
+            assert_eq!(rows.len(), 1);
+        })
+    });
+    c.bench_function("engine/pk_point_update", |b| {
+        b.iter(|| {
+            k = (k + 104729) % 10_000;
+            engine
+                .execute(sid, &format!("UPDATE t SET v = 'x' WHERE k = {k}"))
+                .unwrap();
+        })
+    });
+    c.bench_function("engine/full_scan_count_10k", |b| {
+        b.iter(|| {
+            let (_, rows) = engine
+                .execute_collect(sid, "SELECT COUNT(*) FROM t")
+                .unwrap();
+            assert_eq!(rows[0][0], Value::Int(10_000));
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_row_codec, bench_page_ops, bench_locks, bench_engine_sql
+}
+criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! Criterion microbenchmarks for the §3.5 step costs: request
+//! interception (one-pass parse), the `WHERE 0=1` metadata probe, result
+//! table creation, and the per-tuple fetch cost under native ODBC vs
+//! Phoenix (volatile stream vs persistent table).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use odbcsim::{DriverConfig, OdbcConnection};
+use phoenix::{intercept, PhoenixConfig, PhoenixConnection};
+use wire::{DbServer, ServerConfig};
+use workloads::tpch::{self, queries, TpchScale};
+use workloads::{EngineClient, SqlClient};
+
+fn loaded_server() -> DbServer {
+    let server = DbServer::start(ServerConfig::instant_net()).unwrap();
+    {
+        let client = EngineClient::new(server.engine().unwrap()).unwrap();
+        tpch::load(&client, TpchScale::new(0.002), 42).unwrap();
+    }
+    server.engine().unwrap().checkpoint().unwrap();
+    server
+}
+
+fn bench_intercept(c: &mut Criterion) {
+    let q11 = queries::q11();
+    c.bench_function("intercept/one_pass_parse_q11", |b| {
+        b.iter(|| intercept::classify(std::hint::black_box(&q11)).unwrap())
+    });
+    c.bench_function("intercept/metadata_probe_sql", |b| {
+        b.iter(|| intercept::metadata_probe_sql(std::hint::black_box(&q11)))
+    });
+}
+
+fn bench_server_steps(c: &mut Criterion) {
+    let server = loaded_server();
+    let conn = OdbcConnection::connect(&server, DriverConfig::default()).unwrap();
+    let probe = intercept::metadata_probe_sql(&queries::q11());
+    c.bench_function("persist/metadata_probe_roundtrip", |b| {
+        b.iter(|| {
+            let st = conn.exec_direct(&probe).unwrap();
+            assert_eq!(st.columns().len(), 2);
+        })
+    });
+    let mut i = 0u64;
+    c.bench_function("persist/create_and_drop_result_table", |b| {
+        b.iter(|| {
+            i += 1;
+            let t = format!("bench_res_{i}");
+            conn.exec_direct(&format!("CREATE TABLE {t} ([k] INT, [v] FLOAT)"))
+                .unwrap();
+            conn.exec_direct(&format!("DROP TABLE {t}")).unwrap();
+        })
+    });
+}
+
+fn bench_fetch_per_tuple(c: &mut Criterion) {
+    let server = loaded_server();
+    let native = OdbcConnection::connect(&server, DriverConfig::default()).unwrap();
+    let px = PhoenixConnection::connect(
+        &server,
+        PhoenixConfig {
+            driver: DriverConfig::default(),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let q = queries::q11_with_fraction(0.0001);
+
+    let mut group = c.benchmark_group("fetch_per_tuple");
+    group.throughput(criterion::Throughput::Elements(1));
+    group.bench_function("native_odbc", |b| {
+        b.iter_custom(|iters| {
+            let mut total = Duration::ZERO;
+            let mut done = 0u64;
+            while done < iters {
+                let mut st = native.exec_direct(&q).unwrap();
+                let t = std::time::Instant::now();
+                while st.fetch().unwrap().is_some() {
+                    done += 1;
+                    if done >= iters {
+                        break;
+                    }
+                }
+                total += t.elapsed();
+            }
+            total
+        })
+    });
+    group.bench_function("phoenix_persistent_table", |b| {
+        b.iter_custom(|iters| {
+            let mut total = Duration::ZERO;
+            let mut done = 0u64;
+            while done < iters {
+                px.exec(&q).unwrap();
+                let t = std::time::Instant::now();
+                while px.fetch().unwrap().is_some() {
+                    done += 1;
+                    if done >= iters {
+                        break;
+                    }
+                }
+                total += t.elapsed();
+                px.close_result();
+            }
+            total
+        })
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_intercept, bench_server_steps, bench_fetch_per_tuple
+}
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! **Ablation** — client result-cache capacity sweep (the paper's "size of
+//! this client cache is a runtime parameter").
+//!
+//! For a fixed stream of queries whose result sizes span three orders of
+//! magnitude, sweep the cache capacity and report how many results were
+//! served from the cache vs spilled to server-side persistence, and the
+//! mean statement latency. Shows the OLTP optimization's operating range
+//! and its graceful degradation into Section-2 behaviour.
+//!
+//! Env: `PHX_SF` (default 0.01), `PHX_SEED`.
+
+use std::time::Instant;
+
+use bench::{env_f64, env_u64, start_loaded, tpch_server, TextTable};
+use phoenix::{CacheMode, PhoenixConfig, PhoenixConnection};
+use workloads::tpch::{self, queries, TpchScale};
+
+fn main() {
+    let sf = env_f64("PHX_SF", 0.01);
+    let seed = env_u64("PHX_SEED", 42);
+    let scale = TpchScale::new(sf);
+    eprintln!("[ablation_cache] loading TPC-H sf={sf} ...");
+    let server = start_loaded(tpch_server(), |c| tpch::load(c, scale, seed).map(|_| ()));
+
+    // Query stream: Q11 at several fractions (small..full result) plus a
+    // couple of tiny point-ish queries — OLTP/OLAP mixture.
+    let mut stream: Vec<String> = vec![
+        "SELECT n_name FROM nation WHERE n_nationkey = 7".into(),
+        "SELECT r_name FROM region WHERE r_regionkey = 1".into(),
+    ];
+    for f in [0.05, 0.01, 0.003, 0.001, 0.0001, 0.00001] {
+        stream.push(queries::q11_with_fraction(f));
+    }
+
+    let mut table = TextTable::new(
+        format!("Ablation: client cache capacity sweep (sf={sf})"),
+        &[
+            "Cache capacity",
+            "cached",
+            "spilled to server",
+            "mean exec+fetch (ms)",
+        ],
+    );
+
+    let mut configs: Vec<(String, CacheMode)> =
+        vec![("disabled".into(), CacheMode::Disabled)];
+    for kb in [1usize, 4, 16, 64, 256] {
+        configs.push((format!("{kb} KiB"), CacheMode::enabled(kb * 1024)));
+    }
+
+    for (label, cache) in configs {
+        let px = PhoenixConnection::connect(
+            &server,
+            PhoenixConfig {
+                cache,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // Warm.
+        for sql in &stream {
+            px.query_all(sql).unwrap();
+        }
+        let t = Instant::now();
+        let reps = 3;
+        for _ in 0..reps {
+            for sql in &stream {
+                px.query_all(sql).unwrap();
+            }
+        }
+        let mean_ms =
+            t.elapsed().as_secs_f64() * 1e3 / (reps as f64 * stream.len() as f64);
+        let stats = px.stats();
+        table.row(vec![
+            label,
+            stats.results_cached.to_string(),
+            stats.results_persisted.to_string(),
+            format!("{mean_ms:.2}"),
+        ]);
+        px.close();
+    }
+    table.emit("ablation_cache_sweep");
+}

@@ -1,0 +1,27 @@
+//! **Figure 3** — elapsed time to recover a database session, repositioning
+//! the reopened result set **from the client** (tuples are re-fetched and
+//! discarded across the network until the remembered position). The SQL
+//! state component grows with result size; the virtual-session component
+//! is constant.
+//!
+//! Env: `PHX_SF` (default 0.02), `PHX_SEED`.
+
+use bench::{emit_recovery_table, env_f64, env_u64, q11_fraction_sweep, recovery_experiment};
+
+fn main() {
+    let sf = env_f64("PHX_SF", 0.02);
+    let seed = env_u64("PHX_SEED", 42);
+    eprintln!("[fig3] recovery with client-side repositioning, sf={sf} ...");
+    let (points, recompute) = recovery_experiment(
+        phoenix::RepositionMode::Client,
+        sf,
+        &q11_fraction_sweep(),
+        seed,
+    );
+    emit_recovery_table(
+        &format!("Figure 3: session recovery, repositioning at client (sf={sf})"),
+        "fig3_recovery_client",
+        &points,
+        recompute,
+    );
+}

@@ -1,0 +1,28 @@
+//! **Figure 4** — elapsed time to recover a database session, repositioning
+//! the reopened result **at the server** (the repositioning stored
+//! procedure: the engine advances through the persistent result table
+//! without transmitting tuples). Compared with Figure 3 this removes the
+//! per-tuple communication cost — the paper's 10× reduction for large
+//! results.
+//!
+//! Env: `PHX_SF` (default 0.02), `PHX_SEED`.
+
+use bench::{emit_recovery_table, env_f64, env_u64, q11_fraction_sweep, recovery_experiment};
+
+fn main() {
+    let sf = env_f64("PHX_SF", 0.02);
+    let seed = env_u64("PHX_SEED", 42);
+    eprintln!("[fig4] recovery with server-side repositioning, sf={sf} ...");
+    let (points, recompute) = recovery_experiment(
+        phoenix::RepositionMode::Server,
+        sf,
+        &q11_fraction_sweep(),
+        seed,
+    );
+    emit_recovery_table(
+        &format!("Figure 4: session recovery, repositioning at server (sf={sf})"),
+        "fig4_recovery_server",
+        &points,
+        recompute,
+    );
+}

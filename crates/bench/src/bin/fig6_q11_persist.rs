@@ -1,0 +1,133 @@
+//! **Figure 6 + §3.5** — overheads of persisting a result set, using Q11
+//! with the `Fraction` parameter swept to vary result size:
+//!
+//! * execute/load time for native ODBC (volatile result) vs Phoenix (the
+//!   `INSERT INTO T <select>` materialization round trip);
+//! * the constant per-statement step costs (parse, metadata probe, create
+//!   table);
+//! * the per-tuple fetch cost, native vs Phoenix (reading a persistent
+//!   table vs a volatile result).
+//!
+//! Env: `PHX_SF` (default 0.02), `PHX_SEED`.
+
+use std::time::{Duration, Instant};
+
+use bench::{
+    env_f64, env_u64, fmt_ratio, fmt_secs, q11_fraction_sweep, start_loaded, tpch_server,
+    TextTable,
+};
+use odbcsim::{DriverConfig, OdbcConnection};
+use phoenix::{PhoenixConfig, PhoenixConnection};
+use workloads::tpch::{self, queries, TpchScale};
+
+fn main() {
+    let sf = env_f64("PHX_SF", 0.02);
+    let seed = env_u64("PHX_SEED", 42);
+    let scale = TpchScale::new(sf);
+    eprintln!("[fig6] loading TPC-H sf={sf} ...");
+    let server = start_loaded(tpch_server(), |c| tpch::load(c, scale, seed).map(|_| ()));
+
+    let driver = DriverConfig {
+        query_timeout: Some(Duration::from_secs(120)),
+        ..Default::default()
+    };
+    let native = OdbcConnection::connect(&server, driver.clone()).unwrap();
+    let px = PhoenixConnection::connect(
+        &server,
+        PhoenixConfig {
+            driver: driver.clone(),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+
+    let mut table = TextTable::new(
+        format!("Figure 6: Q11 execute/load times (sf={sf})"),
+        &[
+            "Result Set Size",
+            "Native ODBC exec (s)",
+            "Phoenix load (s)",
+            "Phoenix total (s)",
+            "Load/Exec Ratio",
+        ],
+    );
+
+    let mut parse_times = Vec::new();
+    let mut metadata_times = Vec::new();
+    let mut create_times = Vec::new();
+    let mut native_fetch = Vec::new();
+    let mut phx_fetch = Vec::new();
+
+    for fraction in q11_fraction_sweep() {
+        let sql = queries::q11_with_fraction(fraction);
+
+        // Native: execute (volatile result), then time per-tuple fetches.
+        let t = Instant::now();
+        let mut st = native.exec_direct(&sql).unwrap();
+        let native_exec = t.elapsed();
+        let t = Instant::now();
+        let mut n_rows = 0u64;
+        while st.fetch().unwrap().is_some() {
+            n_rows += 1;
+        }
+        if n_rows > 0 {
+            native_fetch.push(t.elapsed() / n_rows as u32);
+        }
+        if n_rows < 1 {
+            continue;
+        }
+
+        // Phoenix: persist; the step timings come from instrumentation.
+        let t = Instant::now();
+        px.exec(&sql).unwrap();
+        let phx_total = t.elapsed();
+        let timing = px.last_persist_timing().unwrap();
+        parse_times.push(timing.parse);
+        metadata_times.push(timing.metadata);
+        create_times.push(timing.create_table);
+
+        let t = Instant::now();
+        let mut p_rows = 0u64;
+        while px.fetch().unwrap().is_some() {
+            p_rows += 1;
+        }
+        if p_rows > 0 {
+            phx_fetch.push(t.elapsed() / p_rows as u32);
+        }
+        px.close_result();
+
+        table.row(vec![
+            n_rows.to_string(),
+            fmt_secs(native_exec),
+            fmt_secs(timing.load),
+            fmt_secs(phx_total),
+            fmt_ratio(timing.load, native_exec),
+        ]);
+    }
+    table.emit("fig6_q11_persist");
+
+    let avg = |xs: &[Duration]| -> Duration {
+        if xs.is_empty() {
+            Duration::ZERO
+        } else {
+            xs.iter().sum::<Duration>() / xs.len() as u32
+        }
+    };
+    let us = |d: Duration| format!("{:.1}", d.as_secs_f64() * 1e6);
+    let mut steps = TextTable::new(
+        "§3.5: constant per-statement step costs and per-tuple fetch cost",
+        &["Step", "Microseconds"],
+    );
+    steps.row(vec!["parse (intercept)".into(), us(avg(&parse_times))]);
+    steps.row(vec!["metadata (WHERE 0=1)".into(), us(avg(&metadata_times))]);
+    steps.row(vec![
+        "create persistent table".into(),
+        us(avg(&create_times)),
+    ]);
+    steps.row(vec![
+        "fetch per tuple, native ODBC".into(),
+        us(avg(&native_fetch)),
+    ]);
+    steps.row(vec!["fetch per tuple, Phoenix".into(), us(avg(&phx_fetch))]);
+    steps.emit("fig6_step_costs");
+}

@@ -1,0 +1,163 @@
+//! **Table 2** — TPC-H throughput test: two concurrent query streams (each
+//! running the 22-query suite in its own order) plus one refresh stream
+//! executing RF1 and RF2 twice. Elapsed time of the measurement interval,
+//! native vs Phoenix.
+//!
+//! Env: `PHX_SF` (default 0.01), `PHX_STREAMS` (default 2), `PHX_REPS`
+//! (median of this many repetitions per mode, default 3), `PHX_SEED`.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bench::{env_f64, env_u64, fmt_ratio, fmt_secs, start_loaded, tpch_server, TextTable};
+use odbcsim::{DriverConfig, OdbcConnection};
+use parking_lot::Mutex;
+use phoenix::{PhoenixConfig, PhoenixConnection};
+use sqlengine::Error;
+use wire::DbServer;
+use workloads::tpch::{self, queries, refresh, TpchScale};
+use workloads::SqlClient;
+
+fn driver_cfg() -> DriverConfig {
+    DriverConfig {
+        query_timeout: Some(Duration::from_secs(600)),
+        ..Default::default()
+    }
+}
+
+/// Run one throughput test: `streams` query streams + 1 refresh stream.
+/// `mk_client` builds a fresh connection per stream.
+fn throughput<C: SqlClient + Send + 'static>(
+    streams: usize,
+    rf_state: Arc<Mutex<refresh::RefreshState>>,
+    mk_client: impl Fn() -> C,
+) -> Duration {
+    let t0 = Instant::now();
+    let mut handles = Vec::new();
+    for s in 0..streams {
+        let client = mk_client();
+        handles.push(std::thread::spawn(move || {
+            for (i, sql) in queries::stream_order(s) {
+                // Queries can be wait-die victims against the refresh
+                // stream; retry like any transaction-abort-aware client.
+                loop {
+                    match client.query(&sql) {
+                        Ok(_) => break,
+                        Err(Error::Deadlock) | Err(Error::TxnAborted(_)) => {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(e) => panic!("stream {s} Q{i}: {e}"),
+                    }
+                }
+            }
+        }));
+    }
+    // Refresh stream: RF1+RF2 once per query stream (the paper ran the
+    // pair twice for two streams).
+    let rf_client = mk_client();
+    let rf_runs = streams;
+    handles.push(std::thread::spawn(move || {
+        for _ in 0..rf_runs {
+            // Retry wait-die victims: refresh competes with scans.
+            loop {
+                let mut st = rf_state.lock();
+                match refresh::rf1(&rf_client, &mut st) {
+                    Ok(_) => break,
+                    Err(Error::Deadlock) | Err(Error::TxnAborted(_)) => {
+                        drop(st);
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    Err(e) => panic!("rf1: {e}"),
+                }
+            }
+            loop {
+                let mut st = rf_state.lock();
+                match refresh::rf2(&rf_client, &mut st) {
+                    Ok(_) => break,
+                    Err(Error::Deadlock) | Err(Error::TxnAborted(_)) => {
+                        drop(st);
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    Err(e) => panic!("rf2: {e}"),
+                }
+            }
+        }
+    }));
+    for h in handles {
+        h.join().expect("stream");
+    }
+    t0.elapsed()
+}
+
+fn mk_native(server: &DbServer) -> OdbcConnection {
+    OdbcConnection::connect(server, driver_cfg()).unwrap()
+}
+
+fn mk_phoenix(server: &DbServer) -> PhoenixConnection {
+    PhoenixConnection::connect(
+        server,
+        PhoenixConfig {
+            driver: driver_cfg(),
+            ..Default::default()
+        },
+    )
+    .unwrap()
+}
+
+fn main() {
+    let sf = env_f64("PHX_SF", 0.01);
+    let streams = env_u64("PHX_STREAMS", 2) as usize;
+    let seed = env_u64("PHX_SEED", 42);
+    let scale = TpchScale::new(sf);
+
+    eprintln!("[table2] loading TPC-H sf={sf} ...");
+    let server = start_loaded(tpch_server(), |c| tpch::load(c, scale, seed).map(|_| ()));
+    let rf_state = Arc::new(Mutex::new(refresh::RefreshState::new(scale, seed + 1)));
+
+    // Lock-scheduling (wait-die) interleavings make single runs noisy;
+    // report the median of several repetitions per mode.
+    let reps = bench::env_u64("PHX_REPS", 3) as usize;
+    let median = |mut xs: Vec<Duration>| -> Duration {
+        xs.sort();
+        xs[xs.len() / 2]
+    };
+
+    eprintln!("[table2] native throughput ({streams} query streams + refresh, {reps} reps) ...");
+    let native = median(
+        (0..reps)
+            .map(|_| {
+                let s2 = server.clone();
+                throughput(streams, Arc::clone(&rf_state), move || mk_native(&s2))
+            })
+            .collect(),
+    );
+
+    eprintln!("[table2] Phoenix throughput ...");
+    let phx = median(
+        (0..reps)
+            .map(|_| {
+                let s3 = server.clone();
+                throughput(streams, Arc::clone(&rf_state), move || mk_phoenix(&s3))
+            })
+            .collect(),
+    );
+
+    let mut table = TextTable::new(
+        format!("Table 2: TPC-H throughput test ({streams} streams, sf={sf}, median of {reps})"),
+        &["Metric", "Value"],
+    );
+    table.row(vec![
+        "Elapsed Time for Native ODBC (s)".into(),
+        fmt_secs(native),
+    ]);
+    table.row(vec![
+        "Elapsed Time for Phoenix/ODBC (s)".into(),
+        fmt_secs(phx),
+    ]);
+    table.row(vec![
+        "Difference (s)".into(),
+        format!("{:.3}", phx.as_secs_f64() - native.as_secs_f64()),
+    ]);
+    table.row(vec!["Ratio".into(), fmt_ratio(phx, native)]);
+    table.emit("table2_throughput");
+}

@@ -1,0 +1,113 @@
+//! **Table 3** — `SELECT TOP N * FROM lineitem`, N doubling from 1 to
+//! 256 K: query response time under native ODBC vs Phoenix/ODBC, with the
+//! ratio. The application does *not* consume the result (as in the paper),
+//! so native response time flattens once client+network buffering
+//! saturates (the scan suspends), while Phoenix — which must run the scan
+//! to completion to materialize the persistent table — keeps growing.
+//!
+//! Env: `PHX_MAX_N` (default 262144), `PHX_ROW_PAD` (default 130 chars —
+//! rows ≈150 bytes like LINEITEM's), `PHX_BUFFER_KB` (driver buffer,
+//! default 75 to match the paper's ~75 KB plateau at 512 tuples).
+
+use std::time::{Duration, Instant};
+
+use bench::{env_u64, fmt_ratio, fmt_secs, start_loaded, tpch_server, TextTable};
+use odbcsim::{DriverConfig, OdbcConnection};
+use phoenix::{PhoenixConfig, PhoenixConnection};
+use workloads::SqlClient;
+
+fn main() {
+    let max_n = env_u64("PHX_MAX_N", 262_144);
+    let pad = env_u64("PHX_ROW_PAD", 130) as usize;
+    let buffer_kb = env_u64("PHX_BUFFER_KB", 75) as usize;
+
+    eprintln!("[table3] loading {max_n} lineitem rows (~150 B each) ...");
+    let server = start_loaded(tpch_server(), |c| {
+        c.execute(
+            "CREATE TABLE lineitem (l_key INT PRIMARY KEY, l_pad VARCHAR(150))",
+        )?;
+        let padding = "x".repeat(pad);
+        let mut batch = Vec::with_capacity(500);
+        for k in 0..max_n {
+            batch.push(format!("({k}, '{padding}')"));
+            if batch.len() == 500 {
+                c.execute(&format!("INSERT INTO lineitem VALUES {}", batch.join(",")))?;
+                batch.clear();
+            }
+        }
+        if !batch.is_empty() {
+            c.execute(&format!("INSERT INTO lineitem VALUES {}", batch.join(",")))?;
+        }
+        Ok(())
+    });
+
+    let driver = DriverConfig {
+        buffer_bytes: buffer_kb * 1024,
+        query_timeout: Some(Duration::from_secs(300)),
+        ..Default::default()
+    };
+    let native = OdbcConnection::connect(&server, driver.clone()).unwrap();
+    let px = PhoenixConnection::connect(
+        &server,
+        PhoenixConfig {
+            driver: driver.clone(),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+
+    // Warm both connections (thread spawn, first-touch costs) before
+    // measuring.
+    for _ in 0..3 {
+        native.ping().unwrap();
+        let st = native.exec_direct("SELECT TOP 1 * FROM lineitem").unwrap();
+        let _ = st.close();
+        px.exec("SELECT TOP 1 * FROM lineitem").unwrap();
+        px.close_result();
+    }
+
+    let mut table = TextTable::new(
+        format!("Table 3: SELECT TOP N * FROM lineitem (unconsumed, driver buffer {buffer_kb} KB)"),
+        &[
+            "Result Set Size",
+            "Native ODBC (s)",
+            "Phoenix/ODBC (s)",
+            "Ratio",
+        ],
+    );
+
+    let mut n = 1u64;
+    while n <= max_n {
+        let sql = format!("SELECT TOP {n} * FROM lineitem");
+
+        // Native: response time of ExecDirect; do NOT consume the rows.
+        let t = Instant::now();
+        let st = native.exec_direct(&sql).unwrap();
+        let t_native = t.elapsed();
+        let _ = st.close(); // abandon the (possibly suspended) stream
+
+        // Phoenix: response time of exec, which persists the result
+        // server-side and reopens it; again nothing is consumed.
+        let t = Instant::now();
+        px.exec(&sql).unwrap();
+        let t_phx = t.elapsed();
+        px.close_result();
+
+        table.row(vec![
+            n.to_string(),
+            fmt_secs(t_native),
+            fmt_secs(t_phx),
+            fmt_ratio(t_phx, t_native),
+        ]);
+        // Let cancelled producers drain so they do not perturb the next
+        // measurement.
+        std::thread::sleep(Duration::from_millis(30));
+        eprintln!(
+            "[table3] N={n}: native {:.4}s phoenix {:.4}s",
+            t_native.as_secs_f64(),
+            t_phx.as_secs_f64()
+        );
+        n *= 2;
+    }
+    table.emit("table3_topn");
+}

@@ -1,0 +1,104 @@
+//! Measurement helpers: wall/CPU time and utilization accounting.
+//!
+//! The paper measured elapsed time with the Pentium cycle counter and
+//! reported server CPU and disk utilization. Here CPU time comes from
+//! `/proc/self/stat` (client threads contribute a small, proportional
+//! overhead — documented in EXPERIMENTS.md) and disk busy time from the
+//! simulated disk's service-time accounting.
+
+use std::time::{Duration, Instant};
+
+/// Process CPU time (user + system) from /proc/self/stat.
+pub fn process_cpu_time() -> Duration {
+    let Ok(stat) = std::fs::read_to_string("/proc/self/stat") else {
+        return Duration::ZERO;
+    };
+    // Skip past the parenthesised command name; the next field is the
+    // process state, and utime/stime are the 12th/13th fields after it.
+    let Some(i) = stat.rfind(')') else {
+        return Duration::ZERO;
+    };
+    let fields: Vec<&str> = stat[i + 1..].split_whitespace().collect();
+    let utime: u64 = fields.get(11).and_then(|s| s.parse().ok()).unwrap_or(0);
+    let stime: u64 = fields.get(12).and_then(|s| s.parse().ok()).unwrap_or(0);
+    let hz = 100u64; // CLK_TCK on Linux
+    Duration::from_millis((utime + stime) * 1000 / hz)
+}
+
+/// Snapshot of wall + CPU time.
+#[derive(Debug, Clone, Copy)]
+pub struct CpuClock {
+    wall: Instant,
+    cpu: Duration,
+}
+
+impl CpuClock {
+    pub fn start() -> CpuClock {
+        CpuClock {
+            wall: Instant::now(),
+            cpu: process_cpu_time(),
+        }
+    }
+
+    /// (elapsed wall, consumed CPU) since `start`.
+    pub fn lap(&self) -> (Duration, Duration) {
+        (
+            self.wall.elapsed(),
+            process_cpu_time().saturating_sub(self.cpu),
+        )
+    }
+}
+
+/// Median of repeated timings.
+pub fn median(mut xs: Vec<Duration>) -> Duration {
+    if xs.is_empty() {
+        return Duration::ZERO;
+    }
+    xs.sort();
+    xs[xs.len() / 2]
+}
+
+/// Arithmetic mean of timings.
+pub fn mean(xs: &[Duration]) -> Duration {
+    if xs.is_empty() {
+        return Duration::ZERO;
+    }
+    let total: Duration = xs.iter().sum();
+    total / xs.len() as u32
+}
+
+/// Time a closure.
+pub fn time<R>(f: impl FnOnce() -> R) -> (Duration, R) {
+    let t = Instant::now();
+    let r = f();
+    (t.elapsed(), r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_time_is_monotonic() {
+        let a = process_cpu_time();
+        // Burn a little CPU.
+        let mut x = 0u64;
+        for i in 0..2_000_000u64 {
+            x = x.wrapping_add(i * i);
+        }
+        std::hint::black_box(x);
+        let b = process_cpu_time();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn median_and_mean() {
+        let xs = vec![
+            Duration::from_millis(3),
+            Duration::from_millis(1),
+            Duration::from_millis(2),
+        ];
+        assert_eq!(median(xs.clone()), Duration::from_millis(2));
+        assert_eq!(mean(&xs), Duration::from_millis(2));
+    }
+}

@@ -1,0 +1,99 @@
+//! Phoenix/ODBC configuration.
+
+use std::time::Duration;
+
+use odbcsim::DriverConfig;
+
+/// How Phoenix repositions a reopened result set after a crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepositionMode {
+    /// Re-fetch from the client, discarding rows until the remembered
+    /// position (Figure 3: cost grows with position, tuples cross the
+    /// network).
+    Client,
+    /// Advance server-side without transmitting tuples — the paper's
+    /// repositioning stored procedure (Figure 4: ~10× faster for large
+    /// results).
+    Server,
+}
+
+/// Reconnection policy used after a suspected server failure.
+#[derive(Debug, Clone, Copy)]
+pub struct ReconnectPolicy {
+    /// Maximum reconnect attempts before Phoenix gives up and reveals the
+    /// failure to the application.
+    pub max_attempts: u32,
+    /// Delay between attempts (the paper "periodically attempts to
+    /// reconnect").
+    pub retry_interval: Duration,
+}
+
+impl Default for ReconnectPolicy {
+    fn default() -> Self {
+        ReconnectPolicy {
+            max_attempts: 50,
+            retry_interval: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Client-side result caching (the Section 4 OLTP optimization).
+#[derive(Debug, Clone, Copy)]
+pub enum CacheMode {
+    /// Always persist result sets as server tables (Section 2 behaviour).
+    Disabled,
+    /// Cache results up to `capacity_bytes` entirely on the client; only
+    /// when a result overflows the cache fall back to server-side
+    /// persistence. The capacity is the paper's "runtime parameter, set
+    /// when a database connection is first created".
+    Enabled {
+        /// Maximum bytes of encoded rows the cache may hold per result.
+        capacity_bytes: usize,
+    },
+}
+
+impl CacheMode {
+    /// Shorthand for [`CacheMode::Enabled`] with the given capacity.
+    pub fn enabled(capacity_bytes: usize) -> CacheMode {
+        CacheMode::Enabled { capacity_bytes }
+    }
+
+    /// Whether client caching is on.
+    pub fn is_enabled(&self) -> bool {
+        matches!(self, CacheMode::Enabled { .. })
+    }
+}
+
+/// Full Phoenix configuration.
+#[derive(Debug, Clone)]
+pub struct PhoenixConfig {
+    /// Settings for the underlying (wrapped) native driver connections.
+    pub driver: DriverConfig,
+    /// Client-side result caching (Section 4 optimization).
+    pub cache: CacheMode,
+    /// Post-crash result repositioning strategy (Figures 3 vs 4).
+    pub reposition: RepositionMode,
+    /// Reconnect cadence and give-up bound.
+    pub reconnect: ReconnectPolicy,
+}
+
+impl Default for PhoenixConfig {
+    fn default() -> Self {
+        PhoenixConfig {
+            driver: DriverConfig::default(),
+            cache: CacheMode::Disabled,
+            reposition: RepositionMode::Server,
+            reconnect: ReconnectPolicy::default(),
+        }
+    }
+}
+
+impl PhoenixConfig {
+    /// Section 4 OLTP configuration: client caching on (64 KiB).
+    pub fn with_client_caching() -> Self {
+        PhoenixConfig {
+            cache: CacheMode::enabled(64 * 1024),
+            ..Default::default()
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Request interception: the "one-pass parse to determine request type"
+//! Phoenix performs on every application request before passing it to the
+//! native driver.
+
+use sqlengine::sql::ast::Stmt;
+use sqlengine::sql::parser::parse_statements;
+use sqlengine::{Error, Result};
+
+/// What Phoenix decided about an application request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestClass {
+    /// A SELECT: generates a result set that must be made recoverable.
+    ResultGenerating,
+    /// INSERT/UPDATE/DELETE: wrapped in a transaction together with a
+    /// status-table write so completion is testable after a crash.
+    Modification,
+    /// BEGIN TRAN.
+    TxnBegin,
+    /// COMMIT.
+    TxnCommit,
+    /// ROLLBACK.
+    TxnRollback,
+    /// Everything else (DDL, EXEC, SHUTDOWN, ...): passed through.
+    Passthrough,
+}
+
+/// Classify a single-statement request. Multi-statement batches classify
+/// as `Passthrough` unless every statement is a modification.
+pub fn classify(sql: &str) -> Result<RequestClass> {
+    let stmts = parse_statements(sql)?;
+    match stmts.as_slice() {
+        [] => Err(Error::Syntax("empty request".into())),
+        [one] => Ok(classify_stmt(one)),
+        many => {
+            if many.iter().all(|s| {
+                matches!(
+                    s,
+                    Stmt::Insert { .. } | Stmt::Update { .. } | Stmt::Delete { .. }
+                )
+            }) {
+                Ok(RequestClass::Modification)
+            } else {
+                Ok(RequestClass::Passthrough)
+            }
+        }
+    }
+}
+
+fn classify_stmt(s: &Stmt) -> RequestClass {
+    match s {
+        Stmt::Select(_) => RequestClass::ResultGenerating,
+        Stmt::Insert { .. } | Stmt::Update { .. } | Stmt::Delete { .. } => {
+            RequestClass::Modification
+        }
+        Stmt::Begin => RequestClass::TxnBegin,
+        Stmt::Commit => RequestClass::TxnCommit,
+        Stmt::Rollback => RequestClass::TxnRollback,
+        _ => RequestClass::Passthrough,
+    }
+}
+
+/// Wrap the original SELECT so only compilation happens at the server:
+/// the Phoenix metadata probe. (The paper appends `WHERE 0=1` textually;
+/// wrapping as a derived table is the same trick made robust to GROUP BY
+/// and existing WHERE clauses.)
+pub fn metadata_probe_sql(select_sql: &str) -> String {
+    format!("SELECT * FROM ({}) phx_md WHERE 0=1", select_sql.trim_end_matches(';'))
+}
+
+/// The materialization statement: evaluate the original SELECT at the
+/// server and move its rows into the persistent result table without
+/// sending them to the client (one round trip).
+pub fn materialize_sql(table: &str, select_sql: &str) -> String {
+    format!("INSERT INTO {} {}", table, select_sql.trim_end_matches(';'))
+}
+
+/// Reopen statement for seamless delivery from the persistent table.
+pub fn reopen_sql(table: &str) -> String {
+    format!("SELECT * FROM {table}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        assert_eq!(
+            classify("SELECT * FROM t").unwrap(),
+            RequestClass::ResultGenerating
+        );
+        assert_eq!(
+            classify("INSERT INTO t VALUES (1)").unwrap(),
+            RequestClass::Modification
+        );
+        assert_eq!(
+            classify("UPDATE t SET a = 1").unwrap(),
+            RequestClass::Modification
+        );
+        assert_eq!(
+            classify("DELETE FROM t WHERE a = 1").unwrap(),
+            RequestClass::Modification
+        );
+        assert_eq!(classify("BEGIN TRAN").unwrap(), RequestClass::TxnBegin);
+        assert_eq!(classify("COMMIT").unwrap(), RequestClass::TxnCommit);
+        assert_eq!(classify("ROLLBACK").unwrap(), RequestClass::TxnRollback);
+        assert_eq!(
+            classify("CREATE TABLE t (a INT)").unwrap(),
+            RequestClass::Passthrough
+        );
+        assert_eq!(
+            classify("SHUTDOWN WITH NOWAIT").unwrap(),
+            RequestClass::Passthrough
+        );
+        assert!(classify("NOT SQL AT ALL !!!").is_err());
+    }
+
+    #[test]
+    fn multi_statement_batches() {
+        assert_eq!(
+            classify("INSERT INTO a VALUES (1); DELETE FROM b WHERE x=2").unwrap(),
+            RequestClass::Modification
+        );
+        assert_eq!(
+            classify("SELECT 1; SELECT 2").unwrap(),
+            RequestClass::Passthrough
+        );
+    }
+
+    #[test]
+    fn probe_and_materialize_sql_forms() {
+        let q = "SELECT a, SUM(b) AS s FROM t GROUP BY a ORDER BY s DESC;";
+        let probe = metadata_probe_sql(q);
+        assert!(probe.starts_with("SELECT * FROM (SELECT a,"));
+        assert!(probe.ends_with("WHERE 0=1"));
+        // The probe must itself parse.
+        sqlengine::sql::parser::parse_one(&probe).unwrap();
+        let mat = materialize_sql("phx_res_1_1", q);
+        sqlengine::sql::parser::parse_one(&mat).unwrap();
+        sqlengine::sql::parser::parse_one(&reopen_sql("phx_res_1_1")).unwrap();
+    }
+}

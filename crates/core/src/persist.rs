@@ -1,0 +1,156 @@
+//! Result-set persistence (Section 2.1): metadata probe, persistent table
+//! creation, server-side materialization, and reopen — with per-step
+//! timings (the measurements behind Figure 6 and §3.5).
+
+use std::time::{Duration, Instant};
+
+use odbcsim::{OdbcConnection, OdbcStatement};
+use sqlengine::types::DataType;
+use sqlengine::{Error, Result};
+
+use crate::intercept::{materialize_sql, metadata_probe_sql, reopen_sql};
+
+/// Per-step elapsed times for one persisted result set.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PersistTiming {
+    /// Request interception + one-pass parse (filled by the caller).
+    pub parse: Duration,
+    /// `WHERE 0=1` metadata probe round trip.
+    pub metadata: Duration,
+    /// `CREATE TABLE` for the persistent result table.
+    pub create_table: Duration,
+    /// Stored-procedure-equivalent `INSERT INTO T <select>` round trip —
+    /// query execution plus writing the result into the table.
+    pub load: Duration,
+    /// `SELECT * FROM T` reopen.
+    pub reopen: Duration,
+}
+
+impl PersistTiming {
+    /// Sum of all steps.
+    pub fn total(&self) -> Duration {
+        self.parse + self.metadata + self.create_table + self.load + self.reopen
+    }
+}
+
+/// Outcome of persisting one result set.
+pub struct PersistedResult {
+    /// Name of the persistent result table on the server.
+    pub table: String,
+    /// Result metadata from the `WHERE 0=1` probe.
+    pub columns: Vec<(String, DataType)>,
+    /// Rows materialized into the table.
+    pub loaded: u64,
+    /// The reopened `SELECT * FROM <table>` statement, positioned at row 0.
+    pub stmt: OdbcStatement,
+    /// Per-step elapsed times.
+    pub timing: PersistTiming,
+}
+
+/// Render a `CREATE TABLE` for the result table from probe metadata.
+/// Column names are bracket-quoted and de-duplicated.
+pub fn create_table_sql(table: &str, columns: &[(String, DataType)]) -> String {
+    let mut seen = std::collections::HashSet::new();
+    let cols: Vec<String> = columns
+        .iter()
+        .enumerate()
+        .map(|(i, (name, t))| {
+            let mut n = if name.is_empty() {
+                format!("c{}", i + 1)
+            } else {
+                name.clone()
+            };
+            if !seen.insert(n.to_ascii_lowercase()) {
+                n = format!("{n}_{}", i + 1);
+                seen.insert(n.to_ascii_lowercase());
+            }
+            let ty = match t {
+                DataType::Int => "INT",
+                DataType::Float => "FLOAT",
+                DataType::Str => "VARCHAR(255)",
+                DataType::Date => "DATE",
+            };
+            format!("[{n}] {ty}")
+        })
+        .collect();
+    format!("CREATE TABLE {table} ({})", cols.join(", "))
+}
+
+/// Execute the full Section 2.1 sequence for `select_sql`:
+///
+/// 1. metadata probe (`WHERE 0=1`) — *private* connection;
+/// 2. `CREATE TABLE` — *private* connection (masked from the app);
+/// 3. `INSERT INTO T <select>` — app connection (the app's request; once
+///    the server acknowledges, the result is crash-durable);
+/// 4. reopen `SELECT * FROM T` — app connection.
+pub fn persist_result(
+    app: &OdbcConnection,
+    private: &OdbcConnection,
+    table: &str,
+    select_sql: &str,
+    parse_time: Duration,
+) -> Result<PersistedResult> {
+    let mut timing = PersistTiming {
+        parse: parse_time,
+        ..Default::default()
+    };
+
+    // Step 1: metadata.
+    let t = Instant::now();
+    let probe = private.exec_direct(&metadata_probe_sql(select_sql))?;
+    let columns = probe.columns().to_vec();
+    timing.metadata = t.elapsed();
+    if columns.is_empty() {
+        return Err(Error::Semantic(
+            "statement does not produce a result set".into(),
+        ));
+    }
+
+    // Step 2: create the persistent holding table.
+    let t = Instant::now();
+    private.exec_direct(&create_table_sql(table, &columns))?;
+    timing.create_table = t.elapsed();
+
+    // Step 3: materialize at the server (data moves locally, not to the
+    // client). When this returns, the result survives server crashes.
+    let t = Instant::now();
+    let load = app.exec_direct(&materialize_sql(table, select_sql))?;
+    let loaded = load.row_count().unwrap_or(0);
+    timing.load = t.elapsed();
+
+    // Step 4: reopen for seamless delivery.
+    let t = Instant::now();
+    let stmt = app.exec_direct(&reopen_sql(table))?;
+    timing.reopen = t.elapsed();
+
+    Ok(PersistedResult {
+        table: table.to_string(),
+        columns,
+        loaded,
+        stmt,
+        timing,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_table_sql_quoting_and_dedup() {
+        let sql = create_table_sql(
+            "phx_res_1_1",
+            &[
+                ("value".into(), DataType::Float),
+                ("value".into(), DataType::Float),
+                ("".into(), DataType::Int),
+                ("order".into(), DataType::Str),
+            ],
+        );
+        assert_eq!(
+            sql,
+            "CREATE TABLE phx_res_1_1 ([value] FLOAT, [value_2] FLOAT, [c3] INT, [order] VARCHAR(255))"
+        );
+        sqlengine::sql::parser::parse_one(&sql).unwrap();
+    }
+}

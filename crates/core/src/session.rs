@@ -1,0 +1,784 @@
+//! The virtual ODBC database session (Sections 2.2–2.3, 4.1).
+//!
+//! A [`PhoenixConnection`] is what the application holds instead of a raw
+//! driver connection. Underneath it maps to *two* real connections — the
+//! application's and a private one that masks Phoenix's own traffic
+//! (result-table creation, pings, recovery probes). When the server
+//! crashes, Phoenix detects it (driver error or timeout), reconnects,
+//! re-binds the virtual session, reinstalls SQL state (reopening the
+//! persistent result table and repositioning), and the application simply
+//! continues — it pauses, it does not fail.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use odbcsim::{DriverConfig, OdbcConnection, OdbcStatement};
+use sqlengine::schema::encode_row;
+use sqlengine::types::{DataType, Row, Value};
+use sqlengine::{Error, Result};
+use wire::DbServer;
+
+use crate::config::{CacheMode, PhoenixConfig, RepositionMode};
+use crate::intercept::{classify, reopen_sql, RequestClass};
+use crate::persist::{persist_result, PersistTiming};
+
+/// Phoenix-managed status table for exactly-once modification statements.
+pub const STATUS_TABLE: &str = "phx_status";
+/// Session liveness proxy: a temp table that dies with the real session.
+const PROBE_TABLE: &str = "#phx_probe";
+
+static NEXT_CONN_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Counters describing Phoenix's activity (observability + tests).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PhoenixStats {
+    /// Session recoveries performed (each masks one detected failure).
+    pub recoveries: u64,
+    /// Result sets persisted as server tables (Section 2 path).
+    pub results_persisted: u64,
+    /// Result sets served entirely from the client cache (Section 4 path).
+    pub results_cached: u64,
+    /// Cache attempts that overflowed and fell back to persistence.
+    pub cache_overflows: u64,
+    /// Modification statements wrapped with the status-table transaction.
+    pub updates_wrapped: u64,
+    /// Rows handed to the application.
+    pub rows_delivered: u64,
+    /// Transaction aborts surfaced to the application after a crash.
+    pub txn_aborts_surfaced: u64,
+}
+
+/// Timing of the most recent session recovery, split into the paper's two
+/// phases (Figures 3 and 4).
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveryTiming {
+    /// Phase 1: reconnect, reset connection options, re-map the virtual
+    /// session (the paper's constant ≈0.37 s component).
+    pub virtual_session: Duration,
+    /// Phase 2: reinstall SQL state — reopen the persistent result and
+    /// reposition to the last delivered tuple.
+    pub sql_state: Duration,
+    /// Reconnect attempts made during phase 1.
+    pub attempts: u32,
+}
+
+/// Outcome of [`PhoenixConnection::exec`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecKind {
+    /// A result set is open; fetch with [`PhoenixConnection::fetch`].
+    ResultSet {
+        /// Column names and types of the open result.
+        columns: Vec<(String, DataType)>,
+    },
+    /// DML affected-row count.
+    RowCount(u64),
+    /// Control/DDL success.
+    Ok,
+}
+
+enum ActiveSource {
+    /// Fully cached at the client (Section 4): crash-proof by construction.
+    Cached(VecDeque<Row>),
+    /// Persisted as a server table; `stmt` streams from the reopen query.
+    /// Inside an application transaction the persistence work still
+    /// happens (it is the overhead the paper measures in Table 4), but a
+    /// crash surfaces as a transaction abort rather than being masked.
+    Persisted { table: String, stmt: OdbcStatement },
+}
+
+struct Active {
+    sql: String,
+    columns: Vec<(String, DataType)>,
+    delivered: u64,
+    source: ActiveSource,
+}
+
+struct Inner {
+    app: OdbcConnection,
+    private: OdbcConnection,
+    in_app_txn: bool,
+    next_req: u64,
+    active: Option<Active>,
+    stats: PhoenixStats,
+    last_recovery: Option<RecoveryTiming>,
+    last_persist: Option<PersistTiming>,
+    /// Result tables whose DROP is pending (processed lazily).
+    pending_drop: Vec<String>,
+    next_result: u64,
+}
+
+/// A persistent database session.
+pub struct PhoenixConnection {
+    server: DbServer,
+    cfg: PhoenixConfig,
+    /// Stable identity used for result-table names and status-table keys.
+    conn_id: u64,
+    inner: Mutex<Inner>,
+}
+
+impl PhoenixConnection {
+    /// Open a persistent session: connects the application connection and
+    /// the private connection, installs the session probe and ensures the
+    /// status table exists.
+    pub fn connect(server: &DbServer, cfg: PhoenixConfig) -> Result<PhoenixConnection> {
+        let conn_id = NEXT_CONN_ID.fetch_add(1, Ordering::Relaxed);
+        let (app, private) = Self::open_pair(server, &cfg)?;
+        Self::install_session_context(&app, &private)?;
+        Ok(PhoenixConnection {
+            server: server.clone(),
+            cfg,
+            conn_id,
+            inner: Mutex::new(Inner {
+                app,
+                private,
+                in_app_txn: false,
+                next_req: 1,
+                active: None,
+                stats: PhoenixStats::default(),
+                last_recovery: None,
+                last_persist: None,
+                pending_drop: Vec::new(),
+                next_result: 1,
+            }),
+        })
+    }
+
+    fn open_pair(
+        server: &DbServer,
+        cfg: &PhoenixConfig,
+    ) -> Result<(OdbcConnection, OdbcConnection)> {
+        let app = OdbcConnection::connect(server, cfg.driver.clone())?;
+        let private = OdbcConnection::connect(
+            server,
+            DriverConfig {
+                login: format!("{}:phoenix-private", cfg.driver.login),
+                ..cfg.driver.clone()
+            },
+        )?;
+        Ok((app, private))
+    }
+
+    fn install_session_context(app: &OdbcConnection, private: &OdbcConnection) -> Result<()> {
+        // Session-liveness proxy (temp table, dies with the session).
+        app.exec_direct(&format!("CREATE TABLE {PROBE_TABLE} (x INT)"))?;
+        // Status table for exactly-once updates (shared, persistent).
+        match private.exec_direct(&format!(
+            "CREATE TABLE {STATUS_TABLE} (app_key VARCHAR(64), req_id INT, affected INT, \
+             PRIMARY KEY (app_key, req_id))"
+        )) {
+            Ok(_) => Ok(()),
+            Err(Error::AlreadyExists(_)) => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn status_key(&self) -> String {
+        format!("phx_{}", self.conn_id)
+    }
+
+    // -- observability --------------------------------------------------------
+
+    /// Counters describing this session's activity.
+    pub fn stats(&self) -> PhoenixStats {
+        self.inner.lock().stats
+    }
+
+    /// Timing of the most recent recovery, if any happened.
+    pub fn last_recovery_timing(&self) -> Option<RecoveryTiming> {
+        self.inner.lock().last_recovery
+    }
+
+    /// Step timings of the most recent server-side result persistence.
+    pub fn last_persist_timing(&self) -> Option<PersistTiming> {
+        self.inner.lock().last_persist
+    }
+
+    /// Columns of the open result set, if any.
+    pub fn columns(&self) -> Option<Vec<(String, DataType)>> {
+        self.inner
+            .lock()
+            .active
+            .as_ref()
+            .map(|a| a.columns.clone())
+    }
+
+    // -- statement execution ---------------------------------------------------
+
+    /// Execute an application request through Phoenix.
+    pub fn exec(&self, sql: &str) -> Result<ExecKind> {
+        let t_parse = Instant::now();
+        let class = classify(sql)?;
+        let parse_time = t_parse.elapsed();
+
+        let mut inner = self.inner.lock();
+        self.retire_active(&mut inner);
+
+        match class {
+            RequestClass::TxnBegin => {
+                self.masked_passthrough(&mut inner, sql)?;
+                inner.in_app_txn = true;
+                Ok(ExecKind::Ok)
+            }
+            RequestClass::TxnCommit | RequestClass::TxnRollback => {
+                let r = inner.app.exec_direct(sql);
+                inner.in_app_txn = false;
+                match r {
+                    Ok(_) => Ok(ExecKind::Ok),
+                    Err(e) if e.is_connection_fatal() => {
+                        // Transaction outcome unknown/aborted: recover the
+                        // session, surface the abort to the application.
+                        self.recover(&mut inner)?;
+                        inner.stats.txn_aborts_surfaced += 1;
+                        Err(Error::TxnAborted("server failure during transaction".into()))
+                    }
+                    Err(e) => Err(e),
+                }
+            }
+            RequestClass::Passthrough => {
+                if inner.in_app_txn {
+                    self.in_txn_exec(&mut inner, sql).map(|st| match st.row_count() {
+                        Some(n) => ExecKind::RowCount(n),
+                        None => ExecKind::Ok,
+                    })
+                } else {
+                    let st = self.masked_passthrough(&mut inner, sql)?;
+                    Ok(match st.row_count() {
+                        Some(n) => ExecKind::RowCount(n),
+                        None => ExecKind::Ok,
+                    })
+                }
+            }
+            RequestClass::Modification => {
+                if inner.in_app_txn {
+                    let st = self.in_txn_exec(&mut inner, sql)?;
+                    Ok(ExecKind::RowCount(st.row_count().unwrap_or(0)))
+                } else {
+                    let n = self.wrapped_modification(&mut inner, sql)?;
+                    Ok(ExecKind::RowCount(n))
+                }
+            }
+            RequestClass::ResultGenerating => self.open_result(&mut inner, sql, parse_time),
+        }
+    }
+
+    /// Fetch the next row of the open result set. Server failures during
+    /// delivery are masked: Phoenix recovers the session, repositions, and
+    /// returns the row as if nothing happened.
+    pub fn fetch(&self) -> Result<Option<Row>> {
+        enum Step {
+            Row(Option<Row>),
+            Recover,
+            TxnDead,
+            Fail(Error),
+        }
+        let mut guard = self.inner.lock();
+        loop {
+            let inner = &mut *guard;
+            let Some(active) = inner.active.as_mut() else {
+                return Err(Error::Semantic("no open result set".into()));
+            };
+            let in_txn = inner.in_app_txn;
+            let step = match &mut active.source {
+                ActiveSource::Cached(rows) => Step::Row(rows.pop_front()),
+                ActiveSource::Persisted { stmt, .. } => match stmt.fetch() {
+                    Ok(row) => Step::Row(row),
+                    Err(e) if e.is_connection_fatal() => {
+                        if in_txn {
+                            Step::TxnDead
+                        } else {
+                            Step::Recover
+                        }
+                    }
+                    Err(e) => Step::Fail(e),
+                },
+            };
+            match step {
+                Step::Row(Some(row)) => {
+                    active.delivered += 1;
+                    inner.stats.rows_delivered += 1;
+                    return Ok(Some(row));
+                }
+                Step::Row(None) => return Ok(None),
+                Step::Recover => {
+                    self.recover(&mut guard)?;
+                    // Loop: the reopened, repositioned statement resumes
+                    // delivery seamlessly.
+                }
+                Step::TxnDead => {
+                    self.recover(&mut guard)?;
+                    guard.in_app_txn = false;
+                    guard.active = None;
+                    guard.stats.txn_aborts_surfaced += 1;
+                    return Err(Error::TxnAborted(
+                        "server failure during transaction".into(),
+                    ));
+                }
+                Step::Fail(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Fetch up to `n` rows.
+    pub fn fetch_block(&self, n: usize) -> Result<Vec<Row>> {
+        let mut out = Vec::with_capacity(n.min(1024));
+        while out.len() < n {
+            match self.fetch()? {
+                Some(r) => out.push(r),
+                None => break,
+            }
+        }
+        Ok(out)
+    }
+
+    /// Drain the open result fully.
+    pub fn fetch_all(&self) -> Result<Vec<Row>> {
+        self.fetch_block(usize::MAX)
+    }
+
+    /// Convenience: exec + fetch_all.
+    pub fn query_all(&self, sql: &str) -> Result<Vec<Row>> {
+        match self.exec(sql)? {
+            ExecKind::ResultSet { .. } => self.fetch_all(),
+            _ => Ok(Vec::new()),
+        }
+    }
+
+    /// Close the open result set (drops the persistent result table).
+    pub fn close_result(&self) {
+        let mut inner = self.inner.lock();
+        self.retire_active(&mut inner);
+        self.process_pending_drops(&mut inner);
+    }
+
+    /// Orderly close: drop pending result tables, clear status rows.
+    pub fn close(self) {
+        let mut inner = self.inner.lock();
+        self.retire_active(&mut inner);
+        self.process_pending_drops(&mut inner);
+        let _ = inner.private.exec_direct(&format!(
+            "DELETE FROM {STATUS_TABLE} WHERE app_key = '{}'",
+            self.status_key()
+        ));
+    }
+
+    // -- internals --------------------------------------------------------------
+
+    /// Retire the current result set: persistent tables are scheduled for
+    /// dropping; statements close implicitly when superseded.
+    fn retire_active(&self, inner: &mut Inner) {
+        if let Some(active) = inner.active.take() {
+            if let ActiveSource::Persisted { table, stmt } = active.source {
+                let _ = stmt.close();
+                inner.pending_drop.push(table);
+            }
+        }
+    }
+
+    fn process_pending_drops(&self, inner: &mut Inner) {
+        let tables = std::mem::take(&mut inner.pending_drop);
+        for t in tables {
+            if inner
+                .private
+                .exec_direct(&format!("DROP TABLE IF EXISTS {t}"))
+                .is_err()
+            {
+                // Keep for a later attempt (e.g. server temporarily down).
+                inner.pending_drop.push(t);
+            }
+        }
+    }
+
+    /// Run a passthrough statement with failure masking: on a fatal error,
+    /// recover and re-execute (safe for DDL-style requests, which are
+    /// idempotent under `IF EXISTS`/`OR REPLACE` or fail cleanly).
+    fn masked_passthrough(&self, inner: &mut Inner, sql: &str) -> Result<OdbcStatement> {
+        let mut attempts = 0;
+        loop {
+            match inner.app.exec_direct(sql) {
+                Ok(st) => return Ok(st),
+                Err(e) if e.is_connection_fatal() && attempts < 3 => {
+                    attempts += 1;
+                    self.recover(inner)?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Statement inside an application transaction: no masking beyond
+    /// session recovery (crash ⇒ transaction abort surfaced to the app).
+    fn in_txn_exec(&self, inner: &mut Inner, sql: &str) -> Result<OdbcStatement> {
+        match inner.app.exec_direct(sql) {
+            Ok(st) => Ok(st),
+            Err(e) if e.is_connection_fatal() => {
+                self.recover(inner)?;
+                inner.in_app_txn = false;
+                inner.stats.txn_aborts_surfaced += 1;
+                Err(Error::TxnAborted("server failure during transaction".into()))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Section 2.1 + 4.1: open a result set recoverably.
+    fn open_result(
+        &self,
+        inner: &mut Inner,
+        sql: &str,
+        parse_time: Duration,
+    ) -> Result<ExecKind> {
+        self.process_pending_drops(inner);
+
+        // Client caching first (Section 4): execute the original statement
+        // and pull the whole result into the client cache.
+        if let CacheMode::Enabled { capacity_bytes } = self.cfg.cache {
+            match self.try_cache_result(inner, sql, capacity_bytes)? {
+                CacheAttempt::Cached { columns, rows } => {
+                    inner.stats.results_cached += 1;
+                    let columns2 = columns.clone();
+                    inner.active = Some(Active {
+                        sql: sql.to_string(),
+                        columns,
+                        delivered: 0,
+                        source: ActiveSource::Cached(rows),
+                    });
+                    return Ok(ExecKind::ResultSet { columns: columns2 });
+                }
+                CacheAttempt::Overflow => {
+                    inner.stats.cache_overflows += 1;
+                    // Fall through to server-side persistence.
+                }
+            }
+        }
+
+        // Server-side persistence with masking: a failure at any step
+        // restarts the whole sequence (fresh table name ⇒ idempotent).
+        // Inside an application transaction a server failure cannot be
+        // masked (the transaction is gone): recover the session and
+        // surface the abort.
+        let mut attempts = 0;
+        loop {
+            let table = format!("phx_res_{}_{}", self.conn_id, inner.next_result);
+            inner.next_result += 1;
+            match persist_result(&inner.app, &inner.private, &table, sql, parse_time) {
+                Ok(pr) => {
+                    inner.stats.results_persisted += 1;
+                    inner.last_persist = Some(pr.timing);
+                    let columns = pr.columns.clone();
+                    inner.active = Some(Active {
+                        sql: sql.to_string(),
+                        columns: pr.columns,
+                        delivered: 0,
+                        source: ActiveSource::Persisted {
+                            table: pr.table,
+                            stmt: pr.stmt,
+                        },
+                    });
+                    return Ok(ExecKind::ResultSet { columns });
+                }
+                Err(e) if e.is_connection_fatal() => {
+                    inner.pending_drop.push(table);
+                    self.recover(inner)?;
+                    if inner.in_app_txn {
+                        inner.in_app_txn = false;
+                        inner.stats.txn_aborts_surfaced += 1;
+                        return Err(Error::TxnAborted(
+                            "server failure during transaction".into(),
+                        ));
+                    }
+                    if attempts >= 3 {
+                        return Err(e);
+                    }
+                    attempts += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn try_cache_result(
+        &self,
+        inner: &mut Inner,
+        sql: &str,
+        capacity: usize,
+    ) -> Result<CacheAttempt> {
+        let mut attempts = 0;
+        'retry: loop {
+            let mut stmt = match inner.app.exec_direct(sql) {
+                Ok(s) => s,
+                Err(e) if e.is_connection_fatal() && attempts < 3 => {
+                    self.recover(inner)?;
+                    if inner.in_app_txn {
+                        inner.in_app_txn = false;
+                        inner.stats.txn_aborts_surfaced += 1;
+                        return Err(Error::TxnAborted(
+                            "server failure during transaction".into(),
+                        ));
+                    }
+                    attempts += 1;
+                    continue 'retry;
+                }
+                Err(e) => return Err(e),
+            };
+            let columns = stmt.columns().to_vec();
+            let mut rows = VecDeque::new();
+            let mut bytes = 0usize;
+            loop {
+                // Single block-cursor read per driver call.
+                let batch = match stmt.fetch_block(256) {
+                    Ok(b) => b,
+                    Err(e) if e.is_connection_fatal() && attempts < 3 => {
+                        // Full result never arrived: usual recovery, then
+                        // re-execute the query (Section 4.1).
+                        self.recover(inner)?;
+                        if inner.in_app_txn {
+                            inner.in_app_txn = false;
+                            inner.stats.txn_aborts_surfaced += 1;
+                            return Err(Error::TxnAborted(
+                                "server failure during transaction".into(),
+                            ));
+                        }
+                        attempts += 1;
+                        continue 'retry;
+                    }
+                    Err(e) => return Err(e),
+                };
+                if batch.is_empty() {
+                    // Entire result now at the client: deliverability is
+                    // guaranteed regardless of later server failures.
+                    return Ok(CacheAttempt::Cached { columns, rows });
+                }
+                for r in batch {
+                    let mut tmp = Vec::new();
+                    encode_row(&r, &mut tmp);
+                    bytes += tmp.len();
+                    rows.push_back(r);
+                }
+                if bytes > capacity {
+                    let _ = stmt.close();
+                    return Ok(CacheAttempt::Overflow);
+                }
+            }
+        }
+    }
+
+    /// Modification statement with exactly-once semantics: wrap in a
+    /// transaction that also records the affected count in the status
+    /// table; on failure, the status row tells recovery whether the
+    /// statement completed.
+    fn wrapped_modification(&self, inner: &mut Inner, sql: &str) -> Result<u64> {
+        inner.stats.updates_wrapped += 1;
+        let req_id = inner.next_req;
+        inner.next_req += 1;
+        let key = self.status_key();
+
+        let mut attempts = 0u32;
+        loop {
+            let r = (|| -> Result<u64> {
+                inner.app.exec_direct("BEGIN TRAN")?;
+                let st = inner.app.exec_direct(sql)?;
+                let n = st.row_count().unwrap_or(0);
+                inner.app.exec_direct(&format!(
+                    "INSERT INTO {STATUS_TABLE} VALUES ('{key}', {req_id}, {n})"
+                ))?;
+                inner.app.exec_direct("COMMIT")?;
+                Ok(n)
+            })();
+            match r {
+                Ok(n) => return Ok(n),
+                Err(e) if e.is_connection_fatal() => {
+                    if attempts >= self.cfg.reconnect.max_attempts {
+                        return Err(e);
+                    }
+                    attempts += 1;
+                    self.recover(inner)?;
+                    // Did the wrapped transaction commit before the crash?
+                    let check = query_all(
+                        &inner.private,
+                        &format!(
+                            "SELECT affected FROM {STATUS_TABLE} \
+                             WHERE app_key = '{key}' AND req_id = {req_id}"
+                        ),
+                    )?;
+                    if let Some(row) = check.first() {
+                        if let Some(Value::Int(n)) = row.first() {
+                            return Ok(*n as u64);
+                        }
+                    }
+                    // Not recorded ⇒ the transaction aborted; re-execute.
+                }
+                Err(Error::Deadlock) => {
+                    // Wait-die victim: retry the wrapped transaction.
+                    let _ = inner.app.exec_direct("ROLLBACK");
+                    if attempts >= self.cfg.reconnect.max_attempts {
+                        return Err(Error::Deadlock);
+                    }
+                    attempts += 1;
+                }
+                Err(e) => {
+                    let _ = inner.app.exec_direct("ROLLBACK");
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    // -- recovery (Section 2.3) --------------------------------------------------
+
+    /// Recover the virtual database session after a suspected failure.
+    /// Idempotent: a crash *during* recovery simply re-enters here.
+    fn recover(&self, inner: &mut Inner) -> Result<()> {
+        inner.stats.recoveries += 1;
+        let policy = self.cfg.reconnect;
+        let t0 = Instant::now();
+
+        // Transient-failure short circuit: if the private connection still
+        // answers pings and the app connection is alive, nothing to do.
+        if !inner.app.is_dead() && inner.private.ping().is_ok() {
+            inner.last_recovery = Some(RecoveryTiming {
+                virtual_session: t0.elapsed(),
+                sql_state: Duration::ZERO,
+                attempts: 0,
+            });
+            return Ok(());
+        }
+
+        // Phase 1: re-establish connections and the virtual session.
+        let mut attempts = 0u32;
+        let (app, private) = loop {
+            attempts += 1;
+            match Self::open_pair(&self.server, &self.cfg) {
+                Ok((app, private)) => {
+                    // Ping over the private connection, then decide whether
+                    // the database session survived via the temp-table
+                    // proxy (temp tables die with their session).
+                    if private.ping().is_err() {
+                        if attempts >= policy.max_attempts {
+                            return Err(Error::ServerShutdown);
+                        }
+                        std::thread::sleep(policy.retry_interval);
+                        continue;
+                    }
+                    let _session_survived = app
+                        .exec_direct(&format!("SELECT * FROM {PROBE_TABLE} WHERE 0=1"))
+                        .is_ok();
+                    // (In this substrate a broken link always implies a
+                    // dead session, so the probe is informational.)
+                    if let Err(e) = Self::install_session_context(&app, &private) {
+                        if e.is_connection_fatal() {
+                            if attempts >= policy.max_attempts {
+                                return Err(e);
+                            }
+                            std::thread::sleep(policy.retry_interval);
+                            continue;
+                        }
+                        return Err(e);
+                    }
+                    break (app, private);
+                }
+                Err(_) if attempts < policy.max_attempts => {
+                    std::thread::sleep(policy.retry_interval);
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        inner.app = app;
+        inner.private = private;
+        let virtual_session = t0.elapsed();
+
+        // Phase 2: reinstall SQL state for the interrupted request.
+        let t1 = Instant::now();
+        let active_opt = inner.active.take();
+        inner.active = match (inner.in_app_txn, active_opt) {
+            // The transaction died with the server; the caller surfaces
+            // TxnAborted. Nothing to reinstall.
+            (true, _) => None,
+            (false, None) => None,
+            (false, Some(mut active)) => match &mut active.source {
+                // Entire result is client-side; no server state needed.
+                ActiveSource::Cached(_) => Some(active),
+                ActiveSource::Persisted { table, stmt } => {
+                    // Verify database recovery restored the result table.
+                    // If it is somehow gone (it was dropped out of band, or
+                    // never reached commit), redo the whole persistence
+                    // from the remembered request — the result is
+                    // recomputed, not lost.
+                    let verify = inner
+                        .private
+                        .exec_direct(&format!("SELECT * FROM {table} WHERE 0=1"));
+                    match verify {
+                        Ok(_) => {}
+                        Err(Error::NotFound(_)) => {
+                            let fresh = format!(
+                                "phx_res_{}_{}",
+                                self.conn_id, inner.next_result
+                            );
+                            inner.next_result += 1;
+                            let pr = persist_result(
+                                &inner.app,
+                                &inner.private,
+                                &fresh,
+                                &active.sql,
+                                Duration::ZERO,
+                            )?;
+                            let _ = pr.stmt.close();
+                            *table = fresh;
+                        }
+                        Err(e) => return Err(e),
+                    }
+                    // Reopen and reposition to the last delivered tuple.
+                    let new_stmt = match self.cfg.reposition {
+                        RepositionMode::Server => {
+                            // Advance server-side; no tuples cross the wire
+                            // (the repositioning stored procedure).
+                            inner
+                                .app
+                                .exec_direct_skip(&reopen_sql(table), active.delivered)?
+                        }
+                        RepositionMode::Client => {
+                            // Sequence through the result from the client.
+                            let mut s = inner.app.exec_direct(&reopen_sql(table))?;
+                            for _ in 0..active.delivered {
+                                if s.fetch()?.is_none() {
+                                    break;
+                                }
+                            }
+                            s
+                        }
+                    };
+                    *stmt = new_stmt;
+                    Some(active)
+                }
+            },
+        };
+        let sql_state = t1.elapsed();
+
+        inner.last_recovery = Some(RecoveryTiming {
+            virtual_session,
+            sql_state,
+            attempts,
+        });
+        Ok(())
+    }
+}
+
+enum CacheAttempt {
+    Cached {
+        columns: Vec<(String, DataType)>,
+        rows: VecDeque<Row>,
+    },
+    Overflow,
+}
+
+/// Run a query on a raw driver connection and collect all rows.
+pub(crate) fn query_all(conn: &OdbcConnection, sql: &str) -> Result<Vec<Row>> {
+    let mut st = conn.exec_direct(sql)?;
+    let mut out = Vec::new();
+    while let Some(r) = st.fetch()? {
+        out.push(r);
+    }
+    Ok(out)
+}

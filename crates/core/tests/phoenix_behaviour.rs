@@ -1,0 +1,369 @@
+//! Behavioural tests for Phoenix/ODBC persistent sessions: crash masking,
+//! repositioning, exactly-once updates, client caching, and transaction
+//! abort surfacing.
+
+use std::time::Duration;
+
+use phoenix::{
+    CacheMode, ExecKind, PhoenixConfig, PhoenixConnection, ReconnectPolicy, RepositionMode,
+};
+use sqlengine::types::Value;
+use sqlengine::Error;
+use wire::{DbServer, ServerConfig};
+
+fn quick_policy() -> ReconnectPolicy {
+    ReconnectPolicy {
+        max_attempts: 100,
+        retry_interval: Duration::from_millis(20),
+    }
+}
+
+fn cfg_with(reposition: RepositionMode, cache: CacheMode) -> PhoenixConfig {
+    let mut cfg = PhoenixConfig {
+        cache,
+        reposition,
+        reconnect: quick_policy(),
+        ..Default::default()
+    };
+    cfg.driver.query_timeout = Some(Duration::from_secs(10));
+    // A small driver buffer so crashes interrupt result delivery rather
+    // than being absorbed by client-side buffering.
+    cfg.driver.buffer_bytes = 512;
+    cfg
+}
+
+fn server_with_rows(n: usize) -> DbServer {
+    let server = DbServer::start(ServerConfig::instant_net()).unwrap();
+    let engine = server.engine().unwrap();
+    let sid = engine.create_session().unwrap();
+    engine
+        .execute(sid, "CREATE TABLE items (k INT PRIMARY KEY, v VARCHAR(32))")
+        .unwrap();
+    for chunk in (0..n).collect::<Vec<_>>().chunks(200) {
+        let mut sql = String::from("INSERT INTO items VALUES ");
+        for (i, k) in chunk.iter().enumerate() {
+            if i > 0 {
+                sql.push(',');
+            }
+            sql.push_str(&format!("({k}, 'value-{k}')"));
+        }
+        engine.execute(sid, &sql).unwrap();
+    }
+    engine.close_session(sid);
+    server
+}
+
+fn restart_after(server: &DbServer, delay: Duration) -> std::thread::JoinHandle<()> {
+    let s = server.clone();
+    std::thread::spawn(move || {
+        std::thread::sleep(delay);
+        s.restart().unwrap();
+    })
+}
+
+#[test]
+fn crash_mid_fetch_is_masked_server_reposition() {
+    let server = server_with_rows(500);
+    let px = PhoenixConnection::connect(
+        &server,
+        cfg_with(RepositionMode::Server, CacheMode::Disabled),
+    )
+    .unwrap();
+    let ExecKind::ResultSet { columns } = px.exec("SELECT k, v FROM items ORDER BY k").unwrap()
+    else {
+        panic!("expected result set")
+    };
+    assert_eq!(columns.len(), 2);
+
+    // Consume part of the result, then crash (as in §3.4).
+    let mut rows = Vec::new();
+    for _ in 0..250 {
+        rows.push(px.fetch().unwrap().unwrap());
+    }
+    server.crash();
+    let h = restart_after(&server, Duration::from_millis(150));
+
+    // The application never sees the outage.
+    while let Some(r) = px.fetch().unwrap() {
+        rows.push(r);
+    }
+    h.join().unwrap();
+    assert_eq!(rows.len(), 500);
+    for (i, r) in rows.iter().enumerate() {
+        assert_eq!(r[0], Value::Int(i as i64), "row order preserved at {i}");
+        assert_eq!(r[1], Value::Str(format!("value-{i}")));
+    }
+    assert_eq!(px.stats().recoveries, 1);
+    let t = px.last_recovery_timing().unwrap();
+    assert!(t.virtual_session > Duration::ZERO);
+}
+
+#[test]
+fn crash_mid_fetch_is_masked_client_reposition() {
+    let server = server_with_rows(300);
+    let px = PhoenixConnection::connect(
+        &server,
+        cfg_with(RepositionMode::Client, CacheMode::Disabled),
+    )
+    .unwrap();
+    px.exec("SELECT k FROM items ORDER BY k").unwrap();
+    let mut rows = px.fetch_block(150).unwrap();
+    server.crash();
+    let h = restart_after(&server, Duration::from_millis(100));
+    rows.extend(px.fetch_all().unwrap());
+    h.join().unwrap();
+    let ks: Vec<i64> = rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+    assert_eq!(ks, (0..300).collect::<Vec<i64>>());
+    assert!(px.stats().recoveries >= 1);
+}
+
+#[test]
+fn repeated_crashes_during_one_result() {
+    let server = server_with_rows(400);
+    let px = PhoenixConnection::connect(
+        &server,
+        cfg_with(RepositionMode::Server, CacheMode::Disabled),
+    )
+    .unwrap();
+    px.exec("SELECT k FROM items ORDER BY k").unwrap();
+    let mut got = 0usize;
+    for round in 0..3 {
+        for _ in 0..100 {
+            assert!(px.fetch().unwrap().is_some());
+            got += 1;
+        }
+        server.crash();
+        let h = restart_after(&server, Duration::from_millis(80 + round * 20));
+        h.join().unwrap();
+    }
+    got += px.fetch_all().unwrap().len();
+    assert_eq!(got, 400);
+    assert!(px.stats().recoveries >= 3);
+}
+
+#[test]
+fn update_statements_have_exactly_once_semantics() {
+    let server = server_with_rows(10);
+    let px = PhoenixConnection::connect(
+        &server,
+        cfg_with(RepositionMode::Server, CacheMode::Disabled),
+    )
+    .unwrap();
+
+    // Normal operation.
+    let ExecKind::RowCount(n) = px
+        .exec("UPDATE items SET v = 'touched' WHERE k < 5")
+        .unwrap()
+    else {
+        panic!()
+    };
+    assert_eq!(n, 5);
+
+    // Crash *after* the update committed but before the app read the reply
+    // cannot be simulated deterministically from outside, but a crash mid
+    // retry loop exercises the status-table check path: run a mix of
+    // updates around crashes and verify none applied twice.
+    px.exec("CREATE TABLE counter (id INT PRIMARY KEY, n INT)")
+        .unwrap();
+    px.exec("INSERT INTO counter VALUES (1, 0)").unwrap();
+    for i in 0..6 {
+        if i == 2 || i == 4 {
+            server.crash();
+            let h = restart_after(&server, Duration::from_millis(100));
+            h.join().unwrap();
+        }
+        let ExecKind::RowCount(n) = px.exec("UPDATE counter SET n = n + 1 WHERE id = 1").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(n, 1);
+    }
+    let rows = px.query_all("SELECT n FROM counter WHERE id = 1").unwrap();
+    assert_eq!(rows[0][0], Value::Int(6), "each update applied exactly once");
+    assert!(px.stats().updates_wrapped >= 7);
+}
+
+#[test]
+fn client_cached_results_survive_even_while_server_is_down() {
+    let server = server_with_rows(50);
+    let px = PhoenixConnection::connect(
+        &server,
+        cfg_with(RepositionMode::Server, CacheMode::enabled(1 << 20)),
+    )
+    .unwrap();
+    px.exec("SELECT k, v FROM items ORDER BY k").unwrap();
+    // Entire (small) result is cached client-side; crash the server and do
+    // NOT restart — delivery still completes.
+    server.crash();
+    let rows = px.fetch_all().unwrap();
+    assert_eq!(rows.len(), 50);
+    assert_eq!(px.stats().results_cached, 1);
+    assert_eq!(px.stats().results_persisted, 0);
+    assert_eq!(px.stats().recoveries, 0, "no recovery was even needed");
+    server.restart().unwrap();
+}
+
+#[test]
+fn client_caching_creates_no_server_tables() {
+    let server = server_with_rows(30);
+    let px = PhoenixConnection::connect(
+        &server,
+        cfg_with(RepositionMode::Server, CacheMode::enabled(1 << 20)),
+    )
+    .unwrap();
+    for _ in 0..5 {
+        px.exec("SELECT k FROM items WHERE k < 20").unwrap();
+        let rows = px.fetch_all().unwrap();
+        assert_eq!(rows.len(), 20);
+    }
+    // No phx_res_* tables on the server.
+    let engine = server.engine().unwrap();
+    let names = engine.storage().catalog.table_names();
+    assert!(
+        names.iter().all(|n| !n.starts_with("phx_res_")),
+        "unexpected result tables: {names:?}"
+    );
+}
+
+#[test]
+fn cache_overflow_falls_back_to_server_persistence() {
+    let server = server_with_rows(2000);
+    let px = PhoenixConnection::connect(
+        &server,
+        cfg_with(RepositionMode::Server, CacheMode::enabled(512)),
+    )
+    .unwrap();
+    px.exec("SELECT k, v FROM items ORDER BY k").unwrap();
+    let rows = px.fetch_all().unwrap();
+    assert_eq!(rows.len(), 2000);
+    let stats = px.stats();
+    assert_eq!(stats.cache_overflows, 1);
+    assert_eq!(stats.results_persisted, 1);
+}
+
+#[test]
+fn app_transactions_abort_on_crash_but_session_survives() {
+    let server = server_with_rows(10);
+    let px = PhoenixConnection::connect(
+        &server,
+        cfg_with(RepositionMode::Server, CacheMode::Disabled),
+    )
+    .unwrap();
+
+    px.exec("BEGIN TRAN").unwrap();
+    px.exec("UPDATE items SET v = 'dirty' WHERE k = 1").unwrap();
+    server.crash();
+    let h = restart_after(&server, Duration::from_millis(100));
+    // The next statement in the transaction surfaces the abort.
+    let err = px.exec("UPDATE items SET v = 'dirty' WHERE k = 2").unwrap_err();
+    assert!(matches!(err, Error::TxnAborted(_)), "got {err:?}");
+    h.join().unwrap();
+
+    // Uncommitted work rolled back by server recovery.
+    let rows = px
+        .query_all("SELECT v FROM items WHERE k = 1")
+        .unwrap();
+    assert_eq!(rows[0][0], Value::Str("value-1".into()));
+
+    // The session remains usable: retry the transaction.
+    px.exec("BEGIN TRAN").unwrap();
+    px.exec("UPDATE items SET v = 'clean' WHERE k = 1").unwrap();
+    px.exec("COMMIT").unwrap();
+    let rows = px.query_all("SELECT v FROM items WHERE k = 1").unwrap();
+    assert_eq!(rows[0][0], Value::Str("clean".into()));
+    assert!(px.stats().txn_aborts_surfaced >= 1);
+}
+
+#[test]
+fn result_tables_are_cleaned_up() {
+    let server = server_with_rows(20);
+    let px = PhoenixConnection::connect(
+        &server,
+        cfg_with(RepositionMode::Server, CacheMode::Disabled),
+    )
+    .unwrap();
+    for _ in 0..4 {
+        px.exec("SELECT k FROM items").unwrap();
+        px.fetch_all().unwrap();
+    }
+    px.close_result();
+    let engine = server.engine().unwrap();
+    let leftovers: Vec<String> = engine
+        .storage()
+        .catalog
+        .table_names()
+        .into_iter()
+        .filter(|n| n.starts_with("phx_res_"))
+        .collect();
+    // At most the currently-open (none) result's table may remain.
+    assert!(leftovers.is_empty(), "leftover result tables: {leftovers:?}");
+}
+
+#[test]
+fn phoenix_gives_up_when_server_never_returns() {
+    let server = server_with_rows(2000);
+    let mut cfg = cfg_with(RepositionMode::Server, CacheMode::Disabled);
+    cfg.reconnect = ReconnectPolicy {
+        max_attempts: 3,
+        retry_interval: Duration::from_millis(10),
+    };
+    let px = PhoenixConnection::connect(&server, cfg).unwrap();
+    px.exec("SELECT k FROM items").unwrap();
+    px.fetch().unwrap();
+    server.crash();
+    // Server never restarts: once the client-side buffer is exhausted and
+    // all reconnect attempts fail, Phoenix reveals the failure.
+    let err = loop {
+        match px.fetch() {
+            Ok(Some(_)) => continue,
+            Ok(None) => panic!("result cannot complete: server is down"),
+            Err(e) => break e,
+        }
+    };
+    assert!(err.is_connection_fatal(), "got {err:?}");
+}
+
+#[test]
+fn persist_timing_and_metadata_exposed() {
+    let server = server_with_rows(100);
+    let px = PhoenixConnection::connect(
+        &server,
+        cfg_with(RepositionMode::Server, CacheMode::Disabled),
+    )
+    .unwrap();
+    let ExecKind::ResultSet { columns } = px
+        .exec("SELECT k AS key_col, v AS val_col FROM items WHERE k < 10")
+        .unwrap()
+    else {
+        panic!()
+    };
+    assert_eq!(columns[0].0, "key_col");
+    assert_eq!(columns[1].0, "val_col");
+    let t = px.last_persist_timing().unwrap();
+    assert!(t.total() > Duration::ZERO);
+    assert_eq!(px.fetch_all().unwrap().len(), 10);
+}
+
+#[test]
+fn aggregate_results_survive_crash() {
+    let server = server_with_rows(500);
+    let px = PhoenixConnection::connect(
+        &server,
+        cfg_with(RepositionMode::Server, CacheMode::Disabled),
+    )
+    .unwrap();
+    // Aggregate query: result persisted as a table; crash between exec and
+    // fetch; values still delivered.
+    px.exec(
+        "SELECT k % 10 AS bucket, COUNT(*) AS n FROM items GROUP BY k % 10 ORDER BY bucket",
+    )
+    .unwrap();
+    server.crash();
+    let h = restart_after(&server, Duration::from_millis(100));
+    let rows = px.fetch_all().unwrap();
+    h.join().unwrap();
+    assert_eq!(rows.len(), 10);
+    for r in &rows {
+        assert_eq!(r[1], Value::Int(50));
+    }
+}

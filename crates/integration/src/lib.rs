@@ -1,0 +1,59 @@
+//! Support helpers for the repository-level integration tests in `tests/`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use wire::{DbServer, ServerConfig};
+
+/// Start a chaos thread that crashes and restarts the server at the given
+/// cadence until the returned guard is dropped.
+pub struct Chaos {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<u32>>,
+}
+
+impl Chaos {
+    pub fn start(server: DbServer, period: Duration, downtime: Duration) -> Chaos {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            let mut crashes = 0;
+            while !stop2.load(Ordering::Relaxed) {
+                std::thread::sleep(period);
+                if stop2.load(Ordering::Relaxed) {
+                    break;
+                }
+                server.crash();
+                crashes += 1;
+                std::thread::sleep(downtime);
+                server.restart().expect("restart");
+            }
+            crashes
+        });
+        Chaos {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stop injecting and return how many crashes happened.
+    pub fn stop(mut self) -> u32 {
+        self.stop.store(true, Ordering::Relaxed);
+        self.handle.take().map(|h| h.join().unwrap()).unwrap_or(0)
+    }
+}
+
+impl Drop for Chaos {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// A small server with fast (zero-latency) networking for tests.
+pub fn test_server() -> DbServer {
+    DbServer::start(ServerConfig::instant_net()).expect("server")
+}

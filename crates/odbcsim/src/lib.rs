@@ -1,0 +1,542 @@
+//! # odbcsim
+//!
+//! An ODBC-like data access layer over the [`wire`] protocol — the stand-in
+//! for the paper's *native ODBC driver*. It reproduces the driver behaviours
+//! Phoenix builds on:
+//!
+//! * `exec_direct` returns when the statement completes **or** when the
+//!   driver's bounded row buffer fills (default-result-set semantics: the
+//!   server streams all rows immediately; client+network buffering is
+//!   finite, so a large unconsumed result leaves the server's scan
+//!   suspended — the Table 3 mechanism).
+//! * `fetch` / `fetch_block` consume buffered rows, pulling more from the
+//!   network on demand (block cursors are what Phoenix's client-side
+//!   result cache uses to slurp a result in few calls).
+//! * Connection-level failures surface as
+//!   [`Error::is_connection_fatal`] errors, and a per-call query timeout
+//!   is available — the two failure-detection channels Phoenix uses.
+//! * `exec_direct_skip` executes with a server-side skip: the wire-level
+//!   equivalent of the paper's "advance to tuple N" stored procedure.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use sqlengine::schema::encode_row;
+use sqlengine::types::{DataType, Row};
+use sqlengine::{Error, Result};
+use wire::{ClientConn, DbServer, DoneKind, Request, Response, StmtId};
+
+/// Driver configuration (per connection).
+#[derive(Debug, Clone)]
+pub struct DriverConfig {
+    /// Login string recorded by the server (and replayed by Phoenix at
+    /// recovery).
+    pub login: String,
+    /// Driver-side row buffer capacity in bytes. `exec_direct` returns
+    /// once the statement is done or this buffer is full.
+    pub buffer_bytes: usize,
+    /// Per-request timeout; `None` blocks indefinitely.
+    pub query_timeout: Option<Duration>,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        DriverConfig {
+            login: "app".into(),
+            buffer_bytes: 16 * 1024,
+            query_timeout: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+struct ConnInner {
+    conn: ClientConn,
+    cfg: DriverConfig,
+    dead: AtomicBool,
+    next_stmt: AtomicU32,
+    /// The statement currently allowed to own the response stream.
+    active: Mutex<Option<StmtId>>,
+}
+
+impl ConnInner {
+    fn fail(&self, e: Error) -> Error {
+        if e.is_connection_fatal() {
+            self.dead.store(true, Ordering::SeqCst);
+        }
+        e
+    }
+
+    fn check(&self) -> Result<()> {
+        if self.dead.load(Ordering::SeqCst) {
+            return Err(Error::ServerShutdown);
+        }
+        Ok(())
+    }
+}
+
+/// An ODBC-style connection (maps to one database session).
+pub struct OdbcConnection {
+    inner: Arc<ConnInner>,
+    session: u64,
+}
+
+impl OdbcConnection {
+    /// `SQLDriverConnect`: open a network connection and a session.
+    pub fn connect(server: &DbServer, cfg: DriverConfig) -> Result<OdbcConnection> {
+        let conn = server.connect()?;
+        conn.send(&Request::Connect {
+            login: cfg.login.clone(),
+        })?;
+        let timeout = cfg.query_timeout;
+        match conn.recv(timeout)? {
+            Response::Connected { session } => Ok(OdbcConnection {
+                inner: Arc::new(ConnInner {
+                    conn,
+                    cfg,
+                    dead: AtomicBool::new(false),
+                    next_stmt: AtomicU32::new(1),
+                    active: Mutex::new(None),
+                }),
+                session,
+            }),
+            Response::Error { error, .. } => Err(error),
+            _ => Err(Error::Internal("unexpected connect response".into())),
+        }
+    }
+
+    /// Server-assigned session id (diagnostics only).
+    pub fn session_id(&self) -> u64 {
+        self.session
+    }
+
+    /// True once a connection-fatal error has been observed.
+    pub fn is_dead(&self) -> bool {
+        self.inner.dead.load(Ordering::SeqCst)
+    }
+
+    /// `SQLExecDirect`.
+    pub fn exec_direct(&self, sql: &str) -> Result<OdbcStatement> {
+        self.exec_direct_skip(sql, 0)
+    }
+
+    /// Execute with a server-side skip of the first `skip` result rows
+    /// (they are scanned at the server, never transmitted).
+    pub fn exec_direct_skip(&self, sql: &str, skip: u64) -> Result<OdbcStatement> {
+        self.inner.check()?;
+        // One active streaming statement per connection: retire the old one.
+        {
+            let mut active = self.inner.active.lock();
+            if let Some(old) = active.take() {
+                let _ = self.inner.conn.send(&Request::CloseStmt { stmt: old });
+            }
+        }
+        let id = self.inner.next_stmt.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .conn
+            .send(&Request::Exec {
+                stmt: id,
+                sql: sql.to_string(),
+                skip,
+            })
+            .map_err(|e| self.inner.fail(e))?;
+        *self.inner.active.lock() = Some(id);
+
+        let mut stmt = OdbcStatement {
+            inner: Arc::clone(&self.inner),
+            id,
+            columns: Vec::new(),
+            buf: VecDeque::new(),
+            buf_bytes: 0,
+            done: None,
+            fetched: 0,
+        };
+        // Default result set: pump until done or driver buffer full.
+        stmt.pump(true)?;
+        Ok(stmt)
+    }
+
+    /// Liveness probe on this connection.
+    pub fn ping(&self) -> Result<()> {
+        self.inner.check()?;
+        self.inner
+            .conn
+            .send(&Request::Ping)
+            .map_err(|e| self.inner.fail(e))?;
+        let deadline = self.inner.cfg.query_timeout;
+        loop {
+            match self.inner.conn.recv(deadline) {
+                Ok(Response::Pong) => return Ok(()),
+                // Stale statement traffic may precede the pong.
+                Ok(_) => continue,
+                Err(e) => return Err(self.inner.fail(e)),
+            }
+        }
+    }
+
+    /// Orderly disconnect.
+    pub fn disconnect(self) {
+        let _ = self.inner.conn.send(&Request::Disconnect);
+        self.inner.conn.close();
+    }
+}
+
+/// How a statement finished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatementKind {
+    /// Produces rows; count known once fully streamed.
+    ResultSet,
+    /// DML with affected-row count.
+    RowCount(u64),
+    /// DDL / control.
+    Ok,
+}
+
+/// An executed statement (SQLSTMT handle analogue).
+pub struct OdbcStatement {
+    inner: Arc<ConnInner>,
+    id: StmtId,
+    columns: Vec<(String, DataType)>,
+    buf: VecDeque<Row>,
+    buf_bytes: usize,
+    done: Option<DoneKind>,
+    fetched: u64,
+}
+
+impl std::fmt::Debug for OdbcStatement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OdbcStatement")
+            .field("id", &self.id)
+            .field("buffered", &self.buf.len())
+            .field("done", &self.done)
+            .finish()
+    }
+}
+
+impl OdbcStatement {
+    /// Result metadata (empty for row-count-only statements).
+    pub fn columns(&self) -> &[(String, DataType)] {
+        &self.columns
+    }
+
+    /// Classify how the statement finished (result set / row count / ok).
+    pub fn kind(&self) -> StatementKind {
+        match &self.done {
+            Some(DoneKind::Affected(n)) => StatementKind::RowCount(*n),
+            Some(DoneKind::Ok) => StatementKind::Ok,
+            _ => StatementKind::ResultSet,
+        }
+    }
+
+    /// Affected-row count for DML (`SQLRowCount`).
+    pub fn row_count(&self) -> Option<u64> {
+        match &self.done {
+            Some(DoneKind::Affected(n)) | Some(DoneKind::Rows(n)) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Whether the full result has arrived at the client.
+    pub fn fully_received(&self) -> bool {
+        self.done.is_some()
+    }
+
+    /// Rows fetched by the application so far.
+    pub fn position(&self) -> u64 {
+        self.fetched
+    }
+
+    /// `SQLFetch`: next row, or `None` at end of the result set.
+    pub fn fetch(&mut self) -> Result<Option<Row>> {
+        loop {
+            if let Some(row) = self.buf.pop_front() {
+                let mut tmp = Vec::new();
+                encode_row(&row, &mut tmp);
+                self.buf_bytes = self.buf_bytes.saturating_sub(tmp.len());
+                self.fetched += 1;
+                return Ok(Some(row));
+            }
+            if self.done.is_some() {
+                return Ok(None);
+            }
+            self.pump(false)?;
+        }
+    }
+
+    /// Block-cursor read of up to `n` rows (one driver call, many rows).
+    pub fn fetch_block(&mut self, n: usize) -> Result<Vec<Row>> {
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            match self.fetch()? {
+                Some(r) => out.push(r),
+                None => break,
+            }
+        }
+        Ok(out)
+    }
+
+    /// Close the statement, cancelling any suspended server-side stream.
+    pub fn close(self) -> Result<()> {
+        if self.done.is_none() {
+            let mut active = self.inner.active.lock();
+            if *active == Some(self.id) {
+                *active = None;
+            }
+            self.inner
+                .conn
+                .send(&Request::CloseStmt { stmt: self.id })?;
+        }
+        Ok(())
+    }
+
+    /// Read responses. With `until_full`, returns once done OR the driver
+    /// buffer is full; otherwise returns after any progress (rows/done).
+    fn pump(&mut self, until_full: bool) -> Result<()> {
+        let timeout = self.inner.cfg.query_timeout;
+        loop {
+            if self.done.is_some() {
+                return Ok(());
+            }
+            if until_full && self.buf_bytes >= self.inner.cfg.buffer_bytes {
+                return Ok(());
+            }
+            let resp = self
+                .inner
+                .conn
+                .recv(timeout)
+                .map_err(|e| self.inner.fail(e))?;
+            match resp {
+                Response::Meta { stmt, columns } if stmt == self.id => {
+                    self.columns = columns;
+                }
+                Response::RowBatch { stmt, rows } if stmt == self.id => {
+                    for r in rows {
+                        let mut tmp = Vec::new();
+                        encode_row(&r, &mut tmp);
+                        self.buf_bytes += tmp.len();
+                        self.buf.push_back(r);
+                    }
+                    if !until_full {
+                        return Ok(());
+                    }
+                }
+                Response::Done { stmt, kind } if stmt == self.id => {
+                    self.done = Some(kind);
+                    let mut active = self.inner.active.lock();
+                    if *active == Some(self.id) {
+                        *active = None;
+                    }
+                    return Ok(());
+                }
+                Response::Error { stmt, error } if stmt == self.id => {
+                    self.done = Some(DoneKind::Ok);
+                    return Err(self.inner.fail(error));
+                }
+                // Traffic for cancelled/older statements: drop.
+                _ => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wire::ServerConfig;
+
+    fn server() -> DbServer {
+        DbServer::start(ServerConfig::instant_net()).unwrap()
+    }
+
+    fn quick_cfg() -> DriverConfig {
+        DriverConfig {
+            query_timeout: Some(Duration::from_secs(5)),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn connect_and_query() {
+        let s = server();
+        let c = OdbcConnection::connect(&s, quick_cfg()).unwrap();
+        c.exec_direct("CREATE TABLE t (a INT PRIMARY KEY, b VARCHAR(10))")
+            .unwrap();
+        let st = c
+            .exec_direct("INSERT INTO t VALUES (1,'x'),(2,'y'),(3,'z')")
+            .unwrap();
+        assert_eq!(st.kind(), StatementKind::RowCount(3));
+
+        let mut st = c.exec_direct("SELECT a, b FROM t ORDER BY a DESC").unwrap();
+        assert_eq!(st.columns().len(), 2);
+        let mut got = Vec::new();
+        while let Some(r) = st.fetch().unwrap() {
+            got.push(r[0].clone());
+        }
+        assert_eq!(
+            got,
+            vec![
+                sqlengine::Value::Int(3),
+                sqlengine::Value::Int(2),
+                sqlengine::Value::Int(1)
+            ]
+        );
+        assert_eq!(st.position(), 3);
+    }
+
+    #[test]
+    fn metadata_probe_where_0_eq_1() {
+        let s = server();
+        let c = OdbcConnection::connect(&s, quick_cfg()).unwrap();
+        c.exec_direct("CREATE TABLE t (a INT, b VARCHAR(10), d DATE)")
+            .unwrap();
+        let mut st = c.exec_direct("SELECT a, b, d FROM t WHERE 0=1").unwrap();
+        assert_eq!(
+            st.columns(),
+            &[
+                ("a".to_string(), DataType::Int),
+                ("b".to_string(), DataType::Str),
+                ("d".to_string(), DataType::Date),
+            ]
+        );
+        assert_eq!(st.fetch().unwrap(), None);
+    }
+
+    #[test]
+    fn block_fetch() {
+        let s = server();
+        let c = OdbcConnection::connect(&s, quick_cfg()).unwrap();
+        c.exec_direct("CREATE TABLE t (a INT PRIMARY KEY)").unwrap();
+        let mut vals = String::from("INSERT INTO t VALUES ");
+        for i in 0..50 {
+            if i > 0 {
+                vals.push(',');
+            }
+            vals.push_str(&format!("({i})"));
+        }
+        c.exec_direct(&vals).unwrap();
+        let mut st = c.exec_direct("SELECT a FROM t").unwrap();
+        let block = st.fetch_block(20).unwrap();
+        assert_eq!(block.len(), 20);
+        let rest = st.fetch_block(1000).unwrap();
+        assert_eq!(rest.len(), 30);
+        assert!(st.fully_received());
+    }
+
+    #[test]
+    fn exec_returns_before_large_result_consumed() {
+        // Small network + driver buffers: exec_direct must return with the
+        // scan suspended server-side.
+        let mut scfg = ServerConfig::instant_net();
+        scfg.net_s2c.buffer_bytes = 4 * 1024;
+        let s = DbServer::start(scfg).unwrap();
+        let cfg = DriverConfig {
+            buffer_bytes: 4 * 1024,
+            query_timeout: Some(Duration::from_secs(5)),
+            ..Default::default()
+        };
+        let c = OdbcConnection::connect(&s, cfg).unwrap();
+        c.exec_direct("CREATE TABLE big (a INT PRIMARY KEY, pad VARCHAR(120))")
+            .unwrap();
+        for b in 0..20 {
+            let mut vals = String::from("INSERT INTO big VALUES ");
+            for i in 0..100 {
+                let k = b * 100 + i;
+                if i > 0 {
+                    vals.push(',');
+                }
+                vals.push_str(&format!(
+                    "({k}, 'pppppppppppppppppppppppppppppppppppppppp')"
+                ));
+            }
+            c.exec_direct(&vals).unwrap();
+        }
+        let mut st = c.exec_direct("SELECT * FROM big").unwrap();
+        assert!(
+            !st.fully_received(),
+            "2000 wide rows cannot fit in 8 KiB of buffering"
+        );
+        // Consuming everything eventually drains the stream.
+        let all = st.fetch_block(10_000).unwrap();
+        assert_eq!(all.len(), 2000);
+        assert!(st.fully_received());
+    }
+
+    #[test]
+    fn errors_are_statement_scoped() {
+        let s = server();
+        let c = OdbcConnection::connect(&s, quick_cfg()).unwrap();
+        let e = c.exec_direct("SELECT * FROM missing").unwrap_err();
+        assert!(matches!(e, Error::NotFound(_)));
+        // Connection still usable.
+        c.exec_direct("CREATE TABLE t (a INT)").unwrap();
+        c.exec_direct("INSERT INTO t VALUES (1)").unwrap();
+    }
+
+    #[test]
+    fn crash_surfaces_fatal_error_and_ping_detects() {
+        let s = server();
+        let c = OdbcConnection::connect(&s, quick_cfg()).unwrap();
+        c.exec_direct("CREATE TABLE t (a INT)").unwrap();
+        s.crash();
+        let e = c.exec_direct("SELECT * FROM t").unwrap_err();
+        assert!(e.is_connection_fatal());
+        assert!(c.is_dead());
+        assert!(c.ping().is_err());
+        // New connection fails while down, works after restart.
+        assert!(OdbcConnection::connect(&s, quick_cfg()).is_err());
+        s.restart().unwrap();
+        let c2 = OdbcConnection::connect(&s, quick_cfg()).unwrap();
+        c2.exec_direct("SELECT * FROM t").unwrap();
+    }
+
+    #[test]
+    fn server_side_skip() {
+        let s = server();
+        let c = OdbcConnection::connect(&s, quick_cfg()).unwrap();
+        c.exec_direct("CREATE TABLE t (a INT PRIMARY KEY)").unwrap();
+        let mut vals = String::from("INSERT INTO t VALUES ");
+        for i in 0..100 {
+            if i > 0 {
+                vals.push(',');
+            }
+            vals.push_str(&format!("({i})"));
+        }
+        c.exec_direct(&vals).unwrap();
+        let mut st = c.exec_direct_skip("SELECT a FROM t", 97).unwrap();
+        let rest = st.fetch_block(100).unwrap();
+        assert_eq!(rest.len(), 3);
+    }
+
+    #[test]
+    fn new_statement_supersedes_suspended_one() {
+        let mut scfg = ServerConfig::instant_net();
+        scfg.net_s2c.buffer_bytes = 1024;
+        let s = DbServer::start(scfg).unwrap();
+        let cfg = DriverConfig {
+            buffer_bytes: 1024,
+            query_timeout: Some(Duration::from_secs(5)),
+            ..Default::default()
+        };
+        let c = OdbcConnection::connect(&s, cfg).unwrap();
+        c.exec_direct("CREATE TABLE t (a INT PRIMARY KEY, pad VARCHAR(100))")
+            .unwrap();
+        let mut vals = String::from("INSERT INTO t VALUES ");
+        for i in 0..500 {
+            if i > 0 {
+                vals.push(',');
+            }
+            vals.push_str(&format!("({i}, 'pppppppppppppppppppppppppppppp')"));
+        }
+        c.exec_direct(&vals).unwrap();
+        let st = c.exec_direct("SELECT * FROM t").unwrap();
+        assert!(!st.fully_received());
+        drop(st); // application walks away without closing
+        // Next statement works; old stream is cancelled server-side.
+        let mut st2 = c.exec_direct("SELECT TOP 1 a FROM t WHERE a = 42").unwrap();
+        let rows = st2.fetch_block(10).unwrap();
+        assert_eq!(rows.len(), 1);
+    }
+}

@@ -1,0 +1,75 @@
+//! Error type shared across the engine.
+
+use std::fmt;
+
+/// Engine-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors surfaced by the SQL engine.
+///
+/// The variants are deliberately coarse: they correspond to the error
+/// classes a client (and, above it, Phoenix) must distinguish — syntax
+/// problems, semantic problems, transaction aborts (deadlock victims),
+/// and server-side faults such as a shutdown in progress.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// SQL text failed to lex or parse.
+    Syntax(String),
+    /// Statement referenced a missing table/column, mismatched types, etc.
+    Semantic(String),
+    /// Named catalog object does not exist.
+    NotFound(String),
+    /// Catalog object already exists.
+    AlreadyExists(String),
+    /// Primary-key uniqueness violation.
+    DuplicateKey(String),
+    /// The transaction was chosen as a deadlock (wait-die) victim and
+    /// has been rolled back. The client should retry.
+    Deadlock,
+    /// The transaction was rolled back for a non-deadlock reason.
+    TxnAborted(String),
+    /// The server is shutting down or has shut down; volatile state is gone.
+    ServerShutdown,
+    /// A request did not complete within the caller's deadline. Raised by
+    /// the client/wire layers; Phoenix treats it as a possible server
+    /// failure and starts probing.
+    Timeout,
+    /// The session handle is no longer valid (e.g. server restarted).
+    NoSuchSession,
+    /// Storage-layer invariant violation (page full bookkeeping, etc.).
+    Storage(String),
+    /// Internal invariant violation; indicates an engine bug.
+    Internal(String),
+}
+
+impl Error {
+    /// True when the error indicates the server process itself is gone,
+    /// as opposed to a statement- or transaction-level failure.
+    pub fn is_connection_fatal(&self) -> bool {
+        matches!(
+            self,
+            Error::ServerShutdown | Error::NoSuchSession | Error::Timeout
+        )
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Syntax(m) => write!(f, "syntax error: {m}"),
+            Error::Semantic(m) => write!(f, "semantic error: {m}"),
+            Error::NotFound(m) => write!(f, "not found: {m}"),
+            Error::AlreadyExists(m) => write!(f, "already exists: {m}"),
+            Error::DuplicateKey(m) => write!(f, "duplicate key: {m}"),
+            Error::Deadlock => write!(f, "transaction deadlock victim; retry"),
+            Error::TxnAborted(m) => write!(f, "transaction aborted: {m}"),
+            Error::ServerShutdown => write!(f, "server shutdown"),
+            Error::Timeout => write!(f, "request timed out"),
+            Error::NoSuchSession => write!(f, "no such session"),
+            Error::Storage(m) => write!(f, "storage error: {m}"),
+            Error::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}

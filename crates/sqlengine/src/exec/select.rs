@@ -1,0 +1,1122 @@
+//! SELECT execution: scan with predicate pushdown and primary-key fast
+//! path, greedy hash-join planning, grouping/aggregation, HAVING,
+//! DISTINCT, ORDER BY, TOP, and projection — plus static output-schema
+//! inference, which is what makes the Phoenix `WHERE 0=1` metadata probe
+//! metadata-only on this engine too (constant-false predicates are folded
+//! before any scan happens).
+
+use std::collections::HashMap;
+
+use super::binding::{AggCall, BExpr, BoundCol};
+use super::eval::{
+    conjoin, eval, key_encode, normalize, split_conjuncts, truthy, Accumulator, AggContext,
+    Binder, Env,
+};
+use super::{ExecCtx, TableSource};
+use crate::error::{Error, Result};
+use crate::schema::Column;
+use crate::sql::ast::{
+    BinOp, Expr, OrderItem, SelectItem, SelectStmt, TableRef,
+};
+use crate::txn::locks::LockMode;
+use crate::types::{DataType, Row, Value};
+
+/// A materialized relation.
+#[derive(Debug, Clone)]
+pub struct Rel {
+    /// Output column bindings.
+    pub cols: Vec<BoundCol>,
+    /// The rows.
+    pub rows: Vec<Row>,
+}
+
+impl Rel {
+    /// Zero-row relation with the given shape.
+    pub fn empty(cols: Vec<BoundCol>) -> Rel {
+        Rel {
+            cols,
+            rows: Vec::new(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Static bindings / schema inference
+// ---------------------------------------------------------------------------
+
+/// Compute the column bindings a FROM clause produces, without executing.
+pub fn relation_bindings(ctx: &ExecCtx, from: &[TableRef]) -> Result<Vec<BoundCol>> {
+    let mut out = Vec::new();
+    for tr in from {
+        table_ref_bindings(ctx, tr, &mut out)?;
+    }
+    Ok(out)
+}
+
+fn table_ref_bindings(ctx: &ExecCtx, tr: &TableRef, out: &mut Vec<BoundCol>) -> Result<()> {
+    match tr {
+        TableRef::Table { table, alias } => {
+            let src = ctx.resolve_table(table)?;
+            let qual = alias.clone().unwrap_or_else(|| table.name.clone());
+            for c in &src.schema().columns {
+                out.push(BoundCol::new(Some(qual.clone()), c.name.clone(), c.dtype));
+            }
+        }
+        TableRef::Derived { query, alias } => {
+            let schema = infer_output_schema(ctx, query)?;
+            for c in schema {
+                out.push(BoundCol::new(Some(alias.clone()), c.name, c.dtype));
+            }
+        }
+        TableRef::Join { left, right, .. } => {
+            table_ref_bindings(ctx, left, out)?;
+            table_ref_bindings(ctx, right, out)?;
+        }
+    }
+    Ok(())
+}
+
+/// Static output schema of a SELECT — names and types — without executing
+/// it. This is the engine-side substrate for the `WHERE 0=1` trick: Phoenix
+/// gets complete result metadata from a query that never scans.
+pub fn infer_output_schema(ctx: &ExecCtx, q: &SelectStmt) -> Result<Vec<Column>> {
+    let input = relation_bindings(ctx, &q.from)?;
+    let binder = Binder::new(ctx, vec![input.clone()]);
+
+    // Aggregate context if needed (types of SUM(x) etc.).
+    let has_aggs = q
+        .items
+        .iter()
+        .any(|it| matches!(it, SelectItem::Expr { expr, .. } if expr.contains_aggregate()))
+        || !q.group_by.is_empty();
+    let agg_ctx = if has_aggs {
+        let mut aggs: Vec<AggCall> = Vec::new();
+        for it in &q.items {
+            if let SelectItem::Expr { expr, .. } = it {
+                binder.collect_aggs(expr, &mut aggs)?;
+            }
+        }
+        if let Some(h) = &q.having {
+            binder.collect_aggs(h, &mut aggs)?;
+        }
+        let group_exprs: Vec<Expr> = q.group_by.iter().map(normalize).collect();
+        let key_types: Vec<DataType> = q
+            .group_by
+            .iter()
+            .map(|g| binder.bind(g).map(|b| b.dtype()))
+            .collect::<Result<_>>()?;
+        Some(AggContext {
+            group_exprs,
+            key_types,
+            aggs,
+        })
+    } else {
+        None
+    };
+    let binder = Binder {
+        ctx,
+        scopes: vec![input.clone()],
+        agg_ctx: agg_ctx.as_ref(),
+    };
+
+    let mut out = Vec::new();
+    for (i, it) in q.items.iter().enumerate() {
+        match it {
+            SelectItem::Wildcard => {
+                for c in &input {
+                    out.push(Column::new(c.name.clone(), c.dtype));
+                }
+            }
+            SelectItem::QualifiedWildcard(qual) => {
+                for c in input.iter().filter(|c| {
+                    c.qual
+                        .as_deref()
+                        .map(|x| x.eq_ignore_ascii_case(qual))
+                        .unwrap_or(false)
+                }) {
+                    out.push(Column::new(c.name.clone(), c.dtype));
+                }
+            }
+            SelectItem::Expr { expr, alias } => {
+                let b = binder.bind(expr)?;
+                let name = alias.clone().unwrap_or_else(|| default_name(expr, i));
+                out.push(Column::new(name, b.dtype()));
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn default_name(e: &Expr, idx: usize) -> String {
+    match e {
+        Expr::Column { name, .. } => name.clone(),
+        Expr::Func { name, .. } => name.to_ascii_lowercase(),
+        _ => format!("col{}", idx + 1),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scanning with pushdown
+// ---------------------------------------------------------------------------
+
+/// Scan a base/temp table applying pushed-down conjuncts, using the PK
+/// hash index when the conjuncts pin every key column to a constant.
+fn scan_filtered(
+    ctx: &ExecCtx,
+    table: &crate::sql::ast::TableName,
+    alias: Option<&str>,
+    pushed: &[&Expr],
+) -> Result<Rel> {
+    let src = ctx.resolve_table(table)?;
+    let qual = alias
+        .map(|s| s.to_string())
+        .unwrap_or_else(|| table.name.clone());
+    let cols: Vec<BoundCol> = src
+        .schema()
+        .columns
+        .iter()
+        .map(|c| BoundCol::new(Some(qual.clone()), c.name.clone(), c.dtype))
+        .collect();
+
+    let binder = Binder::new(ctx, vec![cols.clone()]);
+    let filter = match pushed.len() {
+        0 => None,
+        _ => Some(binder.bind(&conjoin(pushed.iter().map(|e| (*e).clone()).collect()))?),
+    };
+
+    match &src {
+        TableSource::Base { meta, .. } => {
+            let (table_id, schema) = {
+                let m = meta.read();
+                (m.id, m.schema.clone())
+            };
+
+            // PK fast path: every key column pinned by an equality
+            // constant — point read under IS + a row S lock.
+            if !schema.primary_key.is_empty() {
+                if let Some(key_vals) = pk_probe(ctx, &schema, pushed)? {
+                    ctx.storage
+                        .lock_table(&ctx.txn, table_id, LockMode::IntentionShared)?;
+                    let key_bytes =
+                        crate::storage::heap::pk_lookup_bytes(&schema, &key_vals)?;
+                    ctx.storage.lock_row(
+                        &ctx.txn,
+                        table_id,
+                        crate::storage::heap::row_key_hash(&key_bytes),
+                        LockMode::Shared,
+                    )?;
+                    let mut rows = Vec::new();
+                    if let Some(rid) = ctx.storage.pk_lookup(table_id, &key_vals)? {
+                        if let Some(row) = ctx.storage.fetch_row(rid)? {
+                            let keep = match &filter {
+                                Some(f) => {
+                                    truthy(&eval(ctx, &Env::base(&row), f)?) == Some(true)
+                                }
+                                None => true,
+                            };
+                            if keep {
+                                rows.push(row);
+                            }
+                        }
+                    }
+                    return Ok(Rel { cols, rows });
+                }
+            }
+
+            ctx.storage.lock_table(&ctx.txn, table_id, LockMode::Shared)?;
+            let mut rows = Vec::new();
+            for item in ctx.storage.scan(table_id)? {
+                let (_, row) = item?;
+                let keep = match &filter {
+                    Some(f) => truthy(&eval(ctx, &Env::base(&row), f)?) == Some(true),
+                    None => true,
+                };
+                if keep {
+                    rows.push(row);
+                }
+            }
+            Ok(Rel { cols, rows })
+        }
+        TableSource::Temp { rows: trows, .. } => {
+            let mut rows = Vec::new();
+            for row in trows {
+                let keep = match &filter {
+                    Some(f) => truthy(&eval(ctx, &Env::base(row), f)?) == Some(true),
+                    None => true,
+                };
+                if keep {
+                    rows.push(row.clone());
+                }
+            }
+            Ok(Rel { cols, rows })
+        }
+    }
+}
+
+/// If `pushed` pins every PK column with `col = literal`, return the key.
+pub(crate) fn pk_probe(
+    ctx: &ExecCtx,
+    schema: &crate::schema::TableSchema,
+    pushed: &[&Expr],
+) -> Result<Option<Vec<Value>>> {
+    let mut found: HashMap<usize, Value> = HashMap::new();
+    for c in pushed {
+        let Expr::Binary {
+            op: BinOp::Eq,
+            left,
+            right,
+        } = c
+        else {
+            continue;
+        };
+        let (col, lit) = match (&**left, &**right) {
+            (Expr::Column { name, .. }, other) if const_value(ctx, other).is_some() => {
+                (name, const_value(ctx, other).unwrap())
+            }
+            (other, Expr::Column { name, .. }) if const_value(ctx, other).is_some() => {
+                (name, const_value(ctx, other).unwrap())
+            }
+            _ => continue,
+        };
+        if let Some(i) = schema.col_index(col) {
+            found.entry(i).or_insert(lit);
+        }
+    }
+    let key: Option<Vec<Value>> = schema
+        .primary_key
+        .iter()
+        .map(|i| found.get(i).cloned())
+        .collect();
+    Ok(key)
+}
+
+fn const_value(ctx: &ExecCtx, e: &Expr) -> Option<Value> {
+    match e {
+        Expr::Literal(v) => Some(v.clone()),
+        Expr::Neg(inner) => match const_value(ctx, inner)? {
+            Value::Int(i) => Some(Value::Int(-i)),
+            Value::Float(f) => Some(Value::Float(-f)),
+            _ => None,
+        },
+        Expr::Param(p) => ctx.params.get(&p.to_ascii_lowercase()).cloned(),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Join planning
+// ---------------------------------------------------------------------------
+
+/// Evaluate one FROM unit (table / derived / join tree) into a relation.
+fn eval_table_ref(ctx: &ExecCtx, tr: &TableRef, pushed: &[&Expr]) -> Result<Rel> {
+    match tr {
+        TableRef::Table { table, alias } => scan_filtered(ctx, table, alias.as_deref(), pushed),
+        TableRef::Derived { query, alias } => {
+            let rel = run_select_materialized(ctx, query, &[], None)?;
+            let cols = rel
+                .cols
+                .iter()
+                .map(|c| BoundCol::new(Some(alias.clone()), c.name.clone(), c.dtype))
+                .collect();
+            let mut out = Rel {
+                cols,
+                rows: rel.rows,
+            };
+            apply_filter(ctx, &mut out, pushed)?;
+            Ok(out)
+        }
+        TableRef::Join {
+            left,
+            right,
+            on,
+            outer,
+        } => {
+            let l = eval_table_ref(ctx, left, &[])?;
+            let r = eval_table_ref(ctx, right, &[])?;
+            let mut joined = join_on(ctx, l, r, on, *outer)?;
+            apply_filter(ctx, &mut joined, pushed)?;
+            Ok(joined)
+        }
+    }
+}
+
+fn apply_filter(ctx: &ExecCtx, rel: &mut Rel, pushed: &[&Expr]) -> Result<()> {
+    if pushed.is_empty() {
+        return Ok(());
+    }
+    let binder = Binder::new(ctx, vec![rel.cols.clone()]);
+    let f = binder.bind(&conjoin(pushed.iter().map(|e| (*e).clone()).collect()))?;
+    let mut kept = Vec::with_capacity(rel.rows.len());
+    for row in rel.rows.drain(..) {
+        if truthy(&eval(ctx, &Env::base(&row), &f)?) == Some(true) {
+            kept.push(row);
+        }
+    }
+    rel.rows = kept;
+    Ok(())
+}
+
+/// Hash join (or nested loop for non-equi ON) of two relations.
+fn join_on(ctx: &ExecCtx, left: Rel, right: Rel, on: &Expr, outer: bool) -> Result<Rel> {
+    let mut cols = left.cols.clone();
+    cols.extend(right.cols.clone());
+    let combined_binder = Binder::new(ctx, vec![cols.clone()]);
+
+    // Try to extract equi-conditions usable for hashing.
+    let conjuncts = split_conjuncts(on);
+    let lbinder = Binder::new(ctx, vec![left.cols.clone()]);
+    let rbinder = Binder::new(ctx, vec![right.cols.clone()]);
+    let mut lkeys = Vec::new();
+    let mut rkeys = Vec::new();
+    let mut residual: Vec<Expr> = Vec::new();
+    for c in conjuncts {
+        if let Expr::Binary {
+            op: BinOp::Eq,
+            left: a,
+            right: b,
+        } = c
+        {
+            match (lbinder.bind(a), rbinder.bind(b)) {
+                (Ok(la), Ok(rb)) => {
+                    lkeys.push(la);
+                    rkeys.push(rb);
+                    continue;
+                }
+                _ => if let (Ok(lb), Ok(ra)) = (lbinder.bind(b), rbinder.bind(a)) {
+                    lkeys.push(lb);
+                    rkeys.push(ra);
+                    continue;
+                },
+            }
+        }
+        residual.push(c.clone());
+    }
+    let residual_b = if residual.is_empty() {
+        None
+    } else {
+        Some(combined_binder.bind(&conjoin(residual))?)
+    };
+
+    let rwidth = right.cols.len();
+    let mut out_rows = Vec::new();
+    if !lkeys.is_empty() {
+        // Build on right, probe left (preserves left order; left outer easy).
+        let mut table: HashMap<Vec<u8>, Vec<&Row>> = HashMap::new();
+        for rrow in &right.rows {
+            let env = Env::base(rrow);
+            let kv: Vec<Value> = rkeys
+                .iter()
+                .map(|k| eval(ctx, &env, k))
+                .collect::<Result<_>>()?;
+            if kv.iter().any(Value::is_null) {
+                continue;
+            }
+            table.entry(key_encode(&kv)).or_default().push(rrow);
+        }
+        for lrow in &left.rows {
+            let env = Env::base(lrow);
+            let kv: Vec<Value> = lkeys
+                .iter()
+                .map(|k| eval(ctx, &env, k))
+                .collect::<Result<_>>()?;
+            let mut matched = false;
+            if !kv.iter().any(Value::is_null) {
+                if let Some(cands) = table.get(&key_encode(&kv)) {
+                    for rrow in cands {
+                        let mut combined = lrow.clone();
+                        combined.extend(rrow.iter().cloned());
+                        let ok = match &residual_b {
+                            Some(f) => {
+                                truthy(&eval(ctx, &Env::base(&combined), f)?) == Some(true)
+                            }
+                            None => true,
+                        };
+                        if ok {
+                            matched = true;
+                            out_rows.push(combined);
+                        }
+                    }
+                }
+            }
+            if outer && !matched {
+                let mut combined = lrow.clone();
+                combined.extend(std::iter::repeat_n(Value::Null, rwidth));
+                out_rows.push(combined);
+            }
+        }
+    } else {
+        // Nested loop.
+        for lrow in &left.rows {
+            let mut matched = false;
+            for rrow in &right.rows {
+                let mut combined = lrow.clone();
+                combined.extend(rrow.iter().cloned());
+                let ok = match &residual_b {
+                    Some(f) => truthy(&eval(ctx, &Env::base(&combined), f)?) == Some(true),
+                    None => true,
+                };
+                if ok {
+                    matched = true;
+                    out_rows.push(combined);
+                }
+            }
+            if outer && !matched {
+                let mut combined = lrow.clone();
+                combined.extend(std::iter::repeat_n(Value::Null, rwidth));
+                out_rows.push(combined);
+            }
+        }
+    }
+    Ok(Rel {
+        cols,
+        rows: out_rows,
+    })
+}
+
+/// Split an OR tree into disjuncts.
+fn split_disjuncts(e: &Expr) -> Vec<&Expr> {
+    fn rec<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+        if let Expr::Binary {
+            op: BinOp::Or,
+            left,
+            right,
+        } = e
+        {
+            rec(left, out);
+            rec(right, out);
+        } else {
+            out.push(e);
+        }
+    }
+    let mut out = Vec::new();
+    rec(e, &mut out);
+    out
+}
+
+fn disjoin(mut list: Vec<Expr>) -> Expr {
+    let mut acc = list.pop().expect("non-empty");
+    while let Some(e) = list.pop() {
+        acc = Expr::Binary {
+            op: BinOp::Or,
+            left: Box::new(e),
+            right: Box::new(acc),
+        };
+    }
+    acc
+}
+
+/// OR-factorization: rewrite `(A AND X) OR (A AND Y)` into
+/// `A AND (X OR Y)`. This is what lets TPC-H Q19's equi-join predicate
+/// (buried inside each OR branch) surface as a hash-join edge instead of
+/// forcing a cartesian product. Returns the replacement conjunct list.
+fn factor_or_conjunct(e: &Expr) -> Vec<Expr> {
+    if !matches!(
+        e,
+        Expr::Binary {
+            op: BinOp::Or,
+            ..
+        }
+    ) {
+        return vec![e.clone()];
+    }
+    let disjuncts = split_disjuncts(e);
+    if disjuncts.len() < 2 {
+        return vec![e.clone()];
+    }
+    let branch_conjs: Vec<Vec<&Expr>> = disjuncts.iter().map(|d| split_conjuncts(d)).collect();
+    let branch_norms: Vec<Vec<Expr>> = branch_conjs
+        .iter()
+        .map(|cs| cs.iter().map(|c| normalize(c)).collect())
+        .collect();
+
+    // Conjuncts of the first branch present (structurally) in every branch.
+    let mut common_idx: Vec<usize> = Vec::new();
+    for (i, n) in branch_norms[0].iter().enumerate() {
+        if branch_norms[1..].iter().all(|b| b.contains(n)) {
+            common_idx.push(i);
+        }
+    }
+    if common_idx.is_empty() {
+        return vec![e.clone()];
+    }
+    let common_norms: Vec<&Expr> = common_idx.iter().map(|&i| &branch_norms[0][i]).collect();
+    let mut out: Vec<Expr> = common_idx
+        .iter()
+        .map(|&i| branch_conjs[0][i].clone())
+        .collect();
+
+    // Each branch minus one occurrence of every common conjunct.
+    let mut remainders: Vec<Expr> = Vec::new();
+    let mut all_empty = true;
+    for (cs, ns) in branch_conjs.iter().zip(&branch_norms) {
+        let mut used = vec![false; cs.len()];
+        for cn in &common_norms {
+            if let Some(i) = ns
+                .iter()
+                .enumerate()
+                .position(|(i, n)| !used[i] && n == *cn)
+            {
+                used[i] = true;
+            }
+        }
+        let rest: Vec<Expr> = cs
+            .iter()
+            .zip(&used)
+            .filter(|(_, &u)| !u)
+            .map(|(c, _)| (*c).clone())
+            .collect();
+        if rest.is_empty() {
+            // One branch is exactly the common part ⇒ OR is implied.
+            continue;
+        }
+        all_empty = false;
+        remainders.push(conjoin(rest));
+    }
+    if !all_empty && !remainders.is_empty() && remainders.len() == branch_conjs.len() {
+        out.push(disjoin(remainders));
+    }
+    out
+}
+
+/// Which FROM units a conjunct references (by unit index); `None` if it
+/// references something outside all units (outer scope) or a subquery.
+fn conjunct_units(
+    conj: &Expr,
+    unit_bindings: &[Vec<BoundCol>],
+) -> Option<Vec<usize>> {
+    let mut units = Vec::new();
+    let mut external = false;
+    let mut has_sub = false;
+    conj.walk(&mut |e| match e {
+        Expr::Column { table, name } => {
+            let mut found = false;
+            for (i, b) in unit_bindings.iter().enumerate() {
+                if super::binding::resolve_col(&[b.as_slice()], table.as_deref(), name).is_ok() {
+                    if !units.contains(&i) {
+                        units.push(i);
+                    }
+                    found = true;
+                    break;
+                }
+            }
+            if !found {
+                external = true;
+            }
+        }
+        Expr::Exists { .. } | Expr::InSubquery { .. } | Expr::ScalarSubquery(_) => {
+            has_sub = true;
+        }
+        _ => {}
+    });
+    if external || has_sub {
+        None
+    } else {
+        Some(units)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Full SELECT pipeline
+// ---------------------------------------------------------------------------
+
+/// Execute a SELECT and materialize the result.
+///
+/// `outer_scopes`/`outer_env` carry correlation context when this is a
+/// subquery execution; both empty for top-level queries.
+pub fn run_select_materialized(
+    ctx: &ExecCtx,
+    q: &SelectStmt,
+    outer_scopes: &[Vec<BoundCol>],
+    outer_env: Option<&Env<'_>>,
+) -> Result<Rel> {
+    // ---- FROM + WHERE: build the joined, filtered input relation ----
+    let unit_bindings: Vec<Vec<BoundCol>> = q
+        .from
+        .iter()
+        .map(|tr| {
+            let mut b = Vec::new();
+            table_ref_bindings(ctx, tr, &mut b)?;
+            Ok(b)
+        })
+        .collect::<Result<_>>()?;
+
+    // Conjuncts, with OR-factorization applied so equi-joins hidden in
+    // disjunctions (e.g. Q19) still plan as hash joins.
+    let factored: Vec<Expr> = q
+        .filter
+        .as_ref()
+        .map(|f| {
+            split_conjuncts(f)
+                .into_iter()
+                .flat_map(factor_or_conjunct)
+                .collect()
+        })
+        .unwrap_or_default();
+    let conjuncts: Vec<&Expr> = factored.iter().collect();
+
+    // Classify conjuncts.
+    let mut pushed: Vec<Vec<&Expr>> = vec![Vec::new(); q.from.len()];
+    let mut const_conjs: Vec<&Expr> = Vec::new();
+    let mut join_edges: Vec<(&Expr, usize, usize)> = Vec::new();
+    let mut residual: Vec<&Expr> = Vec::new();
+    for c in &conjuncts {
+        match conjunct_units(c, &unit_bindings) {
+            Some(units) if units.is_empty() => const_conjs.push(c),
+            Some(units) if units.len() == 1 => pushed[units[0]].push(c),
+            Some(units) if units.len() == 2 => {
+                if matches!(c, Expr::Binary { op: BinOp::Eq, .. }) {
+                    join_edges.push((c, units[0], units[1]));
+                } else {
+                    residual.push(c);
+                }
+            }
+            _ => residual.push(c),
+        }
+    }
+
+    // Constant predicates (e.g. the Phoenix `WHERE 0=1` probe): evaluate
+    // before scanning anything.
+    let full_bindings: Vec<BoundCol> = unit_bindings.iter().flatten().cloned().collect();
+    for c in &const_conjs {
+        let mut scopes = vec![Vec::<BoundCol>::new()];
+        scopes.extend(outer_scopes.iter().cloned());
+        let binder = Binder::new(ctx, scopes);
+        let b = binder.bind(c)?;
+        let empty_row: Row = Vec::new();
+        let env = Env::child(&empty_row, outer_env);
+        if truthy(&eval(ctx, &env, &b)?) != Some(true) {
+            // Short-circuit: nothing can qualify; also skip scans.
+            let out_schema = infer_output_schema(ctx, q)?;
+            let cols = out_schema
+                .into_iter()
+                .map(|c| BoundCol::new(None, c.name, c.dtype))
+                .collect();
+            return Ok(Rel::empty(cols));
+        }
+    }
+
+    // Evaluate units with pushdown.
+    let mut rels: Vec<Option<Rel>> = q
+        .from
+        .iter()
+        .zip(&pushed)
+        .map(|(tr, p)| eval_table_ref(ctx, tr, p).map(Some))
+        .collect::<Result<_>>()?;
+
+    // Greedy join order: start from the smallest relation.
+    let n = rels.len();
+    let mut current: Rel;
+    let mut joined_units: Vec<usize> = Vec::new();
+    if n == 0 {
+        current = Rel {
+            cols: Vec::new(),
+            rows: vec![Vec::new()],
+        };
+    } else {
+        let start = (0..n)
+            .min_by_key(|&i| rels[i].as_ref().map(|r| r.rows.len()).unwrap_or(0))
+            .unwrap();
+        current = rels[start].take().unwrap();
+        joined_units.push(start);
+        while joined_units.len() < n {
+            // Prefer a unit connected by an equi-edge.
+            let next = (0..n)
+                .filter(|i| rels[*i].is_some())
+                .find(|&i| {
+                    join_edges.iter().any(|(_, a, b)| {
+                        (joined_units.contains(a) && *b == i)
+                            || (joined_units.contains(b) && *a == i)
+                    })
+                })
+                .or_else(|| {
+                    (0..n)
+                        .filter(|i| rels[*i].is_some())
+                        .min_by_key(|&i| rels[i].as_ref().unwrap().rows.len())
+                });
+            let Some(next) = next else { break };
+            let right = rels[next].take().unwrap();
+            // Collect all edges now satisfied (between joined set+next).
+            let mut on_parts: Vec<Expr> = Vec::new();
+            join_edges.retain(|(c, a, b)| {
+                let usable = (joined_units.contains(a) && *b == next)
+                    || (joined_units.contains(b) && *a == next);
+                if usable {
+                    on_parts.push((*c).clone());
+                }
+                !usable
+            });
+            current = if on_parts.is_empty() {
+                // Cartesian.
+                join_on(
+                    ctx,
+                    current,
+                    right,
+                    &Expr::Literal(Value::Int(1)),
+                    false,
+                )?
+            } else {
+                join_on(ctx, current, right, &conjoin(on_parts), false)?
+            };
+            joined_units.push(next);
+        }
+        // Edges that connected units in arbitrary order but were not
+        // consumed become residual filters.
+        for (c, _, _) in join_edges {
+            residual.push(c);
+        }
+    }
+
+    // Column order must match `relation_bindings` (wildcard contract):
+    // re-project to FROM order if the greedy join permuted units.
+    if joined_units.len() > 1 && joined_units.windows(2).any(|w| w[0] > w[1]) {
+        let mut perm: Vec<usize> = Vec::with_capacity(full_bindings.len());
+        // Offsets of each unit inside `current`.
+        let mut unit_offset_in_current: Vec<usize> = vec![0; n];
+        let mut acc = 0;
+        for &u in &joined_units {
+            unit_offset_in_current[u] = acc;
+            acc += unit_bindings[u].len();
+        }
+        for (u, b) in unit_bindings.iter().enumerate() {
+            let off = unit_offset_in_current[u];
+            for k in 0..b.len() {
+                perm.push(off + k);
+            }
+        }
+        current = Rel {
+            cols: full_bindings.clone(),
+            rows: current
+                .rows
+                .into_iter()
+                .map(|r| perm.iter().map(|&i| r[i].clone()).collect())
+                .collect(),
+        };
+    } else if n > 0 {
+        current.cols = full_bindings.clone();
+    }
+
+    // Residual filter (may be correlated → bind with outer scopes).
+    if !residual.is_empty() {
+        let mut scopes = vec![current.cols.clone()];
+        scopes.extend(outer_scopes.iter().cloned());
+        let binder = Binder::new(ctx, scopes);
+        let f = binder.bind(&conjoin(residual.iter().map(|e| (*e).clone()).collect()))?;
+        let mut kept = Vec::with_capacity(current.rows.len());
+        for row in current.rows.drain(..) {
+            let env = Env::child(&row, outer_env);
+            if truthy(&eval(ctx, &env, &f)?) == Some(true) {
+                kept.push(row);
+            }
+        }
+        current.rows = kept;
+    }
+
+    // ---- Aggregation / projection / order / distinct / top ----
+    project_and_finish(ctx, q, current, outer_scopes, outer_env)
+}
+
+/// Everything after the joined+filtered input relation.
+fn project_and_finish(
+    ctx: &ExecCtx,
+    q: &SelectStmt,
+    input: Rel,
+    outer_scopes: &[Vec<BoundCol>],
+    outer_env: Option<&Env<'_>>,
+) -> Result<Rel> {
+    let mut scopes = vec![input.cols.clone()];
+    scopes.extend(outer_scopes.iter().cloned());
+    let binder = Binder::new(ctx, scopes.clone());
+
+    let has_aggs = !q.group_by.is_empty()
+        || q.items
+            .iter()
+            .any(|it| matches!(it, SelectItem::Expr { expr, .. } if expr.contains_aggregate()))
+        || q.having
+            .as_ref()
+            .map(|h| h.contains_aggregate())
+            .unwrap_or(false);
+
+    // Resolve ORDER BY aliases / ordinals into plain expressions.
+    let order_exprs: Vec<(Expr, bool)> = q
+        .order_by
+        .iter()
+        .map(|OrderItem { expr, desc }| (resolve_order_expr(q, expr), *desc))
+        .collect();
+
+    // Output item expressions (wildcards expanded).
+    enum OutItem {
+        Passthrough(usize),
+        Computed { expr: Expr, name: String },
+    }
+    let mut out_items: Vec<OutItem> = Vec::new();
+    for (i, it) in q.items.iter().enumerate() {
+        match it {
+            SelectItem::Wildcard => {
+                for k in 0..input.cols.len() {
+                    out_items.push(OutItem::Passthrough(k));
+                }
+            }
+            SelectItem::QualifiedWildcard(qual) => {
+                for (k, c) in input.cols.iter().enumerate() {
+                    if c.qual
+                        .as_deref()
+                        .map(|x| x.eq_ignore_ascii_case(qual))
+                        .unwrap_or(false)
+                    {
+                        out_items.push(OutItem::Passthrough(k));
+                    }
+                }
+            }
+            SelectItem::Expr { expr, alias } => out_items.push(OutItem::Computed {
+                expr: expr.clone(),
+                name: alias.clone().unwrap_or_else(|| default_name(expr, i)),
+            }),
+        }
+    }
+
+    // Build bound output + order + having expressions, in aggregate mode
+    // when required.
+    let agg_ctx_opt: Option<AggContext>;
+    let bound_out: Vec<(BExpr, String)>;
+    let bound_order: Vec<(BExpr, bool)>;
+    let bound_having: Option<BExpr>;
+    // Rows to project: either raw rows, or (rep row, keys, agg values).
+    struct GroupOut {
+        rep: Row,
+        keys: Vec<Value>,
+        aggs: Vec<Value>,
+    }
+    let groups_out: Vec<GroupOut>;
+
+    if has_aggs {
+        let mut aggs: Vec<AggCall> = Vec::new();
+        for it in &out_items {
+            if let OutItem::Computed { expr, .. } = it {
+                binder.collect_aggs(expr, &mut aggs)?;
+            }
+        }
+        if let Some(h) = &q.having {
+            binder.collect_aggs(h, &mut aggs)?;
+        }
+        for (e, _) in &order_exprs {
+            binder.collect_aggs(e, &mut aggs)?;
+        }
+        let group_bound: Vec<BExpr> = q
+            .group_by
+            .iter()
+            .map(|g| binder.bind(g))
+            .collect::<Result<_>>()?;
+        let agg_ctx = AggContext {
+            group_exprs: q.group_by.iter().map(normalize).collect(),
+            key_types: group_bound.iter().map(|b| b.dtype()).collect(),
+            aggs,
+        };
+
+        // Accumulate.
+        struct GroupAcc {
+            rep: Row,
+            keys: Vec<Value>,
+            accs: Vec<Accumulator>,
+        }
+        let mut groups: HashMap<Vec<u8>, GroupAcc> = HashMap::new();
+        let mut order: Vec<Vec<u8>> = Vec::new();
+        for row in &input.rows {
+            let env = Env::child(row, outer_env);
+            let keys: Vec<Value> = group_bound
+                .iter()
+                .map(|g| eval(ctx, &env, g))
+                .collect::<Result<_>>()?;
+            let gk = key_encode(&keys);
+            let entry = groups.entry(gk.clone()).or_insert_with(|| {
+                order.push(gk);
+                GroupAcc {
+                    rep: row.clone(),
+                    keys,
+                    accs: agg_ctx.aggs.iter().map(Accumulator::new).collect(),
+                }
+            });
+            for (acc, call) in entry.accs.iter_mut().zip(&agg_ctx.aggs) {
+                let v = match &call.arg {
+                    Some(a) => eval(ctx, &env, a)?,
+                    None => Value::Int(1),
+                };
+                acc.add(v);
+            }
+        }
+        // Scalar aggregate over empty input still yields one row.
+        if groups.is_empty() && q.group_by.is_empty() {
+            let gk = Vec::new();
+            order.push(gk.clone());
+            groups.insert(
+                gk,
+                GroupAcc {
+                    rep: vec![Value::Null; input.cols.len()],
+                    keys: Vec::new(),
+                    accs: agg_ctx.aggs.iter().map(Accumulator::new).collect(),
+                },
+            );
+        }
+        groups_out = order
+            .into_iter()
+            .map(|gk| {
+                let g = groups.remove(&gk).expect("group present");
+                GroupOut {
+                    rep: g.rep,
+                    keys: g.keys,
+                    aggs: g.accs.into_iter().map(Accumulator::finish).collect(),
+                }
+            })
+            .collect();
+
+        let agg_binder = Binder {
+            ctx,
+            scopes: scopes.clone(),
+            agg_ctx: Some(&agg_ctx),
+        };
+        bound_out = out_items
+            .iter()
+            .map(|it| match it {
+                OutItem::Passthrough(k) => Err(Error::Semantic(format!(
+                    "column '{}' must appear in GROUP BY",
+                    input.cols[*k].name
+                ))),
+                OutItem::Computed { expr, name } => {
+                    Ok((agg_binder.bind(expr)?, name.clone()))
+                }
+            })
+            .collect::<Result<_>>()?;
+        bound_order = order_exprs
+            .iter()
+            .map(|(e, d)| Ok((agg_binder.bind(e)?, *d)))
+            .collect::<Result<_>>()?;
+        bound_having = q.having.as_ref().map(|h| agg_binder.bind(h)).transpose()?;
+        agg_ctx_opt = Some(agg_ctx);
+    } else {
+        groups_out = input
+            .rows
+            .iter()
+            .map(|r| GroupOut {
+                rep: r.clone(),
+                keys: Vec::new(),
+                aggs: Vec::new(),
+            })
+            .collect();
+        bound_out = out_items
+            .iter()
+            .map(|it| match it {
+                OutItem::Passthrough(k) => Ok((
+                    BExpr::Col {
+                        depth: 0,
+                        idx: *k,
+                        dtype: input.cols[*k].dtype,
+                    },
+                    input.cols[*k].name.clone(),
+                )),
+                OutItem::Computed { expr, name } => Ok((binder.bind(expr)?, name.clone())),
+            })
+            .collect::<Result<_>>()?;
+        bound_order = order_exprs
+            .iter()
+            .map(|(e, d)| Ok((binder.bind(e)?, *d)))
+            .collect::<Result<_>>()?;
+        bound_having = q.having.as_ref().map(|h| binder.bind(h)).transpose()?;
+        agg_ctx_opt = None;
+    }
+    let _ = &agg_ctx_opt;
+
+    // Project (+ order keys), applying HAVING.
+    let mut projected: Vec<(Row, Vec<Value>)> = Vec::with_capacity(groups_out.len());
+    for g in &groups_out {
+        let env = Env {
+            row: &g.rep,
+            agg: if has_aggs {
+                Some((g.keys.as_slice(), g.aggs.as_slice()))
+            } else {
+                None
+            },
+            parent: outer_env,
+        };
+        if let Some(h) = &bound_having {
+            if truthy(&eval(ctx, &env, h)?) != Some(true) {
+                continue;
+            }
+        }
+        let row: Row = bound_out
+            .iter()
+            .map(|(e, _)| eval(ctx, &env, e))
+            .collect::<Result<_>>()?;
+        let okeys: Vec<Value> = bound_order
+            .iter()
+            .map(|(e, _)| eval(ctx, &env, e))
+            .collect::<Result<_>>()?;
+        projected.push((row, okeys));
+    }
+
+    // DISTINCT.
+    if q.distinct {
+        let mut seen = std::collections::HashSet::new();
+        projected.retain(|(row, _)| seen.insert(key_encode(row)));
+    }
+
+    // ORDER BY.
+    if !bound_order.is_empty() {
+        projected.sort_by(|(_, a), (_, b)| {
+            for (i, (_, desc)) in bound_order.iter().enumerate() {
+                let c = a[i].total_cmp(&b[i]);
+                let c = if *desc { c.reverse() } else { c };
+                if c != std::cmp::Ordering::Equal {
+                    return c;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+
+    // TOP.
+    if let Some(t) = q.top {
+        projected.truncate(t as usize);
+    }
+
+    let cols: Vec<BoundCol> = bound_out
+        .iter()
+        .map(|(e, name)| BoundCol::new(None, name.clone(), e.dtype()))
+        .collect();
+    Ok(Rel {
+        cols,
+        rows: projected.into_iter().map(|(r, _)| r).collect(),
+    })
+}
+
+/// ORDER BY may reference a select alias or an ordinal position.
+fn resolve_order_expr(q: &SelectStmt, e: &Expr) -> Expr {
+    match e {
+        Expr::Literal(Value::Int(n)) if *n >= 1 => {
+            // Ordinal.
+            let mut idx = *n as usize;
+            for it in &q.items {
+                if let SelectItem::Expr { expr, .. } = it {
+                    idx -= 1;
+                    if idx == 0 {
+                        return expr.clone();
+                    }
+                }
+            }
+            e.clone()
+        }
+        Expr::Column { table: None, name } => {
+            for it in &q.items {
+                if let SelectItem::Expr {
+                    expr,
+                    alias: Some(a),
+                } = it
+                {
+                    if a.eq_ignore_ascii_case(name) {
+                        return expr.clone();
+                    }
+                }
+            }
+            e.clone()
+        }
+        _ => e.clone(),
+    }
+}

@@ -1,0 +1,8 @@
+//! Storage layer: simulated disk, slotted pages, buffer pool, heap files.
+
+pub mod buffer;
+pub mod disk;
+pub mod heap;
+pub mod page;
+
+pub use heap::{RowId, Storage};

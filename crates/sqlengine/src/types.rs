@@ -1,0 +1,408 @@
+//! Value and data-type model.
+//!
+//! The engine supports the handful of SQL types the TPC workloads and
+//! Phoenix need: 64-bit integers, 64-bit floats (standing in for DECIMAL),
+//! variable-length strings, and dates stored as days since 1970-01-01.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::error::{Error, Result};
+
+/// Column data types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum DataType {
+    /// 64-bit signed integer (INT/BIGINT/...).
+    Int,
+    /// 64-bit float (FLOAT/DECIMAL/...).
+    Float,
+    /// UTF-8 string (VARCHAR/CHAR/TEXT).
+    Str,
+    /// Days since 1970-01-01.
+    Date,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Int => write!(f, "INT"),
+            DataType::Float => write!(f, "FLOAT"),
+            DataType::Str => write!(f, "VARCHAR"),
+            DataType::Date => write!(f, "DATE"),
+        }
+    }
+}
+
+/// A runtime SQL value.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    Int(i64),
+    Float(f64),
+    Str(String),
+    /// Days since 1970-01-01 (may be negative).
+    Date(i32),
+}
+
+impl Value {
+    /// The value's type; `None` for NULL.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Str(_) => Some(DataType::Str),
+            Value::Date(_) => Some(DataType::Date),
+        }
+    }
+
+    /// Whether this is SQL NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view used by arithmetic and aggregation.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            Value::Date(d) => Some(*d as f64),
+            _ => None,
+        }
+    }
+
+    /// Integer view (truncating floats), `None` for non-numerics.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Float(f) => Some(*f as i64),
+            Value::Date(d) => Some(*d as i64),
+            _ => None,
+        }
+    }
+
+    /// String view, `None` for non-strings.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// SQL comparison. Returns `None` when either side is NULL or the
+    /// types are incomparable (three-valued logic: unknown).
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        use Value::*;
+        match (self, other) {
+            (Null, _) | (_, Null) => None,
+            (Int(a), Int(b)) => Some(a.cmp(b)),
+            (Float(a), Float(b)) => a.partial_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).partial_cmp(b),
+            (Float(a), Int(b)) => a.partial_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => Some(a.as_str().cmp(b.as_str())),
+            (Date(a), Date(b)) => Some(a.cmp(b)),
+            // String literals compared against dates coerce to dates.
+            (Str(s), Date(d)) => parse_date(s).ok().map(|x| x.cmp(d)),
+            (Date(d), Str(s)) => parse_date(s).ok().map(|x| d.cmp(&x)),
+            _ => None,
+        }
+    }
+
+    /// Total order used for sorting and grouping keys: NULL sorts first,
+    /// cross-type falls back to a type rank so sort is total.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Int(_) | Value::Float(_) | Value::Date(_) => 1,
+                Value::Str(_) => 2,
+            }
+        }
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            _ => match (rank(self), rank(other)) {
+                (a, b) if a != b => a.cmp(&b),
+                _ => self.sql_cmp(other).unwrap_or(Ordering::Equal),
+            },
+        }
+    }
+
+    /// Equality for grouping/joins: NULL groups with NULL.
+    pub fn group_eq(&self, other: &Value) -> bool {
+        self.total_cmp(other) == Ordering::Equal
+    }
+
+    /// Coerce this value to `to` when cheaply possible (used on INSERT).
+    pub fn coerce(self, to: DataType) -> Result<Value> {
+        match (self, to) {
+            (Value::Null, _) => Ok(Value::Null),
+            (Value::Int(i), DataType::Int) => Ok(Value::Int(i)),
+            (Value::Int(i), DataType::Float) => Ok(Value::Float(i as f64)),
+            (Value::Float(f), DataType::Float) => Ok(Value::Float(f)),
+            (Value::Float(f), DataType::Int) => Ok(Value::Int(f as i64)),
+            (Value::Str(s), DataType::Str) => Ok(Value::Str(s)),
+            (Value::Str(s), DataType::Date) => Ok(Value::Date(parse_date(&s)?)),
+            (Value::Date(d), DataType::Date) => Ok(Value::Date(d)),
+            (Value::Date(d), DataType::Str) => Ok(Value::Str(format_date(d))),
+            (Value::Int(i), DataType::Date) => Ok(Value::Date(i as i32)),
+            (v, t) => Err(Error::Semantic(format!("cannot coerce {v} to {t}"))),
+        }
+    }
+
+    /// Stable hash key for hash joins/grouping (mirrors `group_eq`).
+    pub fn hash_key(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        match self {
+            Value::Null => 0u8.hash(&mut h),
+            Value::Int(i) => {
+                1u8.hash(&mut h);
+                (*i as f64).to_bits().hash(&mut h);
+            }
+            Value::Float(f) => {
+                1u8.hash(&mut h);
+                f.to_bits().hash(&mut h);
+            }
+            Value::Date(d) => {
+                1u8.hash(&mut h);
+                (*d as f64).to_bits().hash(&mut h);
+            }
+            Value::Str(s) => {
+                2u8.hash(&mut h);
+                s.hash(&mut h);
+            }
+        }
+        h.finish()
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Date(d) => write!(f, "{}", format_date(*d)),
+        }
+    }
+}
+
+/// A tuple of values.
+pub type Row = Vec<Value>;
+
+const DAYS_PER_400Y: i64 = 146_097;
+
+/// Parse `YYYY-MM-DD` into days since 1970-01-01 (proleptic Gregorian).
+pub fn parse_date(s: &str) -> Result<i32> {
+    let err = || Error::Semantic(format!("invalid date literal '{s}'"));
+    let b: Vec<&str> = s.split('-').collect();
+    if b.len() != 3 {
+        return Err(err());
+    }
+    let y: i64 = b[0].parse().map_err(|_| err())?;
+    let m: i64 = b[1].parse().map_err(|_| err())?;
+    let d: i64 = b[2].parse().map_err(|_| err())?;
+    if !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+        return Err(err());
+    }
+    Ok(civil_to_days(y, m, d) as i32)
+}
+
+/// Format days-since-epoch as `YYYY-MM-DD`.
+pub fn format_date(days: i32) -> String {
+    let (y, m, d) = days_to_civil(days as i64);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Howard Hinnant's civil-from-days / days-from-civil algorithms.
+fn civil_to_days(y: i64, m: i64, d: i64) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400;
+    let mp = (m + 9) % 12;
+    let doy = (153 * mp + 2) / 5 + d - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    era * DAYS_PER_400Y + doe - 719_468
+}
+
+fn days_to_civil(z: i64) -> (i64, i64, i64) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - DAYS_PER_400Y + 1 } / DAYS_PER_400Y;
+    let doe = z - era * DAYS_PER_400Y;
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// Extract the calendar year from a days-since-epoch date.
+pub fn date_year(days: i32) -> i64 {
+    days_to_civil(days as i64).0
+}
+
+/// Add whole months to a date (used to precompute TPC-H interval bounds).
+pub fn date_add_months(days: i32, months: i32) -> i32 {
+    let (y, m, d) = days_to_civil(days as i64);
+    let total = y * 12 + (m - 1) + months as i64;
+    let (ny, nm) = (total.div_euclid(12), total.rem_euclid(12) + 1);
+    // Clamp day to the target month's length.
+    let max_d = month_len(ny, nm);
+    civil_to_days(ny, nm, d.min(max_d)) as i32
+}
+
+fn month_len(y: i64, m: i64) -> i64 {
+    match m {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if (y % 4 == 0 && y % 100 != 0) || y % 400 == 0 {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 30,
+    }
+}
+
+/// SQL LIKE with `%` and `_` wildcards.
+pub fn sql_like(text: &str, pattern: &str) -> bool {
+    fn rec(t: &[u8], p: &[u8]) -> bool {
+        if p.is_empty() {
+            return t.is_empty();
+        }
+        match p[0] {
+            b'%' => {
+                // Collapse consecutive %.
+                let p = &p[1..];
+                if p.is_empty() {
+                    return true;
+                }
+                (0..=t.len()).any(|i| rec(&t[i..], p))
+            }
+            b'_' => !t.is_empty() && rec(&t[1..], &p[1..]),
+            c => !t.is_empty() && t[0] == c && rec(&t[1..], &p[1..]),
+        }
+    }
+    rec(text.as_bytes(), pattern.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn date_round_trip() {
+        for s in ["1970-01-01", "1992-01-01", "1998-12-01", "2026-07-04", "1900-02-28"] {
+            let d = parse_date(s).unwrap();
+            assert_eq!(format_date(d), s);
+        }
+    }
+
+    #[test]
+    fn date_epoch_is_zero() {
+        assert_eq!(parse_date("1970-01-01").unwrap(), 0);
+        assert_eq!(parse_date("1970-01-02").unwrap(), 1);
+        assert_eq!(parse_date("1969-12-31").unwrap(), -1);
+    }
+
+    #[test]
+    fn date_known_offsets() {
+        // 1992-01-01 is 8035 days after epoch.
+        assert_eq!(parse_date("1992-01-01").unwrap(), 8035);
+        assert_eq!(date_year(8035), 1992);
+    }
+
+    #[test]
+    fn date_month_arithmetic() {
+        let d = parse_date("1995-01-31").unwrap();
+        assert_eq!(format_date(date_add_months(d, 1)), "1995-02-28");
+        assert_eq!(format_date(date_add_months(d, 12)), "1996-01-31");
+        let d2 = parse_date("1998-12-01").unwrap();
+        assert_eq!(format_date(date_add_months(d2, -3)), "1998-09-01");
+    }
+
+    #[test]
+    fn invalid_dates_rejected() {
+        assert!(parse_date("hello").is_err());
+        assert!(parse_date("1992-13-01").is_err());
+        assert!(parse_date("1992-00-10").is_err());
+        assert!(parse_date("1992-01").is_err());
+    }
+
+    #[test]
+    fn sql_cmp_null_is_unknown() {
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Null), None);
+    }
+
+    #[test]
+    fn sql_cmp_mixed_numeric() {
+        assert_eq!(
+            Value::Int(2).sql_cmp(&Value::Float(2.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Float(1.5).sql_cmp(&Value::Int(2)),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn sql_cmp_string_date_coercion() {
+        let d = Value::Date(parse_date("1995-06-01").unwrap());
+        assert_eq!(
+            Value::Str("1995-06-01".into()).sql_cmp(&d),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(d.sql_cmp(&Value::Str("1995-07-01".into())), Some(Ordering::Less));
+    }
+
+    #[test]
+    fn total_cmp_null_first() {
+        let mut v = vec![Value::Int(3), Value::Null, Value::Int(1)];
+        v.sort_by(|a, b| a.total_cmp(b));
+        assert_eq!(v[0], Value::Null);
+        assert_eq!(v[1], Value::Int(1));
+    }
+
+    #[test]
+    fn coerce_rules() {
+        assert_eq!(
+            Value::Int(5).coerce(DataType::Float).unwrap(),
+            Value::Float(5.0)
+        );
+        assert_eq!(
+            Value::Str("1992-01-01".into()).coerce(DataType::Date).unwrap(),
+            Value::Date(8035)
+        );
+        assert!(Value::Str("x".into()).coerce(DataType::Int).is_err());
+    }
+
+    #[test]
+    fn like_patterns() {
+        assert!(sql_like("PROMO BURNISHED", "PROMO%"));
+        assert!(sql_like("forest green", "%green%"));
+        assert!(!sql_like("steel", "%green%"));
+        assert!(sql_like("abc", "a_c"));
+        assert!(sql_like("", "%"));
+        assert!(!sql_like("", "_"));
+        assert!(sql_like("a%b", "a%b"));
+        assert!(sql_like("xxyy", "%x%y%"));
+    }
+
+    #[test]
+    fn hash_key_consistent_with_group_eq() {
+        let a = Value::Int(42);
+        let b = Value::Float(42.0);
+        assert!(a.group_eq(&b));
+        assert_eq!(a.hash_key(), b.hash_key());
+    }
+}

@@ -1,0 +1,612 @@
+//! Write-ahead log: record format, durable store, and the log manager.
+//!
+//! LSNs are byte offsets of record starts in the global log stream. The
+//! durable [`LogStore`] survives simulated crashes (it lives in the server's
+//! durable half); the [`LogManager`] adds a volatile tail that is lost on
+//! crash, which is exactly what makes the WAL flush rule observable in
+//! recovery tests.
+
+use bytes::{Buf, BufMut};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::error::{Error, Result};
+use crate::schema::{decode_schema, encode_schema, get_str, put_str, TableSchema};
+
+/// Log sequence number: byte offset of the record in the log stream.
+pub type Lsn = u64;
+
+/// Transaction identifier (monotonically increasing; doubles as age for
+/// wait-die deadlock handling).
+pub type TxnId = u64;
+
+/// Undo/CLR physical action kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClrAction {
+    /// Undo of an insert: tombstone the slot.
+    Tombstone,
+    /// Undo of a delete: clear the tombstone.
+    Untombstone,
+}
+
+/// A WAL record.
+#[allow(missing_docs)] // fields are the standard (txn, table, page, slot) tuple
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogRecord {
+    Begin {
+        txn: TxnId,
+    },
+    Commit {
+        txn: TxnId,
+    },
+    Abort {
+        txn: TxnId,
+    },
+    /// Row inserted at (page, slot) with the given encoded bytes.
+    Insert {
+        txn: TxnId,
+        table: u32,
+        page: u32,
+        slot: u16,
+        data: Vec<u8>,
+    },
+    /// Row at (page, slot) tombstoned. The bytes stay in the page, so no
+    /// before-image is needed for undo.
+    Delete {
+        txn: TxnId,
+        table: u32,
+        page: u32,
+        slot: u16,
+    },
+    /// Top action: page appended to a table's page list. Survives even if
+    /// the allocating transaction aborts (it is just an empty page).
+    AllocPage {
+        table: u32,
+        page: u32,
+    },
+    /// Top action: DDL, applied unconditionally (idempotently) at redo.
+    CreateTable {
+        table_id: u32,
+        schema: TableSchema,
+    },
+    DropTable {
+        table_id: u32,
+    },
+    CreateProc {
+        name: String,
+        body: String,
+    },
+    DropProc {
+        name: String,
+    },
+    /// Compensation record written while undoing `undoes`.
+    Clr {
+        txn: TxnId,
+        undoes: Lsn,
+        action: ClrAction,
+        table: u32,
+        page: u32,
+        slot: u16,
+    },
+    /// Quiesced checkpoint: catalog snapshot bytes (see `catalog::snapshot`).
+    Checkpoint {
+        snapshot: Vec<u8>,
+    },
+}
+
+impl LogRecord {
+    /// Append the record's binary encoding to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            LogRecord::Begin { txn } => {
+                out.put_u8(0);
+                out.put_u64(*txn);
+            }
+            LogRecord::Commit { txn } => {
+                out.put_u8(1);
+                out.put_u64(*txn);
+            }
+            LogRecord::Abort { txn } => {
+                out.put_u8(2);
+                out.put_u64(*txn);
+            }
+            LogRecord::Insert {
+                txn,
+                table,
+                page,
+                slot,
+                data,
+            } => {
+                out.put_u8(3);
+                out.put_u64(*txn);
+                out.put_u32(*table);
+                out.put_u32(*page);
+                out.put_u16(*slot);
+                out.put_u32(data.len() as u32);
+                out.put_slice(data);
+            }
+            LogRecord::Delete {
+                txn,
+                table,
+                page,
+                slot,
+            } => {
+                out.put_u8(4);
+                out.put_u64(*txn);
+                out.put_u32(*table);
+                out.put_u32(*page);
+                out.put_u16(*slot);
+            }
+            LogRecord::AllocPage { table, page } => {
+                out.put_u8(5);
+                out.put_u32(*table);
+                out.put_u32(*page);
+            }
+            LogRecord::CreateTable { table_id, schema } => {
+                out.put_u8(6);
+                out.put_u32(*table_id);
+                encode_schema(schema, out);
+            }
+            LogRecord::DropTable { table_id } => {
+                out.put_u8(7);
+                out.put_u32(*table_id);
+            }
+            LogRecord::CreateProc { name, body } => {
+                out.put_u8(8);
+                put_str(out, name);
+                put_str(out, body);
+            }
+            LogRecord::DropProc { name } => {
+                out.put_u8(9);
+                put_str(out, name);
+            }
+            LogRecord::Clr {
+                txn,
+                undoes,
+                action,
+                table,
+                page,
+                slot,
+            } => {
+                out.put_u8(10);
+                out.put_u64(*txn);
+                out.put_u64(*undoes);
+                out.put_u8(match action {
+                    ClrAction::Tombstone => 0,
+                    ClrAction::Untombstone => 1,
+                });
+                out.put_u32(*table);
+                out.put_u32(*page);
+                out.put_u16(*slot);
+            }
+            LogRecord::Checkpoint { snapshot } => {
+                out.put_u8(11);
+                out.put_u32(snapshot.len() as u32);
+                out.put_slice(snapshot);
+            }
+        }
+    }
+
+    /// Decode one record, advancing `buf`.
+    pub fn decode(buf: &mut &[u8]) -> Result<LogRecord> {
+        let corrupt = || Error::Storage("corrupt log record".into());
+        if buf.remaining() < 1 {
+            return Err(corrupt());
+        }
+        let tag = buf.get_u8();
+        macro_rules! need {
+            ($n:expr) => {
+                if buf.remaining() < $n {
+                    return Err(corrupt());
+                }
+            };
+        }
+        Ok(match tag {
+            0 => {
+                need!(8);
+                LogRecord::Begin { txn: buf.get_u64() }
+            }
+            1 => {
+                need!(8);
+                LogRecord::Commit { txn: buf.get_u64() }
+            }
+            2 => {
+                need!(8);
+                LogRecord::Abort { txn: buf.get_u64() }
+            }
+            3 => {
+                need!(8 + 4 + 4 + 2 + 4);
+                let txn = buf.get_u64();
+                let table = buf.get_u32();
+                let page = buf.get_u32();
+                let slot = buf.get_u16();
+                let len = buf.get_u32() as usize;
+                need!(len);
+                let data = buf[..len].to_vec();
+                buf.advance(len);
+                LogRecord::Insert {
+                    txn,
+                    table,
+                    page,
+                    slot,
+                    data,
+                }
+            }
+            4 => {
+                need!(8 + 4 + 4 + 2);
+                LogRecord::Delete {
+                    txn: buf.get_u64(),
+                    table: buf.get_u32(),
+                    page: buf.get_u32(),
+                    slot: buf.get_u16(),
+                }
+            }
+            5 => {
+                need!(8);
+                LogRecord::AllocPage {
+                    table: buf.get_u32(),
+                    page: buf.get_u32(),
+                }
+            }
+            6 => {
+                need!(4);
+                let table_id = buf.get_u32();
+                let schema = decode_schema(buf)?;
+                LogRecord::CreateTable { table_id, schema }
+            }
+            7 => {
+                need!(4);
+                LogRecord::DropTable {
+                    table_id: buf.get_u32(),
+                }
+            }
+            8 => LogRecord::CreateProc {
+                name: get_str(buf)?,
+                body: get_str(buf)?,
+            },
+            9 => LogRecord::DropProc {
+                name: get_str(buf)?,
+            },
+            10 => {
+                need!(8 + 8 + 1 + 4 + 4 + 2);
+                let txn = buf.get_u64();
+                let undoes = buf.get_u64();
+                let action = match buf.get_u8() {
+                    0 => ClrAction::Tombstone,
+                    1 => ClrAction::Untombstone,
+                    _ => return Err(corrupt()),
+                };
+                LogRecord::Clr {
+                    txn,
+                    undoes,
+                    action,
+                    table: buf.get_u32(),
+                    page: buf.get_u32(),
+                    slot: buf.get_u16(),
+                }
+            }
+            11 => {
+                need!(4);
+                let len = buf.get_u32() as usize;
+                need!(len);
+                let snapshot = buf[..len].to_vec();
+                buf.advance(len);
+                LogRecord::Checkpoint { snapshot }
+            }
+            _ => return Err(corrupt()),
+        })
+    }
+
+    /// The transaction this record belongs to, if any.
+    pub fn txn(&self) -> Option<TxnId> {
+        match self {
+            LogRecord::Begin { txn }
+            | LogRecord::Commit { txn }
+            | LogRecord::Abort { txn }
+            | LogRecord::Insert { txn, .. }
+            | LogRecord::Delete { txn, .. }
+            | LogRecord::Clr { txn, .. } => Some(*txn),
+            _ => None,
+        }
+    }
+}
+
+/// Durable log bytes plus the checkpoint master record. Survives crashes.
+pub struct LogStore {
+    durable: Mutex<Vec<u8>>,
+    /// LSN of the most recent checkpoint record ("master record").
+    checkpoint_lsn: AtomicU64,
+    /// Whether any checkpoint has been taken.
+    has_checkpoint: AtomicU64,
+    /// Writer-fencing epoch (see `MemDisk`): bumped on simulated crash so
+    /// a dead incarnation's log flushes cannot interleave with the
+    /// recovered server's appends.
+    epoch: AtomicU64,
+}
+
+impl Default for LogStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogStore {
+    /// Empty durable log.
+    pub fn new() -> Self {
+        LogStore {
+            durable: Mutex::new(Vec::new()),
+            checkpoint_lsn: AtomicU64::new(0),
+            has_checkpoint: AtomicU64::new(0),
+            epoch: AtomicU64::new(0),
+        }
+    }
+
+    /// Bytes durably written (= next LSN a fresh manager will use).
+    pub fn durable_len(&self) -> u64 {
+        self.durable.lock().len() as u64
+    }
+
+    /// Current writer epoch (see `MemDisk` fencing).
+    pub fn current_epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Fence off all writers of earlier epochs (simulated crash).
+    pub fn bump_epoch(&self) -> u64 {
+        self.epoch.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// Record the master checkpoint pointer.
+    pub fn set_checkpoint(&self, lsn: Lsn) {
+        self.checkpoint_lsn.store(lsn, Ordering::SeqCst);
+        self.has_checkpoint.store(1, Ordering::SeqCst);
+    }
+
+    /// The last checkpoint's LSN, if any checkpoint was taken.
+    pub fn checkpoint(&self) -> Option<Lsn> {
+        if self.has_checkpoint.load(Ordering::SeqCst) == 1 {
+            Some(self.checkpoint_lsn.load(Ordering::SeqCst))
+        } else {
+            None
+        }
+    }
+
+    fn append(&self, bytes: &[u8], epoch: u64) -> crate::error::Result<()> {
+        let mut durable = self.durable.lock();
+        if epoch != self.current_epoch() {
+            return Err(Error::ServerShutdown);
+        }
+        durable.extend_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Decode all records with LSN >= `from`, in order.
+    pub fn records_from(&self, from: Lsn) -> Result<Vec<(Lsn, LogRecord)>> {
+        let data = self.durable.lock();
+        let mut out = Vec::new();
+        let mut pos = from as usize;
+        while pos + 4 <= data.len() {
+            let len = u32::from_be_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
+            if pos + 4 + len > data.len() {
+                break; // torn tail write; ignore
+            }
+            let mut payload = &data[pos + 4..pos + 4 + len];
+            let rec = LogRecord::decode(&mut payload)?;
+            out.push((pos as Lsn, rec));
+            pos += 4 + len;
+        }
+        Ok(out)
+    }
+}
+
+struct Tail {
+    /// Unflushed bytes; the stream offset of `buf[0]` is `base`.
+    buf: Vec<u8>,
+    base: u64,
+}
+
+/// Volatile front end to the log: buffered appends + flush control.
+pub struct LogManager {
+    store: Arc<LogStore>,
+    tail: Mutex<Tail>,
+    flushed: AtomicU64,
+    epoch: u64,
+}
+
+impl LogManager {
+    /// Attach a volatile tail to the durable store.
+    pub fn new(store: Arc<LogStore>) -> Self {
+        let base = store.durable_len();
+        let epoch = store.current_epoch();
+        LogManager {
+            store,
+            tail: Mutex::new(Tail {
+                buf: Vec::new(),
+                base,
+            }),
+            flushed: AtomicU64::new(base),
+            epoch,
+        }
+    }
+
+    /// The underlying durable store.
+    pub fn store(&self) -> &Arc<LogStore> {
+        &self.store
+    }
+
+    /// Append a record to the volatile tail; returns its LSN.
+    pub fn append(&self, rec: &LogRecord) -> Lsn {
+        let mut payload = Vec::new();
+        rec.encode(&mut payload);
+        let mut tail = self.tail.lock();
+        let lsn = tail.base + tail.buf.len() as u64;
+        tail.buf.put_u32(payload.len() as u32);
+        tail.buf.extend_from_slice(&payload);
+        lsn
+    }
+
+    /// Durably flush at least through `lsn` (record start offset).
+    pub fn flush_to(&self, lsn: Lsn) -> Result<()> {
+        if self.flushed.load(Ordering::Acquire) > lsn {
+            return Ok(());
+        }
+        self.flush_all()
+    }
+
+    /// Flush the whole tail.
+    pub fn flush_all(&self) -> Result<()> {
+        let mut tail = self.tail.lock();
+        if tail.buf.is_empty() {
+            return Ok(());
+        }
+        self.store.append(&tail.buf, self.epoch)?;
+        tail.base += tail.buf.len() as u64;
+        tail.buf.clear();
+        self.flushed.store(tail.base, Ordering::Release);
+        Ok(())
+    }
+
+    /// LSN through which the log is durably flushed.
+    pub fn flushed_lsn(&self) -> Lsn {
+        self.flushed.load(Ordering::Acquire)
+    }
+
+    /// Next LSN that would be assigned (end of stream).
+    pub fn end_lsn(&self) -> Lsn {
+        let tail = self.tail.lock();
+        tail.base + tail.buf.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+    use crate::types::DataType;
+
+    fn all_record_kinds() -> Vec<LogRecord> {
+        vec![
+            LogRecord::Begin { txn: 1 },
+            LogRecord::Commit { txn: 2 },
+            LogRecord::Abort { txn: 3 },
+            LogRecord::Insert {
+                txn: 4,
+                table: 5,
+                page: 6,
+                slot: 7,
+                data: vec![1, 2, 3],
+            },
+            LogRecord::Delete {
+                txn: 4,
+                table: 5,
+                page: 6,
+                slot: 7,
+            },
+            LogRecord::AllocPage { table: 5, page: 9 },
+            LogRecord::CreateTable {
+                table_id: 10,
+                schema: TableSchema::new("t", vec![Column::new("a", DataType::Int)])
+                    .with_primary_key(vec![0]),
+            },
+            LogRecord::DropTable { table_id: 10 },
+            LogRecord::CreateProc {
+                name: "p".into(),
+                body: "SELECT 1".into(),
+            },
+            LogRecord::DropProc { name: "p".into() },
+            LogRecord::Clr {
+                txn: 4,
+                undoes: 123,
+                action: ClrAction::Tombstone,
+                table: 5,
+                page: 6,
+                slot: 7,
+            },
+            LogRecord::Checkpoint {
+                snapshot: vec![9, 9, 9],
+            },
+        ]
+    }
+
+    #[test]
+    fn record_round_trip() {
+        for rec in all_record_kinds() {
+            let mut buf = Vec::new();
+            rec.encode(&mut buf);
+            let mut slice = buf.as_slice();
+            let back = LogRecord::decode(&mut slice).unwrap();
+            assert_eq!(back, rec);
+            assert!(slice.is_empty());
+        }
+    }
+
+    #[test]
+    fn append_flush_read_back() {
+        let store = Arc::new(LogStore::new());
+        let log = LogManager::new(Arc::clone(&store));
+        let mut lsns = Vec::new();
+        for rec in all_record_kinds() {
+            lsns.push(log.append(&rec));
+        }
+        // Nothing durable before flush.
+        assert_eq!(store.records_from(0).unwrap().len(), 0);
+        log.flush_all().unwrap();
+        let recs = store.records_from(0).unwrap();
+        assert_eq!(recs.len(), all_record_kinds().len());
+        for ((lsn, rec), (exp_lsn, exp)) in recs.iter().zip(lsns.iter().zip(all_record_kinds())) {
+            assert_eq!(lsn, exp_lsn);
+            assert_eq!(rec, &exp);
+        }
+    }
+
+    #[test]
+    fn unflushed_tail_lost_on_simulated_crash() {
+        let store = Arc::new(LogStore::new());
+        {
+            let log = LogManager::new(Arc::clone(&store));
+            log.append(&LogRecord::Begin { txn: 1 });
+            log.flush_all().unwrap();
+            log.append(&LogRecord::Commit { txn: 1 });
+            // no flush — crash
+        }
+        let survived = store.records_from(0).unwrap();
+        assert_eq!(survived.len(), 1);
+        assert_eq!(survived[0].1, LogRecord::Begin { txn: 1 });
+        // A new manager resumes at the durable end.
+        let log2 = LogManager::new(Arc::clone(&store));
+        let lsn = log2.append(&LogRecord::Commit { txn: 1 });
+        assert_eq!(lsn, store.durable_len());
+    }
+
+    #[test]
+    fn flush_to_is_inclusive() {
+        let store = Arc::new(LogStore::new());
+        let log = LogManager::new(Arc::clone(&store));
+        let l1 = log.append(&LogRecord::Begin { txn: 1 });
+        log.flush_to(l1).unwrap();
+        assert_eq!(store.records_from(0).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn records_from_midpoint() {
+        let store = Arc::new(LogStore::new());
+        let log = LogManager::new(Arc::clone(&store));
+        log.append(&LogRecord::Begin { txn: 1 });
+        let l2 = log.append(&LogRecord::Begin { txn: 2 });
+        log.flush_all().unwrap();
+        let recs = store.records_from(l2).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].1, LogRecord::Begin { txn: 2 });
+    }
+
+    #[test]
+    fn checkpoint_master_record() {
+        let store = LogStore::new();
+        assert_eq!(store.checkpoint(), None);
+        store.set_checkpoint(0);
+        assert_eq!(store.checkpoint(), Some(0));
+        store.set_checkpoint(42);
+        assert_eq!(store.checkpoint(), Some(42));
+    }
+}

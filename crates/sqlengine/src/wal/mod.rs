@@ -1,0 +1,4 @@
+//! Write-ahead logging and restart recovery.
+
+pub mod log;
+pub mod recovery;

@@ -1,0 +1,502 @@
+//! SQL conformance tests: many small, targeted checks of dialect
+//! semantics — three-valued logic, coercions, aggregates over edge cases,
+//! join varieties, subquery strategies, ORDER BY forms, DDL behaviour.
+
+use sqlengine::engine::{Durable, Engine};
+use sqlengine::session::SessionId;
+use sqlengine::types::Value;
+use sqlengine::wal::recovery::RecoveryConfig;
+use sqlengine::{Error, Row};
+
+fn engine() -> (Engine, SessionId) {
+    let durable = Durable::new(Default::default());
+    let e = Engine::recover(&durable, RecoveryConfig::default()).unwrap();
+    std::mem::forget(durable);
+    let sid = e.create_session().unwrap();
+    (e, sid)
+}
+
+fn q(e: &Engine, sid: SessionId, sql: &str) -> Vec<Row> {
+    e.execute_collect(sid, sql)
+        .unwrap_or_else(|err| panic!("{sql}: {err}"))
+        .1
+}
+
+fn one(e: &Engine, sid: SessionId, sql: &str) -> Value {
+    q(e, sid, sql)[0][0].clone()
+}
+
+fn setup_people(e: &Engine, sid: SessionId) {
+    e.execute(
+        sid,
+        "CREATE TABLE people (id INT PRIMARY KEY, name VARCHAR(20), age INT, city VARCHAR(20))",
+    )
+    .unwrap();
+    e.execute(
+        sid,
+        "INSERT INTO people VALUES \
+         (1, 'ann', 30, 'oslo'), (2, 'bob', NULL, 'rome'), (3, 'cal', 25, 'oslo'), \
+         (4, 'dee', 35, NULL), (5, 'eli', 25, 'rome')",
+    )
+    .unwrap();
+}
+
+#[test]
+fn null_three_valued_logic() {
+    let (e, sid) = engine();
+    setup_people(&e, sid);
+    // NULL comparisons never match.
+    assert_eq!(q(&e, sid, "SELECT id FROM people WHERE age = NULL").len(), 0);
+    assert_eq!(q(&e, sid, "SELECT id FROM people WHERE age <> NULL").len(), 0);
+    // IS NULL / IS NOT NULL.
+    assert_eq!(q(&e, sid, "SELECT id FROM people WHERE age IS NULL").len(), 1);
+    assert_eq!(
+        q(&e, sid, "SELECT id FROM people WHERE age IS NOT NULL").len(),
+        4
+    );
+    // NULL in OR/AND.
+    assert_eq!(
+        q(&e, sid, "SELECT id FROM people WHERE age > 100 OR city = 'oslo'").len(),
+        2
+    );
+    // NOT(NULL) is NULL → filtered.
+    assert_eq!(
+        q(&e, sid, "SELECT id FROM people WHERE NOT (age > 0)").len(),
+        0
+    );
+}
+
+#[test]
+fn in_list_null_semantics() {
+    let (e, sid) = engine();
+    setup_people(&e, sid);
+    // x IN (..., NULL): unknown unless matched.
+    assert_eq!(
+        q(&e, sid, "SELECT id FROM people WHERE age IN (30, NULL)").len(),
+        1
+    );
+    // x NOT IN (..., NULL): never true.
+    assert_eq!(
+        q(&e, sid, "SELECT id FROM people WHERE age NOT IN (30, NULL)").len(),
+        0
+    );
+}
+
+#[test]
+fn between_and_negations() {
+    let (e, sid) = engine();
+    setup_people(&e, sid);
+    assert_eq!(
+        q(&e, sid, "SELECT id FROM people WHERE age BETWEEN 25 AND 30").len(),
+        3
+    );
+    assert_eq!(
+        q(&e, sid, "SELECT id FROM people WHERE age NOT BETWEEN 25 AND 30").len(),
+        1 // dee(35); bob's NULL is unknown
+    );
+}
+
+#[test]
+fn arithmetic_and_division_by_zero() {
+    let (e, sid) = engine();
+    assert_eq!(one(&e, sid, "SELECT 2 + 3 * 4"), Value::Int(14));
+    assert_eq!(one(&e, sid, "SELECT (2 + 3) * 4"), Value::Int(20));
+    assert_eq!(one(&e, sid, "SELECT 7 % 3"), Value::Int(1));
+    assert_eq!(one(&e, sid, "SELECT 1 / 0"), Value::Null);
+    assert_eq!(one(&e, sid, "SELECT 10 / 4"), Value::Float(2.5));
+    assert_eq!(one(&e, sid, "SELECT -5"), Value::Int(-5));
+    assert_eq!(one(&e, sid, "SELECT 1 + NULL"), Value::Null);
+}
+
+#[test]
+fn string_functions() {
+    let (e, sid) = engine();
+    assert_eq!(
+        one(&e, sid, "SELECT SUBSTRING('hello world', 1, 5)"),
+        Value::Str("hello".into())
+    );
+    assert_eq!(
+        one(&e, sid, "SELECT SUBSTRING('hello', 4, 10)"),
+        Value::Str("lo".into())
+    );
+    assert_eq!(one(&e, sid, "SELECT UPPER('abC')"), Value::Str("ABC".into()));
+    assert_eq!(one(&e, sid, "SELECT LOWER('AbC')"), Value::Str("abc".into()));
+    assert_eq!(one(&e, sid, "SELECT ABS(-7)"), Value::Int(7));
+    assert_eq!(one(&e, sid, "SELECT ROUND(3.456, 1)"), Value::Float(3.5));
+    assert_eq!(one(&e, sid, "SELECT YEAR(DATE '1998-12-01')"), Value::Int(1998));
+}
+
+#[test]
+fn case_expressions() {
+    let (e, sid) = engine();
+    setup_people(&e, sid);
+    let rows = q(
+        &e,
+        sid,
+        "SELECT name, CASE WHEN age >= 30 THEN 'old' WHEN age IS NULL THEN 'unknown' \
+         ELSE 'young' END FROM people ORDER BY id",
+    );
+    let labels: Vec<&str> = rows.iter().map(|r| r[1].as_str().unwrap()).collect();
+    assert_eq!(labels, vec!["old", "unknown", "young", "old", "young"]);
+    // CASE without ELSE yields NULL.
+    assert_eq!(one(&e, sid, "SELECT CASE WHEN 0 = 1 THEN 5 END"), Value::Null);
+}
+
+#[test]
+fn order_by_forms() {
+    let (e, sid) = engine();
+    setup_people(&e, sid);
+    // By alias.
+    let rows = q(
+        &e,
+        sid,
+        "SELECT id, age * 2 AS dbl FROM people WHERE age IS NOT NULL ORDER BY dbl DESC, id",
+    );
+    assert_eq!(rows[0][0], Value::Int(4));
+    // By ordinal.
+    let rows = q(&e, sid, "SELECT name, age FROM people ORDER BY 1 DESC");
+    assert_eq!(rows[0][0], Value::Str("eli".into()));
+    // NULLs sort first ascending.
+    let rows = q(&e, sid, "SELECT age FROM people ORDER BY age");
+    assert_eq!(rows[0][0], Value::Null);
+}
+
+#[test]
+fn distinct_and_top_interaction() {
+    let (e, sid) = engine();
+    setup_people(&e, sid);
+    assert_eq!(q(&e, sid, "SELECT DISTINCT city FROM people").len(), 3); // oslo, rome, NULL
+    let rows = q(&e, sid, "SELECT DISTINCT TOP 2 age FROM people ORDER BY age DESC");
+    assert_eq!(rows.len(), 2);
+    assert_eq!(rows[0][0], Value::Int(35));
+}
+
+#[test]
+fn aggregates_edge_cases() {
+    let (e, sid) = engine();
+    setup_people(&e, sid);
+    // Aggregates skip NULLs; AVG over non-null ages.
+    assert_eq!(one(&e, sid, "SELECT COUNT(age) FROM people"), Value::Int(4));
+    assert_eq!(one(&e, sid, "SELECT COUNT(*) FROM people"), Value::Int(5));
+    assert_eq!(
+        one(&e, sid, "SELECT AVG(age) FROM people"),
+        Value::Float((30 + 25 + 35 + 25) as f64 / 4.0)
+    );
+    assert_eq!(
+        one(&e, sid, "SELECT COUNT(DISTINCT age) FROM people"),
+        Value::Int(3)
+    );
+    assert_eq!(one(&e, sid, "SELECT MIN(name) FROM people"), Value::Str("ann".into()));
+    // Expression over multiple aggregates.
+    assert_eq!(
+        one(&e, sid, "SELECT MAX(age) - MIN(age) FROM people"),
+        Value::Int(10)
+    );
+    // Group on nullable column: NULL forms its own group.
+    let rows = q(
+        &e,
+        sid,
+        "SELECT city, COUNT(*) FROM people GROUP BY city ORDER BY city",
+    );
+    assert_eq!(rows.len(), 3);
+    assert_eq!(rows[0][0], Value::Null);
+}
+
+#[test]
+fn group_by_expression_and_having_without_aggregate() {
+    let (e, sid) = engine();
+    setup_people(&e, sid);
+    let rows = q(
+        &e,
+        sid,
+        "SELECT age % 2, COUNT(*) FROM people WHERE age IS NOT NULL \
+         GROUP BY age % 2 ORDER BY 1",
+    );
+    assert_eq!(rows.len(), 2);
+    // HAVING referencing a group key.
+    let rows = q(
+        &e,
+        sid,
+        "SELECT city, COUNT(*) AS n FROM people GROUP BY city HAVING city = 'oslo'",
+    );
+    assert_eq!(rows.len(), 1);
+}
+
+#[test]
+fn joins_inner_outer_self() {
+    let (e, sid) = engine();
+    e.execute(sid, "CREATE TABLE a (x INT PRIMARY KEY)").unwrap();
+    e.execute(sid, "CREATE TABLE b (y INT PRIMARY KEY)").unwrap();
+    e.execute(sid, "INSERT INTO a VALUES (1), (2), (3)").unwrap();
+    e.execute(sid, "INSERT INTO b VALUES (2), (3), (4)").unwrap();
+    // Inner join via JOIN..ON.
+    assert_eq!(
+        q(&e, sid, "SELECT x FROM a JOIN b ON x = y ORDER BY x").len(),
+        2
+    );
+    // Left outer.
+    let rows = q(&e, sid, "SELECT x, y FROM a LEFT JOIN b ON x = y ORDER BY x");
+    assert_eq!(rows[0], vec![Value::Int(1), Value::Null]);
+    // Cartesian via comma join without predicate.
+    assert_eq!(q(&e, sid, "SELECT x, y FROM a, b").len(), 9);
+    // Self join with aliases.
+    let rows = q(
+        &e,
+        sid,
+        "SELECT a1.x, a2.x FROM a a1, a a2 WHERE a1.x < a2.x ORDER BY a1.x, a2.x",
+    );
+    assert_eq!(rows.len(), 3);
+}
+
+#[test]
+fn non_equi_join_condition() {
+    let (e, sid) = engine();
+    e.execute(sid, "CREATE TABLE lo (v INT)").unwrap();
+    e.execute(sid, "CREATE TABLE hi (w INT)").unwrap();
+    e.execute(sid, "INSERT INTO lo VALUES (1), (5)").unwrap();
+    e.execute(sid, "INSERT INTO hi VALUES (3), (7)").unwrap();
+    let rows = q(&e, sid, "SELECT v, w FROM lo JOIN hi ON v < w ORDER BY v, w");
+    assert_eq!(rows.len(), 3);
+}
+
+#[test]
+fn subquery_strategies() {
+    let (e, sid) = engine();
+    e.execute(sid, "CREATE TABLE dept (d INT PRIMARY KEY, budget INT)")
+        .unwrap();
+    e.execute(sid, "CREATE TABLE emp (id INT PRIMARY KEY, d INT, sal INT)")
+        .unwrap();
+    e.execute(sid, "INSERT INTO dept VALUES (1, 100), (2, 200), (3, 50)")
+        .unwrap();
+    e.execute(
+        sid,
+        "INSERT INTO emp VALUES (1, 1, 30), (2, 1, 40), (3, 2, 90), (4, 2, 10)",
+    )
+    .unwrap();
+    // Uncorrelated scalar.
+    assert_eq!(
+        q(&e, sid, "SELECT d FROM dept WHERE budget > (SELECT AVG(budget) FROM dept)").len(),
+        1
+    );
+    // Correlated scalar aggregate (decorrelated path).
+    let rows = q(
+        &e,
+        sid,
+        "SELECT d FROM dept WHERE budget > (SELECT SUM(sal) FROM emp WHERE emp.d = dept.d) \
+         ORDER BY d",
+    );
+    assert_eq!(rows.len(), 2); // dept1: 100>70 ✓, dept2: 200>100 ✓, dept3: NULL → unknown
+    // Correlated EXISTS with a residual predicate referencing the outer row.
+    let rows = q(
+        &e,
+        sid,
+        "SELECT d FROM dept WHERE EXISTS (SELECT 1 FROM emp WHERE emp.d = dept.d AND sal > budget / 3)",
+    );
+    assert_eq!(rows.len(), 2); // dept1 (40 > 33.3), dept2 (90 > 66.7)
+    // NOT EXISTS.
+    assert_eq!(
+        q(&e, sid, "SELECT d FROM dept WHERE NOT EXISTS (SELECT 1 FROM emp WHERE emp.d = dept.d)")
+            .len(),
+        1 // dept3
+    );
+    // IN subquery.
+    assert_eq!(
+        q(&e, sid, "SELECT id FROM emp WHERE d IN (SELECT d FROM dept WHERE budget >= 100)").len(),
+        4
+    );
+    // Derived table + join.
+    let rows = q(
+        &e,
+        sid,
+        "SELECT dept.d, t.total FROM dept, \
+         (SELECT d AS dd, SUM(sal) AS total FROM emp GROUP BY d) t \
+         WHERE dept.d = t.dd ORDER BY dept.d",
+    );
+    assert_eq!(rows.len(), 2);
+    assert_eq!(rows[0][1], Value::Int(70));
+}
+
+#[test]
+fn qualified_wildcard_and_ambiguity() {
+    let (e, sid) = engine();
+    e.execute(sid, "CREATE TABLE t1 (a INT, shared INT)").unwrap();
+    e.execute(sid, "CREATE TABLE t2 (b INT, shared INT)").unwrap();
+    e.execute(sid, "INSERT INTO t1 VALUES (1, 10)").unwrap();
+    e.execute(sid, "INSERT INTO t2 VALUES (2, 20)").unwrap();
+    let (schema, rows) = e
+        .execute_collect(sid, "SELECT t2.* FROM t1, t2")
+        .unwrap();
+    assert_eq!(schema.len(), 2);
+    assert_eq!(rows[0], vec![Value::Int(2), Value::Int(20)]);
+    // Ambiguous unqualified reference errors.
+    let err = e.execute(sid, "SELECT shared FROM t1, t2");
+    assert!(matches!(err, Err(Error::Semantic(_))));
+    // Qualified disambiguation works.
+    assert_eq!(
+        one(&e, sid, "SELECT t1.shared FROM t1, t2"),
+        Value::Int(10)
+    );
+}
+
+#[test]
+fn coercion_on_insert_and_compare() {
+    let (e, sid) = engine();
+    e.execute(sid, "CREATE TABLE c (f FLOAT, d DATE, s VARCHAR(10))")
+        .unwrap();
+    e.execute(sid, "INSERT INTO c VALUES (5, '1996-03-04', 'x')")
+        .unwrap();
+    assert_eq!(one(&e, sid, "SELECT f FROM c"), Value::Float(5.0));
+    assert_eq!(
+        q(&e, sid, "SELECT s FROM c WHERE d = '1996-03-04'").len(),
+        1
+    );
+    assert_eq!(
+        q(&e, sid, "SELECT s FROM c WHERE d >= DATE '1996-01-01' AND d < DATE '1997-01-01'")
+            .len(),
+        1
+    );
+    // Date arithmetic.
+    assert_eq!(
+        one(&e, sid, "SELECT YEAR(d + 365) FROM c"),
+        Value::Int(1997)
+    );
+}
+
+#[test]
+fn ddl_semantics() {
+    let (e, sid) = engine();
+    e.execute(sid, "CREATE TABLE d (a INT)").unwrap();
+    assert!(matches!(
+        e.execute(sid, "CREATE TABLE d (a INT)"),
+        Err(Error::AlreadyExists(_))
+    ));
+    e.execute(sid, "DROP TABLE d").unwrap();
+    assert!(matches!(
+        e.execute(sid, "DROP TABLE d"),
+        Err(Error::NotFound(_))
+    ));
+    e.execute(sid, "DROP TABLE IF EXISTS d").unwrap();
+    // Recreate after drop works and is empty.
+    e.execute(sid, "CREATE TABLE d (a INT)").unwrap();
+    assert_eq!(q(&e, sid, "SELECT * FROM d").len(), 0);
+}
+
+#[test]
+fn update_changing_pk_and_not_null() {
+    let (e, sid) = engine();
+    e.execute(sid, "CREATE TABLE u (k INT PRIMARY KEY, v VARCHAR(5) NOT NULL)")
+        .unwrap();
+    e.execute(sid, "INSERT INTO u VALUES (1, 'a'), (2, 'b')").unwrap();
+    // PK update via full-scan path.
+    e.execute(sid, "UPDATE u SET k = 10 WHERE k = 1").unwrap();
+    assert_eq!(q(&e, sid, "SELECT v FROM u WHERE k = 10").len(), 1);
+    // NOT NULL enforced.
+    assert!(e.execute(sid, "INSERT INTO u VALUES (3, NULL)").is_err());
+    // PK collision on update rejected and rolled back.
+    assert!(matches!(
+        e.execute(sid, "UPDATE u SET k = 2 WHERE k = 10"),
+        Err(Error::DuplicateKey(_))
+    ));
+    assert_eq!(q(&e, sid, "SELECT * FROM u WHERE k = 10").len(), 1);
+}
+
+#[test]
+fn insert_column_subset_fills_nulls() {
+    let (e, sid) = engine();
+    e.execute(sid, "CREATE TABLE s (a INT, b INT, c VARCHAR(5))").unwrap();
+    e.execute(sid, "INSERT INTO s (c, a) VALUES ('x', 1)").unwrap();
+    let rows = q(&e, sid, "SELECT a, b, c FROM s");
+    assert_eq!(
+        rows[0],
+        vec![Value::Int(1), Value::Null, Value::Str("x".into())]
+    );
+}
+
+#[test]
+fn like_escaping_and_patterns() {
+    let (e, sid) = engine();
+    setup_people(&e, sid);
+    assert_eq!(q(&e, sid, "SELECT id FROM people WHERE name LIKE '%o%'").len(), 1);
+    assert_eq!(q(&e, sid, "SELECT id FROM people WHERE name LIKE '_al'").len(), 1);
+    assert_eq!(
+        q(&e, sid, "SELECT id FROM people WHERE city NOT LIKE 'o%'").len(),
+        2 // rome×2; NULL city is unknown
+    );
+}
+
+#[test]
+fn or_factorization_preserves_semantics() {
+    let (e, sid) = engine();
+    e.execute(sid, "CREATE TABLE l (k INT, grp VARCHAR(2), n INT)").unwrap();
+    e.execute(sid, "CREATE TABLE r (k INT, m INT)").unwrap();
+    e.execute(
+        sid,
+        "INSERT INTO l VALUES (1, 'a', 5), (1, 'b', 50), (2, 'a', 7), (3, 'b', 70)",
+    )
+    .unwrap();
+    e.execute(sid, "INSERT INTO r VALUES (1, 1), (2, 2), (3, 3)").unwrap();
+    // Common equi-conjunct buried in each OR branch (Q19 shape).
+    let rows = q(
+        &e,
+        sid,
+        "SELECT l.k, grp FROM l, r WHERE \
+         (l.k = r.k AND grp = 'a' AND n < 10) OR (l.k = r.k AND grp = 'b' AND n > 60) \
+         ORDER BY l.k, grp",
+    );
+    assert_eq!(rows.len(), 3);
+}
+
+#[test]
+fn stored_procedures_with_params_and_nesting() {
+    let (e, sid) = engine();
+    e.execute(sid, "CREATE TABLE log (msg VARCHAR(20), n INT)").unwrap();
+    e.execute(
+        sid,
+        "CREATE PROCEDURE note (@m VARCHAR(20), @n INT) AS INSERT INTO log VALUES (@m, @n)",
+    )
+    .unwrap();
+    e.execute(sid, "EXEC note 'hello', 41").unwrap();
+    e.execute(sid, "EXEC note @m = 'bye', @n = 42").unwrap();
+    assert_eq!(q(&e, sid, "SELECT * FROM log").len(), 2);
+    // Nested procedure call.
+    e.execute(sid, "CREATE PROCEDURE outer_p (@x INT) AS EXEC note 'nested', @x")
+        .unwrap();
+    e.execute(sid, "EXEC outer_p 7").unwrap();
+    assert_eq!(
+        q(&e, sid, "SELECT n FROM log WHERE msg = 'nested'")[0][0],
+        Value::Int(7)
+    );
+    // OR REPLACE.
+    e.execute(
+        sid,
+        "CREATE OR REPLACE PROCEDURE note (@m VARCHAR(20), @n INT) AS \
+         INSERT INTO log VALUES ('replaced', @n)",
+    )
+    .unwrap();
+    e.execute(sid, "EXEC note 'ignored', 1").unwrap();
+    assert_eq!(q(&e, sid, "SELECT * FROM log WHERE msg = 'replaced'").len(), 1);
+    // Wrong arity errors.
+    assert!(e.execute(sid, "EXEC note 'x'").is_err());
+}
+
+#[test]
+fn select_without_from_and_empty_tables() {
+    let (e, sid) = engine();
+    assert_eq!(one(&e, sid, "SELECT 1 + 1"), Value::Int(2));
+    e.execute(sid, "CREATE TABLE empty_t (a INT)").unwrap();
+    assert_eq!(q(&e, sid, "SELECT * FROM empty_t").len(), 0);
+    assert_eq!(one(&e, sid, "SELECT MAX(a) FROM empty_t"), Value::Null);
+    assert_eq!(
+        q(&e, sid, "SELECT a, COUNT(*) FROM empty_t GROUP BY a").len(),
+        0
+    );
+}
+
+#[test]
+fn top_zero_and_large() {
+    let (e, sid) = engine();
+    setup_people(&e, sid);
+    assert_eq!(q(&e, sid, "SELECT TOP 0 * FROM people").len(), 0);
+    assert_eq!(q(&e, sid, "SELECT TOP 99 * FROM people").len(), 5);
+    assert_eq!(q(&e, sid, "SELECT * FROM people LIMIT 2").len(), 2);
+}

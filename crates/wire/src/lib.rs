@@ -1,0 +1,14 @@
+//! # wire
+//!
+//! Client–server protocol and simulated network for the Phoenix/ODBC
+//! reproduction: binary request/response framing, a latency/bandwidth/
+//! bounded-buffer network model, and a crashable multi-threaded database
+//! server ([`DbServer`]) over the [`sqlengine`] substrate.
+
+pub mod protocol;
+pub mod server;
+pub mod transport;
+
+pub use protocol::{DoneKind, Request, Response, StmtId};
+pub use server::{ClientConn, DbServer, ServerConfig};
+pub use transport::{Endpoint, NetConfig, Pipe};

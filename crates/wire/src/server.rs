@@ -1,0 +1,590 @@
+//! The database server process: thread-per-connection request handling,
+//! streaming result production into bounded network buffers, crash
+//! (`SHUTDOWN WITH NOWAIT` / fault injection) and restart with recovery.
+
+use std::collections::HashMap;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use sqlengine::engine::{Cursor, Durable, Engine, ExecOutcome};
+use sqlengine::storage::disk::{DiskModel, IoSnapshot};
+use sqlengine::wal::recovery::{RecoveryConfig, RecoveryStats};
+use sqlengine::{Error, Result};
+
+use crate::protocol::{columns_to_wire, DoneKind, Request, Response, StmtId};
+use crate::transport::{Endpoint, NetConfig};
+
+/// Server tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Per-I/O latency model for the simulated disk.
+    pub disk_model: DiskModel,
+    /// Buffer-pool capacity in pages.
+    pub pool_capacity: usize,
+    /// Client → server link model.
+    pub net_c2s: NetConfig,
+    /// Server → client link model (the bounded output buffer lives here).
+    pub net_s2c: NetConfig,
+    /// Rows per `RowBatch` message.
+    pub row_batch: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            disk_model: DiskModel::default(),
+            pool_capacity: 4096,
+            net_c2s: NetConfig::default(),
+            net_s2c: NetConfig::default(),
+            row_batch: 16,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Zero-latency network (fast tests).
+    pub fn instant_net() -> Self {
+        ServerConfig {
+            net_c2s: NetConfig::instant(),
+            net_s2c: NetConfig::instant(),
+            ..Default::default()
+        }
+    }
+}
+
+struct Process {
+    engine: Arc<Engine>,
+    conns: Mutex<Vec<Arc<Endpoint>>>,
+}
+
+struct ServerInner {
+    durable: Durable,
+    config: ServerConfig,
+    process: Mutex<Option<Arc<Process>>>,
+    last_recovery: Mutex<Option<(Duration, RecoveryStats)>>,
+}
+
+/// A crashable database server.
+///
+/// The server owns durable state for its whole lifetime; `crash()` kills
+/// the volatile half (engine, sessions, connections — with epoch fencing
+/// of stragglers) and `restart()` runs log recovery, exactly the cycle the
+/// paper triggers with Query Analyzer's `shutdown with nowait`.
+#[derive(Clone)]
+pub struct DbServer {
+    inner: Arc<ServerInner>,
+}
+
+impl DbServer {
+    /// Create and start a fresh server.
+    pub fn start(config: ServerConfig) -> Result<DbServer> {
+        let inner = Arc::new(ServerInner {
+            durable: Durable::new(config.disk_model),
+            config,
+            process: Mutex::new(None),
+            last_recovery: Mutex::new(None),
+        });
+        let server = DbServer { inner };
+        server.restart()?;
+        Ok(server)
+    }
+
+    /// Boot (or re-boot) the server: run restart recovery.
+    pub fn restart(&self) -> Result<RecoveryStats> {
+        let mut proc_slot = self.inner.process.lock();
+        if proc_slot.is_some() {
+            return Err(Error::AlreadyExists("server already running".into()));
+        }
+        let t0 = Instant::now();
+        let engine = Engine::recover(
+            &self.inner.durable,
+            RecoveryConfig {
+                pool_capacity: self.inner.config.pool_capacity,
+            },
+        )?;
+        let stats = engine.recovery_stats();
+        *self.inner.last_recovery.lock() = Some((t0.elapsed(), stats));
+        *proc_slot = Some(Arc::new(Process {
+            engine: Arc::new(engine),
+            conns: Mutex::new(Vec::new()),
+        }));
+        Ok(stats)
+    }
+
+    /// Kill the server immediately: every connection breaks, all volatile
+    /// state is lost, durable state is fenced against stragglers.
+    pub fn crash(&self) {
+        let proc = self.inner.process.lock().take();
+        if let Some(p) = proc {
+            p.engine.mark_shutdown();
+            self.inner.durable.fence();
+            for ep in p.conns.lock().iter() {
+                ep.close();
+            }
+        }
+    }
+
+    /// Whether the server process is currently running.
+    pub fn is_up(&self) -> bool {
+        self.inner.process.lock().is_some()
+    }
+
+    /// The durable half (disk + log), which outlives crashes.
+    pub fn durable(&self) -> &Durable {
+        &self.inner.durable
+    }
+
+    /// Cumulative disk I/O statistics snapshot.
+    pub fn io_snapshot(&self) -> IoSnapshot {
+        self.inner.durable.io_snapshot()
+    }
+
+    /// Duration and stats of the most recent restart recovery.
+    pub fn last_recovery(&self) -> Option<(Duration, RecoveryStats)> {
+        *self.inner.last_recovery.lock()
+    }
+
+    /// Direct engine access for benchmark setup (bulk loads, checkpoints)
+    /// bypassing the network. `None` while crashed.
+    pub fn engine(&self) -> Option<Arc<Engine>> {
+        self.inner.process.lock().as_ref().map(|p| Arc::clone(&p.engine))
+    }
+
+    /// Open a network connection to the server.
+    pub fn connect(&self) -> Result<ClientConn> {
+        let proc = {
+            let slot = self.inner.process.lock();
+            slot.as_ref().cloned().ok_or(Error::ServerShutdown)?
+        };
+        let (client_ep, server_ep) =
+            Endpoint::pair(self.inner.config.net_c2s, self.inner.config.net_s2c);
+        let server_ep = Arc::new(server_ep);
+        proc.conns.lock().push(Arc::clone(&server_ep));
+        let engine = Arc::clone(&proc.engine);
+        let server = self.clone();
+        let cfg = self.inner.config;
+        std::thread::spawn(move || connection_loop(server, engine, server_ep, cfg));
+        Ok(ClientConn {
+            ep: client_ep,
+        })
+    }
+}
+
+/// Client-side raw connection handle.
+pub struct ClientConn {
+    ep: Endpoint,
+}
+
+impl ClientConn {
+    /// Send a request frame.
+    pub fn send(&self, req: &Request) -> Result<()> {
+        self.ep.tx.send(req.encode(), None)
+    }
+
+    /// Receive the next response, waiting up to `timeout`.
+    pub fn recv(&self, timeout: Option<Duration>) -> Result<Response> {
+        let frame = self.ep.rx.recv(timeout)?;
+        Response::decode(&frame)
+    }
+
+    /// Drop the link abruptly (client-side close).
+    pub fn close(&self) {
+        self.ep.close();
+    }
+
+    /// Whether the link has been torn down (server crash or close).
+    pub fn is_closed(&self) -> bool {
+        self.ep.rx.is_closed()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Server-side connection handling
+// ---------------------------------------------------------------------------
+
+fn connection_loop(
+    server: DbServer,
+    engine: Arc<Engine>,
+    ep: Arc<Endpoint>,
+    cfg: ServerConfig,
+) {
+    // Handshake.
+    let sid = loop {
+        let Ok(frame) = ep.rx.recv(None) else { return };
+        match Request::decode(&frame) {
+            Ok(Request::Connect { .. }) => match engine.create_session() {
+                Ok(sid) => {
+                    let _ = ep
+                        .tx
+                        .send(Response::Connected { session: sid }.encode(), None);
+                    break sid;
+                }
+                Err(e) => {
+                    let _ = ep
+                        .tx
+                        .send(Response::Error { stmt: 0, error: e }.encode(), None);
+                    return;
+                }
+            },
+            Ok(Request::Ping) => {
+                let _ = ep.tx.send(Response::Pong.encode(), None);
+            }
+            _ => return,
+        }
+    };
+
+    let cancels: Arc<Mutex<HashMap<StmtId, Arc<AtomicBool>>>> =
+        Arc::new(Mutex::new(HashMap::new()));
+
+    loop {
+        let Ok(frame) = ep.rx.recv(None) else {
+            // Link dead (crash or client close).
+            engine.close_session(sid);
+            return;
+        };
+        let req = match Request::decode(&frame) {
+            Ok(r) => r,
+            Err(_) => continue,
+        };
+        match req {
+            Request::Ping => {
+                let _ = ep.tx.send(Response::Pong.encode(), None);
+            }
+            Request::Disconnect => {
+                engine.close_session(sid);
+                return;
+            }
+            Request::CloseStmt { stmt } => {
+                if let Some(flag) = cancels.lock().get(&stmt) {
+                    flag.store(true, std::sync::atomic::Ordering::Relaxed);
+                }
+            }
+            Request::Exec { stmt, sql, skip } => {
+                match engine.execute(sid, &sql) {
+                    Err(e) => {
+                        let _ = ep.tx.send(Response::Error { stmt, error: e }.encode(), None);
+                    }
+                    Ok(res) => match res.outcome {
+                        ExecOutcome::Affected(n) => {
+                            let _ = ep.tx.send(
+                                Response::Done {
+                                    stmt,
+                                    kind: DoneKind::Affected(n),
+                                }
+                                .encode(),
+                                None,
+                            );
+                        }
+                        ExecOutcome::Ok => {
+                            let _ = ep.tx.send(
+                                Response::Done {
+                                    stmt,
+                                    kind: DoneKind::Ok,
+                                }
+                                .encode(),
+                                None,
+                            );
+                        }
+                        ExecOutcome::ShutdownRequested { nowait } => {
+                            if !nowait {
+                                // Graceful: checkpoint so restart redo is
+                                // trivial, then stop.
+                                if let Some(e) = server.engine() {
+                                    let _ = e.checkpoint();
+                                }
+                            }
+                            server.crash();
+                            return;
+                        }
+                        ExecOutcome::Rows(cursor) => {
+                            let flag = Arc::new(AtomicBool::new(false));
+                            cancels.lock().insert(stmt, Arc::clone(&flag));
+                            let ep2 = Arc::clone(&ep);
+                            let cancels2 = Arc::clone(&cancels);
+                            let batch = cfg.row_batch.max(1);
+                            std::thread::spawn(move || {
+                                stream_result(ep2, stmt, cursor, skip, batch, flag);
+                                cancels2.lock().remove(&stmt);
+                            });
+                        }
+                    },
+                }
+            }
+            Request::Connect { .. } => {
+                // Duplicate connect: ignore.
+            }
+        }
+    }
+}
+
+/// Producer: push a statement's result into the (bounded) outbound pipe.
+/// Blocks when the buffer is full — the suspended-scan behaviour from the
+/// paper's Table 3 experiment.
+fn stream_result(
+    ep: Arc<Endpoint>,
+    stmt: StmtId,
+    mut cursor: Cursor,
+    skip: u64,
+    batch_size: usize,
+    cancel: Arc<AtomicBool>,
+) {
+    let columns = columns_to_wire(&cursor.schema);
+    if ep
+        .tx
+        .send(Response::Meta { stmt, columns }.encode(), Some(&cancel))
+        .is_err()
+    {
+        return;
+    }
+    // Server-side repositioning: advance without transmitting.
+    for _ in 0..skip {
+        match cursor.next() {
+            Some(Ok(_)) => {}
+            Some(Err(e)) => {
+                let _ = ep
+                    .tx
+                    .send(Response::Error { stmt, error: e }.encode(), Some(&cancel));
+                return;
+            }
+            None => break,
+        }
+    }
+    let mut sent: u64 = 0;
+    let mut batch = Vec::with_capacity(batch_size);
+    loop {
+        if cancel.load(std::sync::atomic::Ordering::Relaxed) {
+            // Client abandoned the statement; drop cursor (releases locks).
+            return;
+        }
+        match cursor.next() {
+            Some(Ok(row)) => {
+                batch.push(row);
+                if batch.len() >= batch_size {
+                    sent += batch.len() as u64;
+                    let msg = Response::RowBatch {
+                        stmt,
+                        rows: std::mem::take(&mut batch),
+                    };
+                    if ep.tx.send(msg.encode(), Some(&cancel)).is_err() {
+                        return;
+                    }
+                }
+            }
+            Some(Err(e)) => {
+                let _ = ep
+                    .tx
+                    .send(Response::Error { stmt, error: e }.encode(), Some(&cancel));
+                return;
+            }
+            None => break,
+        }
+    }
+    if !batch.is_empty() {
+        sent += batch.len() as u64;
+        let msg = Response::RowBatch { stmt, rows: batch };
+        if ep.tx.send(msg.encode(), Some(&cancel)).is_err() {
+            return;
+        }
+    }
+    let _ = ep.tx.send(
+        Response::Done {
+            stmt,
+            kind: DoneKind::Rows(sent),
+        }
+        .encode(),
+        Some(&cancel),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn connect(server: &DbServer) -> (ClientConn, u64) {
+        let conn = server.connect().unwrap();
+        conn.send(&Request::Connect {
+            login: "test".into(),
+        })
+        .unwrap();
+        let Response::Connected { session } = conn.recv(Some(Duration::from_secs(5))).unwrap()
+        else {
+            panic!("expected Connected")
+        };
+        (conn, session)
+    }
+
+    fn exec_collect(
+        conn: &ClientConn,
+        stmt: StmtId,
+        sql: &str,
+    ) -> Result<(Vec<(String, sqlengine::DataType)>, Vec<sqlengine::Row>, DoneKind)> {
+        conn.send(&Request::Exec {
+            stmt,
+            sql: sql.into(),
+            skip: 0,
+        })?;
+        let mut cols = Vec::new();
+        let mut rows = Vec::new();
+        loop {
+            match conn.recv(Some(Duration::from_secs(10)))? {
+                Response::Meta { stmt: s, columns } if s == stmt => cols = columns,
+                Response::RowBatch { stmt: s, rows: mut r } if s == stmt => rows.append(&mut r),
+                Response::Done { stmt: s, kind } if s == stmt => return Ok((cols, rows, kind)),
+                Response::Error { stmt: s, error } if s == stmt => return Err(error),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn end_to_end_query() {
+        let server = DbServer::start(ServerConfig::instant_net()).unwrap();
+        let (conn, _) = connect(&server);
+        exec_collect(&conn, 1, "CREATE TABLE t (a INT PRIMARY KEY, b VARCHAR(10))").unwrap();
+        let (_, _, kind) =
+            exec_collect(&conn, 2, "INSERT INTO t VALUES (1,'x'),(2,'y')").unwrap();
+        assert_eq!(kind, DoneKind::Affected(2));
+        let (cols, rows, kind) = exec_collect(&conn, 3, "SELECT * FROM t ORDER BY a").unwrap();
+        assert_eq!(cols.len(), 2);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(kind, DoneKind::Rows(2));
+    }
+
+    #[test]
+    fn ping_pong() {
+        let server = DbServer::start(ServerConfig::instant_net()).unwrap();
+        let (conn, _) = connect(&server);
+        conn.send(&Request::Ping).unwrap();
+        assert_eq!(
+            conn.recv(Some(Duration::from_secs(5))).unwrap(),
+            Response::Pong
+        );
+    }
+
+    #[test]
+    fn crash_breaks_connections_and_restart_recovers() {
+        let server = DbServer::start(ServerConfig::instant_net()).unwrap();
+        let (conn, _) = connect(&server);
+        exec_collect(&conn, 1, "CREATE TABLE t (a INT PRIMARY KEY)").unwrap();
+        exec_collect(&conn, 2, "INSERT INTO t VALUES (1),(2),(3)").unwrap();
+
+        server.crash();
+        assert!(!server.is_up());
+        // Connection is dead.
+        let err = exec_collect(&conn, 3, "SELECT * FROM t");
+        assert!(matches!(err, Err(Error::ServerShutdown)));
+        assert!(server.connect().is_err());
+
+        server.restart().unwrap();
+        assert!(server.is_up());
+        let (conn2, _) = connect(&server);
+        let (_, rows, _) = exec_collect(&conn2, 1, "SELECT * FROM t").unwrap();
+        assert_eq!(rows.len(), 3);
+    }
+
+    #[test]
+    fn shutdown_with_nowait_over_the_wire() {
+        let server = DbServer::start(ServerConfig::instant_net()).unwrap();
+        let (conn, _) = connect(&server);
+        exec_collect(&conn, 1, "CREATE TABLE t (a INT)").unwrap();
+        conn.send(&Request::Exec {
+            stmt: 2,
+            sql: "SHUTDOWN WITH NOWAIT".into(),
+            skip: 0,
+        })
+        .unwrap();
+        // No orderly reply: the connection just dies.
+        let r = conn.recv(Some(Duration::from_secs(5)));
+        assert!(matches!(r, Err(Error::ServerShutdown)), "got {r:?}");
+        assert!(!server.is_up());
+        server.restart().unwrap();
+        let (conn2, _) = connect(&server);
+        exec_collect(&conn2, 1, "SELECT * FROM t").unwrap();
+    }
+
+    #[test]
+    fn server_side_skip_transmits_nothing_for_skipped_rows() {
+        let server = DbServer::start(ServerConfig::instant_net()).unwrap();
+        let (conn, _) = connect(&server);
+        exec_collect(&conn, 1, "CREATE TABLE t (a INT PRIMARY KEY)").unwrap();
+        let mut vals = String::from("INSERT INTO t VALUES ");
+        for i in 0..100 {
+            if i > 0 {
+                vals.push(',');
+            }
+            vals.push_str(&format!("({i})"));
+        }
+        exec_collect(&conn, 2, &vals).unwrap();
+
+        conn.send(&Request::Exec {
+            stmt: 3,
+            sql: "SELECT a FROM t".into(),
+            skip: 95,
+        })
+        .unwrap();
+        let mut rows = Vec::new();
+        loop {
+            match conn.recv(Some(Duration::from_secs(5))).unwrap() {
+                Response::RowBatch { stmt: 3, rows: mut r } => rows.append(&mut r),
+                Response::Done { stmt: 3, kind } => {
+                    assert_eq!(kind, DoneKind::Rows(5));
+                    break;
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(rows.len(), 5);
+    }
+
+    #[test]
+    fn close_stmt_cancels_suspended_stream() {
+        // Tiny output buffer so the producer suspends immediately.
+        let mut cfg = ServerConfig::instant_net();
+        cfg.net_s2c.buffer_bytes = 256;
+        let server = DbServer::start(cfg).unwrap();
+        let (conn, _) = connect(&server);
+        exec_collect(&conn, 1, "CREATE TABLE t (a INT PRIMARY KEY, pad VARCHAR(50))").unwrap();
+        let mut vals = String::from("INSERT INTO t VALUES ");
+        for i in 0..500 {
+            if i > 0 {
+                vals.push(',');
+            }
+            vals.push_str(&format!("({i}, 'ppppppppppppppppppppppppp')"));
+        }
+        exec_collect(&conn, 2, &vals).unwrap();
+
+        conn.send(&Request::Exec {
+            stmt: 3,
+            sql: "SELECT * FROM t".into(),
+            skip: 0,
+        })
+        .unwrap();
+        // Read the metadata, then abandon the statement.
+        loop {
+            match conn.recv(Some(Duration::from_secs(5))).unwrap() {
+                Response::Meta { stmt: 3, .. } => break,
+                _ => {}
+            }
+        }
+        conn.send(&Request::CloseStmt { stmt: 3 }).unwrap();
+        // A new statement on the same connection must work; stale batches
+        // from stmt 3 are filtered by stmt id.
+        let (_, rows, _) = exec_collect(&conn, 4, "SELECT TOP 1 a FROM t WHERE a = 7").unwrap();
+        assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn recovery_time_reported() {
+        let server = DbServer::start(ServerConfig::instant_net()).unwrap();
+        let (conn, _) = connect(&server);
+        exec_collect(&conn, 1, "CREATE TABLE t (a INT)").unwrap();
+        exec_collect(&conn, 2, "INSERT INTO t VALUES (1)").unwrap();
+        server.crash();
+        let stats = server.restart().unwrap();
+        assert!(stats.records_scanned > 0);
+        assert!(server.last_recovery().is_some());
+    }
+}

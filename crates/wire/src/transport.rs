@@ -1,0 +1,360 @@
+//! Simulated network transport.
+//!
+//! A [`Pipe`] is a one-directional, byte-bounded message queue with a
+//! latency/bandwidth model — the stand-in for the paper's 100 Mbit LAN
+//! plus the server's bounded output buffer. A full pipe blocks the sender,
+//! which is exactly the mechanism behind the paper's Table 3 observation
+//! that a native query's scan *suspends* once the output buffer fills.
+//!
+//! Closing a pipe (server crash) wakes all blocked parties with a
+//! disconnect error.
+
+use std::collections::VecDeque;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use sqlengine::Error;
+
+/// Network model parameters for one direction.
+#[derive(Debug, Clone, Copy)]
+pub struct NetConfig {
+    /// Propagation latency: delays delivery but *pipelines* (consecutive
+    /// messages overlap).
+    pub latency: Duration,
+    /// Bytes per second, or `None` for infinite bandwidth.
+    pub bytes_per_sec: Option<u64>,
+    /// Buffer capacity in bytes; senders block when exceeded.
+    pub buffer_bytes: usize,
+    /// Per-message processing cost (the driver/stack overhead of "the
+    /// call made by the driver to request a row of data" the paper
+    /// describes): serializes on the link, so many small messages are
+    /// slower than few large ones.
+    pub per_msg_cost: Duration,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        // Defaults sized after the paper's setup: 100 Mbit/s LAN, ~75 KB
+        // of output buffering between server and client.
+        NetConfig {
+            latency: Duration::from_micros(100),
+            bytes_per_sec: Some(12_500_000),
+            buffer_bytes: 64 * 1024,
+            per_msg_cost: Duration::from_micros(20),
+        }
+    }
+}
+
+impl NetConfig {
+    /// Zero-latency, unbounded configuration (useful in unit tests).
+    pub fn instant() -> Self {
+        NetConfig {
+            latency: Duration::ZERO,
+            bytes_per_sec: None,
+            buffer_bytes: usize::MAX,
+            per_msg_cost: Duration::ZERO,
+        }
+    }
+}
+
+struct PipeState {
+    queue: VecDeque<(Vec<u8>, Instant)>,
+    bytes: usize,
+    closed: bool,
+    /// Virtual time at which the link frees up (bandwidth serialization).
+    link_free_at: Instant,
+}
+
+/// One direction of a connection.
+pub struct Pipe {
+    cfg: NetConfig,
+    state: Mutex<PipeState>,
+    readable: Condvar,
+    writable: Condvar,
+}
+
+impl Pipe {
+    /// Create a pipe with the given network model.
+    pub fn new(cfg: NetConfig) -> Arc<Pipe> {
+        Arc::new(Pipe {
+            cfg,
+            state: Mutex::new(PipeState {
+                queue: VecDeque::new(),
+                bytes: 0,
+                closed: false,
+                link_free_at: Instant::now(),
+            }),
+            readable: Condvar::new(),
+            writable: Condvar::new(),
+        })
+    }
+
+    /// Send a message, blocking while the buffer is full. Returns
+    /// `Err(ServerShutdown)` if the pipe is closed, or if `cancel` is set
+    /// while waiting.
+    pub fn send(&self, msg: Vec<u8>, cancel: Option<&AtomicBool>) -> Result<(), Error> {
+        let size = msg.len().max(1);
+        let mut st = self.state.lock();
+        loop {
+            if st.closed {
+                return Err(Error::ServerShutdown);
+            }
+            if let Some(c) = cancel {
+                if c.load(std::sync::atomic::Ordering::Relaxed) {
+                    return Err(Error::TxnAborted("statement cancelled".into()));
+                }
+            }
+            if st.bytes + size <= self.cfg.buffer_bytes || st.queue.is_empty() {
+                break;
+            }
+            self.writable
+                .wait_for(&mut st, Duration::from_millis(1));
+        }
+        // Delivery time: serialize on the link after the previous message.
+        let now = Instant::now();
+        let start = st.link_free_at.max(now);
+        let tx_time = match self.cfg.bytes_per_sec {
+            Some(bps) if bps > 0 => {
+                Duration::from_nanos((size as u64).saturating_mul(1_000_000_000) / bps)
+            }
+            _ => Duration::ZERO,
+        };
+        let deliver_at = start + self.cfg.latency + tx_time + self.cfg.per_msg_cost;
+        st.link_free_at = start + tx_time + self.cfg.per_msg_cost;
+        st.bytes += size;
+        st.queue.push_back((msg, deliver_at));
+        drop(st);
+        self.readable.notify_one();
+        Ok(())
+    }
+
+    /// Receive the next message, blocking up to `timeout` (`None` = wait
+    /// forever). `Err(Timeout)` on deadline, `Err(ServerShutdown)` when
+    /// the pipe is closed and drained.
+    pub fn recv(&self, timeout: Option<Duration>) -> Result<Vec<u8>, Error> {
+        let deadline = timeout.map(|t| Instant::now() + t);
+        let mut st = self.state.lock();
+        loop {
+            if let Some((msg, deliver_at)) = st.queue.front().cloned() {
+                let now = Instant::now();
+                if deliver_at <= now {
+                    st.queue.pop_front();
+                    st.bytes -= msg.len().max(1);
+                    drop(st);
+                    self.writable.notify_one();
+                    return Ok(msg);
+                }
+                // Wait out the simulated latency (bounded by deadline).
+                let mut wait = deliver_at - now;
+                if let Some(d) = deadline {
+                    if d <= now {
+                        return Err(Error::Timeout);
+                    }
+                    wait = wait.min(d - now);
+                }
+                self.readable.wait_for(&mut st, wait);
+                continue;
+            }
+            if st.closed {
+                return Err(Error::ServerShutdown);
+            }
+            match deadline {
+                Some(d) => {
+                    let now = Instant::now();
+                    if d <= now {
+                        return Err(Error::Timeout);
+                    }
+                    self.readable.wait_for(&mut st, d - now);
+                }
+                None => {
+                    self.readable.wait_for(&mut st, Duration::from_millis(50));
+                }
+            }
+        }
+    }
+
+    /// Close the pipe: wake all blocked senders/receivers. Undelivered
+    /// messages are dropped (they were "in flight" at crash time).
+    pub fn close(&self) {
+        let mut st = self.state.lock();
+        st.closed = true;
+        st.queue.clear();
+        st.bytes = 0;
+        drop(st);
+        self.readable.notify_all();
+        self.writable.notify_all();
+    }
+
+    /// Whether [`Pipe::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().closed
+    }
+
+    /// Bytes currently buffered (tests/metrics).
+    pub fn buffered_bytes(&self) -> usize {
+        self.state.lock().bytes
+    }
+}
+
+/// One endpoint of a bidirectional connection.
+pub struct Endpoint {
+    /// Outbound direction.
+    pub tx: Arc<Pipe>,
+    /// Inbound direction.
+    pub rx: Arc<Pipe>,
+}
+
+impl Endpoint {
+    /// Create a connected pair: (client endpoint, server endpoint).
+    pub fn pair(client_to_server: NetConfig, server_to_client: NetConfig) -> (Endpoint, Endpoint) {
+        let c2s = Pipe::new(client_to_server);
+        let s2c = Pipe::new(server_to_client);
+        (
+            Endpoint {
+                tx: Arc::clone(&c2s),
+                rx: Arc::clone(&s2c),
+            },
+            Endpoint {
+                tx: s2c,
+                rx: c2s,
+            },
+        )
+    }
+
+    /// Tear down both directions (crash semantics: in-flight data is lost).
+    pub fn close(&self) {
+        self.tx.close();
+        self.rx.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+
+    #[test]
+    fn round_trip() {
+        let (c, s) = Endpoint::pair(NetConfig::instant(), NetConfig::instant());
+        c.tx.send(b"hello".to_vec(), None).unwrap();
+        assert_eq!(s.rx.recv(Some(Duration::from_secs(1))).unwrap(), b"hello");
+        s.tx.send(b"world".to_vec(), None).unwrap();
+        assert_eq!(c.rx.recv(Some(Duration::from_secs(1))).unwrap(), b"world");
+    }
+
+    #[test]
+    fn bounded_buffer_blocks_sender() {
+        let cfg = NetConfig {
+            buffer_bytes: 100,
+            ..NetConfig::instant()
+        };
+        let pipe = Pipe::new(cfg);
+        pipe.send(vec![0u8; 80], None).unwrap();
+        // Second message exceeds capacity; sender must block.
+        let p2 = Arc::clone(&pipe);
+        let h = std::thread::spawn(move || p2.send(vec![0u8; 80], None));
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(!h.is_finished(), "sender should be blocked on full buffer");
+        // Consuming unblocks it.
+        pipe.recv(Some(Duration::from_secs(1))).unwrap();
+        h.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn oversized_message_passes_when_queue_empty() {
+        let cfg = NetConfig {
+            buffer_bytes: 10,
+            ..NetConfig::instant()
+        };
+        let pipe = Pipe::new(cfg);
+        // A message larger than the whole buffer must still be deliverable.
+        pipe.send(vec![0u8; 100], None).unwrap();
+        assert_eq!(pipe.recv(Some(Duration::from_secs(1))).unwrap().len(), 100);
+    }
+
+    #[test]
+    fn close_wakes_blocked_receiver() {
+        let pipe = Pipe::new(NetConfig::instant());
+        let p2 = Arc::clone(&pipe);
+        let h = std::thread::spawn(move || p2.recv(Some(Duration::from_secs(5))));
+        std::thread::sleep(Duration::from_millis(30));
+        pipe.close();
+        assert_eq!(h.join().unwrap(), Err(Error::ServerShutdown));
+    }
+
+    #[test]
+    fn close_wakes_blocked_sender() {
+        let cfg = NetConfig {
+            buffer_bytes: 10,
+            ..NetConfig::instant()
+        };
+        let pipe = Pipe::new(cfg);
+        pipe.send(vec![0u8; 10], None).unwrap();
+        let p2 = Arc::clone(&pipe);
+        let h = std::thread::spawn(move || p2.send(vec![0u8; 10], None));
+        std::thread::sleep(Duration::from_millis(30));
+        pipe.close();
+        assert_eq!(h.join().unwrap(), Err(Error::ServerShutdown));
+    }
+
+    #[test]
+    fn recv_times_out() {
+        let pipe = Pipe::new(NetConfig::instant());
+        let start = Instant::now();
+        assert_eq!(
+            pipe.recv(Some(Duration::from_millis(50))),
+            Err(Error::Timeout)
+        );
+        assert!(start.elapsed() >= Duration::from_millis(45));
+    }
+
+    #[test]
+    fn cancel_unblocks_sender() {
+        let cfg = NetConfig {
+            buffer_bytes: 10,
+            ..NetConfig::instant()
+        };
+        let pipe = Pipe::new(cfg);
+        pipe.send(vec![0u8; 10], None).unwrap();
+        let p2 = Arc::clone(&pipe);
+        let cancel = Arc::new(AtomicBool::new(false));
+        let c2 = Arc::clone(&cancel);
+        let h = std::thread::spawn(move || p2.send(vec![0u8; 10], Some(&c2)));
+        std::thread::sleep(Duration::from_millis(30));
+        cancel.store(true, Ordering::Relaxed);
+        assert!(matches!(h.join().unwrap(), Err(Error::TxnAborted(_))));
+    }
+
+    #[test]
+    fn latency_delays_delivery() {
+        let cfg = NetConfig {
+            latency: Duration::from_millis(30),
+            ..NetConfig::instant()
+        };
+        let pipe = Pipe::new(cfg);
+        pipe.send(b"x".to_vec(), None).unwrap();
+        let start = Instant::now();
+        pipe.recv(Some(Duration::from_secs(1))).unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn bandwidth_serializes_large_transfers() {
+        let cfg = NetConfig {
+            bytes_per_sec: Some(1_000_000), // 1 MB/s
+            ..NetConfig::instant()
+        };
+        let pipe = Pipe::new(cfg);
+        pipe.send(vec![0u8; 100_000], None).unwrap(); // 100 ms of link time
+        let start = Instant::now();
+        pipe.recv(Some(Duration::from_secs(1))).unwrap();
+        assert!(
+            start.elapsed() >= Duration::from_millis(80),
+            "elapsed {:?}",
+            start.elapsed()
+        );
+    }
+}

@@ -1,0 +1,12 @@
+//! # workloads
+//!
+//! TPC-H and TPC-C style workload generators, queries and drivers used by
+//! the Phoenix/ODBC reproduction's experiments — the stand-ins for the
+//! paper's dbgen-loaded 1 GB TPC-H database and five-warehouse TPC-C
+//! database, scaled for laptop-class runs and fully seeded/deterministic.
+
+pub mod client;
+pub mod tpcc;
+pub mod tpch;
+
+pub use client::{EngineClient, ExecResult, SqlClient};

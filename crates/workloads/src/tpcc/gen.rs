@@ -1,0 +1,199 @@
+//! Seeded TPC-C population (spec §4.3.3, scaled).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sqlengine::Result;
+
+use super::TpccScale;
+use crate::client::SqlClient;
+
+/// Spec syllables for C_LAST.
+pub const LAST_SYLLABLES: [&str; 10] = [
+    "BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING",
+];
+
+/// Customer last name for a number 0..999 (spec NURand domain).
+pub fn c_last(num: i64) -> String {
+    let n = num.clamp(0, 999);
+    format!(
+        "{}{}{}",
+        LAST_SYLLABLES[(n / 100) as usize % 10],
+        LAST_SYLLABLES[(n / 10) as usize % 10],
+        LAST_SYLLABLES[n as usize % 10]
+    )
+}
+
+/// Spec NURand(A, x, y) non-uniform random.
+pub fn nurand(rng: &mut StdRng, a: i64, x: i64, y: i64) -> i64 {
+    let c = 7; // constant per run
+    (((rng.gen_range(0..=a) | rng.gen_range(x..=y)) + c) % (y - x + 1)) + x
+}
+
+const LOAD_DATE: &str = "1999-01-01";
+
+fn flush(client: &impl SqlClient, table: &str, rows: &mut Vec<String>) -> Result<()> {
+    if rows.is_empty() {
+        return Ok(());
+    }
+    client.execute(&format!("INSERT INTO {table} VALUES {}", rows.join(",")))?;
+    rows.clear();
+    Ok(())
+}
+
+fn push(
+    client: &impl SqlClient,
+    table: &str,
+    rows: &mut Vec<String>,
+    tuple: String,
+) -> Result<()> {
+    rows.push(tuple);
+    if rows.len() >= 200 {
+        flush(client, table, rows)?;
+    }
+    Ok(())
+}
+
+/// Populate all nine tables.
+pub fn populate(client: &impl SqlClient, scale: TpccScale, seed: u64) -> Result<()> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut buf: Vec<String> = Vec::new();
+
+    // item
+    for i in 1..=scale.items {
+        let data = if rng.gen_range(0..10) == 0 {
+            "ORIGINAL brand goods"
+        } else {
+            "standard goods"
+        };
+        push(
+            client,
+            "item",
+            &mut buf,
+            format!(
+                "({i}, {}, 'Item#{i:06}', {:.2}, '{data}')",
+                rng.gen_range(1..=10_000),
+                rng.gen_range(1.0..100.0)
+            ),
+        )?;
+    }
+    flush(client, "item", &mut buf)?;
+
+    for w in 1..=scale.warehouses {
+        client.execute(&format!(
+            "INSERT INTO warehouse VALUES ({w}, 'WH{w}', 'street', 'city', 'ST', '123456789', {:.4}, 300000.00)",
+            rng.gen_range(0.0..0.2)
+        ))?;
+
+        // stock
+        for i in 1..=scale.items {
+            push(
+                client,
+                "stock",
+                &mut buf,
+                format!(
+                    "({w}, {i}, {}, 'dist-info-{i:05}', 0.0, 0, 0, 'stock data')",
+                    rng.gen_range(10..=100)
+                ),
+            )?;
+        }
+        flush(client, "stock", &mut buf)?;
+
+        for d in 1..=scale.districts_per_warehouse {
+            let next_o = scale.orders_per_district + 1;
+            client.execute(&format!(
+                "INSERT INTO district VALUES ({w}, {d}, 'D{d}', 'street', 'city', 'ST', '123456789', {:.4}, 30000.00, {next_o})",
+                rng.gen_range(0.0..0.2)
+            ))?;
+
+            // customers
+            for c in 1..=scale.customers_per_district {
+                let last = if c <= 300 {
+                    c_last(c - 1)
+                } else {
+                    c_last(nurand(&mut rng, 255, 0, 999))
+                };
+                let credit = if rng.gen_range(0..10) == 0 { "BC" } else { "GC" };
+                push(
+                    client,
+                    "customer",
+                    &mut buf,
+                    format!(
+                        "({w}, {d}, {c}, 'First{c:08}', 'OE', '{last}', 'street', 'city', 'ST', \
+                         '123456789', '0123456789012345', '{LOAD_DATE}', '{credit}', 50000.00, \
+                         {:.4}, -10.00, 10.00, 1, 0, 'cdata')",
+                        rng.gen_range(0.0..0.5)
+                    ),
+                )?;
+            }
+            flush(client, "customer", &mut buf)?;
+
+            // orders / order_line / new_order (last third are "new").
+            let mut ol_rows: Vec<String> = Vec::new();
+            let mut no_rows: Vec<String> = Vec::new();
+            for o in 1..=scale.orders_per_district {
+                let c = rng.gen_range(1..=scale.customers_per_district);
+                let ol_cnt = rng.gen_range(5..=15);
+                let is_new = o > scale.orders_per_district * 2 / 3;
+                let carrier = if is_new {
+                    "NULL".to_string()
+                } else {
+                    rng.gen_range(1..=10).to_string()
+                };
+                push(
+                    client,
+                    "orders",
+                    &mut buf,
+                    format!(
+                        "({w}, {d}, {o}, {c}, '{LOAD_DATE}', {carrier}, {ol_cnt}, 1)"
+                    ),
+                )?;
+                for ln in 1..=ol_cnt {
+                    let i = rng.gen_range(1..=scale.items);
+                    let (deliv, amount) = if is_new {
+                        ("NULL".to_string(), format!("{:.2}", rng.gen_range(0.01..9999.99)))
+                    } else {
+                        (format!("'{LOAD_DATE}'"), "0.00".to_string())
+                    };
+                    ol_rows.push(format!(
+                        "({w}, {d}, {o}, {ln}, {i}, {w}, {deliv}, 5, {amount}, 'dist-info-{i:05}')"
+                    ));
+                    if ol_rows.len() >= 200 {
+                        flush(client, "order_line", &mut ol_rows)?;
+                    }
+                }
+                if is_new {
+                    no_rows.push(format!("({w}, {d}, {o})"));
+                    if no_rows.len() >= 200 {
+                        flush(client, "new_order", &mut no_rows)?;
+                    }
+                }
+            }
+            flush(client, "orders", &mut buf)?;
+            flush(client, "order_line", &mut ol_rows)?;
+            flush(client, "new_order", &mut no_rows)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn last_names_follow_syllables() {
+        assert_eq!(c_last(0), "BARBARBAR");
+        assert_eq!(c_last(371), "PRICALLYOUGHT");
+        assert_eq!(c_last(999), "EINGEINGEING");
+    }
+
+    #[test]
+    fn nurand_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = nurand(&mut rng, 1023, 1, 3000);
+            assert!((1..=3000).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! TPC-C style OLTP workload: the order-entry schema, seeded population,
+//! the five transaction types, and a multi-user driver with the spec mix.
+
+pub mod driver;
+pub mod gen;
+pub mod txns;
+
+use sqlengine::Result;
+
+use crate::client::SqlClient;
+
+/// Scale configuration. The paper used 5 warehouses (~500 MB); this
+/// reproduction defaults far smaller and everything is parameterized.
+#[derive(Debug, Clone, Copy)]
+pub struct TpccScale {
+    /// Number of warehouses (spec cardinality driver).
+    pub warehouses: i64,
+    /// Districts per warehouse (spec: 10).
+    pub districts_per_warehouse: i64,
+    /// Customers per district (spec: 3000).
+    pub customers_per_district: i64,
+    /// Catalog size (spec: 100 000 items).
+    pub items: i64,
+    /// Initial orders per district (with matching order-lines/new-orders).
+    pub orders_per_district: i64,
+}
+
+impl Default for TpccScale {
+    fn default() -> Self {
+        TpccScale {
+            warehouses: 1,
+            districts_per_warehouse: 10,
+            customers_per_district: 300,
+            items: 1000,
+            orders_per_district: 300,
+        }
+    }
+}
+
+impl TpccScale {
+    /// Tiny configuration for fast tests.
+    pub fn tiny() -> TpccScale {
+        TpccScale {
+            warehouses: 1,
+            districts_per_warehouse: 2,
+            customers_per_district: 30,
+            items: 100,
+            orders_per_district: 30,
+        }
+    }
+
+    /// Rows in the stock table (warehouses × items).
+    pub fn stock_rows(&self) -> i64 {
+        self.warehouses * self.items
+    }
+}
+
+/// The nine-table TPC-C schema.
+pub fn schema_ddl() -> Vec<&'static str> {
+    vec![
+        "CREATE TABLE warehouse (w_id INT PRIMARY KEY, w_name VARCHAR(10), w_street VARCHAR(20), w_city VARCHAR(20), w_state VARCHAR(2), w_zip VARCHAR(9), w_tax FLOAT, w_ytd FLOAT)",
+        "CREATE TABLE district (d_w_id INT, d_id INT, d_name VARCHAR(10), d_street VARCHAR(20), d_city VARCHAR(20), d_state VARCHAR(2), d_zip VARCHAR(9), d_tax FLOAT, d_ytd FLOAT, d_next_o_id INT, PRIMARY KEY (d_w_id, d_id))",
+        "CREATE TABLE customer (c_w_id INT, c_d_id INT, c_id INT, c_first VARCHAR(16), c_middle VARCHAR(2), c_last VARCHAR(16), c_street VARCHAR(20), c_city VARCHAR(20), c_state VARCHAR(2), c_zip VARCHAR(9), c_phone VARCHAR(16), c_since DATE, c_credit VARCHAR(2), c_credit_lim FLOAT, c_discount FLOAT, c_balance FLOAT, c_ytd_payment FLOAT, c_payment_cnt INT, c_delivery_cnt INT, c_data VARCHAR(100), PRIMARY KEY (c_w_id, c_d_id, c_id))",
+        "CREATE TABLE item (i_id INT PRIMARY KEY, i_im_id INT, i_name VARCHAR(24), i_price FLOAT, i_data VARCHAR(50))",
+        "CREATE TABLE stock (s_w_id INT, s_i_id INT, s_quantity INT, s_dist_01 VARCHAR(24), s_ytd FLOAT, s_order_cnt INT, s_remote_cnt INT, s_data VARCHAR(50), PRIMARY KEY (s_w_id, s_i_id))",
+        "CREATE TABLE orders (o_w_id INT, o_d_id INT, o_id INT, o_c_id INT, o_entry_d DATE, o_carrier_id INT, o_ol_cnt INT, o_all_local INT, PRIMARY KEY (o_w_id, o_d_id, o_id))",
+        "CREATE TABLE new_order (no_w_id INT, no_d_id INT, no_o_id INT, PRIMARY KEY (no_w_id, no_d_id, no_o_id))",
+        "CREATE TABLE order_line (ol_w_id INT, ol_d_id INT, ol_o_id INT, ol_number INT, ol_i_id INT, ol_supply_w_id INT, ol_delivery_d DATE, ol_quantity INT, ol_amount FLOAT, ol_dist_info VARCHAR(24), PRIMARY KEY (ol_w_id, ol_d_id, ol_o_id, ol_number))",
+        "CREATE TABLE history (h_c_id INT, h_c_d_id INT, h_c_w_id INT, h_d_id INT, h_w_id INT, h_date DATE, h_amount FLOAT, h_data VARCHAR(24))",
+    ]
+}
+
+/// Create the schema and load a seeded database at the given scale.
+pub fn load(client: &impl SqlClient, scale: TpccScale, seed: u64) -> Result<()> {
+    for ddl in schema_ddl() {
+        client.execute(ddl)?;
+    }
+    gen::populate(client, scale, seed)
+}

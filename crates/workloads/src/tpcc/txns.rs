@@ -1,0 +1,342 @@
+//! The five TPC-C transactions, expressed against [`SqlClient`] so the
+//! same code drives native ODBC and Phoenix connections.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use sqlengine::types::Value;
+use sqlengine::{Error, Result};
+
+use super::gen::{c_last, nurand};
+use super::TpccScale;
+use crate::client::SqlClient;
+
+/// Which transaction ran, for mix accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TxnType {
+    /// Order placement (§2.4) — the TPM-C metric counts these.
+    NewOrder,
+    /// Customer payment (§2.5).
+    Payment,
+    /// Read-only order status (§2.6).
+    OrderStatus,
+    /// Batch delivery (§2.7).
+    Delivery,
+    /// Read-only stock level (§2.8).
+    StockLevel,
+}
+
+/// Completed, or rolled back by design (the spec's 1% invalid-item rule).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnOutcome {
+    /// Transaction committed.
+    Committed,
+    /// Rolled back by the spec's 1% invalid-item rule.
+    UserAborted,
+}
+
+fn f(v: &Value) -> f64 {
+    v.as_f64().unwrap_or(0.0)
+}
+
+fn i(v: &Value) -> i64 {
+    v.as_i64().unwrap_or(0)
+}
+
+/// Pick a customer: 60% by id (NURand), 40% by last name (spec 2.1.6).
+fn pick_customer(
+    client: &impl SqlClient,
+    rng: &mut StdRng,
+    scale: &TpccScale,
+    w: i64,
+    d: i64,
+) -> Result<i64> {
+    if rng.gen_range(0..100) < 60 {
+        Ok(nurand(rng, 1023, 1, scale.customers_per_district))
+    } else {
+        let last = c_last(nurand(rng, 255, 0, 999));
+        let rows = client.query(&format!(
+            "SELECT c_id FROM customer WHERE c_w_id = {w} AND c_d_id = {d} \
+             AND c_last = '{last}' ORDER BY c_first"
+        ))?;
+        if rows.is_empty() {
+            // Name not present at this scale: fall back to an id.
+            Ok(nurand(rng, 1023, 1, scale.customers_per_district))
+        } else {
+            Ok(i(&rows[rows.len() / 2][0]))
+        }
+    }
+}
+
+/// Best-effort rollback after a failed transaction body.
+fn try_rollback(client: &impl SqlClient) {
+    let _ = client.execute("ROLLBACK");
+}
+
+/// The new-order transaction (spec §2.4).
+pub fn new_order(
+    client: &impl SqlClient,
+    rng: &mut StdRng,
+    scale: &TpccScale,
+) -> Result<TxnOutcome> {
+    let w = rng.gen_range(1..=scale.warehouses);
+    let d = rng.gen_range(1..=scale.districts_per_warehouse);
+    let c = nurand(rng, 1023, 1, scale.customers_per_district);
+    let ol_cnt = rng.gen_range(5..=15);
+    // Spec: 1% of new-orders hit an unused item and roll back.
+    let rollback_at = if rng.gen_range(0..100) == 0 {
+        Some(rng.gen_range(0..ol_cnt))
+    } else {
+        None
+    };
+
+    let mut body = || -> Result<TxnOutcome> {
+        client.execute("BEGIN TRAN")?;
+        let dist = client.query(&format!(
+            "SELECT d_tax, d_next_o_id FROM district WHERE d_w_id = {w} AND d_id = {d}"
+        ))?;
+        let o_id = i(&dist[0][1]);
+        client.execute(&format!(
+            "UPDATE district SET d_next_o_id = {} WHERE d_w_id = {w} AND d_id = {d}",
+            o_id + 1
+        ))?;
+        client.query(&format!("SELECT w_tax FROM warehouse WHERE w_id = {w}"))?;
+        client.query(&format!(
+            "SELECT c_discount, c_last, c_credit FROM customer \
+             WHERE c_w_id = {w} AND c_d_id = {d} AND c_id = {c}"
+        ))?;
+        client.execute(&format!(
+            "INSERT INTO orders VALUES ({w}, {d}, {o_id}, {c}, '1999-06-01', NULL, {ol_cnt}, 1)"
+        ))?;
+        client.execute(&format!("INSERT INTO new_order VALUES ({w}, {d}, {o_id})"))?;
+
+        for ln in 0..ol_cnt {
+            let item = if rollback_at == Some(ln) {
+                // Unused item number: the lookup comes back empty and the
+                // application rolls the transaction back.
+                scale.items + 1_000_000
+            } else {
+                nurand(rng, 8191, 1, scale.items)
+            };
+            let found = client.query(&format!(
+                "SELECT i_price, i_name FROM item WHERE i_id = {item}"
+            ))?;
+            if found.is_empty() {
+                client.execute("ROLLBACK")?;
+                return Ok(TxnOutcome::UserAborted);
+            }
+            let price = f(&found[0][0]);
+            let qty = rng.gen_range(1..=10);
+            let stock = client.query(&format!(
+                "SELECT s_quantity FROM stock WHERE s_w_id = {w} AND s_i_id = {item}"
+            ))?;
+            let s_qty = i(&stock[0][0]);
+            let new_qty = if s_qty >= qty + 10 {
+                s_qty - qty
+            } else {
+                s_qty - qty + 91
+            };
+            client.execute(&format!(
+                "UPDATE stock SET s_quantity = {new_qty}, s_ytd = s_ytd + {qty}, \
+                 s_order_cnt = s_order_cnt + 1 WHERE s_w_id = {w} AND s_i_id = {item}"
+            ))?;
+            client.execute(&format!(
+                "INSERT INTO order_line VALUES ({w}, {d}, {o_id}, {}, {item}, {w}, NULL, {qty}, {:.2}, 'dist-info')",
+                ln + 1,
+                price * qty as f64
+            ))?;
+        }
+        client.execute("COMMIT")?;
+        Ok(TxnOutcome::Committed)
+    };
+    match body() {
+        Ok(o) => Ok(o),
+        Err(e) => {
+            try_rollback(client);
+            Err(e)
+        }
+    }
+}
+
+/// The payment transaction (spec §2.5).
+pub fn payment(
+    client: &impl SqlClient,
+    rng: &mut StdRng,
+    scale: &TpccScale,
+) -> Result<TxnOutcome> {
+    let w = rng.gen_range(1..=scale.warehouses);
+    let d = rng.gen_range(1..=scale.districts_per_warehouse);
+    let amount = rng.gen_range(1.0..5000.0);
+
+    let body = |rng: &mut StdRng| -> Result<TxnOutcome> {
+        client.execute("BEGIN TRAN")?;
+        client.execute(&format!(
+            "UPDATE warehouse SET w_ytd = w_ytd + {amount:.2} WHERE w_id = {w}"
+        ))?;
+        client.query(&format!("SELECT w_name FROM warehouse WHERE w_id = {w}"))?;
+        client.execute(&format!(
+            "UPDATE district SET d_ytd = d_ytd + {amount:.2} WHERE d_w_id = {w} AND d_id = {d}"
+        ))?;
+        client.query(&format!(
+            "SELECT d_name FROM district WHERE d_w_id = {w} AND d_id = {d}"
+        ))?;
+        let c = pick_customer(client, rng, scale, w, d)?;
+        client.execute(&format!(
+            "UPDATE customer SET c_balance = c_balance - {amount:.2}, \
+             c_ytd_payment = c_ytd_payment + {amount:.2}, c_payment_cnt = c_payment_cnt + 1 \
+             WHERE c_w_id = {w} AND c_d_id = {d} AND c_id = {c}"
+        ))?;
+        client.execute(&format!(
+            "INSERT INTO history VALUES ({c}, {d}, {w}, {d}, {w}, '1999-06-01', {amount:.2}, 'payment')"
+        ))?;
+        client.execute("COMMIT")?;
+        Ok(TxnOutcome::Committed)
+    };
+    match body(rng) {
+        Ok(o) => Ok(o),
+        Err(e) => {
+            try_rollback(client);
+            Err(e)
+        }
+    }
+}
+
+/// The order-status transaction (spec §2.6; read-only).
+pub fn order_status(
+    client: &impl SqlClient,
+    rng: &mut StdRng,
+    scale: &TpccScale,
+) -> Result<TxnOutcome> {
+    let w = rng.gen_range(1..=scale.warehouses);
+    let d = rng.gen_range(1..=scale.districts_per_warehouse);
+    let c = pick_customer(client, rng, scale, w, d)?;
+    client.query(&format!(
+        "SELECT c_balance, c_first, c_middle, c_last FROM customer \
+         WHERE c_w_id = {w} AND c_d_id = {d} AND c_id = {c}"
+    ))?;
+    let last = client.query(&format!(
+        "SELECT TOP 1 o_id, o_entry_d, o_carrier_id FROM orders \
+         WHERE o_w_id = {w} AND o_d_id = {d} AND o_c_id = {c} ORDER BY o_id DESC"
+    ))?;
+    if let Some(row) = last.first() {
+        let o_id = i(&row[0]);
+        client.query(&format!(
+            "SELECT ol_i_id, ol_supply_w_id, ol_quantity, ol_amount, ol_delivery_d \
+             FROM order_line WHERE ol_w_id = {w} AND ol_d_id = {d} AND ol_o_id = {o_id}"
+        ))?;
+    }
+    Ok(TxnOutcome::Committed)
+}
+
+/// The delivery transaction (spec §2.7): process one pending order per
+/// district.
+pub fn delivery(
+    client: &impl SqlClient,
+    rng: &mut StdRng,
+    scale: &TpccScale,
+) -> Result<TxnOutcome> {
+    let w = rng.gen_range(1..=scale.warehouses);
+    let carrier = rng.gen_range(1..=10);
+
+    let body = || -> Result<TxnOutcome> {
+        client.execute("BEGIN TRAN")?;
+        for d in 1..=scale.districts_per_warehouse {
+            let oldest = client.query(&format!(
+                "SELECT TOP 1 no_o_id FROM new_order \
+                 WHERE no_w_id = {w} AND no_d_id = {d} ORDER BY no_o_id"
+            ))?;
+            let Some(row) = oldest.first() else { continue };
+            let o_id = i(&row[0]);
+            client.execute(&format!(
+                "DELETE FROM new_order WHERE no_w_id = {w} AND no_d_id = {d} AND no_o_id = {o_id}"
+            ))?;
+            let cust = client.query(&format!(
+                "SELECT o_c_id FROM orders WHERE o_w_id = {w} AND o_d_id = {d} AND o_id = {o_id}"
+            ))?;
+            let c = i(&cust[0][0]);
+            client.execute(&format!(
+                "UPDATE orders SET o_carrier_id = {carrier} \
+                 WHERE o_w_id = {w} AND o_d_id = {d} AND o_id = {o_id}"
+            ))?;
+            client.execute(&format!(
+                "UPDATE order_line SET ol_delivery_d = '1999-06-02' \
+                 WHERE ol_w_id = {w} AND ol_d_id = {d} AND ol_o_id = {o_id}"
+            ))?;
+            let total = client.query(&format!(
+                "SELECT SUM(ol_amount) FROM order_line \
+                 WHERE ol_w_id = {w} AND ol_d_id = {d} AND ol_o_id = {o_id}"
+            ))?;
+            let amount = f(&total[0][0]);
+            client.execute(&format!(
+                "UPDATE customer SET c_balance = c_balance + {amount:.2}, \
+                 c_delivery_cnt = c_delivery_cnt + 1 \
+                 WHERE c_w_id = {w} AND c_d_id = {d} AND c_id = {c}"
+            ))?;
+        }
+        client.execute("COMMIT")?;
+        Ok(TxnOutcome::Committed)
+    };
+    match body() {
+        Ok(o) => Ok(o),
+        Err(e) => {
+            try_rollback(client);
+            Err(e)
+        }
+    }
+}
+
+/// The stock-level transaction (spec §2.8; read-only).
+pub fn stock_level(
+    client: &impl SqlClient,
+    rng: &mut StdRng,
+    scale: &TpccScale,
+) -> Result<TxnOutcome> {
+    let w = rng.gen_range(1..=scale.warehouses);
+    let d = rng.gen_range(1..=scale.districts_per_warehouse);
+    let threshold = rng.gen_range(10..=20);
+    let next = client.query(&format!(
+        "SELECT d_next_o_id FROM district WHERE d_w_id = {w} AND d_id = {d}"
+    ))?;
+    let next_o = i(&next[0][0]);
+    client.query(&format!(
+        "SELECT COUNT(DISTINCT ol_i_id) AS low_stock FROM order_line, stock \
+         WHERE ol_w_id = {w} AND ol_d_id = {d} \
+         AND ol_o_id >= {} AND ol_o_id < {next_o} \
+         AND s_w_id = {w} AND s_i_id = ol_i_id AND s_quantity < {threshold}",
+        next_o - 20
+    ))?;
+    Ok(TxnOutcome::Committed)
+}
+
+/// Run one transaction of the given type, retrying wait-die victims and
+/// crash-aborted transactions (both are "normal events" the application
+/// handles, per the paper).
+pub fn run_with_retries(
+    client: &impl SqlClient,
+    rng: &mut StdRng,
+    scale: &TpccScale,
+    txn: TxnType,
+    max_retries: u32,
+) -> Result<(TxnOutcome, u32)> {
+    let mut retries = 0;
+    loop {
+        let r = match txn {
+            TxnType::NewOrder => new_order(client, rng, scale),
+            TxnType::Payment => payment(client, rng, scale),
+            TxnType::OrderStatus => order_status(client, rng, scale),
+            TxnType::Delivery => delivery(client, rng, scale),
+            TxnType::StockLevel => stock_level(client, rng, scale),
+        };
+        match r {
+            Ok(o) => return Ok((o, retries)),
+            Err(Error::Deadlock) | Err(Error::TxnAborted(_)) if retries < max_retries => {
+                retries += 1;
+                // Brief jittered backoff to break wait-die retry storms.
+                std::thread::sleep(std::time::Duration::from_micros(
+                    rng.gen_range(200..1500),
+                ));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}

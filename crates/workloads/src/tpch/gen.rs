@@ -1,0 +1,341 @@
+//! Seeded TPC-H data generator (dbgen-lite). Value distributions follow
+//! the spec closely enough that every query's predicates select the
+//! intended slices (colors in part names, nation-coded phone prefixes,
+//! PROMO types, shipmodes, comment markers for Q13/Q16, ...).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sqlengine::Result;
+
+use super::{TpchCounts, TpchScale};
+use crate::client::SqlClient;
+
+/// The spec's five region names.
+pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+/// (name, region index) — the spec's 25 nations.
+pub const NATIONS: [(&str, i64); 25] = [
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("ROMANIA", 3),
+    ("RUSSIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+    ("CHINA", 2),
+];
+
+const COLORS: [&str; 20] = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
+    "blush", "brown", "burlywood", "chartreuse", "chocolate", "coral", "cornflower", "cream",
+    "forest", "green", "honeydew",
+];
+
+const TYPE_1: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
+const TYPE_2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
+const TYPE_3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
+const CONTAINER_1: [&str; 5] = ["SM", "MED", "LG", "JUMBO", "WRAP"];
+const CONTAINER_2: [&str; 8] = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
+const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
+const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECI", "5-LOW"];
+const SHIPMODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+const INSTRUCT: [&str; 4] = [
+    "DELIVER IN PERSON",
+    "COLLECT COD",
+    "NONE",
+    "TAKE BACK RETURN",
+];
+
+/// Days since epoch for the start of the order-date window (1992-01-01).
+pub const ORDERDATE_LO: i64 = 8035;
+/// Days since epoch for the end of the order-date window (1998-08-02).
+pub const ORDERDATE_HI: i64 = 10440;
+
+fn date_str(days: i64) -> String {
+    sqlengine::types::format_date(days as i32)
+}
+
+fn pick<'a>(rng: &mut StdRng, xs: &[&'a str]) -> &'a str {
+    xs[rng.gen_range(0..xs.len())]
+}
+
+/// Batch-insert helper: accumulates VALUES tuples and flushes every
+/// `batch` rows.
+struct Inserter<'a, C: SqlClient> {
+    client: &'a C,
+    table: &'static str,
+    batch: usize,
+    pending: Vec<String>,
+    total: u64,
+}
+
+impl<'a, C: SqlClient> Inserter<'a, C> {
+    fn new(client: &'a C, table: &'static str) -> Self {
+        Inserter {
+            client,
+            table,
+            batch: 200,
+            pending: Vec::new(),
+            total: 0,
+        }
+    }
+
+    fn push(&mut self, tuple: String) -> Result<()> {
+        self.pending.push(tuple);
+        if self.pending.len() >= self.batch {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        let sql = format!(
+            "INSERT INTO {} VALUES {}",
+            self.table,
+            self.pending.join(",")
+        );
+        self.total += self.client.execute(&sql)?.affected();
+        self.pending.clear();
+        Ok(())
+    }
+
+    fn finish(mut self) -> Result<u64> {
+        self.flush()?;
+        Ok(self.total)
+    }
+}
+
+/// Generate a part name containing 3 colors (Q9 `%green%`, Q20 `forest%`).
+fn part_name(rng: &mut StdRng) -> String {
+    let mut words: Vec<&str> = Vec::with_capacity(3);
+    for _ in 0..3 {
+        words.push(pick(rng, &COLORS));
+    }
+    words.join(" ")
+}
+
+/// Nation-coded phone per spec: country code = 10 + nationkey (Q22).
+fn phone(rng: &mut StdRng, nationkey: i64) -> String {
+    format!(
+        "{}-{:03}-{:03}-{:04}",
+        10 + nationkey,
+        rng.gen_range(100..1000),
+        rng.gen_range(100..1000),
+        rng.gen_range(1000..10000)
+    )
+}
+
+/// Load all eight tables. Orders/lineitems fill keys `1..=orders`; refresh
+/// functions insert above that range.
+pub fn populate(client: &impl SqlClient, scale: TpchScale, seed: u64) -> Result<TpchCounts> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut counts = TpchCounts::default();
+
+    // region / nation
+    let mut ins = Inserter::new(client, "region");
+    for (i, r) in REGIONS.iter().enumerate() {
+        ins.push(format!("({i}, '{r}', 'rc')"))?;
+    }
+    counts.region = ins.finish()?;
+
+    let mut ins = Inserter::new(client, "nation");
+    for (i, (n, r)) in NATIONS.iter().enumerate() {
+        ins.push(format!("({i}, '{n}', {r}, 'nc')"))?;
+    }
+    counts.nation = ins.finish()?;
+
+    // supplier
+    let n_supp = scale.suppliers();
+    let mut ins = Inserter::new(client, "supplier");
+    for s in 1..=n_supp {
+        // Stride assignment guarantees every nation has suppliers even at
+        // tiny scales (7 is coprime with 25).
+        let nk = (s * 7 + 3) % 25;
+        // ~2% carry the Q16 complaints marker.
+        let comment = if rng.gen_range(0..50) == 0 {
+            "Customer unhappy Complaints filed"
+        } else {
+            "quiet supplier"
+        };
+        ins.push(format!(
+            "({s}, 'Supplier#{s:09}', 'addr{s}', {nk}, '{}', {:.2}, '{comment}')",
+            phone(&mut rng, nk),
+            rng.gen_range(-999.99..9999.99)
+        ))?;
+    }
+    counts.supplier = ins.finish()?;
+
+    // part
+    let n_part = scale.parts();
+    let mut ins = Inserter::new(client, "part");
+    let mut retail = Vec::with_capacity(n_part as usize + 1);
+    retail.push(0.0);
+    for p in 1..=n_part {
+        let t1 = pick(&mut rng, &TYPE_1);
+        let t2 = pick(&mut rng, &TYPE_2);
+        let t3 = pick(&mut rng, &TYPE_3);
+        let price = 900.0 + (p % 200) as f64 + rng.gen_range(0.0..100.0);
+        retail.push(price);
+        ins.push(format!(
+            "({p}, '{}', 'Manufacturer#{}', 'Brand#{}{}', '{t1} {t2} {t3}', {}, '{} {}', {price:.2}, 'pc')",
+            part_name(&mut rng),
+            rng.gen_range(1..6),
+            rng.gen_range(1..6),
+            rng.gen_range(1..6),
+            rng.gen_range(1..51),
+            pick(&mut rng, &CONTAINER_1),
+            pick(&mut rng, &CONTAINER_2),
+        ))?;
+    }
+    counts.part = ins.finish()?;
+
+    // partsupp: 4 distinct random suppliers per part. Remember the sets so
+    // lineitem can pick consistent (l_partkey, l_suppkey) pairs — Q9/Q20
+    // join partsupp on both keys.
+    let mut ins = Inserter::new(client, "partsupp");
+    let mut supp_of: Vec<[i64; 4]> = Vec::with_capacity(n_part as usize + 1);
+    supp_of.push([1, 1, 1, 1]);
+    for p in 1..=n_part {
+        let mut set = [0i64; 4];
+        let mut k = 0;
+        while k < 4 {
+            let s = rng.gen_range(1..=n_supp);
+            if !set[..k].contains(&s) {
+                set[k] = s;
+                k += 1;
+            }
+        }
+        supp_of.push(set);
+        for s in set {
+            ins.push(format!(
+                "({p}, {s}, {}, {:.2}, 'psc')",
+                rng.gen_range(1..10_000),
+                rng.gen_range(1.0..1000.0)
+            ))?;
+        }
+    }
+    counts.partsupp = ins.finish()?;
+
+    // customer
+    let n_cust = scale.customers();
+    let mut ins = Inserter::new(client, "customer");
+    for c in 1..=n_cust {
+        let nk = (c * 11 + 5) % 25;
+        ins.push(format!(
+            "({c}, 'Customer#{c:09}', 'caddr{c}', {nk}, '{}', {:.2}, '{}', 'cc')",
+            phone(&mut rng, nk),
+            rng.gen_range(-999.99..9999.99),
+            pick(&mut rng, &SEGMENTS)
+        ))?;
+    }
+    counts.customer = ins.finish()?;
+
+    // orders + lineitem
+    let n_orders = scale.orders();
+    let mut o_ins = Inserter::new(client, "orders");
+    let mut l_ins = Inserter::new(client, "lineitem");
+    for o in 1..=n_orders {
+        let odate = rng.gen_range(ORDERDATE_LO..=ORDERDATE_HI);
+        // Per the spec, a third of customers (custkey ≡ 0 mod 3) place no
+        // orders — Q22's target population.
+        let cust = {
+            let mut c = rng.gen_range(1..=n_cust);
+            while c % 3 == 0 {
+                c = rng.gen_range(1..=n_cust);
+            }
+            c
+        };
+        let nlines = rng.gen_range(1..=7);
+        let mut total = 0.0;
+        let mut all_f = true;
+        let mut any_f = false;
+        let mut lines = Vec::with_capacity(nlines as usize);
+        for ln in 1..=nlines {
+            let p = rng.gen_range(1..=n_part);
+            let s = supp_of[p as usize][rng.gen_range(0..4)];
+            let qty = rng.gen_range(1..=50) as f64;
+            let eprice = qty * retail[p as usize] / 10.0;
+            let disc = rng.gen_range(0.0..=0.10);
+            let tax = rng.gen_range(0.0..=0.08);
+            let ship = odate + rng.gen_range(1..=121);
+            let commit = odate + rng.gen_range(30..=90);
+            let receipt = ship + rng.gen_range(1..=30);
+            let rflag = if receipt <= 9131 {
+                if rng.gen_bool(0.5) {
+                    "R"
+                } else {
+                    "A"
+                }
+            } else {
+                "N"
+            };
+            let lstatus = if ship > 9131 { "O" } else { "F" };
+            if lstatus == "F" {
+                any_f = true;
+            } else {
+                all_f = false;
+            }
+            total += eprice * (1.0 + tax) * (1.0 - disc);
+            lines.push(format!(
+                "({o}, {p}, {s}, {ln}, {qty}, {eprice:.2}, {disc:.2}, {tax:.2}, '{rflag}', '{lstatus}', '{}', '{}', '{}', '{}', '{}', 'lc')",
+                date_str(ship),
+                date_str(commit),
+                date_str(receipt),
+                pick(&mut rng, &INSTRUCT),
+                pick(&mut rng, &SHIPMODES),
+            ));
+        }
+        let status = if all_f {
+            "F"
+        } else if any_f {
+            "P"
+        } else {
+            "O"
+        };
+        // ~5% of orders carry the Q13 comment marker.
+        let comment = if rng.gen_range(0..20) == 0 {
+            "was special requests handled"
+        } else {
+            "ordinary order"
+        };
+        o_ins.push(format!(
+            "({o}, {cust}, '{status}', {total:.2}, '{}', '{}', 'Clerk#{:09}', 0, '{comment}')",
+            date_str(odate),
+            pick(&mut rng, &PRIORITIES),
+            rng.gen_range(1..1000)
+        ))?;
+        for l in lines {
+            l_ins.push(l)?;
+        }
+    }
+    counts.orders = o_ins.finish()?;
+    counts.lineitem = l_ins.finish()?;
+    Ok(counts)
+}

@@ -1,0 +1,95 @@
+//! TPC-H style decision-support workload: schema, seeded data generator,
+//! the 22 queries (dialect-adapted), and refresh functions RF1/RF2.
+
+pub mod gen;
+pub mod queries;
+pub mod refresh;
+
+use sqlengine::Result;
+
+use crate::client::SqlClient;
+
+/// Scale configuration. `sf = 1.0` matches the paper's 1 GB database;
+/// this reproduction typically runs `sf = 0.01..0.05`.
+#[derive(Debug, Clone, Copy)]
+pub struct TpchScale {
+    /// TPC-H scale factor (1.0 ≈ 1 GB in the paper's setup).
+    pub sf: f64,
+}
+
+impl TpchScale {
+    /// Scale with the given factor.
+    pub fn new(sf: f64) -> TpchScale {
+        TpchScale { sf }
+    }
+
+    /// Supplier cardinality (spec: 10 000 × SF).
+    pub fn suppliers(&self) -> i64 {
+        ((10_000.0 * self.sf) as i64).max(50)
+    }
+
+    /// Part cardinality (spec: 200 000 × SF).
+    pub fn parts(&self) -> i64 {
+        ((200_000.0 * self.sf) as i64).max(200)
+    }
+
+    /// Customer cardinality (spec: 150 000 × SF).
+    pub fn customers(&self) -> i64 {
+        ((150_000.0 * self.sf) as i64).max(150)
+    }
+
+    /// Order cardinality (spec: 10 per customer).
+    pub fn orders(&self) -> i64 {
+        self.customers() * 10
+    }
+}
+
+/// Row counts after loading (sanity checks + reporting).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[allow(missing_docs)] // field names mirror the TPC-H table names
+pub struct TpchCounts {
+    pub region: u64,
+    pub nation: u64,
+    pub supplier: u64,
+    pub part: u64,
+    pub partsupp: u64,
+    pub customer: u64,
+    pub orders: u64,
+    pub lineitem: u64,
+}
+
+impl TpchCounts {
+    /// Total rows across all eight tables.
+    pub fn total(&self) -> u64 {
+        self.region
+            + self.nation
+            + self.supplier
+            + self.part
+            + self.partsupp
+            + self.customer
+            + self.orders
+            + self.lineitem
+    }
+}
+
+/// The eight-table TPC-H schema.
+pub fn schema_ddl() -> Vec<&'static str> {
+    vec![
+        "CREATE TABLE region (r_regionkey INT PRIMARY KEY, r_name VARCHAR(25), r_comment VARCHAR(152))",
+        "CREATE TABLE nation (n_nationkey INT PRIMARY KEY, n_name VARCHAR(25), n_regionkey INT, n_comment VARCHAR(152))",
+        "CREATE TABLE supplier (s_suppkey INT PRIMARY KEY, s_name VARCHAR(25), s_address VARCHAR(40), s_nationkey INT, s_phone VARCHAR(15), s_acctbal FLOAT, s_comment VARCHAR(101))",
+        "CREATE TABLE part (p_partkey INT PRIMARY KEY, p_name VARCHAR(55), p_mfgr VARCHAR(25), p_brand VARCHAR(10), p_type VARCHAR(25), p_size INT, p_container VARCHAR(10), p_retailprice FLOAT, p_comment VARCHAR(23))",
+        "CREATE TABLE partsupp (ps_partkey INT, ps_suppkey INT, ps_availqty INT, ps_supplycost FLOAT, ps_comment VARCHAR(199), PRIMARY KEY (ps_partkey, ps_suppkey))",
+        "CREATE TABLE customer (c_custkey INT PRIMARY KEY, c_name VARCHAR(25), c_address VARCHAR(40), c_nationkey INT, c_phone VARCHAR(15), c_acctbal FLOAT, c_mktsegment VARCHAR(10), c_comment VARCHAR(117))",
+        "CREATE TABLE orders (o_orderkey INT PRIMARY KEY, o_custkey INT, o_orderstatus VARCHAR(1), o_totalprice FLOAT, o_orderdate DATE, o_orderpriority VARCHAR(15), o_clerk VARCHAR(15), o_shippriority INT, o_comment VARCHAR(79))",
+        "CREATE TABLE lineitem (l_orderkey INT, l_partkey INT, l_suppkey INT, l_linenumber INT, l_quantity FLOAT, l_extendedprice FLOAT, l_discount FLOAT, l_tax FLOAT, l_returnflag VARCHAR(1), l_linestatus VARCHAR(1), l_shipdate DATE, l_commitdate DATE, l_receiptdate DATE, l_shipinstruct VARCHAR(25), l_shipmode VARCHAR(10), l_comment VARCHAR(44), PRIMARY KEY (l_orderkey, l_linenumber))",
+    ]
+}
+
+/// Create the schema and load a seeded database at the given scale.
+pub fn load(client: &impl SqlClient, scale: TpchScale, seed: u64) -> Result<TpchCounts> {
+    for ddl in schema_ddl() {
+        client.execute(ddl)?;
+    }
+    gen::populate(client, scale, seed)
+}

@@ -1,0 +1,394 @@
+//! The 22 TPC-H queries, adapted to the engine's dialect (date intervals
+//! precomputed, `TOP` instead of vendor row-limits). Parameters use the
+//! spec's validation defaults; a handful are scaled for small databases.
+//!
+//! `all_queries()` returns them in Q1..Q22 order (the power test);
+//! `stream_order(i)` permutes them per throughput-test stream.
+
+/// Number of queries in the suite.
+pub const NUM_QUERIES: usize = 22;
+
+/// Q1 — pricing summary report.
+pub fn q1() -> String {
+    "SELECT l_returnflag, l_linestatus, SUM(l_quantity) AS sum_qty, \
+     SUM(l_extendedprice) AS sum_base_price, \
+     SUM(l_extendedprice * (1 - l_discount)) AS sum_disc_price, \
+     SUM(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge, \
+     AVG(l_quantity) AS avg_qty, AVG(l_extendedprice) AS avg_price, \
+     AVG(l_discount) AS avg_disc, COUNT(*) AS count_order \
+     FROM lineitem WHERE l_shipdate <= DATE '1998-09-02' \
+     GROUP BY l_returnflag, l_linestatus \
+     ORDER BY l_returnflag, l_linestatus"
+        .into()
+}
+
+/// Q2 — minimum cost supplier.
+pub fn q2() -> String {
+    "SELECT TOP 100 s_acctbal, s_name, n_name, p_partkey, p_mfgr, s_address, s_phone \
+     FROM part, supplier, partsupp, nation, region \
+     WHERE p_partkey = ps_partkey AND s_suppkey = ps_suppkey AND p_size = 15 \
+     AND p_type LIKE '%BRASS' AND s_nationkey = n_nationkey \
+     AND n_regionkey = r_regionkey AND r_name = 'EUROPE' \
+     AND ps_supplycost = (SELECT MIN(ps_supplycost) FROM partsupp, supplier, nation, region \
+       WHERE p_partkey = ps_partkey AND s_suppkey = ps_suppkey \
+       AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey AND r_name = 'EUROPE') \
+     ORDER BY s_acctbal DESC, n_name, s_name, p_partkey"
+        .into()
+}
+
+/// Q3 — shipping priority.
+pub fn q3() -> String {
+    "SELECT TOP 10 l_orderkey, SUM(l_extendedprice * (1 - l_discount)) AS revenue, \
+     o_orderdate, o_shippriority \
+     FROM customer, orders, lineitem \
+     WHERE c_mktsegment = 'BUILDING' AND c_custkey = o_custkey AND l_orderkey = o_orderkey \
+     AND o_orderdate < DATE '1995-03-15' AND l_shipdate > DATE '1995-03-15' \
+     GROUP BY l_orderkey, o_orderdate, o_shippriority \
+     ORDER BY revenue DESC, o_orderdate"
+        .into()
+}
+
+/// Q4 — order priority checking.
+pub fn q4() -> String {
+    "SELECT o_orderpriority, COUNT(*) AS order_count FROM orders \
+     WHERE o_orderdate >= DATE '1993-07-01' AND o_orderdate < DATE '1993-10-01' \
+     AND EXISTS (SELECT 1 FROM lineitem WHERE l_orderkey = o_orderkey \
+       AND l_commitdate < l_receiptdate) \
+     GROUP BY o_orderpriority ORDER BY o_orderpriority"
+        .into()
+}
+
+/// Q5 — local supplier volume.
+pub fn q5() -> String {
+    "SELECT n_name, SUM(l_extendedprice * (1 - l_discount)) AS revenue \
+     FROM customer, orders, lineitem, supplier, nation, region \
+     WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey AND l_suppkey = s_suppkey \
+     AND c_nationkey = s_nationkey AND s_nationkey = n_nationkey \
+     AND n_regionkey = r_regionkey AND r_name = 'ASIA' \
+     AND o_orderdate >= DATE '1994-01-01' AND o_orderdate < DATE '1995-01-01' \
+     GROUP BY n_name ORDER BY revenue DESC"
+        .into()
+}
+
+/// Q6 — forecasting revenue change.
+pub fn q6() -> String {
+    "SELECT SUM(l_extendedprice * l_discount) AS revenue FROM lineitem \
+     WHERE l_shipdate >= DATE '1994-01-01' AND l_shipdate < DATE '1995-01-01' \
+     AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24"
+        .into()
+}
+
+/// Q7 — volume shipping.
+pub fn q7() -> String {
+    "SELECT supp_nation, cust_nation, l_year, SUM(volume) AS revenue FROM \
+     (SELECT n1.n_name AS supp_nation, n2.n_name AS cust_nation, \
+       YEAR(l_shipdate) AS l_year, l_extendedprice * (1 - l_discount) AS volume \
+      FROM supplier, lineitem, orders, customer, nation n1, nation n2 \
+      WHERE s_suppkey = l_suppkey AND o_orderkey = l_orderkey AND c_custkey = o_custkey \
+      AND s_nationkey = n1.n_nationkey AND c_nationkey = n2.n_nationkey \
+      AND ((n1.n_name = 'FRANCE' AND n2.n_name = 'GERMANY') \
+        OR (n1.n_name = 'GERMANY' AND n2.n_name = 'FRANCE')) \
+      AND l_shipdate BETWEEN DATE '1995-01-01' AND DATE '1996-12-31') shipping \
+     GROUP BY supp_nation, cust_nation, l_year \
+     ORDER BY supp_nation, cust_nation, l_year"
+        .into()
+}
+
+/// Q8 — national market share.
+pub fn q8() -> String {
+    "SELECT o_year, \
+     SUM(CASE WHEN nation = 'BRAZIL' THEN volume ELSE 0 END) / SUM(volume) AS mkt_share \
+     FROM (SELECT YEAR(o_orderdate) AS o_year, \
+       l_extendedprice * (1 - l_discount) AS volume, n2.n_name AS nation \
+      FROM part, supplier, lineitem, orders, customer, nation n1, nation n2, region \
+      WHERE p_partkey = l_partkey AND s_suppkey = l_suppkey AND l_orderkey = o_orderkey \
+      AND o_custkey = c_custkey AND c_nationkey = n1.n_nationkey \
+      AND n1.n_regionkey = r_regionkey AND r_name = 'AMERICA' \
+      AND s_nationkey = n2.n_nationkey \
+      AND o_orderdate BETWEEN DATE '1995-01-01' AND DATE '1996-12-31' \
+      AND p_type = 'ECONOMY ANODIZED STEEL') all_nations \
+     GROUP BY o_year ORDER BY o_year"
+        .into()
+}
+
+/// Q9 — product type profit measure.
+pub fn q9() -> String {
+    "SELECT nation, o_year, SUM(amount) AS sum_profit FROM \
+     (SELECT n_name AS nation, YEAR(o_orderdate) AS o_year, \
+       l_extendedprice * (1 - l_discount) - ps_supplycost * l_quantity AS amount \
+      FROM part, supplier, lineitem, partsupp, orders, nation \
+      WHERE s_suppkey = l_suppkey AND ps_suppkey = l_suppkey AND ps_partkey = l_partkey \
+      AND p_partkey = l_partkey AND o_orderkey = l_orderkey AND s_nationkey = n_nationkey \
+      AND p_name LIKE '%green%') profit \
+     GROUP BY nation, o_year ORDER BY nation, o_year DESC"
+        .into()
+}
+
+/// Q10 — returned item reporting.
+pub fn q10() -> String {
+    "SELECT TOP 20 c_custkey, c_name, SUM(l_extendedprice * (1 - l_discount)) AS revenue, \
+     c_acctbal, n_name, c_address, c_phone, c_comment \
+     FROM customer, orders, lineitem, nation \
+     WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey \
+     AND o_orderdate >= DATE '1993-10-01' AND o_orderdate < DATE '1994-01-01' \
+     AND l_returnflag = 'R' AND c_nationkey = n_nationkey \
+     GROUP BY c_custkey, c_name, c_acctbal, c_phone, n_name, c_address, c_comment \
+     ORDER BY revenue DESC"
+        .into()
+}
+
+/// Q11 — important stock identification (Figure 5), with the `Fraction`
+/// parameter the paper varies to sweep result-set sizes.
+pub fn q11_with_fraction(fraction: f64) -> String {
+    format!(
+        "SELECT ps_partkey, SUM(ps_supplycost * ps_availqty) AS value \
+         FROM partsupp, supplier, nation \
+         WHERE ps_suppkey = s_suppkey AND s_nationkey = n_nationkey AND n_name = 'GERMANY' \
+         GROUP BY ps_partkey \
+         HAVING SUM(ps_supplycost * ps_availqty) > \
+          (SELECT SUM(ps_supplycost * ps_availqty) * {fraction} \
+           FROM partsupp, supplier, nation \
+           WHERE ps_suppkey = s_suppkey AND s_nationkey = n_nationkey AND n_name = 'GERMANY') \
+         ORDER BY value DESC"
+    )
+}
+
+/// Q11 with the spec's default fraction scaled for SF < 1 databases.
+pub fn q11() -> String {
+    q11_with_fraction(0.0001)
+}
+
+/// Q12 — shipping modes and order priority.
+pub fn q12() -> String {
+    "SELECT l_shipmode, \
+     SUM(CASE WHEN o_orderpriority = '1-URGENT' OR o_orderpriority = '2-HIGH' \
+       THEN 1 ELSE 0 END) AS high_line_count, \
+     SUM(CASE WHEN o_orderpriority <> '1-URGENT' AND o_orderpriority <> '2-HIGH' \
+       THEN 1 ELSE 0 END) AS low_line_count \
+     FROM orders, lineitem \
+     WHERE o_orderkey = l_orderkey AND l_shipmode IN ('MAIL', 'SHIP') \
+     AND l_commitdate < l_receiptdate AND l_shipdate < l_commitdate \
+     AND l_receiptdate >= DATE '1994-01-01' AND l_receiptdate < DATE '1995-01-01' \
+     GROUP BY l_shipmode ORDER BY l_shipmode"
+        .into()
+}
+
+/// Q13 — customer distribution.
+pub fn q13() -> String {
+    "SELECT c_count, COUNT(*) AS custdist FROM \
+     (SELECT c_custkey AS ck, COUNT(o_orderkey) AS c_count \
+      FROM customer LEFT OUTER JOIN orders \
+      ON c_custkey = o_custkey AND o_comment NOT LIKE '%special%requests%' \
+      GROUP BY c_custkey) c_orders \
+     GROUP BY c_count ORDER BY custdist DESC, c_count DESC"
+        .into()
+}
+
+/// Q14 — promotion effect.
+pub fn q14() -> String {
+    "SELECT 100.00 * SUM(CASE WHEN p_type LIKE 'PROMO%' \
+       THEN l_extendedprice * (1 - l_discount) ELSE 0 END) / \
+     SUM(l_extendedprice * (1 - l_discount)) AS promo_revenue \
+     FROM lineitem, part \
+     WHERE l_partkey = p_partkey \
+     AND l_shipdate >= DATE '1995-09-01' AND l_shipdate < DATE '1995-10-01'"
+        .into()
+}
+
+/// Q15 — top supplier (the spec's revenue view expressed as derived tables).
+pub fn q15() -> String {
+    "SELECT s_suppkey, s_name, s_address, s_phone, total_revenue \
+     FROM supplier, \
+     (SELECT l_suppkey AS supplier_no, SUM(l_extendedprice * (1 - l_discount)) AS total_revenue \
+      FROM lineitem WHERE l_shipdate >= DATE '1996-01-01' AND l_shipdate < DATE '1996-04-01' \
+      GROUP BY l_suppkey) revenue \
+     WHERE s_suppkey = supplier_no AND total_revenue = \
+      (SELECT MAX(total_revenue) FROM \
+       (SELECT l_suppkey AS supplier_no, SUM(l_extendedprice * (1 - l_discount)) AS total_revenue \
+        FROM lineitem WHERE l_shipdate >= DATE '1996-01-01' AND l_shipdate < DATE '1996-04-01' \
+        GROUP BY l_suppkey) revenue2) \
+     ORDER BY s_suppkey"
+        .into()
+}
+
+/// Q16 — parts/supplier relationship.
+pub fn q16() -> String {
+    "SELECT p_brand, p_type, p_size, COUNT(DISTINCT ps_suppkey) AS supplier_cnt \
+     FROM partsupp, part \
+     WHERE p_partkey = ps_partkey AND p_brand <> 'Brand#45' \
+     AND p_type NOT LIKE 'MEDIUM POLISHED%' \
+     AND p_size IN (49, 14, 23, 45, 19, 3, 36, 9) \
+     AND ps_suppkey NOT IN \
+      (SELECT s_suppkey FROM supplier WHERE s_comment LIKE '%Customer%Complaints%') \
+     GROUP BY p_brand, p_type, p_size \
+     ORDER BY supplier_cnt DESC, p_brand, p_type, p_size"
+        .into()
+}
+
+/// Q17 — small-quantity-order revenue.
+pub fn q17() -> String {
+    "SELECT SUM(l_extendedprice) / 7.0 AS avg_yearly FROM lineitem, part \
+     WHERE p_partkey = l_partkey AND p_brand = 'Brand#23' AND p_container = 'MED BOX' \
+     AND l_quantity < (SELECT 0.2 * AVG(l_quantity) FROM lineitem \
+       WHERE l_partkey = p_partkey)"
+        .into()
+}
+
+/// Q18 — large volume customers. The spec threshold 300 assumes SF ≥ 1;
+/// 200 keeps the query selective-but-nonempty on small databases.
+pub fn q18() -> String {
+    "SELECT TOP 100 c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice, \
+     SUM(l_quantity) AS total_qty \
+     FROM customer, orders, lineitem \
+     WHERE o_orderkey IN (SELECT l_orderkey FROM lineitem \
+       GROUP BY l_orderkey HAVING SUM(l_quantity) > 200) \
+     AND c_custkey = o_custkey AND o_orderkey = l_orderkey \
+     GROUP BY c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice \
+     ORDER BY o_totalprice DESC, o_orderdate"
+        .into()
+}
+
+/// Q19 — discounted revenue.
+pub fn q19() -> String {
+    "SELECT SUM(l_extendedprice * (1 - l_discount)) AS revenue FROM lineitem, part \
+     WHERE (p_partkey = l_partkey AND p_brand = 'Brand#12' \
+       AND p_container IN ('SM CASE', 'SM BOX', 'SM PACK', 'SM PKG') \
+       AND l_quantity >= 1 AND l_quantity <= 11 AND p_size BETWEEN 1 AND 5 \
+       AND l_shipmode IN ('AIR', 'REG AIR') AND l_shipinstruct = 'DELIVER IN PERSON') \
+     OR (p_partkey = l_partkey AND p_brand = 'Brand#23' \
+       AND p_container IN ('MED BAG', 'MED BOX', 'MED PKG', 'MED PACK') \
+       AND l_quantity >= 10 AND l_quantity <= 20 AND p_size BETWEEN 1 AND 10 \
+       AND l_shipmode IN ('AIR', 'REG AIR') AND l_shipinstruct = 'DELIVER IN PERSON') \
+     OR (p_partkey = l_partkey AND p_brand = 'Brand#34' \
+       AND p_container IN ('LG CASE', 'LG BOX', 'LG PACK', 'LG PKG') \
+       AND l_quantity >= 20 AND l_quantity <= 30 AND p_size BETWEEN 1 AND 15 \
+       AND l_shipmode IN ('AIR', 'REG AIR') AND l_shipinstruct = 'DELIVER IN PERSON')"
+        .into()
+}
+
+/// Q20 — potential part promotion.
+pub fn q20() -> String {
+    "SELECT s_name, s_address FROM supplier, nation \
+     WHERE s_suppkey IN \
+      (SELECT ps_suppkey FROM partsupp \
+       WHERE ps_partkey IN (SELECT p_partkey FROM part WHERE p_name LIKE 'forest%') \
+       AND ps_availqty > (SELECT 0.5 * SUM(l_quantity) FROM lineitem \
+         WHERE l_partkey = ps_partkey AND l_suppkey = ps_suppkey \
+         AND l_shipdate >= DATE '1994-01-01' AND l_shipdate < DATE '1995-01-01')) \
+     AND s_nationkey = n_nationkey AND n_name = 'CANADA' \
+     ORDER BY s_name"
+        .into()
+}
+
+/// Q21 — suppliers who kept orders waiting.
+pub fn q21() -> String {
+    "SELECT TOP 100 s_name, COUNT(*) AS numwait \
+     FROM supplier, lineitem l1, orders, nation \
+     WHERE s_suppkey = l1.l_suppkey AND o_orderkey = l1.l_orderkey AND o_orderstatus = 'F' \
+     AND l1.l_receiptdate > l1.l_commitdate \
+     AND EXISTS (SELECT 1 FROM lineitem l2 \
+       WHERE l2.l_orderkey = l1.l_orderkey AND l2.l_suppkey <> l1.l_suppkey) \
+     AND NOT EXISTS (SELECT 1 FROM lineitem l3 \
+       WHERE l3.l_orderkey = l1.l_orderkey AND l3.l_suppkey <> l1.l_suppkey \
+       AND l3.l_receiptdate > l3.l_commitdate) \
+     AND s_nationkey = n_nationkey AND n_name = 'SAUDI ARABIA' \
+     GROUP BY s_name ORDER BY numwait DESC, s_name"
+        .into()
+}
+
+/// Q22 — global sales opportunity.
+pub fn q22() -> String {
+    "SELECT cntrycode, COUNT(*) AS numcust, SUM(c_acctbal) AS totacctbal FROM \
+     (SELECT SUBSTRING(c_phone, 1, 2) AS cntrycode, c_acctbal \
+      FROM customer \
+      WHERE SUBSTRING(c_phone, 1, 2) IN ('13', '31', '23', '29', '30', '18', '17') \
+      AND c_acctbal > (SELECT AVG(c_acctbal) FROM customer WHERE c_acctbal > 0.00 \
+        AND SUBSTRING(c_phone, 1, 2) IN ('13', '31', '23', '29', '30', '18', '17')) \
+      AND NOT EXISTS (SELECT 1 FROM orders WHERE o_custkey = c_custkey)) custsale \
+     GROUP BY cntrycode ORDER BY cntrycode"
+        .into()
+}
+
+/// All 22 queries in power-test order.
+pub fn all_queries() -> Vec<(usize, String)> {
+    vec![
+        (1, q1()),
+        (2, q2()),
+        (3, q3()),
+        (4, q4()),
+        (5, q5()),
+        (6, q6()),
+        (7, q7()),
+        (8, q8()),
+        (9, q9()),
+        (10, q10()),
+        (11, q11()),
+        (12, q12()),
+        (13, q13()),
+        (14, q14()),
+        (15, q15()),
+        (16, q16()),
+        (17, q17()),
+        (18, q18()),
+        (19, q19()),
+        (20, q20()),
+        (21, q21()),
+        (22, q22()),
+    ]
+}
+
+/// Deterministic per-stream query permutation for the throughput test
+/// (each stream runs the full suite in a unique order, per the spec).
+pub fn stream_order(stream: usize) -> Vec<(usize, String)> {
+    let mut qs = all_queries();
+    let n = qs.len();
+    // Simple decorrelated rotation + stride shuffle, deterministic.
+    let stride = [1, 7, 11, 13, 17, 19][stream % 6];
+    let mut out = Vec::with_capacity(n);
+    let mut idx = stream % n;
+    let mut taken = vec![false; n];
+    for _ in 0..n {
+        while taken[idx] {
+            idx = (idx + 1) % n;
+        }
+        taken[idx] = true;
+        out.push(qs[idx].clone());
+        idx = (idx + stride) % n;
+    }
+    qs.clear();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_queries_parse() {
+        for (i, sql) in all_queries() {
+            sqlengine::sql::parser::parse_one(&sql)
+                .unwrap_or_else(|e| panic!("Q{i} failed to parse: {e}"));
+        }
+    }
+
+    #[test]
+    fn stream_orders_are_permutations() {
+        for s in 0..4 {
+            let order = stream_order(s);
+            let mut ids: Vec<usize> = order.iter().map(|(i, _)| *i).collect();
+            ids.sort_unstable();
+            assert_eq!(ids, (1..=22).collect::<Vec<_>>());
+        }
+        assert_ne!(
+            stream_order(0).iter().map(|(i, _)| *i).collect::<Vec<_>>(),
+            stream_order(1).iter().map(|(i, _)| *i).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn q11_fraction_is_injected() {
+        let sql = q11_with_fraction(0.025);
+        assert!(sql.contains("* 0.025"));
+        sqlengine::sql::parser::parse_one(&sql).unwrap();
+    }
+}

@@ -1,0 +1,111 @@
+//! TPC-H refresh functions RF1 (insert new sales) and RF2 (delete obsolete
+//! sales). Following the paper's setup, each refresh function is
+//! decomposed into two transactions, each receiving one half of the key
+//! range; RF1 submits a total of 4 insert requests and RF2 a total of 4
+//! delete requests, all as autocommit statements (which is what lets
+//! Phoenix wrap each with its status-table transaction).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sqlengine::types::format_date;
+use sqlengine::Result;
+
+use super::gen::{ORDERDATE_HI, ORDERDATE_LO};
+use super::TpchScale;
+use crate::client::SqlClient;
+
+/// Tracks which order keys have been inserted/deleted by refresh runs.
+#[derive(Debug)]
+pub struct RefreshState {
+    scale: TpchScale,
+    rng: StdRng,
+    /// Next unused key above the loaded range (RF1 inserts here).
+    next_new: i64,
+    /// Next loaded key to delete (RF2 consumes from the bottom).
+    next_del: i64,
+}
+
+impl RefreshState {
+    /// Fresh state for a newly loaded database.
+    pub fn new(scale: TpchScale, seed: u64) -> RefreshState {
+        RefreshState {
+            scale,
+            rng: StdRng::seed_from_u64(seed),
+            next_new: scale.orders() + 1,
+            next_del: 1,
+        }
+    }
+
+    /// Orders touched per refresh run (spec: SF × 1500).
+    pub fn orders_per_refresh(&self) -> i64 {
+        ((self.scale.orders() as f64) * 0.001).ceil() as i64 * 10
+    }
+}
+
+/// RF1: insert `orders_per_refresh` new orders (≈4 lineitems each), as two
+/// transactions × (1 orders insert + 1 lineitem insert).
+pub fn rf1(client: &impl SqlClient, st: &mut RefreshState) -> Result<u64> {
+    let n = st.orders_per_refresh();
+    let lo = st.next_new;
+    st.next_new += n;
+    let mut affected = 0;
+    let halves = [(lo, lo + n / 2 - 1), (lo + n / 2, lo + n - 1)];
+    for (a, b) in halves {
+        let mut orders = Vec::new();
+        let mut lines = Vec::new();
+        for o in a..=b {
+            let odate = st.rng.gen_range(ORDERDATE_LO..=ORDERDATE_HI);
+            let cust = st.rng.gen_range(1..=st.scale.customers());
+            let nlines = st.rng.gen_range(2..=6);
+            orders.push(format!(
+                "({o}, {cust}, 'O', {:.2}, '{}', '1-URGENT', 'Clerk#000000001', 0, 'rf1')",
+                st.rng.gen_range(1000.0..100_000.0),
+                format_date(odate as i32),
+            ));
+            for ln in 1..=nlines {
+                let p = st.rng.gen_range(1..=st.scale.parts());
+                let s = st.rng.gen_range(1..=st.scale.suppliers());
+                let ship = odate + st.rng.gen_range(1..=121);
+                lines.push(format!(
+                    "({o}, {p}, {s}, {ln}, {}, {:.2}, 0.05, 0.04, 'N', 'O', '{}', '{}', '{}', 'NONE', 'MAIL', 'rf1')",
+                    st.rng.gen_range(1..=50),
+                    st.rng.gen_range(1000.0..50_000.0),
+                    format_date(ship as i32),
+                    format_date((odate + 45) as i32),
+                    format_date((ship + 7) as i32),
+                ));
+            }
+        }
+        affected += client
+            .execute(&format!("INSERT INTO orders VALUES {}", orders.join(",")))?
+            .affected();
+        affected += client
+            .execute(&format!("INSERT INTO lineitem VALUES {}", lines.join(",")))?
+            .affected();
+    }
+    Ok(affected)
+}
+
+/// RF2: delete `orders_per_refresh` old orders and their lineitems, as two
+/// transactions × (1 lineitem delete + 1 orders delete).
+pub fn rf2(client: &impl SqlClient, st: &mut RefreshState) -> Result<u64> {
+    let n = st.orders_per_refresh();
+    let lo = st.next_del;
+    st.next_del += n;
+    let mut affected = 0;
+    let halves = [(lo, lo + n / 2 - 1), (lo + n / 2, lo + n - 1)];
+    for (a, b) in halves {
+        affected += client
+            .execute(&format!(
+                "DELETE FROM lineitem WHERE l_orderkey BETWEEN {a} AND {b}"
+            ))?
+            .affected();
+        affected += client
+            .execute(&format!(
+                "DELETE FROM orders WHERE o_orderkey BETWEEN {a} AND {b}"
+            ))?
+            .affected();
+    }
+    Ok(affected)
+}

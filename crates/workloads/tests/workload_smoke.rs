@@ -1,0 +1,147 @@
+//! End-to-end workload validation: load seeded TPC-H/TPC-C databases and
+//! run every query / transaction type against the engine.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use workloads::client::{EngineClient, SqlClient};
+use workloads::tpcc::{self, txns, TpccScale};
+use workloads::tpch::{self, queries, refresh, TpchScale};
+
+fn engine_client() -> EngineClient {
+    let durable = sqlengine::Durable::new(Default::default());
+    let engine = std::sync::Arc::new(
+        sqlengine::Engine::recover(&durable, Default::default()).unwrap(),
+    );
+    // Leak the durable so the engine's Arc references stay valid for the
+    // test duration (the engine holds its own Arcs; this is belt&braces).
+    std::mem::forget(durable);
+    EngineClient::new(engine).unwrap()
+}
+
+#[test]
+fn tpch_loads_and_all_22_queries_run() {
+    let client = engine_client();
+    let scale = TpchScale::new(0.002);
+    let t0 = Instant::now();
+    let counts = tpch::load(&client, scale, 42).unwrap();
+    eprintln!("loaded {} rows in {:?}", counts.total(), t0.elapsed());
+    assert_eq!(counts.region, 5);
+    assert_eq!(counts.nation, 25);
+    assert_eq!(counts.orders as i64, scale.orders());
+    assert!(counts.lineitem as i64 >= scale.orders());
+
+    let mut nonempty = 0;
+    for (i, sql) in queries::all_queries() {
+        let t = Instant::now();
+        let rows = client
+            .query(&sql)
+            .unwrap_or_else(|e| panic!("Q{i} failed: {e}"));
+        eprintln!("Q{i:02}: {} rows in {:?}", rows.len(), t.elapsed());
+        if !rows.is_empty() {
+            nonempty += 1;
+        }
+        // Aggregation queries must produce stable arity.
+        if let Some(r) = rows.first() {
+            assert!(!r.is_empty());
+        }
+    }
+    // Most queries must return data at this scale (a few highly selective
+    // ones may legitimately be empty).
+    assert!(nonempty >= 16, "only {nonempty}/22 queries returned rows");
+
+    // Q1 sanity: four (returnflag, linestatus) groups at most, count > 0.
+    let rows = client.query(&queries::q1()).unwrap();
+    assert!(!rows.is_empty() && rows.len() <= 4);
+    let count_order = rows[0].last().unwrap().as_i64().unwrap();
+    assert!(count_order > 0);
+}
+
+#[test]
+fn tpch_refresh_functions_roundtrip() {
+    let client = engine_client();
+    let scale = TpchScale::new(0.001);
+    tpch::load(&client, scale, 7).unwrap();
+    let mut st = refresh::RefreshState::new(scale, 7);
+
+    let before_orders = client.query("SELECT COUNT(*) FROM orders").unwrap()[0][0]
+        .as_i64()
+        .unwrap();
+    let ins = refresh::rf1(&client, &mut st).unwrap();
+    assert!(ins > 0);
+    let after_rf1 = client.query("SELECT COUNT(*) FROM orders").unwrap()[0][0]
+        .as_i64()
+        .unwrap();
+    assert_eq!(after_rf1 - before_orders, st.orders_per_refresh());
+
+    let del = refresh::rf2(&client, &mut st).unwrap();
+    assert!(del > 0);
+    let after_rf2 = client.query("SELECT COUNT(*) FROM orders").unwrap()[0][0]
+        .as_i64()
+        .unwrap();
+    assert_eq!(after_rf2, before_orders);
+}
+
+#[test]
+fn tpcc_loads_and_all_txn_types_run() {
+    let client = engine_client();
+    let scale = TpccScale::tiny();
+    tpcc::load(&client, scale, 99).unwrap();
+
+    let stock = client.query("SELECT COUNT(*) FROM stock").unwrap()[0][0]
+        .as_i64()
+        .unwrap();
+    assert_eq!(stock, scale.stock_rows());
+
+    let mut rng = StdRng::seed_from_u64(5);
+    for _ in 0..5 {
+        txns::new_order(&client, &mut rng, &scale).unwrap();
+        txns::payment(&client, &mut rng, &scale).unwrap();
+        txns::order_status(&client, &mut rng, &scale).unwrap();
+        txns::stock_level(&client, &mut rng, &scale).unwrap();
+    }
+    txns::delivery(&client, &mut rng, &scale).unwrap();
+
+    // New orders advanced the district counters and inserted rows.
+    let orders = client.query("SELECT COUNT(*) FROM orders").unwrap()[0][0]
+        .as_i64()
+        .unwrap();
+    assert!(orders as i64 > scale.orders_per_district * scale.districts_per_warehouse);
+    // History rows from payments.
+    let hist = client.query("SELECT COUNT(*) FROM history").unwrap()[0][0]
+        .as_i64()
+        .unwrap();
+    assert!(hist >= 5);
+}
+
+#[test]
+fn tpcc_consistency_after_new_orders() {
+    // Mini consistency check (spec §3.3.2.1): d_next_o_id - 1 equals the
+    // max o_id per district.
+    let client = engine_client();
+    let scale = TpccScale::tiny();
+    tpcc::load(&client, scale, 11).unwrap();
+    let mut rng = StdRng::seed_from_u64(3);
+    for _ in 0..10 {
+        let _ = txns::new_order(&client, &mut rng, &scale);
+    }
+    for d in 1..=scale.districts_per_warehouse {
+        let next = client
+            .query(&format!(
+                "SELECT d_next_o_id FROM district WHERE d_w_id = 1 AND d_id = {d}"
+            ))
+            .unwrap()[0][0]
+            .as_i64()
+            .unwrap();
+        let max_o = client
+            .query(&format!(
+                "SELECT MAX(o_id) FROM orders WHERE o_w_id = 1 AND o_d_id = {d}"
+            ))
+            .unwrap()[0][0]
+            .as_i64()
+            .unwrap();
+        assert_eq!(next - 1, max_o, "district {d}");
+    }
+}

@@ -1,0 +1,147 @@
+//! Order-entry example: the OLTP scenario from the paper's Section 4.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example order_entry
+//! ```
+//!
+//! A small order-entry application (the TPC-C motif) runs a stream of
+//! order transactions through Phoenix with **client-side result caching**
+//! enabled while a chaos thread repeatedly crashes and restarts the
+//! database server. At the end the books must balance exactly: every
+//! committed order appears exactly once, and the order counter matches —
+//! despite the outages, the application code only handles ordinary
+//! transaction aborts (retry), never connection failures.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use phoenix::{CacheMode, PhoenixConfig, PhoenixConnection};
+use sqlengine::{Error, Value};
+use wire::{DbServer, ServerConfig};
+
+fn main() {
+    let server = DbServer::start(ServerConfig::default()).expect("server");
+    let cfg = PhoenixConfig {
+        cache: CacheMode::enabled(64 * 1024),
+        ..Default::default()
+    };
+    let px = PhoenixConnection::connect(&server, cfg).expect("connect");
+
+    println!("== set up the shop ==");
+    px.exec("CREATE TABLE counters (name VARCHAR(20) PRIMARY KEY, next_id INT)")
+        .unwrap();
+    px.exec("INSERT INTO counters VALUES ('order', 1)").unwrap();
+    px.exec(
+        "CREATE TABLE orders (o_id INT PRIMARY KEY, item VARCHAR(20), qty INT, price FLOAT)",
+    )
+    .unwrap();
+    px.exec("CREATE TABLE stock (item VARCHAR(20) PRIMARY KEY, on_hand INT)")
+        .unwrap();
+    px.exec("INSERT INTO stock VALUES ('anvil', 10000), ('rocket', 10000), ('magnet', 10000)")
+        .unwrap();
+
+    // Chaos: crash the server twice while orders flow.
+    let chaos_server = server.clone();
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let chaos = std::thread::spawn(move || {
+        for _ in 0..2 {
+            std::thread::sleep(Duration::from_millis(400));
+            if stop2.load(Ordering::Relaxed) {
+                return;
+            }
+            println!("   !! server crash !!");
+            chaos_server.crash();
+            std::thread::sleep(Duration::from_millis(150));
+            chaos_server.restart().expect("restart");
+            println!("   !! server back up !!");
+        }
+    });
+
+    println!("== place 60 orders while the server crashes underneath ==");
+    let items = ["anvil", "rocket", "magnet"];
+    let mut committed = 0u64;
+    for n in 0..60 {
+        let item = items[n % items.len()];
+        let qty = (n % 5 + 1) as i64;
+        // One order = one transaction; on abort, retry — the only failure
+        // mode the application ever sees.
+        loop {
+            let r = (|| -> Result<(), Error> {
+                px.exec("BEGIN TRAN")?;
+                let id_rows = px.query_all("SELECT next_id FROM counters WHERE name = 'order'")?;
+                let id = id_rows[0][0].as_i64().unwrap();
+                px.exec(&format!(
+                    "UPDATE counters SET next_id = {} WHERE name = 'order'",
+                    id + 1
+                ))?;
+                px.exec(&format!(
+                    "INSERT INTO orders VALUES ({id}, '{item}', {qty}, {})",
+                    9.99 * qty as f64
+                ))?;
+                px.exec(&format!(
+                    "UPDATE stock SET on_hand = on_hand - {qty} WHERE item = '{item}'"
+                ))?;
+                px.exec("COMMIT")?;
+                Ok(())
+            })();
+            match r {
+                Ok(()) => {
+                    committed += 1;
+                    break;
+                }
+                Err(Error::TxnAborted(_)) | Err(Error::Deadlock) => {
+                    // Normal transaction failure: retry.
+                    continue;
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        std::thread::sleep(Duration::from_millis(15));
+    }
+    stop.store(true, Ordering::Relaxed);
+    chaos.join().unwrap();
+
+    println!("== audit the books ==");
+    let n_orders = px.query_all("SELECT COUNT(*) FROM orders").unwrap()[0][0]
+        .as_i64()
+        .unwrap();
+    let next_id = px
+        .query_all("SELECT next_id FROM counters WHERE name = 'order'")
+        .unwrap()[0][0]
+        .as_i64()
+        .unwrap();
+    let sold = px
+        .query_all("SELECT SUM(qty) FROM orders")
+        .unwrap()[0][0]
+        .as_i64()
+        .unwrap();
+    let on_hand = px
+        .query_all("SELECT SUM(on_hand) FROM stock")
+        .unwrap()[0][0]
+        .as_i64()
+        .unwrap();
+
+    println!("   committed client-side: {committed}");
+    println!("   orders in database:    {n_orders}");
+    println!("   order counter:         {next_id} (= orders + 1)");
+    println!("   stock sold {sold}, on hand {on_hand} (= 30000 - sold: {})", 30000 - sold);
+
+    assert_eq!(n_orders as u64, committed, "every committed order exactly once");
+    assert_eq!(next_id, n_orders + 1, "counter consistent with orders");
+    assert_eq!(on_hand, 30000 - sold, "stock consistent with orders");
+    let ids = px.query_all("SELECT o_id FROM orders ORDER BY o_id").unwrap();
+    for (i, r) in ids.iter().enumerate() {
+        assert_eq!(r[0], Value::Int(i as i64 + 1), "order ids dense");
+    }
+
+    let stats = px.stats();
+    println!(
+        "\nPhoenix stats: {} recoveries, {} txn aborts surfaced, {} results cached, {} tables persisted",
+        stats.recoveries, stats.txn_aborts_surfaced, stats.results_cached, stats.results_persisted
+    );
+    px.close();
+    println!("the books balance. done.");
+}

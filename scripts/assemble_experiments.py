@@ -1,0 +1,33 @@
+#!/usr/bin/env python3
+"""Assemble EXPERIMENTS.md from the narrative template and the measured
+tables in bench_results/ (run after the experiment harnesses)."""
+
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+TEMPLATE = ROOT / "scripts" / "experiments_template.md"
+RESULTS = ROOT / "bench_results"
+OUT = ROOT / "EXPERIMENTS.md"
+
+
+def main() -> int:
+    text = TEMPLATE.read_text()
+
+    def sub(m: re.Match) -> str:
+        name = m.group(1)
+        path = RESULTS / f"{name}.txt"
+        if not path.exists():
+            print(f"warning: missing {path}", file=sys.stderr)
+            return f"(missing: run the `{name}` harness)"
+        return "```text\n" + path.read_text().rstrip() + "\n```"
+
+    text = re.sub(r"\{\{RESULT:([a-z0-9_]+)\}\}", sub, text)
+    OUT.write_text(text)
+    print(f"wrote {OUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,253 @@
+//! Full-stack integration tests: application → Phoenix → ODBC driver →
+//! wire protocol → simulated network → server → SQL engine → WAL/disk,
+//! with crash/restart cycles in the middle.
+
+use std::time::Duration;
+
+use integration_tests::{test_server, Chaos};
+use phoenix::{CacheMode, PhoenixConfig, PhoenixConnection, ReconnectPolicy, RepositionMode};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sqlengine::{Error, Value};
+use workloads::tpcc::{self, txns, TpccScale};
+use workloads::tpch::{self, queries, TpchScale};
+use workloads::{EngineClient, SqlClient};
+
+fn px_cfg() -> PhoenixConfig {
+    let mut cfg = PhoenixConfig {
+        reconnect: ReconnectPolicy {
+            max_attempts: 200,
+            retry_interval: Duration::from_millis(10),
+        },
+        ..Default::default()
+    };
+    cfg.driver.buffer_bytes = 512;
+    cfg.driver.query_timeout = Some(Duration::from_secs(30));
+    cfg
+}
+
+#[test]
+fn tpch_queries_agree_between_native_and_phoenix() {
+    // The same query must produce identical rows whether it runs over
+    // native ODBC or through Phoenix's persist-and-reopen path.
+    let server = test_server();
+    {
+        let engine = server.engine().unwrap();
+        let client = EngineClient::new(engine).unwrap();
+        tpch::load(&client, TpchScale::new(0.002), 31).unwrap();
+    }
+    let native = odbcsim::OdbcConnection::connect(&server, Default::default()).unwrap();
+    let px = PhoenixConnection::connect(&server, px_cfg()).unwrap();
+
+    // A representative slice of the suite (keeps test time reasonable).
+    for qi in [1usize, 3, 5, 6, 10, 11, 13, 14, 19, 22] {
+        let sql = &queries::all_queries()[qi - 1].1;
+        let a = native.query(sql).unwrap();
+        let b = px.query(sql).unwrap();
+        assert_eq!(a, b, "Q{qi} differs between native and Phoenix");
+    }
+}
+
+#[test]
+fn tpcc_stays_consistent_under_chaos_with_phoenix() {
+    // Run TPC-C transactions through Phoenix while the server crashes
+    // repeatedly; afterwards the database must satisfy the TPC-C
+    // consistency conditions relating districts, orders and order lines.
+    let server = test_server();
+    let scale = TpccScale::tiny();
+    {
+        let engine = server.engine().unwrap();
+        let client = EngineClient::new(engine).unwrap();
+        tpcc::load(&client, scale, 77).unwrap();
+    }
+
+    let px = PhoenixConnection::connect(&server, px_cfg()).unwrap();
+    let chaos = Chaos::start(
+        server.clone(),
+        Duration::from_millis(250),
+        Duration::from_millis(50),
+    );
+
+    // Run transactions for a fixed wall-clock window so several crashes
+    // land inside the workload regardless of machine speed.
+    let mut rng = StdRng::seed_from_u64(123);
+    let mut committed_new_orders = 0u64;
+    let deadline = std::time::Instant::now() + Duration::from_millis(1600);
+    let mut i = 0;
+    while std::time::Instant::now() < deadline || i < 30 {
+        let t = match i % 5 {
+            0 | 1 => txns::TxnType::NewOrder,
+            2 | 3 => txns::TxnType::Payment,
+            _ => txns::TxnType::OrderStatus,
+        };
+        i += 1;
+        match txns::run_with_retries(&px, &mut rng, &scale, t, 100) {
+            Ok((txns::TxnOutcome::Committed, _)) => {
+                if t == txns::TxnType::NewOrder {
+                    committed_new_orders += 1;
+                }
+            }
+            Ok((txns::TxnOutcome::UserAborted, _)) => {}
+            Err(e) => panic!("txn failed permanently: {e}"),
+        }
+    }
+    let crashes = chaos.stop();
+    assert!(crashes >= 1, "chaos must have crashed at least once");
+
+    // Consistency: d_next_o_id - 1 == max(o_id) == max(no less) per district,
+    // and each order's line count matches o_ol_cnt.
+    for d in 1..=scale.districts_per_warehouse {
+        let next = px
+            .query(&format!(
+                "SELECT d_next_o_id FROM district WHERE d_w_id = 1 AND d_id = {d}"
+            ))
+            .unwrap()[0][0]
+            .as_i64()
+            .unwrap();
+        let max_o = px
+            .query(&format!(
+                "SELECT MAX(o_id) FROM orders WHERE o_w_id = 1 AND o_d_id = {d}"
+            ))
+            .unwrap()[0][0]
+            .as_i64()
+            .unwrap();
+        assert_eq!(next - 1, max_o, "district {d} counter vs orders");
+    }
+    let mismatched = px
+        .query(
+            "SELECT COUNT(*) FROM orders, \
+             (SELECT ol_w_id AS w, ol_d_id AS d, ol_o_id AS o, COUNT(*) AS n \
+              FROM order_line GROUP BY ol_w_id, ol_d_id, ol_o_id) lines \
+             WHERE o_w_id = w AND o_d_id = d AND o_id = o AND o_ol_cnt <> n",
+        )
+        .unwrap()[0][0]
+        .as_i64()
+        .unwrap();
+    assert_eq!(mismatched, 0, "order_line counts consistent with orders");
+    assert!(committed_new_orders > 0);
+    px.close();
+}
+
+#[test]
+fn long_result_delivery_with_many_crashes_is_exact() {
+    // Deliver a 3000-row ordered result while crashing every 200 ms; the
+    // application must observe every row exactly once, in order.
+    let server = test_server();
+    {
+        let engine = server.engine().unwrap();
+        let client = EngineClient::new(engine).unwrap();
+        client
+            .execute("CREATE TABLE seq (n INT PRIMARY KEY, sq INT)")
+            .unwrap();
+        for chunk in (0..3000i64).collect::<Vec<_>>().chunks(500) {
+            let vals: Vec<String> =
+                chunk.iter().map(|n| format!("({n}, {})", n * n)).collect();
+            client
+                .execute(&format!("INSERT INTO seq VALUES {}", vals.join(",")))
+                .unwrap();
+        }
+        server.engine().unwrap().checkpoint().unwrap();
+    }
+    for mode in [RepositionMode::Server, RepositionMode::Client] {
+        let mut cfg = px_cfg();
+        cfg.reposition = mode;
+        let px = PhoenixConnection::connect(&server, cfg).unwrap();
+        px.exec("SELECT n, sq FROM seq ORDER BY n").unwrap();
+        let chaos = Chaos::start(
+            server.clone(),
+            Duration::from_millis(200),
+            Duration::from_millis(40),
+        );
+        let mut expected = 0i64;
+        while let Some(row) = px.fetch().unwrap() {
+            assert_eq!(row[0], Value::Int(expected), "mode {mode:?}");
+            assert_eq!(row[1], Value::Int(expected * expected));
+            expected += 1;
+            // Slow the reader down so crashes land mid-delivery.
+            if expected % 100 == 0 {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+        assert_eq!(expected, 3000, "mode {mode:?} delivered all rows");
+        chaos.stop();
+        px.close();
+    }
+}
+
+#[test]
+fn cached_and_persisted_results_agree() {
+    let server = test_server();
+    {
+        let engine = server.engine().unwrap();
+        let client = EngineClient::new(engine).unwrap();
+        tpch::load(&client, TpchScale::new(0.001), 5).unwrap();
+    }
+    let persist = PhoenixConnection::connect(&server, px_cfg()).unwrap();
+    let mut cache_cfg = px_cfg();
+    cache_cfg.cache = CacheMode::enabled(1 << 20);
+    let cached = PhoenixConnection::connect(&server, cache_cfg).unwrap();
+
+    for qi in [1usize, 6, 11, 14] {
+        let sql = &queries::all_queries()[qi - 1].1;
+        let a = persist.query(sql).unwrap();
+        let b = cached.query(sql).unwrap();
+        assert_eq!(a, b, "Q{qi} differs between persist and cache modes");
+    }
+    assert!(cached.stats().results_cached >= 4);
+    assert!(persist.stats().results_persisted >= 4);
+}
+
+#[test]
+fn native_application_fails_where_phoenix_survives() {
+    // The contrast the paper draws: the same workload kills a native
+    // application but is masked under Phoenix.
+    let server = test_server();
+    {
+        let engine = server.engine().unwrap();
+        let client = EngineClient::new(engine).unwrap();
+        client.execute("CREATE TABLE t (a INT PRIMARY KEY)").unwrap();
+        let vals: Vec<String> = (0..2000).map(|i| format!("({i})")).collect();
+        for c in vals.chunks(500) {
+            client
+                .execute(&format!("INSERT INTO t VALUES {}", c.join(",")))
+                .unwrap();
+        }
+    }
+
+    // Native: crash mid-fetch → connection-fatal error reaches the app.
+    let native = odbcsim::OdbcConnection::connect(
+        &server,
+        odbcsim::DriverConfig {
+            buffer_bytes: 256,
+            query_timeout: Some(Duration::from_secs(5)),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let mut st = native.exec_direct("SELECT a FROM t").unwrap();
+    for _ in 0..50 {
+        st.fetch().unwrap();
+    }
+    server.crash();
+    server.restart().unwrap();
+    let err = loop {
+        match st.fetch() {
+            Ok(Some(_)) => {}
+            Ok(None) => panic!("native result cannot complete across a crash"),
+            Err(e) => break e,
+        }
+    };
+    assert!(err.is_connection_fatal());
+    assert!(matches!(err, Error::ServerShutdown | Error::Timeout));
+
+    // Phoenix: the same scenario is invisible.
+    let px = PhoenixConnection::connect(&server, px_cfg()).unwrap();
+    px.exec("SELECT a FROM t ORDER BY a").unwrap();
+    for _ in 0..50 {
+        px.fetch().unwrap().unwrap();
+    }
+    server.crash();
+    server.restart().unwrap();
+    let rest = px.fetch_all().unwrap();
+    assert_eq!(rest.len(), 1950);
+}
