@@ -1,0 +1,196 @@
+//! Offline shim exposing the subset of the `bytes` crate this workspace
+//! uses: the [`Buf`] and [`BufMut`] traits, implemented for `&[u8]` and
+//! `Vec<u8>` respectively. All multi-byte accessors are big-endian,
+//! matching the real crate's `get_u32`/`put_u32` family.
+//!
+//! See `compat/README.md` for why external dependencies are stubbed.
+
+/// Read cursor over a contiguous byte source. Matches the `bytes::Buf`
+/// methods the workspace calls; numeric reads are big-endian and panic
+/// when fewer than the required bytes remain (as in the real crate —
+/// callers bounds-check with [`Buf::remaining`] first).
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+
+    /// The unconsumed bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Consume `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// Whether any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Copy `dst.len()` bytes out, advancing past them.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(
+            self.remaining() >= dst.len(),
+            "buffer underflow: {} < {}",
+            self.remaining(),
+            dst.len()
+        );
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Read a big-endian `u16`.
+    fn get_u16(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_be_bytes(b)
+    }
+
+    /// Read a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_be_bytes(b)
+    }
+
+    /// Read a big-endian `u64`.
+    fn get_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_be_bytes(b)
+    }
+
+    /// Read a big-endian `i32`.
+    fn get_i32(&mut self) -> i32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        i32::from_be_bytes(b)
+    }
+
+    /// Read a big-endian `i64`.
+    fn get_i64(&mut self) -> i64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        i64::from_be_bytes(b)
+    }
+
+    /// Read a big-endian `f64`.
+    fn get_f64(&mut self) -> f64 {
+        f64::from_bits(self.get_u64())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(
+            cnt <= self.len(),
+            "advance past end: {} > {}",
+            cnt,
+            self.len()
+        );
+        *self = &self[cnt..];
+    }
+}
+
+/// Write cursor appending to a growable byte sink. Matches the
+/// `bytes::BufMut` methods the workspace calls; numeric writes are
+/// big-endian.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a big-endian `u16`.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian `i32`.
+    fn put_i32(&mut self, v: i32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian `i64`.
+    fn put_i64(&mut self, v: i64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian `f64`.
+    fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_round_trip_is_big_endian() {
+        let mut out: Vec<u8> = Vec::new();
+        out.put_u8(7);
+        out.put_u16(0x0102);
+        out.put_u32(0x0304_0506);
+        out.put_u64(0x0708_090a_0b0c_0d0e);
+        out.put_i32(-5);
+        out.put_i64(-6);
+        out.put_f64(1.5);
+        out.put_slice(b"xyz");
+
+        // Big-endian on the wire.
+        assert_eq!(&out[1..3], &[0x01, 0x02]);
+
+        let mut buf: &[u8] = &out;
+        assert_eq!(buf.get_u8(), 7);
+        assert_eq!(buf.get_u16(), 0x0102);
+        assert_eq!(buf.get_u32(), 0x0304_0506);
+        assert_eq!(buf.get_u64(), 0x0708_090a_0b0c_0d0e);
+        assert_eq!(buf.get_i32(), -5);
+        assert_eq!(buf.get_i64(), -6);
+        assert_eq!(buf.get_f64(), 1.5);
+        assert_eq!(buf.remaining(), 3);
+        let mut rest = [0u8; 3];
+        buf.copy_to_slice(&mut rest);
+        assert_eq!(&rest, b"xyz");
+        assert!(!buf.has_remaining());
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer underflow")]
+    fn underflow_panics() {
+        let mut buf: &[u8] = &[1, 2];
+        let _ = buf.get_u32();
+    }
+}

@@ -70,7 +70,10 @@ fn engine_with_rows(n: i64) -> (Durable, Engine, sqlengine::session::SessionId) 
         .execute(sid, "CREATE TABLE t (k INT PRIMARY KEY, v VARCHAR(32))")
         .unwrap();
     for chunk in (0..n).collect::<Vec<_>>().chunks(400) {
-        let vals: Vec<String> = chunk.iter().map(|k| format!("({k}, 'value-{k}')")).collect();
+        let vals: Vec<String> = chunk
+            .iter()
+            .map(|k| format!("({k}, 'value-{k}')"))
+            .collect();
         engine
             .execute(sid, &format!("INSERT INTO t VALUES {}", vals.join(",")))
             .unwrap();

@@ -10,7 +10,7 @@ use odbcsim::{DriverConfig, OdbcConnection};
 use phoenix::{intercept, PhoenixConfig, PhoenixConnection};
 use wire::{DbServer, ServerConfig};
 use workloads::tpch::{self, queries, TpchScale};
-use workloads::{EngineClient, SqlClient};
+use workloads::EngineClient;
 
 fn loaded_server() -> DbServer {
     let server = DbServer::start(ServerConfig::instant_net()).unwrap();

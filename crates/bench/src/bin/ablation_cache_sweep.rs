@@ -42,8 +42,7 @@ fn main() {
         ],
     );
 
-    let mut configs: Vec<(String, CacheMode)> =
-        vec![("disabled".into(), CacheMode::Disabled)];
+    let mut configs: Vec<(String, CacheMode)> = vec![("disabled".into(), CacheMode::Disabled)];
     for kb in [1usize, 4, 16, 64, 256] {
         configs.push((format!("{kb} KiB"), CacheMode::enabled(kb * 1024)));
     }
@@ -68,8 +67,7 @@ fn main() {
                 px.query_all(sql).unwrap();
             }
         }
-        let mean_ms =
-            t.elapsed().as_secs_f64() * 1e3 / (reps as f64 * stream.len() as f64);
+        let mean_ms = t.elapsed().as_secs_f64() * 1e3 / (reps as f64 * stream.len() as f64);
         let stats = px.stats();
         table.row(vec![
             label,

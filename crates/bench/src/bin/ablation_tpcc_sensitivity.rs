@@ -36,10 +36,9 @@ fn main() {
 
     for (io_us, pool) in [(100u64, 512usize), (300, 128), (600, 64)] {
         for phoenix_mode in [false, true] {
-            let server = start_loaded(
-                tpcc_server(pool, Duration::from_micros(io_us)),
-                |c| workloads::tpcc::load(c, scale, seed),
-            );
+            let server = start_loaded(tpcc_server(pool, Duration::from_micros(io_us)), |c| {
+                workloads::tpcc::load(c, scale, seed)
+            });
             let disk0 = server.io_snapshot();
             let clock = CpuClock::start();
             let report = if phoenix_mode {
@@ -85,10 +84,7 @@ fn main() {
                     "{:.0}%",
                     (disk.busy.as_secs_f64() / elapsed.as_secs_f64()).min(1.0) * 100.0
                 ),
-                format!(
-                    "{:.0}%",
-                    cpu.as_secs_f64() / elapsed.as_secs_f64() * 100.0
-                ),
+                format!("{:.0}%", cpu.as_secs_f64() / elapsed.as_secs_f64() * 100.0),
             ]);
             server.crash();
             eprintln!(

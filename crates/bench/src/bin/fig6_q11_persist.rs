@@ -13,8 +13,7 @@
 use std::time::{Duration, Instant};
 
 use bench::{
-    env_f64, env_u64, fmt_ratio, fmt_secs, q11_fraction_sweep, start_loaded, tpch_server,
-    TextTable,
+    env_f64, env_u64, fmt_ratio, fmt_secs, q11_fraction_sweep, start_loaded, tpch_server, TextTable,
 };
 use odbcsim::{DriverConfig, OdbcConnection};
 use phoenix::{PhoenixConfig, PhoenixConnection};
@@ -119,7 +118,10 @@ fn main() {
         &["Step", "Microseconds"],
     );
     steps.row(vec!["parse (intercept)".into(), us(avg(&parse_times))]);
-    steps.row(vec!["metadata (WHERE 0=1)".into(), us(avg(&metadata_times))]);
+    steps.row(vec![
+        "metadata (WHERE 0=1)".into(),
+        us(avg(&metadata_times)),
+    ]);
     steps.row(vec![
         "create persistent table".into(),
         us(avg(&create_times)),

@@ -23,7 +23,10 @@ fn driver_cfg() -> DriverConfig {
 
 /// One full power run over a client: returns per-item (label, duration,
 /// result-size) in suite order.
-fn power_run(client: &impl SqlClient, rf_state: &mut refresh::RefreshState) -> Vec<(String, Duration, u64)> {
+fn power_run(
+    client: &impl SqlClient,
+    rf_state: &mut refresh::RefreshState,
+) -> Vec<(String, Duration, u64)> {
     let mut out = Vec::new();
     for (i, sql) in queries::all_queries() {
         let t = std::time::Instant::now();

@@ -23,9 +23,7 @@ fn main() {
 
     eprintln!("[table3] loading {max_n} lineitem rows (~150 B each) ...");
     let server = start_loaded(tpch_server(), |c| {
-        c.execute(
-            "CREATE TABLE lineitem (l_key INT PRIMARY KEY, l_pad VARCHAR(150))",
-        )?;
+        c.execute("CREATE TABLE lineitem (l_key INT PRIMARY KEY, l_pad VARCHAR(150))")?;
         let padding = "x".repeat(pad);
         let mut batch = Vec::with_capacity(500);
         for k in 0..max_n {

@@ -40,10 +40,9 @@ fn driver_cfg() -> DriverConfig {
 }
 
 fn fresh_server(pool_pages: usize, io_us: u64, scale: TpccScale, seed: u64) -> DbServer {
-    start_loaded(
-        tpcc_server(pool_pages, Duration::from_micros(io_us)),
-        |c| workloads::tpcc::load(c, scale, seed),
-    )
+    start_loaded(tpcc_server(pool_pages, Duration::from_micros(io_us)), |c| {
+        workloads::tpcc::load(c, scale, seed)
+    })
 }
 
 #[allow(clippy::too_many_arguments)] // experiment parameter block
@@ -172,8 +171,8 @@ fn main() {
             .collect(),
     ));
 
-    let native_cpu_per_txn = results[0].cpu.as_secs_f64()
-        / results[0].report.total_txns.max(1) as f64;
+    let native_cpu_per_txn =
+        results[0].cpu.as_secs_f64() / results[0].report.total_txns.max(1) as f64;
 
     let mut table = TextTable::new(
         format!(
@@ -208,7 +207,8 @@ fn main() {
             r.report.errors.to_string(),
             format!(
                 "{:.0}%",
-                100.0 * r.report.tpm_c * r.elapsed.as_secs_f64() / 60.0
+                100.0 * r.report.tpm_c * r.elapsed.as_secs_f64()
+                    / 60.0
                     / r.report.total_txns.max(1) as f64
             ),
         ]);

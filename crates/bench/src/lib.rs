@@ -160,30 +160,6 @@ pub fn fmt_ratio(a: Duration, b: Duration) -> String {
     }
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn text_table_renders_aligned() {
-        let mut t = TextTable::new("Demo", &["a", "value"]);
-        t.row(vec!["x".into(), "1.5".into()]);
-        t.row(vec!["longer".into(), "2".into()]);
-        let s = t.render();
-        assert!(s.contains("== Demo =="));
-        assert!(s.contains("| longer |"));
-    }
-
-    #[test]
-    fn env_overrides_parse() {
-        std::env::set_var("PHX_TEST_ENV_F64", "2.5");
-        assert_eq!(env_f64("PHX_TEST_ENV_F64", 1.0), 2.5);
-        assert_eq!(env_f64("PHX_TEST_ENV_MISSING", 1.0), 1.0);
-        std::env::set_var("PHX_TEST_ENV_U64", "7");
-        assert_eq!(env_u64("PHX_TEST_ENV_U64", 1), 7);
-    }
-}
-
 // ---------------------------------------------------------------------------
 // Shared recovery experiment (Figures 3 and 4)
 // ---------------------------------------------------------------------------
@@ -224,8 +200,7 @@ pub fn recovery_experiment(
             fractions.iter().copied().fold(f64::MAX, f64::min),
         );
         let conn =
-            odbcsim::OdbcConnection::connect(&server, odbcsim::DriverConfig::default())
-                .unwrap();
+            odbcsim::OdbcConnection::connect(&server, odbcsim::DriverConfig::default()).unwrap();
         let t = std::time::Instant::now();
         let mut st = conn.exec_direct(&sql).unwrap();
         while st.fetch().unwrap().is_some() {}
@@ -285,12 +260,7 @@ pub fn recovery_experiment(
 }
 
 /// Emit a Figure 3/4-style table.
-pub fn emit_recovery_table(
-    title: &str,
-    name: &str,
-    points: &[RecoveryPoint],
-    recompute: Duration,
-) {
+pub fn emit_recovery_table(title: &str, name: &str, points: &[RecoveryPoint], recompute: Duration) {
     let mut table = TextTable::new(
         title,
         &[
@@ -321,7 +291,30 @@ pub fn emit_recovery_table(
 /// spans result sizes from a handful of tuples to the full group count.
 pub fn q11_fraction_sweep() -> Vec<f64> {
     vec![
-        0.05, 0.03, 0.02, 0.015, 0.01, 0.007, 0.005, 0.003, 0.002, 0.001, 0.0005, 0.0001,
-        0.00001,
+        0.05, 0.03, 0.02, 0.015, 0.01, 0.007, 0.005, 0.003, 0.002, 0.001, 0.0005, 0.0001, 0.00001,
     ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_table_renders_aligned() {
+        let mut t = TextTable::new("Demo", &["a", "value"]);
+        t.row(vec!["x".into(), "1.5".into()]);
+        t.row(vec!["longer".into(), "2".into()]);
+        let s = t.render();
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("| longer |"));
+    }
+
+    #[test]
+    fn env_overrides_parse() {
+        std::env::set_var("PHX_TEST_ENV_F64", "2.5");
+        assert_eq!(env_f64("PHX_TEST_ENV_F64", 1.0), 2.5);
+        assert_eq!(env_f64("PHX_TEST_ENV_MISSING", 1.0), 1.0);
+        std::env::set_var("PHX_TEST_ENV_U64", "7");
+        assert_eq!(env_u64("PHX_TEST_ENV_U64", 1), 7);
+    }
 }

@@ -64,7 +64,10 @@ fn classify_stmt(s: &Stmt) -> RequestClass {
 /// wrapping as a derived table is the same trick made robust to GROUP BY
 /// and existing WHERE clauses.)
 pub fn metadata_probe_sql(select_sql: &str) -> String {
-    format!("SELECT * FROM ({}) phx_md WHERE 0=1", select_sql.trim_end_matches(';'))
+    format!(
+        "SELECT * FROM ({}) phx_md WHERE 0=1",
+        select_sql.trim_end_matches(';')
+    )
 }
 
 /// The materialization statement: evaluate the original SELECT at the

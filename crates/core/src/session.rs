@@ -198,11 +198,7 @@ impl PhoenixConnection {
 
     /// Columns of the open result set, if any.
     pub fn columns(&self) -> Option<Vec<(String, DataType)>> {
-        self.inner
-            .lock()
-            .active
-            .as_ref()
-            .map(|a| a.columns.clone())
+        self.inner.lock().active.as_ref().map(|a| a.columns.clone())
     }
 
     // -- statement execution ---------------------------------------------------
@@ -232,17 +228,20 @@ impl PhoenixConnection {
                         // session, surface the abort to the application.
                         self.recover(&mut inner)?;
                         inner.stats.txn_aborts_surfaced += 1;
-                        Err(Error::TxnAborted("server failure during transaction".into()))
+                        Err(Error::TxnAborted(
+                            "server failure during transaction".into(),
+                        ))
                     }
                     Err(e) => Err(e),
                 }
             }
             RequestClass::Passthrough => {
                 if inner.in_app_txn {
-                    self.in_txn_exec(&mut inner, sql).map(|st| match st.row_count() {
-                        Some(n) => ExecKind::RowCount(n),
-                        None => ExecKind::Ok,
-                    })
+                    self.in_txn_exec(&mut inner, sql)
+                        .map(|st| match st.row_count() {
+                            Some(n) => ExecKind::RowCount(n),
+                            None => ExecKind::Ok,
+                        })
                 } else {
                     let st = self.masked_passthrough(&mut inner, sql)?;
                     Ok(match st.row_count() {
@@ -358,6 +357,7 @@ impl PhoenixConnection {
         let mut inner = self.inner.lock();
         self.retire_active(&mut inner);
         self.process_pending_drops(&mut inner);
+        // lint:allow(discard): close is best-effort; stale status rows are reclaimed on next connect
         let _ = inner.private.exec_direct(&format!(
             "DELETE FROM {STATUS_TABLE} WHERE app_key = '{}'",
             self.status_key()
@@ -371,6 +371,7 @@ impl PhoenixConnection {
     fn retire_active(&self, inner: &mut Inner) {
         if let Some(active) = inner.active.take() {
             if let ActiveSource::Persisted { table, stmt } = active.source {
+                // lint:allow(discard): a dead link closes the statement server-side anyway
                 let _ = stmt.close();
                 inner.pending_drop.push(table);
             }
@@ -417,19 +418,16 @@ impl PhoenixConnection {
                 self.recover(inner)?;
                 inner.in_app_txn = false;
                 inner.stats.txn_aborts_surfaced += 1;
-                Err(Error::TxnAborted("server failure during transaction".into()))
+                Err(Error::TxnAborted(
+                    "server failure during transaction".into(),
+                ))
             }
             Err(e) => Err(e),
         }
     }
 
     /// Section 2.1 + 4.1: open a result set recoverably.
-    fn open_result(
-        &self,
-        inner: &mut Inner,
-        sql: &str,
-        parse_time: Duration,
-    ) -> Result<ExecKind> {
+    fn open_result(&self, inner: &mut Inner, sql: &str, parse_time: Duration) -> Result<ExecKind> {
         self.process_pending_drops(inner);
 
         // Client caching first (Section 4): execute the original statement
@@ -558,6 +556,7 @@ impl PhoenixConnection {
                     rows.push_back(r);
                 }
                 if bytes > capacity {
+                    // lint:allow(discard): overflow abandons the probe; statement cleanup is advisory
                     let _ = stmt.close();
                     return Ok(CacheAttempt::Overflow);
                 }
@@ -612,6 +611,7 @@ impl PhoenixConnection {
                 }
                 Err(Error::Deadlock) => {
                     // Wait-die victim: retry the wrapped transaction.
+                    // lint:allow(discard): the victim txn is already rolled back server-side
                     let _ = inner.app.exec_direct("ROLLBACK");
                     if attempts >= self.cfg.reconnect.max_attempts {
                         return Err(Error::Deadlock);
@@ -619,6 +619,7 @@ impl PhoenixConnection {
                     attempts += 1;
                 }
                 Err(e) => {
+                    // lint:allow(discard): ROLLBACK after a failed txn is best-effort; the error to surface is `e`
                     let _ = inner.app.exec_direct("ROLLBACK");
                     return Err(e);
                 }
@@ -712,10 +713,7 @@ impl PhoenixConnection {
                     match verify {
                         Ok(_) => {}
                         Err(Error::NotFound(_)) => {
-                            let fresh = format!(
-                                "phx_res_{}_{}",
-                                self.conn_id, inner.next_result
-                            );
+                            let fresh = format!("phx_res_{}_{}", self.conn_id, inner.next_result);
                             inner.next_result += 1;
                             let pr = persist_result(
                                 &inner.app,
@@ -724,6 +722,7 @@ impl PhoenixConnection {
                                 &active.sql,
                                 Duration::ZERO,
                             )?;
+                            // lint:allow(discard): the persisted table is what matters; the probe stmt is disposable
                             let _ = pr.stmt.close();
                             *table = fresh;
                         }

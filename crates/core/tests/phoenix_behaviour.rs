@@ -2,6 +2,8 @@
 //! repositioning, exactly-once updates, client caching, and transaction
 //! abort surfacing.
 
+// Integration tests unwrap freely; hygiene lints target library code.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use std::time::Duration;
 
 use phoenix::{
@@ -172,14 +174,20 @@ fn update_statements_have_exactly_once_semantics() {
             let h = restart_after(&server, Duration::from_millis(100));
             h.join().unwrap();
         }
-        let ExecKind::RowCount(n) = px.exec("UPDATE counter SET n = n + 1 WHERE id = 1").unwrap()
+        let ExecKind::RowCount(n) = px
+            .exec("UPDATE counter SET n = n + 1 WHERE id = 1")
+            .unwrap()
         else {
             panic!()
         };
         assert_eq!(n, 1);
     }
     let rows = px.query_all("SELECT n FROM counter WHERE id = 1").unwrap();
-    assert_eq!(rows[0][0], Value::Int(6), "each update applied exactly once");
+    assert_eq!(
+        rows[0][0],
+        Value::Int(6),
+        "each update applied exactly once"
+    );
     assert!(px.stats().updates_wrapped >= 7);
 }
 
@@ -255,14 +263,14 @@ fn app_transactions_abort_on_crash_but_session_survives() {
     server.crash();
     let h = restart_after(&server, Duration::from_millis(100));
     // The next statement in the transaction surfaces the abort.
-    let err = px.exec("UPDATE items SET v = 'dirty' WHERE k = 2").unwrap_err();
+    let err = px
+        .exec("UPDATE items SET v = 'dirty' WHERE k = 2")
+        .unwrap_err();
     assert!(matches!(err, Error::TxnAborted(_)), "got {err:?}");
     h.join().unwrap();
 
     // Uncommitted work rolled back by server recovery.
-    let rows = px
-        .query_all("SELECT v FROM items WHERE k = 1")
-        .unwrap();
+    let rows = px.query_all("SELECT v FROM items WHERE k = 1").unwrap();
     assert_eq!(rows[0][0], Value::Str("value-1".into()));
 
     // The session remains usable: retry the transaction.
@@ -296,7 +304,10 @@ fn result_tables_are_cleaned_up() {
         .filter(|n| n.starts_with("phx_res_"))
         .collect();
     // At most the currently-open (none) result's table may remain.
-    assert!(leftovers.is_empty(), "leftover result tables: {leftovers:?}");
+    assert!(
+        leftovers.is_empty(),
+        "leftover result tables: {leftovers:?}"
+    );
 }
 
 #[test]
@@ -354,10 +365,8 @@ fn aggregate_results_survive_crash() {
     .unwrap();
     // Aggregate query: result persisted as a table; crash between exec and
     // fetch; values still delivered.
-    px.exec(
-        "SELECT k % 10 AS bucket, COUNT(*) AS n FROM items GROUP BY k % 10 ORDER BY bucket",
-    )
-    .unwrap();
+    px.exec("SELECT k % 10 AS bucket, COUNT(*) AS n FROM items GROUP BY k % 10 ORDER BY bucket")
+        .unwrap();
     server.crash();
     let h = restart_after(&server, Duration::from_millis(100));
     let rows = px.fetch_all().unwrap();

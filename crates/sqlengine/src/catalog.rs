@@ -11,9 +11,7 @@ use bytes::{Buf, BufMut};
 use parking_lot::RwLock;
 
 use crate::error::{Error, Result};
-use crate::schema::{
-    decode_schema, encode_schema, get_str, put_str, TableId, TableSchema,
-};
+use crate::schema::{decode_schema, encode_schema, get_str, put_str, TableId, TableSchema};
 use crate::storage::disk::PageId;
 
 /// Metadata for one table: schema plus its heap page list.

@@ -153,11 +153,8 @@ pub struct Engine {
 impl Engine {
     /// Recover (or bootstrap) an engine from durable state.
     pub fn recover(durable: &Durable, config: RecoveryConfig) -> Result<Engine> {
-        let (storage, stats) = recover(
-            Arc::clone(&durable.disk),
-            Arc::clone(&durable.log),
-            config,
-        )?;
+        let (storage, stats) =
+            recover(Arc::clone(&durable.disk), Arc::clone(&durable.log), config)?;
         Ok(Engine {
             storage: Arc::new(storage),
             sessions: Mutex::new(HashMap::new()),
@@ -254,26 +251,22 @@ impl Engine {
         match stmt {
             Stmt::Begin => {
                 if cur_txn.is_some() {
-                    return Err(Error::Semantic(
-                        "transaction already in progress".into(),
-                    ));
+                    return Err(Error::Semantic("transaction already in progress".into()));
                 }
                 let txn = Arc::new(self.storage.begin());
                 self.set_session_txn(sid, Some(txn))?;
                 Ok(ExecOutcome::Ok)
             }
             Stmt::Commit => {
-                let txn = cur_txn.ok_or_else(|| {
-                    Error::Semantic("COMMIT without BEGIN TRAN".into())
-                })?;
+                let txn =
+                    cur_txn.ok_or_else(|| Error::Semantic("COMMIT without BEGIN TRAN".into()))?;
                 self.set_session_txn(sid, None)?;
                 self.storage.commit(&txn)?;
                 Ok(ExecOutcome::Ok)
             }
             Stmt::Rollback => {
-                let txn = cur_txn.ok_or_else(|| {
-                    Error::Semantic("ROLLBACK without BEGIN TRAN".into())
-                })?;
+                let txn =
+                    cur_txn.ok_or_else(|| Error::Semantic("ROLLBACK without BEGIN TRAN".into()))?;
                 self.set_session_txn(sid, None)?;
                 self.storage.abort(&txn)?;
                 Ok(ExecOutcome::Ok)
@@ -346,11 +339,7 @@ impl Engine {
     }
 
     /// Convenience for tests and tools: execute and fully collect rows.
-    pub fn execute_collect(
-        &self,
-        sid: SessionId,
-        sql: &str,
-    ) -> Result<(Vec<Column>, Vec<Row>)> {
+    pub fn execute_collect(&self, sid: SessionId, sql: &str) -> Result<(Vec<Column>, Vec<Row>)> {
         match self.execute(sid, sql)?.outcome {
             ExecOutcome::Rows(cursor) => {
                 let schema = cursor.schema.clone();
@@ -378,8 +367,11 @@ mod tests {
     }
 
     fn setup_t(e: &Engine, sid: SessionId) {
-        e.execute(sid, "CREATE TABLE t (id INT PRIMARY KEY, v VARCHAR(20), x FLOAT)")
-            .unwrap();
+        e.execute(
+            sid,
+            "CREATE TABLE t (id INT PRIMARY KEY, v VARCHAR(20), x FLOAT)",
+        )
+        .unwrap();
         e.execute(
             sid,
             "INSERT INTO t VALUES (1, 'one', 1.5), (2, 'two', 2.5), (3, 'three', 3.5)",
@@ -399,11 +391,15 @@ mod tests {
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0][0], crate::types::Value::Int(3));
 
-        let r = e.execute(sid, "UPDATE t SET v = 'TWO' WHERE id = 2").unwrap();
+        let r = e
+            .execute(sid, "UPDATE t SET v = 'TWO' WHERE id = 2")
+            .unwrap();
         assert!(matches!(r.outcome, ExecOutcome::Affected(1)));
         let r = e.execute(sid, "DELETE FROM t WHERE id = 1").unwrap();
         assert!(matches!(r.outcome, ExecOutcome::Affected(1)));
-        let (_, rows) = e.execute_collect(sid, "SELECT v FROM t ORDER BY id").unwrap();
+        let (_, rows) = e
+            .execute_collect(sid, "SELECT v FROM t ORDER BY id")
+            .unwrap();
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0][0], crate::types::Value::Str("TWO".into()));
     }
@@ -434,13 +430,15 @@ mod tests {
         let sid = e.create_session().unwrap();
         setup_t(&e, sid);
         e.execute(sid, "BEGIN TRAN").unwrap();
-        e.execute(sid, "INSERT INTO t VALUES (10, 'ten', 10.0)").unwrap();
+        e.execute(sid, "INSERT INTO t VALUES (10, 'ten', 10.0)")
+            .unwrap();
         e.execute(sid, "ROLLBACK").unwrap();
         let (_, rows) = e.execute_collect(sid, "SELECT * FROM t").unwrap();
         assert_eq!(rows.len(), 3);
 
         e.execute(sid, "BEGIN TRAN").unwrap();
-        e.execute(sid, "INSERT INTO t VALUES (10, 'ten', 10.0)").unwrap();
+        e.execute(sid, "INSERT INTO t VALUES (10, 'ten', 10.0)")
+            .unwrap();
         e.execute(sid, "COMMIT").unwrap();
         let (_, rows) = e.execute_collect(sid, "SELECT * FROM t").unwrap();
         assert_eq!(rows.len(), 4);
@@ -486,7 +484,8 @@ mod tests {
             sid = e.create_session().unwrap();
             setup_t(&e, sid);
             e.execute(sid, "BEGIN TRAN").unwrap();
-            e.execute(sid, "INSERT INTO t VALUES (99, 'loser', 9.9)").unwrap();
+            e.execute(sid, "INSERT INTO t VALUES (99, 'loser', 9.9)")
+                .unwrap();
             // Make the loser durable in the log so recovery must undo it.
             e.storage().log.flush_all().unwrap();
             // Crash: engine dropped.
@@ -522,8 +521,11 @@ mod tests {
     fn lazy_top_n_cursor_streams() {
         let (_d, e) = fresh();
         let sid = e.create_session().unwrap();
-        e.execute(sid, "CREATE TABLE big (k INT PRIMARY KEY, pad VARCHAR(100))")
-            .unwrap();
+        e.execute(
+            sid,
+            "CREATE TABLE big (k INT PRIMARY KEY, pad VARCHAR(100))",
+        )
+        .unwrap();
         for batch in 0..10 {
             let mut sql = String::from("INSERT INTO big VALUES ");
             for i in 0..100 {
@@ -573,7 +575,9 @@ mod tests {
             .execute(sid, "INSERT INTO res SELECT id, v FROM t WHERE x > 1.6")
             .unwrap();
         assert!(matches!(r.outcome, ExecOutcome::Affected(2)));
-        let (_, rows) = e.execute_collect(sid, "SELECT * FROM res ORDER BY id").unwrap();
+        let (_, rows) = e
+            .execute_collect(sid, "SELECT * FROM res ORDER BY id")
+            .unwrap();
         assert_eq!(rows.len(), 2);
     }
 
@@ -618,13 +622,12 @@ mod tests {
         let sid = e.create_session().unwrap();
         e.execute(sid, "CREATE TABLE a (id INT PRIMARY KEY, name VARCHAR(10))")
             .unwrap();
-        e.execute(sid, "CREATE TABLE b (a_id INT, amount FLOAT)").unwrap();
-        e.execute(sid, "INSERT INTO a VALUES (1,'x'),(2,'y'),(3,'z')").unwrap();
-        e.execute(
-            sid,
-            "INSERT INTO b VALUES (1, 10.0),(1, 5.0),(2, 7.0)",
-        )
-        .unwrap();
+        e.execute(sid, "CREATE TABLE b (a_id INT, amount FLOAT)")
+            .unwrap();
+        e.execute(sid, "INSERT INTO a VALUES (1,'x'),(2,'y'),(3,'z')")
+            .unwrap();
+        e.execute(sid, "INSERT INTO b VALUES (1, 10.0),(1, 5.0),(2, 7.0)")
+            .unwrap();
         // Comma join.
         let (_, rows) = e
             .execute_collect(

@@ -93,10 +93,9 @@ impl FuncKind {
         match self {
             FuncKind::Year => DataType::Int,
             FuncKind::Substring | FuncKind::Upper | FuncKind::Lower => DataType::Str,
-            FuncKind::Abs | FuncKind::Round => args
-                .first()
-                .map(|a| a.dtype())
-                .unwrap_or(DataType::Float),
+            FuncKind::Abs | FuncKind::Round => {
+                args.first().map(|a| a.dtype()).unwrap_or(DataType::Float)
+            }
         }
     }
 }

@@ -9,9 +9,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use super::binding::{
-    agg_kind, resolve_col, AggCall, AggKind, BExpr, BoundCol, FuncKind,
-};
+use super::binding::{agg_kind, resolve_col, AggCall, AggKind, BExpr, BoundCol, FuncKind};
 use super::select::{relation_bindings, run_select_materialized};
 use super::ExecCtx;
 use crate::error::{Error, Result};
@@ -80,7 +78,10 @@ pub struct SubState {
 pub enum SubResult {
     Bool(bool),
     Scalar(Value),
-    Set { keys: HashSet<Vec<u8>>, has_null: bool },
+    Set {
+        keys: HashSet<Vec<u8>>,
+        has_null: bool,
+    },
 }
 
 /// A prepared subquery.
@@ -405,9 +406,8 @@ impl<'b> Binder<'b> {
                         "aggregate {name} not allowed in this context"
                     )));
                 }
-                let func = FuncKind::from_name(name).ok_or_else(|| {
-                    Error::Semantic(format!("unknown function {name}"))
-                })?;
+                let func = FuncKind::from_name(name)
+                    .ok_or_else(|| Error::Semantic(format!("unknown function {name}")))?;
                 Ok(BExpr::Func {
                     func,
                     args: args.iter().map(|a| self.bind(a)).collect::<Result<_>>()?,
@@ -441,9 +441,9 @@ impl<'b> Binder<'b> {
             let arg = match kind {
                 AggKind::CountStar => None,
                 _ => {
-                    let a = args.first().ok_or_else(|| {
-                        Error::Semantic("aggregate requires an argument".into())
-                    })?;
+                    let a = args
+                        .first()
+                        .ok_or_else(|| Error::Semantic("aggregate requires an argument".into()))?;
                     Some(self.bind(a)?)
                 }
             };
@@ -694,11 +694,7 @@ impl<'b> Binder<'b> {
             e.walk(&mut |n| {
                 if let Expr::Column { table, name } = n {
                     if resolve_col(&[inner_scope], table.as_deref(), name).is_err() {
-                        let scopes = self
-                            .scopes
-                            .iter()
-                            .map(|s| s.as_slice())
-                            .collect::<Vec<_>>();
+                        let scopes = self.scopes.iter().map(|s| s.as_slice()).collect::<Vec<_>>();
                         if resolve_col(&scopes, table.as_deref(), name).is_ok() {
                             let norm = normalize(n);
                             if !outer_cols.contains(&norm) {
@@ -919,7 +915,9 @@ pub fn eval(ctx: &ExecCtx, env: &Env<'_>, e: &BExpr) -> Result<Value> {
         BExpr::Scalar { plan } => {
             let r = eval_subquery(ctx, env, plan)?;
             let SubResult::Scalar(v) = r else {
-                return Err(Error::Internal("scalar subquery produced non-scalar".into()));
+                return Err(Error::Internal(
+                    "scalar subquery produced non-scalar".into(),
+                ));
             };
             Ok(v)
         }
@@ -1154,8 +1152,7 @@ fn eval_subquery(ctx: &ExecCtx, env: &Env<'_>, plan: &SubPlan) -> Result<SubResu
             if let Some(r) = plan.state.lock().memo.get(&key) {
                 return Ok(r.clone());
             }
-            let rel =
-                run_select_materialized(ctx, &plan.query, &plan.outer_scopes, Some(env))?;
+            let rel = run_select_materialized(ctx, &plan.query, &plan.outer_scopes, Some(env))?;
             let r = result_from_rows(plan.kind, &rel.rows);
             plan.state.lock().memo.insert(key, r.clone());
             Ok(r)

@@ -50,10 +50,7 @@ pub enum TableSource {
         schema: TableSchema,
     },
     /// A snapshot of a session temp table.
-    Temp {
-        schema: TableSchema,
-        rows: Vec<Row>,
-    },
+    Temp { schema: TableSchema, rows: Vec<Row> },
 }
 
 impl TableSource {
@@ -257,7 +254,10 @@ fn try_lazy_select(ctx: &ExecCtx, q: &crate::sql::ast::SelectStmt) -> Result<Opt
         }
         e.walk(&mut |n| {
             use crate::sql::ast::Expr as E;
-            if matches!(n, E::Exists { .. } | E::InSubquery { .. } | E::ScalarSubquery(_)) {
+            if matches!(
+                n,
+                E::Exists { .. } | E::InSubquery { .. } | E::ScalarSubquery(_)
+            ) {
                 blocked = true;
             }
         });
@@ -282,8 +282,11 @@ fn try_lazy_select(ctx: &ExecCtx, q: &crate::sql::ast::SelectStmt) -> Result<Opt
     // uses the PK index under IS + a row S lock instead of a full scan
     // under a table S lock.
     if !schema.primary_key.is_empty() {
-        let conjuncts: Vec<&crate::sql::ast::Expr> =
-            q.filter.as_ref().map(eval::split_conjuncts).unwrap_or_default();
+        let conjuncts: Vec<&crate::sql::ast::Expr> = q
+            .filter
+            .as_ref()
+            .map(eval::split_conjuncts)
+            .unwrap_or_default();
         if select::pk_probe(ctx, &schema, &conjuncts)?.is_some() {
             return Ok(None);
         }
@@ -389,8 +392,7 @@ fn try_lazy_select(ctx: &ExecCtx, q: &crate::sql::ast::SelectStmt) -> Result<Opt
                     }
                 }
             }
-            let projected: Result<Row> =
-                out.iter().map(|(e, _)| eval(&ctx2, &env, e)).collect();
+            let projected: Result<Row> = out.iter().map(|(e, _)| eval(&ctx2, &env, e)).collect();
             return match projected {
                 Ok(r) => {
                     produced += 1;
@@ -438,9 +440,7 @@ fn exec_insert(
         // Use the full SELECT entry point so simple TOP-N scans take the
         // lazy pipeline and stop early instead of materializing the whole
         // table first.
-        InsertSource::Select(q) => {
-            execute_select(ctx, q)?.collect::<Result<Vec<Row>>>()?
-        }
+        InsertSource::Select(q) => execute_select(ctx, q)?.collect::<Result<Vec<Row>>>()?,
     };
 
     let schema = ctx.resolve_table(table)?.schema().clone();
@@ -630,8 +630,7 @@ fn exec_update(
     for (rid, row) in targets {
         let mut new_row = row.clone();
         for (idx, e) in &bsets {
-            new_row[*idx] =
-                eval(ctx, &Env::base(&row), e)?.coerce(schema.columns[*idx].dtype)?;
+            new_row[*idx] = eval(ctx, &Env::base(&row), e)?.coerce(schema.columns[*idx].dtype)?;
         }
         ctx.storage.update_row(&ctx.txn, table_id, rid, &new_row)?;
     }

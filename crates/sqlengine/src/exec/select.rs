@@ -9,15 +9,13 @@ use std::collections::HashMap;
 
 use super::binding::{AggCall, BExpr, BoundCol};
 use super::eval::{
-    conjoin, eval, key_encode, normalize, split_conjuncts, truthy, Accumulator, AggContext,
-    Binder, Env,
+    conjoin, eval, key_encode, normalize, split_conjuncts, truthy, Accumulator, AggContext, Binder,
+    Env,
 };
 use super::{ExecCtx, TableSource};
 use crate::error::{Error, Result};
 use crate::schema::Column;
-use crate::sql::ast::{
-    BinOp, Expr, OrderItem, SelectItem, SelectStmt, TableRef,
-};
+use crate::sql::ast::{BinOp, Expr, OrderItem, SelectItem, SelectStmt, TableRef};
 use crate::txn::locks::LockMode;
 use crate::types::{DataType, Row, Value};
 
@@ -197,8 +195,7 @@ fn scan_filtered(
                 if let Some(key_vals) = pk_probe(ctx, &schema, pushed)? {
                     ctx.storage
                         .lock_table(&ctx.txn, table_id, LockMode::IntentionShared)?;
-                    let key_bytes =
-                        crate::storage::heap::pk_lookup_bytes(&schema, &key_vals)?;
+                    let key_bytes = crate::storage::heap::pk_lookup_bytes(&schema, &key_vals)?;
                     ctx.storage.lock_row(
                         &ctx.txn,
                         table_id,
@@ -209,9 +206,7 @@ fn scan_filtered(
                     if let Some(rid) = ctx.storage.pk_lookup(table_id, &key_vals)? {
                         if let Some(row) = ctx.storage.fetch_row(rid)? {
                             let keep = match &filter {
-                                Some(f) => {
-                                    truthy(&eval(ctx, &Env::base(&row), f)?) == Some(true)
-                                }
+                                Some(f) => truthy(&eval(ctx, &Env::base(&row), f)?) == Some(true),
                                 None => true,
                             };
                             if keep {
@@ -223,7 +218,8 @@ fn scan_filtered(
                 }
             }
 
-            ctx.storage.lock_table(&ctx.txn, table_id, LockMode::Shared)?;
+            ctx.storage
+                .lock_table(&ctx.txn, table_id, LockMode::Shared)?;
             let mut rows = Vec::new();
             for item in ctx.storage.scan(table_id)? {
                 let (_, row) = item?;
@@ -382,11 +378,13 @@ fn join_on(ctx: &ExecCtx, left: Rel, right: Rel, on: &Expr, outer: bool) -> Resu
                     rkeys.push(rb);
                     continue;
                 }
-                _ => if let (Ok(lb), Ok(ra)) = (lbinder.bind(b), rbinder.bind(a)) {
-                    lkeys.push(lb);
-                    rkeys.push(ra);
-                    continue;
-                },
+                _ => {
+                    if let (Ok(lb), Ok(ra)) = (lbinder.bind(b), rbinder.bind(a)) {
+                        lkeys.push(lb);
+                        rkeys.push(ra);
+                        continue;
+                    }
+                }
             }
         }
         residual.push(c.clone());
@@ -426,9 +424,7 @@ fn join_on(ctx: &ExecCtx, left: Rel, right: Rel, on: &Expr, outer: bool) -> Resu
                         let mut combined = lrow.clone();
                         combined.extend(rrow.iter().cloned());
                         let ok = match &residual_b {
-                            Some(f) => {
-                                truthy(&eval(ctx, &Env::base(&combined), f)?) == Some(true)
-                            }
+                            Some(f) => truthy(&eval(ctx, &Env::base(&combined), f)?) == Some(true),
                             None => true,
                         };
                         if ok {
@@ -510,13 +506,7 @@ fn disjoin(mut list: Vec<Expr>) -> Expr {
 /// (buried inside each OR branch) surface as a hash-join edge instead of
 /// forcing a cartesian product. Returns the replacement conjunct list.
 fn factor_or_conjunct(e: &Expr) -> Vec<Expr> {
-    if !matches!(
-        e,
-        Expr::Binary {
-            op: BinOp::Or,
-            ..
-        }
-    ) {
+    if !matches!(e, Expr::Binary { op: BinOp::Or, .. }) {
         return vec![e.clone()];
     }
     let disjuncts = split_disjuncts(e);
@@ -580,10 +570,7 @@ fn factor_or_conjunct(e: &Expr) -> Vec<Expr> {
 
 /// Which FROM units a conjunct references (by unit index); `None` if it
 /// references something outside all units (outer scope) or a subquery.
-fn conjunct_units(
-    conj: &Expr,
-    unit_bindings: &[Vec<BoundCol>],
-) -> Option<Vec<usize>> {
+fn conjunct_units(conj: &Expr, unit_bindings: &[Vec<BoundCol>]) -> Option<Vec<usize>> {
     let mut units = Vec::new();
     let mut external = false;
     let mut has_sub = false;
@@ -747,13 +734,7 @@ pub fn run_select_materialized(
             });
             current = if on_parts.is_empty() {
                 // Cartesian.
-                join_on(
-                    ctx,
-                    current,
-                    right,
-                    &Expr::Literal(Value::Int(1)),
-                    false,
-                )?
+                join_on(ctx, current, right, &Expr::Literal(Value::Int(1)), false)?
             } else {
                 join_on(ctx, current, right, &conjoin(on_parts), false)?
             };
@@ -980,9 +961,7 @@ fn project_and_finish(
                     "column '{}' must appear in GROUP BY",
                     input.cols[*k].name
                 ))),
-                OutItem::Computed { expr, name } => {
-                    Ok((agg_binder.bind(expr)?, name.clone()))
-                }
+                OutItem::Computed { expr, name } => Ok((agg_binder.bind(expr)?, name.clone())),
             })
             .collect::<Result<_>>()?;
         bound_order = order_exprs

@@ -167,8 +167,7 @@ pub fn decode_row(mut buf: &[u8]) -> Result<Row> {
                 if buf.remaining() < len {
                     return Err(corrupt());
                 }
-                let s = String::from_utf8(buf[..len].to_vec())
-                    .map_err(|_| corrupt())?;
+                let s = String::from_utf8(buf[..len].to_vec()).map_err(|_| corrupt())?;
                 buf.advance(len);
                 Value::Str(s)
             }

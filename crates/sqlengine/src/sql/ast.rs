@@ -106,7 +106,10 @@ pub enum SelectItem {
     Wildcard,
     /// `alias.*`
     QualifiedWildcard(String),
-    Expr { expr: Expr, alias: Option<String> },
+    Expr {
+        expr: Expr,
+        alias: Option<String>,
+    },
 }
 
 #[derive(Debug, Clone, PartialEq)]

@@ -358,10 +358,7 @@ mod tests {
 
     #[test]
     fn strings_with_escapes() {
-        assert_eq!(
-            kinds("'it''s'"),
-            vec![Tok::Str("it's".into()), Tok::Eof]
-        );
+        assert_eq!(kinds("'it''s'"), vec![Tok::Str("it's".into()), Tok::Eof]);
         assert!(lex("'open").is_err());
     }
 

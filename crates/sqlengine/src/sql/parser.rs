@@ -8,11 +8,7 @@ use crate::types::{parse_date, DataType, Value};
 /// Parse a batch of `;`-separated statements.
 pub fn parse_statements(src: &str) -> Result<Vec<Stmt>> {
     let toks = lex(src)?;
-    let mut p = Parser {
-        src,
-        toks,
-        pos: 0,
-    };
+    let mut p = Parser { src, toks, pos: 0 };
     let mut out = Vec::new();
     loop {
         while p.eat_tok(&Tok::Semi) {}
@@ -674,7 +670,8 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_not(&mut self) -> Result<Expr> {
-        if self.check_kw("NOT") && !matches!(self.peek2(), Tok::Ident(s) if s.eq_ignore_ascii_case("EXISTS"))
+        if self.check_kw("NOT")
+            && !matches!(self.peek2(), Tok::Ident(s) if s.eq_ignore_ascii_case("EXISTS"))
         {
             self.advance();
             return Ok(Expr::Not(Box::new(self.parse_not()?)));
@@ -964,8 +961,7 @@ mod tests {
 
     #[test]
     fn top_and_distinct() {
-        let Stmt::Select(q) = parse_one("SELECT DISTINCT TOP 10 * FROM lineitem").unwrap()
-        else {
+        let Stmt::Select(q) = parse_one("SELECT DISTINCT TOP 10 * FROM lineitem").unwrap() else {
             panic!()
         };
         assert!(q.distinct);
@@ -978,13 +974,7 @@ mod tests {
         // The Phoenix metadata trick must parse.
         let s = parse_one("SELECT l_orderkey, l_quantity FROM lineitem WHERE 0=1").unwrap();
         let Stmt::Select(q) = s else { panic!() };
-        assert!(matches!(
-            q.filter,
-            Some(Expr::Binary {
-                op: BinOp::Eq,
-                ..
-            })
-        ));
+        assert!(matches!(q.filter, Some(Expr::Binary { op: BinOp::Eq, .. })));
     }
 
     #[test]
@@ -1186,13 +1176,7 @@ mod tests {
         else {
             panic!("got {expr:?}")
         };
-        assert!(matches!(
-            **right,
-            Expr::Binary {
-                op: BinOp::Mul,
-                ..
-            }
-        ));
+        assert!(matches!(**right, Expr::Binary { op: BinOp::Mul, .. }));
     }
 
     #[test]

@@ -265,7 +265,10 @@ mod tests {
         let p = disk.allocate(0).unwrap();
         let data = [0u8; PAGE_SIZE];
         assert_eq!(disk.bump_epoch(), 1);
-        assert_eq!(disk.write_page(p, &data, 0), Err(crate::error::Error::ServerShutdown));
+        assert_eq!(
+            disk.write_page(p, &data, 0),
+            Err(crate::error::Error::ServerShutdown)
+        );
         assert!(disk.allocate(0).is_err());
         // Current epoch still works.
         disk.write_page(p, &data, 1).unwrap();

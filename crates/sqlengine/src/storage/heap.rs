@@ -55,11 +55,7 @@ pub fn pk_key_bytes(schema: &TableSchema, row: &[Value]) -> Option<Vec<u8>> {
     if schema.primary_key.is_empty() {
         return None;
     }
-    let key: Row = schema
-        .primary_key
-        .iter()
-        .map(|&i| row[i].clone())
-        .collect();
+    let key: Row = schema.primary_key.iter().map(|&i| row[i].clone()).collect();
     let mut out = Vec::new();
     encode_row(&key, &mut out);
     Some(out)
@@ -513,7 +509,13 @@ impl Storage {
 
     /// Row-granularity lock (key = hashed PK bytes). The caller must hold
     /// the matching intention lock on the table.
-    pub fn lock_row(&self, txn: &TxnHandle, table: TableId, key: u64, mode: LockMode) -> Result<()> {
+    pub fn lock_row(
+        &self,
+        txn: &TxnHandle,
+        table: TableId,
+        key: u64,
+        mode: LockMode,
+    ) -> Result<()> {
         let target = LockTarget::row(table, key);
         self.locks.lock(txn.id, target, mode)?;
         txn.note_lock(target);
@@ -562,10 +564,7 @@ impl Iterator for ScanIter {
             };
             self.buffered = with_page(&guard, |p| {
                 p.live_slots()
-                    .filter_map(|s| {
-                        p.get(s)
-                            .map(|b| (RowId { page: pid, slot: s }, b.to_vec()))
-                    })
+                    .filter_map(|s| p.get(s).map(|b| (RowId { page: pid, slot: s }, b.to_vec())))
                     .collect()
             });
             self.buf_idx = 0;

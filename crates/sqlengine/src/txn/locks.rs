@@ -161,12 +161,31 @@ impl LockManager {
             let now = Instant::now();
             // Wait-die: a younger requester dies — after its grace wait.
             if conflicting.iter().any(|&h| h < txn) && now >= young_deadline {
+                Self::gc_entry(&mut state, target);
                 return Err(Error::Deadlock);
             }
             if now >= deadline {
+                Self::gc_entry(&mut state, target);
                 return Err(Error::Deadlock);
             }
+            // Condvar waits are allowed to wake spuriously (and `std`'s
+            // documentation reserves the right): correctness rests on
+            // this loop re-evaluating `conflicting` before every grant,
+            // never on WHY the wait returned. The wait result is
+            // deliberately ignored — both the grace and overall deadlines
+            // are enforced against `Instant::now()` above, so a spurious
+            // or early wakeup can neither grant a conflicting lock nor
+            // shorten/extend the timeout. The short tick also bounds the
+            // window in which a lost notification could stall a waiter.
             self.cv.wait_for(&mut state, Duration::from_millis(5));
+        }
+    }
+
+    /// Drop a holderless entry left behind by a failed acquisition so
+    /// aborted waiters don't accumulate empty rows in the lock table.
+    fn gc_entry(state: &mut HashMap<LockTarget, TargetLock>, target: LockTarget) {
+        if state.get(&target).is_some_and(|e| e.holders.is_empty()) {
+            state.remove(&target);
         }
     }
 
@@ -229,7 +248,10 @@ mod tests {
         // Different rows: fine.
         m.lock(2, r(10, 6), LockMode::Exclusive).unwrap();
         // Same row: younger dies.
-        assert_eq!(m.lock(2, r(10, 5), LockMode::Exclusive), Err(Error::Deadlock));
+        assert_eq!(
+            m.lock(2, r(10, 5), LockMode::Exclusive),
+            Err(Error::Deadlock)
+        );
     }
 
     #[test]
@@ -293,6 +315,37 @@ mod tests {
         let start = Instant::now();
         assert_eq!(m.lock(1, t(10), LockMode::Exclusive), Err(Error::Deadlock));
         assert!(start.elapsed() >= Duration::from_millis(300));
+    }
+
+    #[test]
+    fn spurious_notifications_never_grant_a_conflicting_lock() {
+        // Regression guard for the wait loop's predicate re-check: hammer
+        // the condvar with notifications while the conflicting holder is
+        // still live. Every wakeup re-evaluates `conflicting`, so the
+        // waiter must still time out with Deadlock — a grant here would
+        // mean a wakeup was trusted instead of the predicate.
+        let m = Arc::new(mgr());
+        m.lock(5, t(10), LockMode::Exclusive).unwrap();
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let noisy = {
+            let (m2, stop2) = (Arc::clone(&m), Arc::clone(&stop));
+            std::thread::spawn(move || {
+                while !stop2.load(std::sync::atomic::Ordering::Relaxed) {
+                    m2.cv.notify_all();
+                    std::thread::yield_now();
+                }
+            })
+        };
+        let started = Instant::now();
+        let got = m.lock(1, t(10), LockMode::Exclusive);
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        noisy.join().expect("notifier thread panicked");
+        assert_eq!(got, Err(Error::Deadlock));
+        // The storm of early wakeups must not shorten the wait bound.
+        assert!(started.elapsed() >= Duration::from_millis(300));
+        // The failed waiter left no empty entry behind.
+        m.release_all(5, [t(10)]);
+        assert!(m.holders(t(10)).is_empty());
     }
 
     #[test]

@@ -150,9 +150,6 @@ mod tests {
         t.note_lock(LockTarget::row(5, 9));
         let mut locks = t.take_locks();
         locks.sort();
-        assert_eq!(
-            locks,
-            vec![LockTarget::table(3), LockTarget::row(5, 9)]
-        );
+        assert_eq!(locks, vec![LockTarget::table(3), LockTarget::row(5, 9)]);
     }
 }

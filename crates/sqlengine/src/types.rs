@@ -300,7 +300,13 @@ mod tests {
 
     #[test]
     fn date_round_trip() {
-        for s in ["1970-01-01", "1992-01-01", "1998-12-01", "2026-07-04", "1900-02-28"] {
+        for s in [
+            "1970-01-01",
+            "1992-01-01",
+            "1998-12-01",
+            "2026-07-04",
+            "1900-02-28",
+        ] {
             let d = parse_date(s).unwrap();
             assert_eq!(format_date(d), s);
         }
@@ -362,12 +368,15 @@ mod tests {
             Value::Str("1995-06-01".into()).sql_cmp(&d),
             Some(Ordering::Equal)
         );
-        assert_eq!(d.sql_cmp(&Value::Str("1995-07-01".into())), Some(Ordering::Less));
+        assert_eq!(
+            d.sql_cmp(&Value::Str("1995-07-01".into())),
+            Some(Ordering::Less)
+        );
     }
 
     #[test]
     fn total_cmp_null_first() {
-        let mut v = vec![Value::Int(3), Value::Null, Value::Int(1)];
+        let mut v = [Value::Int(3), Value::Null, Value::Int(1)];
         v.sort_by(|a, b| a.total_cmp(b));
         assert_eq!(v[0], Value::Null);
         assert_eq!(v[1], Value::Int(1));
@@ -380,7 +389,9 @@ mod tests {
             Value::Float(5.0)
         );
         assert_eq!(
-            Value::Str("1992-01-01".into()).coerce(DataType::Date).unwrap(),
+            Value::Str("1992-01-01".into())
+                .coerce(DataType::Date)
+                .unwrap(),
             Value::Date(8035)
         );
         assert!(Value::Str("x".into()).coerce(DataType::Int).is_err());

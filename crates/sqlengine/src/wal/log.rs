@@ -223,7 +223,7 @@ impl LogRecord {
                 let slot = buf.get_u16();
                 let len = buf.get_u32() as usize;
                 need!(len);
-                let data = buf[..len].to_vec();
+                let data = buf.get(..len).ok_or_else(corrupt)?.to_vec();
                 buf.advance(len);
                 LogRecord::Insert {
                     txn,
@@ -290,7 +290,7 @@ impl LogRecord {
                 need!(4);
                 let len = buf.get_u32() as usize;
                 need!(len);
-                let snapshot = buf[..len].to_vec();
+                let snapshot = buf.get(..len).ok_or_else(corrupt)?.to_vec();
                 buf.advance(len);
                 LogRecord::Checkpoint { snapshot }
             }
@@ -387,11 +387,19 @@ impl LogStore {
         let mut out = Vec::new();
         let mut pos = from as usize;
         while pos + 4 <= data.len() {
-            let len = u32::from_be_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
+            let header = data
+                .get(pos..pos + 4)
+                .and_then(|b| <[u8; 4]>::try_from(b).ok());
+            let Some(header) = header else {
+                break; // loop bound guarantees this; never panic in recovery
+            };
+            let len = u32::from_be_bytes(header) as usize;
             if pos + 4 + len > data.len() {
                 break; // torn tail write; ignore
             }
-            let mut payload = &data[pos + 4..pos + 4 + len];
+            let Some(mut payload) = data.get(pos + 4..pos + 4 + len) else {
+                break;
+            };
             let rec = LogRecord::decode(&mut payload)?;
             out.push((pos as Lsn, rec));
             pos += 4 + len;

@@ -66,14 +66,15 @@ pub fn recover(
     let (catalog, redo_start) = match store.checkpoint() {
         Some(cp_lsn) => {
             let recs = store.records_from(cp_lsn)?;
-            let (first_lsn, first) = recs
-                .first()
-                .expect("master record points at a real record");
-            debug_assert_eq!(*first_lsn, cp_lsn);
-            match first {
-                LogRecord::Checkpoint { snapshot } => {
+            match recs.first() {
+                Some((first_lsn, LogRecord::Checkpoint { snapshot })) => {
+                    debug_assert_eq!(*first_lsn, cp_lsn);
                     (Catalog::restore(snapshot)?, cp_lsn)
                 }
+                // A master record pointing at a torn record or past the
+                // log end means the checkpoint never fully made it out;
+                // distrust it and replay from the start rather than
+                // aborting recovery.
                 _ => (Catalog::new(), 0),
             }
         }
@@ -155,6 +156,7 @@ pub fn recover(
                 catalog.create_proc(name, body, true)?;
             }
             LogRecord::DropProc { name } => {
+                // lint:allow(discard): redo of a drop is idempotent; the proc may already be gone
                 let _ = catalog.drop_proc(name);
             }
             LogRecord::AllocPage { table, page } => {
@@ -285,12 +287,7 @@ pub fn recover(
     }
     log.flush_all()?;
 
-    let storage = Storage::new(
-        catalog,
-        pool,
-        log,
-        TxnManager::starting_at(max_txn + 1),
-    );
+    let storage = Storage::new(catalog, pool, log, TxnManager::starting_at(max_txn + 1));
     storage.rebuild_indexes()?;
     Ok((storage, stats))
 }
@@ -339,8 +336,7 @@ mod tests {
         let (disk, store) = fresh_durable();
         let tid;
         {
-            let st = bootstrap(Arc::clone(&disk), Arc::clone(&store), Default::default())
-                .unwrap();
+            let st = bootstrap(Arc::clone(&disk), Arc::clone(&store), Default::default()).unwrap();
             tid = st.create_table(schema()).unwrap();
             let txn = st.begin();
             for i in 0..100 {
@@ -356,7 +352,10 @@ mod tests {
         assert_eq!(rows.len(), 100);
         // Index rebuilt too.
         let rid = st2.pk_lookup(tid, &[Value::Int(42)]).unwrap().unwrap();
-        assert_eq!(st2.fetch_row(rid).unwrap().unwrap()[1], Value::Str("row-42".into()));
+        assert_eq!(
+            st2.fetch_row(rid).unwrap().unwrap()[1],
+            Value::Str("row-42".into())
+        );
     }
 
     #[test]
@@ -364,8 +363,7 @@ mod tests {
         let (disk, store) = fresh_durable();
         let tid;
         {
-            let st = bootstrap(Arc::clone(&disk), Arc::clone(&store), Default::default())
-                .unwrap();
+            let st = bootstrap(Arc::clone(&disk), Arc::clone(&store), Default::default()).unwrap();
             tid = st.create_table(schema()).unwrap();
             let t1 = st.begin();
             st.insert_row(&t1, tid, &row(1)).unwrap();
@@ -401,8 +399,7 @@ mod tests {
         let (disk, store) = fresh_durable();
         let tid;
         {
-            let st = bootstrap(Arc::clone(&disk), Arc::clone(&store), Default::default())
-                .unwrap();
+            let st = bootstrap(Arc::clone(&disk), Arc::clone(&store), Default::default()).unwrap();
             tid = st.create_table(schema()).unwrap();
             let txn = st.begin();
             st.insert_row(&txn, tid, &row(7)).unwrap();
@@ -417,8 +414,7 @@ mod tests {
         let (disk, store) = fresh_durable();
         let tid;
         {
-            let st = bootstrap(Arc::clone(&disk), Arc::clone(&store), Default::default())
-                .unwrap();
+            let st = bootstrap(Arc::clone(&disk), Arc::clone(&store), Default::default()).unwrap();
             tid = st.create_table(schema()).unwrap();
             let t = st.begin();
             for i in 0..10 {
@@ -427,12 +423,10 @@ mod tests {
             st.log.flush_all().unwrap(); // loser, durable
         }
         // Recover twice in a row (crash immediately after first recovery).
-        let (st1, s1) = recover(Arc::clone(&disk), Arc::clone(&store), Default::default())
-            .unwrap();
+        let (st1, s1) = recover(Arc::clone(&disk), Arc::clone(&store), Default::default()).unwrap();
         assert_eq!(s1.losers_rolled_back, 1);
         drop(st1); // crash again, without any checkpoint
-        let (st2, s2) = recover(Arc::clone(&disk), Arc::clone(&store), Default::default())
-            .unwrap();
+        let (st2, s2) = recover(Arc::clone(&disk), Arc::clone(&store), Default::default()).unwrap();
         // Second recovery sees the CLRs and skips re-undoing.
         assert_eq!(s2.undo_actions, 0);
         assert_eq!(st2.scan_all(tid).unwrap().len(), 0);
@@ -443,8 +437,7 @@ mod tests {
         let (disk, store) = fresh_durable();
         let tid;
         {
-            let st = bootstrap(Arc::clone(&disk), Arc::clone(&store), Default::default())
-                .unwrap();
+            let st = bootstrap(Arc::clone(&disk), Arc::clone(&store), Default::default()).unwrap();
             tid = st.create_table(schema()).unwrap();
             let t = st.begin();
             for i in 0..50 {
@@ -466,8 +459,7 @@ mod tests {
     fn dropped_table_records_skipped() {
         let (disk, store) = fresh_durable();
         {
-            let st = bootstrap(Arc::clone(&disk), Arc::clone(&store), Default::default())
-                .unwrap();
+            let st = bootstrap(Arc::clone(&disk), Arc::clone(&store), Default::default()).unwrap();
             let tid = st.create_table(schema()).unwrap();
             let t = st.begin();
             st.insert_row(&t, tid, &row(1)).unwrap();
@@ -482,8 +474,7 @@ mod tests {
     fn procedures_survive_crash() {
         let (disk, store) = fresh_durable();
         {
-            let st = bootstrap(Arc::clone(&disk), Arc::clone(&store), Default::default())
-                .unwrap();
+            let st = bootstrap(Arc::clone(&disk), Arc::clone(&store), Default::default()).unwrap();
             st.create_proc("p1", "SELECT 1", false).unwrap();
         }
         let (st2, _) = recover(disk, store, Default::default()).unwrap();
@@ -495,8 +486,7 @@ mod tests {
         let (disk, store) = fresh_durable();
         let tid;
         {
-            let st = bootstrap(Arc::clone(&disk), Arc::clone(&store), Default::default())
-                .unwrap();
+            let st = bootstrap(Arc::clone(&disk), Arc::clone(&store), Default::default()).unwrap();
             tid = st.create_table(schema()).unwrap();
             let t = st.begin();
             st.insert_row(&t, tid, &row(1)).unwrap();

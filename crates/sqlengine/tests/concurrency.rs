@@ -2,6 +2,8 @@
 //! isolation under multi-granularity locking, and crash-safety of
 //! concurrent workloads.
 
+// Integration tests unwrap freely; hygiene lints target library code.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -20,9 +22,11 @@ fn engine() -> (Durable, Arc<Engine>) {
 fn concurrent_pk_writers_do_not_interfere() {
     let (_d, e) = engine();
     let sid = e.create_session().unwrap();
-    e.execute(sid, "CREATE TABLE c (k INT PRIMARY KEY, n INT)").unwrap();
+    e.execute(sid, "CREATE TABLE c (k INT PRIMARY KEY, n INT)")
+        .unwrap();
     let vals: Vec<String> = (0..32).map(|k| format!("({k}, 0)")).collect();
-    e.execute(sid, &format!("INSERT INTO c VALUES {}", vals.join(","))).unwrap();
+    e.execute(sid, &format!("INSERT INTO c VALUES {}", vals.join(",")))
+        .unwrap();
 
     let threads = 8;
     let bumps_per_thread = 50;
@@ -55,12 +59,14 @@ fn readers_see_only_committed_state() {
     let (_d, e) = engine();
     let writer = e.create_session().unwrap();
     let reader = e.create_session().unwrap();
-    e.execute(writer, "CREATE TABLE iso (k INT PRIMARY KEY, v INT)").unwrap();
+    e.execute(writer, "CREATE TABLE iso (k INT PRIMARY KEY, v INT)")
+        .unwrap();
     e.execute(writer, "INSERT INTO iso VALUES (1, 10)").unwrap();
 
     // Writer holds an uncommitted update (row X lock under IX).
     e.execute(writer, "BEGIN TRAN").unwrap();
-    e.execute(writer, "UPDATE iso SET v = 99 WHERE k = 1").unwrap();
+    e.execute(writer, "UPDATE iso SET v = 99 WHERE k = 1")
+        .unwrap();
 
     // A younger reader's full scan needs table S, which conflicts with the
     // writer's IX → wait-die kills it rather than show dirty data.
@@ -77,11 +83,14 @@ fn point_read_blocks_only_on_the_locked_row() {
     let (_d, e) = engine();
     let writer = e.create_session().unwrap();
     let reader = e.create_session().unwrap();
-    e.execute(writer, "CREATE TABLE p (k INT PRIMARY KEY, v INT)").unwrap();
-    e.execute(writer, "INSERT INTO p VALUES (1, 10), (2, 20)").unwrap();
+    e.execute(writer, "CREATE TABLE p (k INT PRIMARY KEY, v INT)")
+        .unwrap();
+    e.execute(writer, "INSERT INTO p VALUES (1, 10), (2, 20)")
+        .unwrap();
 
     e.execute(writer, "BEGIN TRAN").unwrap();
-    e.execute(writer, "UPDATE p SET v = 11 WHERE k = 1").unwrap();
+    e.execute(writer, "UPDATE p SET v = 11 WHERE k = 1")
+        .unwrap();
 
     // A point read of a DIFFERENT row proceeds (IS + row S on k=2).
     let (_, rows) = e
@@ -106,7 +115,8 @@ fn concurrent_inserts_then_crash_recovers_all_committed() {
     {
         let e = Arc::new(Engine::recover(&durable, RecoveryConfig::default()).unwrap());
         let sid = e.create_session().unwrap();
-        e.execute(sid, "CREATE TABLE bulk (k INT PRIMARY KEY)").unwrap();
+        e.execute(sid, "CREATE TABLE bulk (k INT PRIMARY KEY)")
+            .unwrap();
         let mut handles = Vec::new();
         for t in 0..6 {
             let e2 = Arc::clone(&e);
@@ -131,17 +141,99 @@ fn concurrent_inserts_then_crash_recovers_all_committed() {
     // PK index rebuilt correctly for all interleaved pages.
     for t in 0..6 {
         let (_, rows) = e
-            .execute_collect(sid, &format!("SELECT k FROM bulk WHERE k = {}", t * 1000 + 57))
+            .execute_collect(
+                sid,
+                &format!("SELECT k FROM bulk WHERE k = {}", t * 1000 + 57),
+            )
             .unwrap();
         assert_eq!(rows.len(), 1);
     }
 }
 
 #[test]
+fn wait_die_stress_many_threads_no_hangs_or_lost_updates() {
+    // 10 threads hammer 16 overlapping rows with transfer transactions
+    // (two row X locks each, acquired in random order — the classic
+    // deadlock shape). Wait-die must keep the system live: every victim
+    // retries and eventually commits, nothing hangs, and the money
+    // supply is conserved (no lost or duplicated grants).
+    let (_d, e) = engine();
+    let sid = e.create_session().unwrap();
+    e.execute(sid, "CREATE TABLE acct (k INT PRIMARY KEY, bal INT)")
+        .unwrap();
+    let rows: Vec<String> = (0..16).map(|k| format!("({k}, 100)")).collect();
+    e.execute(sid, &format!("INSERT INTO acct VALUES {}", rows.join(",")))
+        .unwrap();
+
+    let threads: u64 = 10;
+    let transfers = 30;
+    let (done_tx, done_rx) = std::sync::mpsc::channel();
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let e2 = Arc::clone(&e);
+        let done = done_tx.clone();
+        handles.push(std::thread::spawn(move || {
+            let sid = e2.create_session().unwrap();
+            let mut seed = 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t + 1);
+            let mut rng = move || {
+                seed = seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (seed >> 33) as usize
+            };
+            for _ in 0..transfers {
+                let from = rng() % 16;
+                let to = (from + 1 + rng() % 15) % 16;
+                // One transfer per transaction; wait-die victims retry
+                // the whole transaction, as a client would.
+                loop {
+                    let r = (|| {
+                        e2.execute(sid, "BEGIN TRAN")?;
+                        e2.execute(
+                            sid,
+                            &format!("UPDATE acct SET bal = bal - 1 WHERE k = {from}"),
+                        )?;
+                        e2.execute(
+                            sid,
+                            &format!("UPDATE acct SET bal = bal + 1 WHERE k = {to}"),
+                        )?;
+                        e2.execute(sid, "COMMIT")?;
+                        Ok::<(), Error>(())
+                    })();
+                    match r {
+                        Ok(()) => break,
+                        Err(Error::Deadlock) => continue, // aborted; retry
+                        Err(e) => panic!("{e}"),
+                    }
+                }
+            }
+            done.send(t).unwrap();
+        }));
+    }
+    drop(done_tx);
+    // Liveness watchdog: every worker must finish well inside the lock
+    // manager's worst-case wait bound times the retry budget. A recv
+    // timeout here means a waiter hung (lost notification / stuck grant).
+    for _ in 0..threads {
+        done_rx
+            .recv_timeout(Duration::from_secs(120))
+            .expect("wait-die stress worker hung");
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let (_, rows) = e.execute_collect(sid, "SELECT SUM(bal) FROM acct").unwrap();
+    assert_eq!(rows[0][0], Value::Int(1600), "transfers lost or duplicated");
+    let (_, rows) = e.execute_collect(sid, "SELECT COUNT(*) FROM acct").unwrap();
+    assert_eq!(rows[0][0], Value::Int(16));
+}
+
+#[test]
 fn lock_waits_resolve_when_older_waits_for_younger_commit() {
     let (_d, e) = engine();
     let s1 = e.create_session().unwrap();
-    e.execute(s1, "CREATE TABLE w (k INT PRIMARY KEY, v INT)").unwrap();
+    e.execute(s1, "CREATE TABLE w (k INT PRIMARY KEY, v INT)")
+        .unwrap();
     e.execute(s1, "INSERT INTO w VALUES (1, 0)").unwrap();
 
     // Younger txn takes the row lock...

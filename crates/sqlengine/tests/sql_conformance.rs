@@ -2,6 +2,8 @@
 //! semantics — three-valued logic, coercions, aggregates over edge cases,
 //! join varieties, subquery strategies, ORDER BY forms, DDL behaviour.
 
+// Integration tests unwrap freely; hygiene lints target library code.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use sqlengine::engine::{Durable, Engine};
 use sqlengine::session::SessionId;
 use sqlengine::types::Value;
@@ -46,17 +48,31 @@ fn null_three_valued_logic() {
     let (e, sid) = engine();
     setup_people(&e, sid);
     // NULL comparisons never match.
-    assert_eq!(q(&e, sid, "SELECT id FROM people WHERE age = NULL").len(), 0);
-    assert_eq!(q(&e, sid, "SELECT id FROM people WHERE age <> NULL").len(), 0);
+    assert_eq!(
+        q(&e, sid, "SELECT id FROM people WHERE age = NULL").len(),
+        0
+    );
+    assert_eq!(
+        q(&e, sid, "SELECT id FROM people WHERE age <> NULL").len(),
+        0
+    );
     // IS NULL / IS NOT NULL.
-    assert_eq!(q(&e, sid, "SELECT id FROM people WHERE age IS NULL").len(), 1);
+    assert_eq!(
+        q(&e, sid, "SELECT id FROM people WHERE age IS NULL").len(),
+        1
+    );
     assert_eq!(
         q(&e, sid, "SELECT id FROM people WHERE age IS NOT NULL").len(),
         4
     );
     // NULL in OR/AND.
     assert_eq!(
-        q(&e, sid, "SELECT id FROM people WHERE age > 100 OR city = 'oslo'").len(),
+        q(
+            &e,
+            sid,
+            "SELECT id FROM people WHERE age > 100 OR city = 'oslo'"
+        )
+        .len(),
         2
     );
     // NOT(NULL) is NULL → filtered.
@@ -91,7 +107,12 @@ fn between_and_negations() {
         3
     );
     assert_eq!(
-        q(&e, sid, "SELECT id FROM people WHERE age NOT BETWEEN 25 AND 30").len(),
+        q(
+            &e,
+            sid,
+            "SELECT id FROM people WHERE age NOT BETWEEN 25 AND 30"
+        )
+        .len(),
         1 // dee(35); bob's NULL is unknown
     );
 }
@@ -119,11 +140,20 @@ fn string_functions() {
         one(&e, sid, "SELECT SUBSTRING('hello', 4, 10)"),
         Value::Str("lo".into())
     );
-    assert_eq!(one(&e, sid, "SELECT UPPER('abC')"), Value::Str("ABC".into()));
-    assert_eq!(one(&e, sid, "SELECT LOWER('AbC')"), Value::Str("abc".into()));
+    assert_eq!(
+        one(&e, sid, "SELECT UPPER('abC')"),
+        Value::Str("ABC".into())
+    );
+    assert_eq!(
+        one(&e, sid, "SELECT LOWER('AbC')"),
+        Value::Str("abc".into())
+    );
     assert_eq!(one(&e, sid, "SELECT ABS(-7)"), Value::Int(7));
     assert_eq!(one(&e, sid, "SELECT ROUND(3.456, 1)"), Value::Float(3.5));
-    assert_eq!(one(&e, sid, "SELECT YEAR(DATE '1998-12-01')"), Value::Int(1998));
+    assert_eq!(
+        one(&e, sid, "SELECT YEAR(DATE '1998-12-01')"),
+        Value::Int(1998)
+    );
 }
 
 #[test]
@@ -139,7 +169,10 @@ fn case_expressions() {
     let labels: Vec<&str> = rows.iter().map(|r| r[1].as_str().unwrap()).collect();
     assert_eq!(labels, vec!["old", "unknown", "young", "old", "young"]);
     // CASE without ELSE yields NULL.
-    assert_eq!(one(&e, sid, "SELECT CASE WHEN 0 = 1 THEN 5 END"), Value::Null);
+    assert_eq!(
+        one(&e, sid, "SELECT CASE WHEN 0 = 1 THEN 5 END"),
+        Value::Null
+    );
 }
 
 #[test]
@@ -166,7 +199,11 @@ fn distinct_and_top_interaction() {
     let (e, sid) = engine();
     setup_people(&e, sid);
     assert_eq!(q(&e, sid, "SELECT DISTINCT city FROM people").len(), 3); // oslo, rome, NULL
-    let rows = q(&e, sid, "SELECT DISTINCT TOP 2 age FROM people ORDER BY age DESC");
+    let rows = q(
+        &e,
+        sid,
+        "SELECT DISTINCT TOP 2 age FROM people ORDER BY age DESC",
+    );
     assert_eq!(rows.len(), 2);
     assert_eq!(rows[0][0], Value::Int(35));
 }
@@ -186,7 +223,10 @@ fn aggregates_edge_cases() {
         one(&e, sid, "SELECT COUNT(DISTINCT age) FROM people"),
         Value::Int(3)
     );
-    assert_eq!(one(&e, sid, "SELECT MIN(name) FROM people"), Value::Str("ann".into()));
+    assert_eq!(
+        one(&e, sid, "SELECT MIN(name) FROM people"),
+        Value::Str("ann".into())
+    );
     // Expression over multiple aggregates.
     assert_eq!(
         one(&e, sid, "SELECT MAX(age) - MIN(age) FROM people"),
@@ -225,17 +265,25 @@ fn group_by_expression_and_having_without_aggregate() {
 #[test]
 fn joins_inner_outer_self() {
     let (e, sid) = engine();
-    e.execute(sid, "CREATE TABLE a (x INT PRIMARY KEY)").unwrap();
-    e.execute(sid, "CREATE TABLE b (y INT PRIMARY KEY)").unwrap();
-    e.execute(sid, "INSERT INTO a VALUES (1), (2), (3)").unwrap();
-    e.execute(sid, "INSERT INTO b VALUES (2), (3), (4)").unwrap();
+    e.execute(sid, "CREATE TABLE a (x INT PRIMARY KEY)")
+        .unwrap();
+    e.execute(sid, "CREATE TABLE b (y INT PRIMARY KEY)")
+        .unwrap();
+    e.execute(sid, "INSERT INTO a VALUES (1), (2), (3)")
+        .unwrap();
+    e.execute(sid, "INSERT INTO b VALUES (2), (3), (4)")
+        .unwrap();
     // Inner join via JOIN..ON.
     assert_eq!(
         q(&e, sid, "SELECT x FROM a JOIN b ON x = y ORDER BY x").len(),
         2
     );
     // Left outer.
-    let rows = q(&e, sid, "SELECT x, y FROM a LEFT JOIN b ON x = y ORDER BY x");
+    let rows = q(
+        &e,
+        sid,
+        "SELECT x, y FROM a LEFT JOIN b ON x = y ORDER BY x",
+    );
     assert_eq!(rows[0], vec![Value::Int(1), Value::Null]);
     // Cartesian via comma join without predicate.
     assert_eq!(q(&e, sid, "SELECT x, y FROM a, b").len(), 9);
@@ -255,7 +303,11 @@ fn non_equi_join_condition() {
     e.execute(sid, "CREATE TABLE hi (w INT)").unwrap();
     e.execute(sid, "INSERT INTO lo VALUES (1), (5)").unwrap();
     e.execute(sid, "INSERT INTO hi VALUES (3), (7)").unwrap();
-    let rows = q(&e, sid, "SELECT v, w FROM lo JOIN hi ON v < w ORDER BY v, w");
+    let rows = q(
+        &e,
+        sid,
+        "SELECT v, w FROM lo JOIN hi ON v < w ORDER BY v, w",
+    );
     assert_eq!(rows.len(), 3);
 }
 
@@ -275,7 +327,12 @@ fn subquery_strategies() {
     .unwrap();
     // Uncorrelated scalar.
     assert_eq!(
-        q(&e, sid, "SELECT d FROM dept WHERE budget > (SELECT AVG(budget) FROM dept)").len(),
+        q(
+            &e,
+            sid,
+            "SELECT d FROM dept WHERE budget > (SELECT AVG(budget) FROM dept)"
+        )
+        .len(),
         1
     );
     // Correlated scalar aggregate (decorrelated path).
@@ -286,22 +343,31 @@ fn subquery_strategies() {
          ORDER BY d",
     );
     assert_eq!(rows.len(), 2); // dept1: 100>70 ✓, dept2: 200>100 ✓, dept3: NULL → unknown
-    // Correlated EXISTS with a residual predicate referencing the outer row.
+                               // Correlated EXISTS with a residual predicate referencing the outer row.
     let rows = q(
         &e,
         sid,
         "SELECT d FROM dept WHERE EXISTS (SELECT 1 FROM emp WHERE emp.d = dept.d AND sal > budget / 3)",
     );
     assert_eq!(rows.len(), 2); // dept1 (40 > 33.3), dept2 (90 > 66.7)
-    // NOT EXISTS.
+                               // NOT EXISTS.
     assert_eq!(
-        q(&e, sid, "SELECT d FROM dept WHERE NOT EXISTS (SELECT 1 FROM emp WHERE emp.d = dept.d)")
-            .len(),
+        q(
+            &e,
+            sid,
+            "SELECT d FROM dept WHERE NOT EXISTS (SELECT 1 FROM emp WHERE emp.d = dept.d)"
+        )
+        .len(),
         1 // dept3
     );
     // IN subquery.
     assert_eq!(
-        q(&e, sid, "SELECT id FROM emp WHERE d IN (SELECT d FROM dept WHERE budget >= 100)").len(),
+        q(
+            &e,
+            sid,
+            "SELECT id FROM emp WHERE d IN (SELECT d FROM dept WHERE budget >= 100)"
+        )
+        .len(),
         4
     );
     // Derived table + join.
@@ -319,23 +385,20 @@ fn subquery_strategies() {
 #[test]
 fn qualified_wildcard_and_ambiguity() {
     let (e, sid) = engine();
-    e.execute(sid, "CREATE TABLE t1 (a INT, shared INT)").unwrap();
-    e.execute(sid, "CREATE TABLE t2 (b INT, shared INT)").unwrap();
+    e.execute(sid, "CREATE TABLE t1 (a INT, shared INT)")
+        .unwrap();
+    e.execute(sid, "CREATE TABLE t2 (b INT, shared INT)")
+        .unwrap();
     e.execute(sid, "INSERT INTO t1 VALUES (1, 10)").unwrap();
     e.execute(sid, "INSERT INTO t2 VALUES (2, 20)").unwrap();
-    let (schema, rows) = e
-        .execute_collect(sid, "SELECT t2.* FROM t1, t2")
-        .unwrap();
+    let (schema, rows) = e.execute_collect(sid, "SELECT t2.* FROM t1, t2").unwrap();
     assert_eq!(schema.len(), 2);
     assert_eq!(rows[0], vec![Value::Int(2), Value::Int(20)]);
     // Ambiguous unqualified reference errors.
     let err = e.execute(sid, "SELECT shared FROM t1, t2");
     assert!(matches!(err, Err(Error::Semantic(_))));
     // Qualified disambiguation works.
-    assert_eq!(
-        one(&e, sid, "SELECT t1.shared FROM t1, t2"),
-        Value::Int(10)
-    );
+    assert_eq!(one(&e, sid, "SELECT t1.shared FROM t1, t2"), Value::Int(10));
 }
 
 #[test]
@@ -351,8 +414,12 @@ fn coercion_on_insert_and_compare() {
         1
     );
     assert_eq!(
-        q(&e, sid, "SELECT s FROM c WHERE d >= DATE '1996-01-01' AND d < DATE '1997-01-01'")
-            .len(),
+        q(
+            &e,
+            sid,
+            "SELECT s FROM c WHERE d >= DATE '1996-01-01' AND d < DATE '1997-01-01'"
+        )
+        .len(),
         1
     );
     // Date arithmetic.
@@ -384,9 +451,13 @@ fn ddl_semantics() {
 #[test]
 fn update_changing_pk_and_not_null() {
     let (e, sid) = engine();
-    e.execute(sid, "CREATE TABLE u (k INT PRIMARY KEY, v VARCHAR(5) NOT NULL)")
+    e.execute(
+        sid,
+        "CREATE TABLE u (k INT PRIMARY KEY, v VARCHAR(5) NOT NULL)",
+    )
+    .unwrap();
+    e.execute(sid, "INSERT INTO u VALUES (1, 'a'), (2, 'b')")
         .unwrap();
-    e.execute(sid, "INSERT INTO u VALUES (1, 'a'), (2, 'b')").unwrap();
     // PK update via full-scan path.
     e.execute(sid, "UPDATE u SET k = 10 WHERE k = 1").unwrap();
     assert_eq!(q(&e, sid, "SELECT v FROM u WHERE k = 10").len(), 1);
@@ -403,8 +474,10 @@ fn update_changing_pk_and_not_null() {
 #[test]
 fn insert_column_subset_fills_nulls() {
     let (e, sid) = engine();
-    e.execute(sid, "CREATE TABLE s (a INT, b INT, c VARCHAR(5))").unwrap();
-    e.execute(sid, "INSERT INTO s (c, a) VALUES ('x', 1)").unwrap();
+    e.execute(sid, "CREATE TABLE s (a INT, b INT, c VARCHAR(5))")
+        .unwrap();
+    e.execute(sid, "INSERT INTO s (c, a) VALUES ('x', 1)")
+        .unwrap();
     let rows = q(&e, sid, "SELECT a, b, c FROM s");
     assert_eq!(
         rows[0],
@@ -416,8 +489,14 @@ fn insert_column_subset_fills_nulls() {
 fn like_escaping_and_patterns() {
     let (e, sid) = engine();
     setup_people(&e, sid);
-    assert_eq!(q(&e, sid, "SELECT id FROM people WHERE name LIKE '%o%'").len(), 1);
-    assert_eq!(q(&e, sid, "SELECT id FROM people WHERE name LIKE '_al'").len(), 1);
+    assert_eq!(
+        q(&e, sid, "SELECT id FROM people WHERE name LIKE '%o%'").len(),
+        1
+    );
+    assert_eq!(
+        q(&e, sid, "SELECT id FROM people WHERE name LIKE '_al'").len(),
+        1
+    );
     assert_eq!(
         q(&e, sid, "SELECT id FROM people WHERE city NOT LIKE 'o%'").len(),
         2 // rome×2; NULL city is unknown
@@ -427,14 +506,16 @@ fn like_escaping_and_patterns() {
 #[test]
 fn or_factorization_preserves_semantics() {
     let (e, sid) = engine();
-    e.execute(sid, "CREATE TABLE l (k INT, grp VARCHAR(2), n INT)").unwrap();
+    e.execute(sid, "CREATE TABLE l (k INT, grp VARCHAR(2), n INT)")
+        .unwrap();
     e.execute(sid, "CREATE TABLE r (k INT, m INT)").unwrap();
     e.execute(
         sid,
         "INSERT INTO l VALUES (1, 'a', 5), (1, 'b', 50), (2, 'a', 7), (3, 'b', 70)",
     )
     .unwrap();
-    e.execute(sid, "INSERT INTO r VALUES (1, 1), (2, 2), (3, 3)").unwrap();
+    e.execute(sid, "INSERT INTO r VALUES (1, 1), (2, 2), (3, 3)")
+        .unwrap();
     // Common equi-conjunct buried in each OR branch (Q19 shape).
     let rows = q(
         &e,
@@ -449,7 +530,8 @@ fn or_factorization_preserves_semantics() {
 #[test]
 fn stored_procedures_with_params_and_nesting() {
     let (e, sid) = engine();
-    e.execute(sid, "CREATE TABLE log (msg VARCHAR(20), n INT)").unwrap();
+    e.execute(sid, "CREATE TABLE log (msg VARCHAR(20), n INT)")
+        .unwrap();
     e.execute(
         sid,
         "CREATE PROCEDURE note (@m VARCHAR(20), @n INT) AS INSERT INTO log VALUES (@m, @n)",
@@ -459,8 +541,11 @@ fn stored_procedures_with_params_and_nesting() {
     e.execute(sid, "EXEC note @m = 'bye', @n = 42").unwrap();
     assert_eq!(q(&e, sid, "SELECT * FROM log").len(), 2);
     // Nested procedure call.
-    e.execute(sid, "CREATE PROCEDURE outer_p (@x INT) AS EXEC note 'nested', @x")
-        .unwrap();
+    e.execute(
+        sid,
+        "CREATE PROCEDURE outer_p (@x INT) AS EXEC note 'nested', @x",
+    )
+    .unwrap();
     e.execute(sid, "EXEC outer_p 7").unwrap();
     assert_eq!(
         q(&e, sid, "SELECT n FROM log WHERE msg = 'nested'")[0][0],
@@ -474,7 +559,10 @@ fn stored_procedures_with_params_and_nesting() {
     )
     .unwrap();
     e.execute(sid, "EXEC note 'ignored', 1").unwrap();
-    assert_eq!(q(&e, sid, "SELECT * FROM log WHERE msg = 'replaced'").len(), 1);
+    assert_eq!(
+        q(&e, sid, "SELECT * FROM log WHERE msg = 'replaced'").len(),
+        1
+    );
     // Wrong arity errors.
     assert!(e.execute(sid, "EXEC note 'x'").is_err());
 }

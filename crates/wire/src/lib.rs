@@ -5,6 +5,10 @@
 //! bounded-buffer network model, and a crashable multi-threaded database
 //! server ([`DbServer`]) over the [`sqlengine`] substrate.
 
+// Tests exercise happy paths; the unwrap/expect hygiene baseline is
+// aimed at library code (enforced harder by `cargo xtask lint`).
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod protocol;
 pub mod server;
 pub mod transport;

@@ -150,7 +150,11 @@ impl DbServer {
     /// Direct engine access for benchmark setup (bulk loads, checkpoints)
     /// bypassing the network. `None` while crashed.
     pub fn engine(&self) -> Option<Arc<Engine>> {
-        self.inner.process.lock().as_ref().map(|p| Arc::clone(&p.engine))
+        self.inner
+            .process
+            .lock()
+            .as_ref()
+            .map(|p| Arc::clone(&p.engine))
     }
 
     /// Open a network connection to the server.
@@ -167,9 +171,7 @@ impl DbServer {
         let server = self.clone();
         let cfg = self.inner.config;
         std::thread::spawn(move || connection_loop(server, engine, server_ep, cfg));
-        Ok(ClientConn {
-            ep: client_ep,
-        })
+        Ok(ClientConn { ep: client_ep })
     }
 }
 
@@ -205,32 +207,32 @@ impl ClientConn {
 // Server-side connection handling
 // ---------------------------------------------------------------------------
 
-fn connection_loop(
-    server: DbServer,
-    engine: Arc<Engine>,
-    ep: Arc<Endpoint>,
-    cfg: ServerConfig,
-) {
+/// Best-effort reply on a link that may already be torn down by a server
+/// crash or client close. A failed send is deliberately not an error:
+/// the response has nowhere to go, and the connection loop observes the
+/// dead link at its next `recv`.
+fn reply(ep: &Endpoint, resp: Response, cancel: Option<&AtomicBool>) {
+    // lint:allow(discard): link death is surfaced by the next recv, not here
+    let _ = ep.tx.send(resp.encode(), cancel);
+}
+
+fn connection_loop(server: DbServer, engine: Arc<Engine>, ep: Arc<Endpoint>, cfg: ServerConfig) {
     // Handshake.
     let sid = loop {
         let Ok(frame) = ep.rx.recv(None) else { return };
         match Request::decode(&frame) {
             Ok(Request::Connect { .. }) => match engine.create_session() {
                 Ok(sid) => {
-                    let _ = ep
-                        .tx
-                        .send(Response::Connected { session: sid }.encode(), None);
+                    reply(&ep, Response::Connected { session: sid }, None);
                     break sid;
                 }
                 Err(e) => {
-                    let _ = ep
-                        .tx
-                        .send(Response::Error { stmt: 0, error: e }.encode(), None);
+                    reply(&ep, Response::Error { stmt: 0, error: e }, None);
                     return;
                 }
             },
             Ok(Request::Ping) => {
-                let _ = ep.tx.send(Response::Pong.encode(), None);
+                reply(&ep, Response::Pong, None);
             }
             _ => return,
         }
@@ -251,7 +253,7 @@ fn connection_loop(
         };
         match req {
             Request::Ping => {
-                let _ = ep.tx.send(Response::Pong.encode(), None);
+                reply(&ep, Response::Pong, None);
             }
             Request::Disconnect => {
                 engine.close_session(sid);
@@ -265,26 +267,26 @@ fn connection_loop(
             Request::Exec { stmt, sql, skip } => {
                 match engine.execute(sid, &sql) {
                     Err(e) => {
-                        let _ = ep.tx.send(Response::Error { stmt, error: e }.encode(), None);
+                        reply(&ep, Response::Error { stmt, error: e }, None);
                     }
                     Ok(res) => match res.outcome {
                         ExecOutcome::Affected(n) => {
-                            let _ = ep.tx.send(
+                            reply(
+                                &ep,
                                 Response::Done {
                                     stmt,
                                     kind: DoneKind::Affected(n),
-                                }
-                                .encode(),
+                                },
                                 None,
                             );
                         }
                         ExecOutcome::Ok => {
-                            let _ = ep.tx.send(
+                            reply(
+                                &ep,
                                 Response::Done {
                                     stmt,
                                     kind: DoneKind::Ok,
-                                }
-                                .encode(),
+                                },
                                 None,
                             );
                         }
@@ -293,6 +295,7 @@ fn connection_loop(
                                 // Graceful: checkpoint so restart redo is
                                 // trivial, then stop.
                                 if let Some(e) = server.engine() {
+                                    // lint:allow(discard): a failed shutdown checkpoint only costs redo time at restart
                                     let _ = e.checkpoint();
                                 }
                             }
@@ -344,9 +347,7 @@ fn stream_result(
         match cursor.next() {
             Some(Ok(_)) => {}
             Some(Err(e)) => {
-                let _ = ep
-                    .tx
-                    .send(Response::Error { stmt, error: e }.encode(), Some(&cancel));
+                reply(&ep, Response::Error { stmt, error: e }, Some(&cancel));
                 return;
             }
             None => break,
@@ -374,9 +375,7 @@ fn stream_result(
                 }
             }
             Some(Err(e)) => {
-                let _ = ep
-                    .tx
-                    .send(Response::Error { stmt, error: e }.encode(), Some(&cancel));
+                reply(&ep, Response::Error { stmt, error: e }, Some(&cancel));
                 return;
             }
             None => break,
@@ -389,12 +388,12 @@ fn stream_result(
             return;
         }
     }
-    let _ = ep.tx.send(
+    reply(
+        &ep,
         Response::Done {
             stmt,
             kind: DoneKind::Rows(sent),
-        }
-        .encode(),
+        },
         Some(&cancel),
     );
 }
@@ -416,11 +415,13 @@ mod tests {
         (conn, session)
     }
 
-    fn exec_collect(
-        conn: &ClientConn,
-        stmt: StmtId,
-        sql: &str,
-    ) -> Result<(Vec<(String, sqlengine::DataType)>, Vec<sqlengine::Row>, DoneKind)> {
+    type ExecOutcome = (
+        Vec<(String, sqlengine::DataType)>,
+        Vec<sqlengine::Row>,
+        DoneKind,
+    );
+
+    fn exec_collect(conn: &ClientConn, stmt: StmtId, sql: &str) -> Result<ExecOutcome> {
         conn.send(&Request::Exec {
             stmt,
             sql: sql.into(),
@@ -431,7 +432,10 @@ mod tests {
         loop {
             match conn.recv(Some(Duration::from_secs(10)))? {
                 Response::Meta { stmt: s, columns } if s == stmt => cols = columns,
-                Response::RowBatch { stmt: s, rows: mut r } if s == stmt => rows.append(&mut r),
+                Response::RowBatch {
+                    stmt: s,
+                    rows: mut r,
+                } if s == stmt => rows.append(&mut r),
                 Response::Done { stmt: s, kind } if s == stmt => return Ok((cols, rows, kind)),
                 Response::Error { stmt: s, error } if s == stmt => return Err(error),
                 _ => {}
@@ -443,9 +447,13 @@ mod tests {
     fn end_to_end_query() {
         let server = DbServer::start(ServerConfig::instant_net()).unwrap();
         let (conn, _) = connect(&server);
-        exec_collect(&conn, 1, "CREATE TABLE t (a INT PRIMARY KEY, b VARCHAR(10))").unwrap();
-        let (_, _, kind) =
-            exec_collect(&conn, 2, "INSERT INTO t VALUES (1,'x'),(2,'y')").unwrap();
+        exec_collect(
+            &conn,
+            1,
+            "CREATE TABLE t (a INT PRIMARY KEY, b VARCHAR(10))",
+        )
+        .unwrap();
+        let (_, _, kind) = exec_collect(&conn, 2, "INSERT INTO t VALUES (1,'x'),(2,'y')").unwrap();
         assert_eq!(kind, DoneKind::Affected(2));
         let (cols, rows, kind) = exec_collect(&conn, 3, "SELECT * FROM t ORDER BY a").unwrap();
         assert_eq!(cols.len(), 2);
@@ -528,7 +536,10 @@ mod tests {
         let mut rows = Vec::new();
         loop {
             match conn.recv(Some(Duration::from_secs(5))).unwrap() {
-                Response::RowBatch { stmt: 3, rows: mut r } => rows.append(&mut r),
+                Response::RowBatch {
+                    stmt: 3,
+                    rows: mut r,
+                } => rows.append(&mut r),
                 Response::Done { stmt: 3, kind } => {
                     assert_eq!(kind, DoneKind::Rows(5));
                     break;
@@ -546,7 +557,12 @@ mod tests {
         cfg.net_s2c.buffer_bytes = 256;
         let server = DbServer::start(cfg).unwrap();
         let (conn, _) = connect(&server);
-        exec_collect(&conn, 1, "CREATE TABLE t (a INT PRIMARY KEY, pad VARCHAR(50))").unwrap();
+        exec_collect(
+            &conn,
+            1,
+            "CREATE TABLE t (a INT PRIMARY KEY, pad VARCHAR(50))",
+        )
+        .unwrap();
         let mut vals = String::from("INSERT INTO t VALUES ");
         for i in 0..500 {
             if i > 0 {
@@ -564,9 +580,9 @@ mod tests {
         .unwrap();
         // Read the metadata, then abandon the statement.
         loop {
-            match conn.recv(Some(Duration::from_secs(5))).unwrap() {
-                Response::Meta { stmt: 3, .. } => break,
-                _ => {}
+            if let Response::Meta { stmt: 3, .. } = conn.recv(Some(Duration::from_secs(5))).unwrap()
+            {
+                break;
             }
         }
         conn.send(&Request::CloseStmt { stmt: 3 }).unwrap();

@@ -110,8 +110,7 @@ impl Pipe {
             if st.bytes + size <= self.cfg.buffer_bytes || st.queue.is_empty() {
                 break;
             }
-            self.writable
-                .wait_for(&mut st, Duration::from_millis(1));
+            self.writable.wait_for(&mut st, Duration::from_millis(1));
         }
         // Delivery time: serialize on the link after the previous message.
         let now = Instant::now();
@@ -217,10 +216,7 @@ impl Endpoint {
                 tx: Arc::clone(&c2s),
                 rx: Arc::clone(&s2c),
             },
-            Endpoint {
-                tx: s2c,
-                rx: c2s,
-            },
+            Endpoint { tx: s2c, rx: c2s },
         )
     }
 

@@ -1,6 +1,8 @@
 //! Wire-layer stress tests: many concurrent connections, interleaved
 //! statements, and codec robustness against arbitrary bytes.
 
+// Integration tests unwrap freely; hygiene lints target library code.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -126,7 +128,11 @@ fn interleaved_statements_same_connection_are_tagged() {
     cfg.net_s2c.buffer_bytes = 512;
     let server = DbServer::start(cfg).unwrap();
     let c = connect(&server);
-    exec_ok(&c, 1, "CREATE TABLE big (k INT PRIMARY KEY, pad VARCHAR(64))");
+    exec_ok(
+        &c,
+        1,
+        "CREATE TABLE big (k INT PRIMARY KEY, pad VARCHAR(64))",
+    );
     let vals: Vec<String> = (0..800)
         .map(|k| format!("({k}, 'ppppppppppppppppppppppppppppp')"))
         .collect();
@@ -156,9 +162,7 @@ fn interleaved_statements_same_connection_are_tagged() {
         let mut got = Vec::new();
         loop {
             match c.recv(Some(Duration::from_secs(10))).unwrap() {
-                Response::RowBatch { stmt, mut rows } if stmt == sid + 1 => {
-                    got.append(&mut rows)
-                }
+                Response::RowBatch { stmt, mut rows } if stmt == sid + 1 => got.append(&mut rows),
                 Response::Done { stmt, .. } if stmt == sid + 1 => break,
                 _ => {} // stale traffic from the cancelled statement
             }

@@ -41,12 +41,7 @@ fn flush(client: &impl SqlClient, table: &str, rows: &mut Vec<String>) -> Result
     Ok(())
 }
 
-fn push(
-    client: &impl SqlClient,
-    table: &str,
-    rows: &mut Vec<String>,
-    tuple: String,
-) -> Result<()> {
+fn push(client: &impl SqlClient, table: &str, rows: &mut Vec<String>, tuple: String) -> Result<()> {
     rows.push(tuple);
     if rows.len() >= 200 {
         flush(client, table, rows)?;
@@ -113,7 +108,11 @@ pub fn populate(client: &impl SqlClient, scale: TpccScale, seed: u64) -> Result<
                 } else {
                     c_last(nurand(&mut rng, 255, 0, 999))
                 };
-                let credit = if rng.gen_range(0..10) == 0 { "BC" } else { "GC" };
+                let credit = if rng.gen_range(0..10) == 0 {
+                    "BC"
+                } else {
+                    "GC"
+                };
                 push(
                     client,
                     "customer",
@@ -144,14 +143,15 @@ pub fn populate(client: &impl SqlClient, scale: TpccScale, seed: u64) -> Result<
                     client,
                     "orders",
                     &mut buf,
-                    format!(
-                        "({w}, {d}, {o}, {c}, '{LOAD_DATE}', {carrier}, {ol_cnt}, 1)"
-                    ),
+                    format!("({w}, {d}, {o}, {c}, '{LOAD_DATE}', {carrier}, {ol_cnt}, 1)"),
                 )?;
                 for ln in 1..=ol_cnt {
                     let i = rng.gen_range(1..=scale.items);
                     let (deliv, amount) = if is_new {
-                        ("NULL".to_string(), format!("{:.2}", rng.gen_range(0.01..9999.99)))
+                        (
+                            "NULL".to_string(),
+                            format!("{:.2}", rng.gen_range(0.01..9999.99)),
+                        )
                     } else {
                         (format!("'{LOAD_DATE}'"), "0.00".to_string())
                     };

@@ -159,11 +159,7 @@ pub fn new_order(
 }
 
 /// The payment transaction (spec §2.5).
-pub fn payment(
-    client: &impl SqlClient,
-    rng: &mut StdRng,
-    scale: &TpccScale,
-) -> Result<TxnOutcome> {
+pub fn payment(client: &impl SqlClient, rng: &mut StdRng, scale: &TpccScale) -> Result<TxnOutcome> {
     let w = rng.gen_range(1..=scale.warehouses);
     let d = rng.gen_range(1..=scale.districts_per_warehouse);
     let amount = rng.gen_range(1.0..5000.0);
@@ -332,9 +328,7 @@ pub fn run_with_retries(
             Err(Error::Deadlock) | Err(Error::TxnAborted(_)) if retries < max_retries => {
                 retries += 1;
                 // Brief jittered backoff to break wait-die retry storms.
-                std::thread::sleep(std::time::Duration::from_micros(
-                    rng.gen_range(200..1500),
-                ));
+                std::thread::sleep(std::time::Duration::from_micros(rng.gen_range(200..1500)));
             }
             Err(e) => return Err(e),
         }

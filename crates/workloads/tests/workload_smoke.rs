@@ -12,9 +12,8 @@ use workloads::tpch::{self, queries, refresh, TpchScale};
 
 fn engine_client() -> EngineClient {
     let durable = sqlengine::Durable::new(Default::default());
-    let engine = std::sync::Arc::new(
-        sqlengine::Engine::recover(&durable, Default::default()).unwrap(),
-    );
+    let engine =
+        std::sync::Arc::new(sqlengine::Engine::recover(&durable, Default::default()).unwrap());
     // Leak the durable so the engine's Arc references stay valid for the
     // test duration (the engine holds its own Arcs; this is belt&braces).
     std::mem::forget(durable);
@@ -108,7 +107,7 @@ fn tpcc_loads_and_all_txn_types_run() {
     let orders = client.query("SELECT COUNT(*) FROM orders").unwrap()[0][0]
         .as_i64()
         .unwrap();
-    assert!(orders as i64 > scale.orders_per_district * scale.districts_per_warehouse);
+    assert!(orders > scale.orders_per_district * scale.districts_per_warehouse);
     // History rows from payments.
     let hist = client.query("SELECT COUNT(*) FROM history").unwrap()[0][0]
         .as_i64()

@@ -1,0 +1,781 @@
+//! Workspace lint engine behind `cargo xtask lint`.
+//!
+//! A small rustc-tidy-style static pass over the workspace's own sources
+//! (no external dependencies, no proc macros — plain text analysis of
+//! comment/string-stripped code). It enforces three rule families that
+//! matter specifically to a recovery system, where a panic or a silently
+//! dropped error during restart turns "persistent session" into "lost
+//! session":
+//!
+//! * **Panic-path hygiene** (`panic`, `index`, `discard`): non-test code
+//!   in recovery-critical modules must not call
+//!   `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!`,
+//!   must not use panicking slice indexing, and must not discard a
+//!   `Result` with `let _ =` — errors there have to surface through the
+//!   crate's `Result` types so recovery can act on them.
+//! * **Lock discipline** (`lock`, `lock_order`): no blocking call
+//!   (condvar waits, channel receives, file or network I/O) while a
+//!   `lock()`/`read()`/`write()` guard bound in the same scope is live,
+//!   except condvar waits that atomically release the named guard; and
+//!   lock acquisition must follow the workspace order
+//!   `LockManager::state` → `BufferPool::inner` → `Frame::data`.
+//! * **Error hygiene** (`error`): library code must not type-erase
+//!   errors as `Box<dyn Error>` or launder them through `.ok().unwrap()`.
+//!
+//! Any rule can be waived for one line with a justified annotation:
+//!
+//! ```text
+//! // lint:allow(panic): checksum verified two lines above
+//! ```
+//!
+//! The justification text is mandatory; an empty reason is itself a
+//! violation. `#[cfg(test)]` regions and `tests/`, `benches/`,
+//! `examples/` and `compat/` trees are exempt (only `crates/*/src` is
+//! scanned).
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Which rule family a violation belongs to. The lowercase name is what
+/// `lint:allow(...)` annotations use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!`
+    /// in recovery-critical non-test code.
+    Panic,
+    /// Panicking slice/array indexing in recovery-critical non-test code.
+    Index,
+    /// `let _ =` discard in recovery-critical non-test code.
+    Discard,
+    /// Blocking call while a lock guard is live.
+    Lock,
+    /// Lock acquisition violating the workspace lock order.
+    LockOrder,
+    /// `Box<dyn Error>` or `.ok().unwrap()` in library code.
+    Error,
+    /// Malformed `lint:allow` annotation (missing justification).
+    BadAllow,
+}
+
+impl Rule {
+    /// The name used in `lint:allow(<name>)`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::Panic => "panic",
+            Rule::Index => "index",
+            Rule::Discard => "discard",
+            Rule::Lock => "lock",
+            Rule::LockOrder => "lock_order",
+            Rule::Error => "error",
+            Rule::BadAllow => "bad_allow",
+        }
+    }
+}
+
+/// One finding: file, 1-based line, rule and human-readable message.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub file: PathBuf,
+    pub line: usize,
+    pub rule: Rule,
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule.name(),
+            self.message
+        )
+    }
+}
+
+/// Which rule families apply to a file. Decided by [`classify`] from the
+/// workspace-relative path; tests pass hand-built values to exercise the
+/// engine on fixtures.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FileClass {
+    /// Panic-path hygiene (`panic`, `index`, `discard`): the
+    /// recovery-critical module list.
+    pub panic_rules: bool,
+    /// Guard-across-blocking (`lock`): concurrency-heavy modules.
+    pub lock_rules: bool,
+    /// Acquisition-order (`lock_order`): the engine crate, where the
+    /// ranked locks live.
+    pub lock_order_rules: bool,
+    /// Error hygiene (`error`): all scanned library code.
+    pub error_rules: bool,
+}
+
+/// Modules where a panic or swallowed error breaks crash recovery — the
+/// session state machine, the client-side persistence layer, the WAL,
+/// and the server request loop that replays against them.
+const PANIC_CRITICAL: &[&str] = &[
+    "crates/core/src/session.rs",
+    "crates/core/src/persist.rs",
+    "crates/sqlengine/src/wal/",
+    "crates/wire/src/server.rs",
+];
+
+/// Modules that take the ranked locks or block while holding guards.
+const LOCK_SCOPE: &[&str] = &[
+    "crates/sqlengine/src/txn/",
+    "crates/sqlengine/src/storage/",
+    "crates/wire/src/server.rs",
+];
+
+/// Decide which rules apply to a workspace-relative path (forward
+/// slashes). Everything scanned gets the error-hygiene rules.
+pub fn classify(rel_path: &str) -> FileClass {
+    let hit = |list: &[&str]| list.iter().any(|p| rel_path.starts_with(p));
+    FileClass {
+        panic_rules: hit(PANIC_CRITICAL),
+        lock_rules: hit(LOCK_SCOPE),
+        lock_order_rules: rel_path.starts_with("crates/sqlengine/src/"),
+        error_rules: true,
+    }
+}
+
+/// Replace comment bodies and string/char-literal contents with spaces,
+/// preserving byte offsets and newlines, so the rule scanners never
+/// match inside text. Handles line comments, nested block comments,
+/// raw strings (`r"…"`, `r#"…"#`), byte strings, and the char-literal
+/// vs lifetime ambiguity (`'a'` vs `'a`).
+pub fn strip_comments_and_strings(src: &str) -> String {
+    let b = src.as_bytes();
+    let mut out = b.to_vec();
+    let mut i = 0;
+    let blank = |out: &mut [u8], from: usize, to: usize| {
+        for slot in &mut out[from..to] {
+            if *slot != b'\n' {
+                *slot = b' ';
+            }
+        }
+    };
+    while i < b.len() {
+        match b[i] {
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let end = src[i..].find('\n').map_or(b.len(), |n| i + n);
+                blank(&mut out, i, end);
+                i = end;
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let mut depth = 1;
+                let mut j = i + 2;
+                while j < b.len() && depth > 0 {
+                    if b[j] == b'/' && j + 1 < b.len() && b[j + 1] == b'*' {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == b'*' && j + 1 < b.len() && b[j + 1] == b'/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                blank(&mut out, i, j);
+                i = j;
+            }
+            b'r' | b'b'
+                if {
+                    // Raw / byte / raw-byte string starts: r" r#" b" br" rb"…
+                    let mut k = i;
+                    if b[k] == b'b' && k + 1 < b.len() && b[k + 1] == b'r' {
+                        k += 1;
+                    }
+                    let is_raw = b[k] == b'r';
+                    let mut h = k + 1;
+                    while is_raw && h < b.len() && b[h] == b'#' {
+                        h += 1;
+                    }
+                    let starts_string = h < b.len() && b[h] == b'"';
+                    // Only treat as a literal when `r`/`b` is not part of
+                    // a longer identifier (e.g. `var"` can't occur).
+                    let prev_ident =
+                        i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_');
+                    (starts_string || (b[i] == b'b' && i + 1 < b.len() && b[i + 1] == b'"'))
+                        && !prev_ident
+                } =>
+            {
+                // Re-derive the shape, then blank to the matching close.
+                let mut k = i;
+                if b[k] == b'b' {
+                    k += 1;
+                }
+                let raw = k < b.len() && b[k] == b'r';
+                if raw {
+                    k += 1;
+                }
+                let mut hashes = 0;
+                while raw && k < b.len() && b[k] == b'#' {
+                    hashes += 1;
+                    k += 1;
+                }
+                debug_assert!(k < b.len() && b[k] == b'"');
+                let mut j = k + 1;
+                while j < b.len() {
+                    if raw {
+                        if b[j] == b'"' && b[j + 1..].iter().take(hashes).all(|&c| c == b'#') {
+                            j += 1 + hashes;
+                            break;
+                        }
+                        j += 1;
+                    } else if b[j] == b'\\' {
+                        j += 2;
+                    } else if b[j] == b'"' {
+                        j += 1;
+                        break;
+                    } else {
+                        j += 1;
+                    }
+                }
+                blank(&mut out, i, j.min(b.len()));
+                i = j.min(b.len());
+            }
+            b'"' => {
+                let mut j = i + 1;
+                while j < b.len() {
+                    if b[j] == b'\\' {
+                        j += 2;
+                    } else if b[j] == b'"' {
+                        j += 1;
+                        break;
+                    } else {
+                        j += 1;
+                    }
+                }
+                blank(&mut out, i, j.min(b.len()));
+                i = j.min(b.len());
+            }
+            b'\'' => {
+                // Char literal vs lifetime: a literal closes with `'`
+                // within a couple of characters (or after an escape).
+                let rest = &b[i + 1..];
+                let lit_len = if rest.first() == Some(&b'\\') {
+                    // Escaped char: find the closing quote.
+                    rest.iter().position(|&c| c == b'\'').map(|p| p + 2)
+                } else if rest.len() >= 2 && rest[1] == b'\'' {
+                    Some(3) // 'x'
+                } else if rest.first().is_some_and(|c| !c.is_ascii()) {
+                    // Multi-byte char literal like '→'.
+                    let s = &src[i + 1..];
+                    s.char_indices()
+                        .nth(1)
+                        .filter(|&(idx, c)| c == '\'' && idx <= 4)
+                        .map(|(idx, _)| idx + 2)
+                } else {
+                    None // lifetime
+                };
+                match lit_len {
+                    Some(n) if i + n <= b.len() => {
+                        blank(&mut out, i, i + n);
+                        i += n;
+                    }
+                    _ => i += 1,
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    // The byte-level blanking never splits UTF-8 sequences we keep, but
+    // be defensive: lossy conversion cannot fail the linter.
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// A `lint:allow(rule): reason` annotation, attached to the line of code
+/// it waives.
+#[derive(Debug, Clone)]
+struct Allow {
+    line: usize,
+    rule: String,
+}
+
+/// Parse `lint:allow(...)` annotations from the ORIGINAL source (they
+/// live in comments, which the stripper removes). An annotation on a
+/// comment-only line applies to the next line; a trailing annotation
+/// applies to its own line. Returns the allows plus violations for
+/// annotations missing a justification.
+fn collect_allows(src: &str) -> (Vec<Allow>, Vec<(usize, String)>) {
+    let mut allows = Vec::new();
+    let mut bad = Vec::new();
+    for (idx, raw) in src.lines().enumerate() {
+        let Some(pos) = raw.find("lint:allow(") else {
+            continue;
+        };
+        let after = &raw[pos + "lint:allow(".len()..];
+        let Some(close) = after.find(')') else {
+            bad.push((idx + 1, "unclosed lint:allow(...)".into()));
+            continue;
+        };
+        let rule = after[..close].trim().to_string();
+        let reason = after[close + 1..]
+            .trim_start_matches([':', ' ', '\t'])
+            .trim();
+        if reason.is_empty() {
+            bad.push((
+                idx + 1,
+                format!("lint:allow({rule}) needs a justification after the closing paren"),
+            ));
+            continue;
+        }
+        // Comment-only line → waives the next line; otherwise its own.
+        let before = &raw[..raw.find("//").unwrap_or(pos)];
+        let line = if before.trim().is_empty() {
+            idx + 2
+        } else {
+            idx + 1
+        };
+        allows.push(Allow { line, rule });
+    }
+    (allows, bad)
+}
+
+/// 1-based line ranges (inclusive) covered by `#[cfg(test)]` items,
+/// computed on stripped source so braces in strings don't confuse the
+/// matcher.
+fn cfg_test_regions(stripped: &str) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut search_from = 0;
+    while let Some(rel) = stripped[search_from..].find("#[cfg(test)]") {
+        let attr_at = search_from + rel;
+        let after = attr_at + "#[cfg(test)]".len();
+        let Some(open_rel) = stripped[after..].find('{') else {
+            break;
+        };
+        let open = after + open_rel;
+        let mut depth = 0usize;
+        let mut end = stripped.len();
+        for (off, ch) in stripped[open..].char_indices() {
+            match ch {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = open + off;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let line_of = |byte: usize| stripped[..byte].matches('\n').count() + 1;
+        regions.push((line_of(attr_at), line_of(end)));
+        search_from = end;
+    }
+    regions
+}
+
+/// Calls that abort the process when they fire.
+const PANIC_TOKENS: &[&str] = &[
+    ".unwrap()",
+    ".expect(",
+    "panic!(",
+    "unreachable!(",
+    "todo!(",
+    "unimplemented!(",
+];
+
+/// Calls that park the thread or hit the disk/network — forbidden while
+/// a lock guard bound in the same scope is live.
+const BLOCKING_TOKENS: &[&str] = &[
+    ".wait(",
+    ".wait_for(",
+    ".recv(",
+    ".recv_timeout(",
+    ".accept(",
+    "thread::sleep",
+    "TcpStream",
+    "File::open",
+    "File::create",
+    "fs::read",
+    "fs::write",
+    "OpenOptions",
+];
+
+/// The workspace lock order: acquiring a lower rank while holding a
+/// higher one risks deadlock against a thread doing the opposite.
+const LOCK_RANKS: &[(&str, u8, &str)] = &[
+    (".state.lock(", 0, "LockManager::state"),
+    (".inner.lock(", 1, "BufferPool::inner"),
+    (".data.read(", 2, "Frame::data"),
+    (".data.write(", 2, "Frame::data"),
+];
+
+/// A guard binding being tracked for liveness.
+struct LiveGuard {
+    name: String,
+    depth: usize,
+    line: usize,
+    rank: Option<u8>,
+}
+
+/// True when `needle` occurs in `hay` delimited by non-identifier chars.
+fn has_word(hay: &str, needle: &str) -> bool {
+    let mut from = 0;
+    while let Some(rel) = hay[from..].find(needle) {
+        let at = from + rel;
+        let pre_ok = at == 0
+            || !hay[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let post = at + needle.len();
+        let post_ok = !hay[post..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if pre_ok && post_ok {
+            return true;
+        }
+        from = at + needle.len();
+    }
+    false
+}
+
+/// Extract `name` from a `let [mut] name = …` line, when the rest of the
+/// line looks like a guard acquisition.
+fn guard_binding(line: &str) -> Option<String> {
+    let after_let = line.trim_start().strip_prefix("let ")?;
+    let after_mut = after_let.strip_prefix("mut ").unwrap_or(after_let);
+    let name: String = after_mut
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    if name.is_empty() {
+        return None;
+    }
+    let rhs = after_mut[name.len()..].trim_start();
+    if !rhs.starts_with('=') {
+        return None;
+    }
+    let acquires = [".lock()", ".read()", ".write()"]
+        .iter()
+        .any(|t| rhs.contains(t));
+    acquires.then_some(name)
+}
+
+/// Panicking index heuristic: `[` directly following an expression tail
+/// (identifier, `)`, `]` or `?`) is an index, not a slice pattern,
+/// attribute or array literal. `catch!` macros (`vec![…]`) are excluded
+/// by the preceding `!`.
+fn has_index_expr(line: &str) -> bool {
+    let bytes = line.as_bytes();
+    for (i, &c) in bytes.iter().enumerate() {
+        if c != b'[' || i == 0 {
+            continue;
+        }
+        // The immediately preceding character decides: rustfmt puts no
+        // space before an index `[`, while patterns/array types have one.
+        let p = bytes[i - 1];
+        if p == b'!' || p == b'#' {
+            continue;
+        }
+        if p.is_ascii_alphanumeric() || p == b'_' || p == b')' || p == b']' || p == b'?' {
+            return true;
+        }
+    }
+    false
+}
+
+/// Lint one file's source under the given rule classes. `path` is used
+/// only for reporting.
+pub fn lint_source(path: &Path, src: &str, class: FileClass) -> Vec<Violation> {
+    let stripped = strip_comments_and_strings(src);
+    let (allows, bad_allows) = collect_allows(src);
+    let test_regions = cfg_test_regions(&stripped);
+    let in_tests = |line: usize| {
+        test_regions
+            .iter()
+            .any(|&(lo, hi)| line >= lo && line <= hi)
+    };
+    let allowed = |line: usize, rule: Rule| {
+        allows
+            .iter()
+            .any(|a| a.line == line && a.rule == rule.name())
+    };
+
+    let mut out = Vec::new();
+    for (line, msg) in bad_allows {
+        // Malformed annotations are reported even inside test regions —
+        // they indicate the escape hatch is being used wrong.
+        out.push(Violation {
+            file: path.to_path_buf(),
+            line,
+            rule: Rule::BadAllow,
+            message: msg,
+        });
+    }
+    let mut push = |line: usize, rule: Rule, message: String| {
+        if !in_tests(line) && !allowed(line, rule) {
+            out.push(Violation {
+                file: path.to_path_buf(),
+                line,
+                rule,
+                message,
+            });
+        }
+    };
+
+    let mut depth = 0usize;
+    let mut guards: Vec<LiveGuard> = Vec::new();
+
+    for (idx, text) in stripped.lines().enumerate() {
+        let line = idx + 1;
+
+        if class.panic_rules {
+            for tok in PANIC_TOKENS {
+                if text.contains(tok) {
+                    push(
+                        line,
+                        Rule::Panic,
+                        format!(
+                            "`{}` in recovery-critical code; return an error instead",
+                            tok
+                        ),
+                    );
+                }
+            }
+            if has_index_expr(text) {
+                push(
+                    line,
+                    Rule::Index,
+                    "panicking slice/array index in recovery-critical code; use .get()".into(),
+                );
+            }
+            if text.contains("let _ =") {
+                push(
+                    line,
+                    Rule::Discard,
+                    "`let _ =` discards a result in recovery-critical code".into(),
+                );
+            }
+        }
+
+        if class.error_rules {
+            if text.contains("Box<dyn Error") || text.contains("Box<dyn std::error::Error") {
+                push(
+                    line,
+                    Rule::Error,
+                    "type-erased `Box<dyn Error>`; use the crate error type".into(),
+                );
+            }
+            if text.contains(".ok().unwrap()") {
+                push(
+                    line,
+                    Rule::Error,
+                    "`.ok().unwrap()` discards the error before panicking on it".into(),
+                );
+            }
+        }
+
+        if class.lock_rules || class.lock_order_rules {
+            // Liveness bookkeeping happens before this line's closers so
+            // a guard bound at depth d dies once depth drops below d.
+            if class.lock_order_rules {
+                for &(tok, rank, what) in LOCK_RANKS {
+                    if !text.contains(tok) {
+                        continue;
+                    }
+                    if let Some(held) = guards
+                        .iter()
+                        .filter(|g| g.rank.is_some_and(|r| r > rank))
+                        .max_by_key(|g| g.rank)
+                    {
+                        push(
+                            line,
+                            Rule::LockOrder,
+                            format!(
+                                "acquires {what} (rank {rank}) while `{}` (rank {}) from line {} \
+                                 is held; order is state → inner → data",
+                                held.name,
+                                held.rank.unwrap_or(0),
+                                held.line
+                            ),
+                        );
+                    }
+                }
+            }
+
+            if class.lock_rules && !guards.is_empty() {
+                for tok in BLOCKING_TOKENS {
+                    if !text.contains(tok) {
+                        continue;
+                    }
+                    for g in &guards {
+                        // A wait that names the guard releases it
+                        // atomically (condvar idiom) — allowed.
+                        if has_word(text, &g.name) {
+                            continue;
+                        }
+                        push(
+                            line,
+                            Rule::Lock,
+                            format!(
+                                "blocking call `{tok}` while guard `{}` from line {} is held",
+                                g.name, g.line
+                            ),
+                        );
+                    }
+                }
+            }
+
+            if let Some(name) = guard_binding(text) {
+                let rank = LOCK_RANKS
+                    .iter()
+                    .find(|(tok, _, _)| text.contains(tok))
+                    .map(|&(_, r, _)| r);
+                guards.push(LiveGuard {
+                    name,
+                    depth,
+                    line,
+                    rank,
+                });
+            }
+            for ch in text.chars() {
+                match ch {
+                    '{' => depth += 1,
+                    '}' => {
+                        depth = depth.saturating_sub(1);
+                        guards.retain(|g| g.depth <= depth);
+                    }
+                    _ => {}
+                }
+            }
+            // Explicit early release via `drop(guard)`.
+            guards.retain(|g| !text.contains(&format!("drop({})", g.name)));
+        }
+    }
+
+    out.sort_by_key(|v| v.line);
+    out
+}
+
+/// Recursively collect `.rs` files under `dir`, skipping `fixtures`
+/// directories (they contain deliberate violations for the linter's own
+/// tests).
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "fixtures") {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lint every `crates/*/src` tree under the workspace root. Returns all
+/// violations, sorted by path and line.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Violation>> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    for entry in fs::read_dir(&crates_dir)? {
+        let src = entry?.path().join("src");
+        if src.is_dir() {
+            walk(&src, &mut files)?;
+        }
+    }
+    files.sort();
+
+    let mut out = Vec::new();
+    for file in files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = fs::read_to_string(&file)?;
+        let rel_path = PathBuf::from(&rel);
+        out.extend(lint_source(&rel_path, &src, classify(&rel)));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stripper_blanks_comments_and_strings() {
+        let src = "let a = \"x.unwrap()\"; // .expect(\n/* panic!( */ let b = 'c';\n";
+        let s = strip_comments_and_strings(src);
+        assert!(!s.contains(".unwrap()"));
+        assert!(!s.contains(".expect("));
+        assert!(!s.contains("panic!("));
+        assert!(s.contains("let a ="));
+        assert!(s.contains("let b ="));
+        assert_eq!(s.matches('\n').count(), src.matches('\n').count());
+    }
+
+    #[test]
+    fn stripper_handles_raw_strings_and_lifetimes() {
+        let src = "let r = r#\"a \" .unwrap() \"#; fn f<'a>(x: &'a str) {}";
+        let s = strip_comments_and_strings(src);
+        assert!(!s.contains(".unwrap()"));
+        assert!(s.contains("fn f<'a>(x: &'a str)"));
+    }
+
+    #[test]
+    fn cfg_test_region_covers_module() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n  fn b() {}\n}\nfn c() {}\n";
+        let stripped = strip_comments_and_strings(src);
+        let regions = cfg_test_regions(&stripped);
+        assert_eq!(regions, vec![(2, 5)]);
+    }
+
+    #[test]
+    fn allow_requires_reason() {
+        let (allows, bad) = collect_allows("x(); // lint:allow(panic)\n");
+        assert!(allows.is_empty());
+        assert_eq!(bad.len(), 1);
+        let (allows, bad) = collect_allows("x(); // lint:allow(panic): checked above\n");
+        assert_eq!(bad.len(), 0);
+        assert_eq!(allows.len(), 1);
+        assert_eq!(allows[0].line, 1);
+    }
+
+    #[test]
+    fn comment_only_allow_applies_to_next_line() {
+        let src = "// lint:allow(index): bounds checked by caller\nlet x = v[0];\n";
+        let (allows, bad) = collect_allows(src);
+        assert!(bad.is_empty());
+        assert_eq!(allows[0].line, 2);
+        let v = lint_source(
+            Path::new("t.rs"),
+            src,
+            FileClass {
+                panic_rules: true,
+                ..FileClass::default()
+            },
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn index_heuristic_distinguishes_uses() {
+        assert!(has_index_expr("let x = data[pos];"));
+        assert!(has_index_expr("f()[0]"));
+        assert!(!has_index_expr("#[cfg(test)]"));
+        assert!(!has_index_expr("let v = vec![1, 2];"));
+        assert!(!has_index_expr("let [a, b] = pair;"));
+        assert!(!has_index_expr("let x: [u8; 4] = y;"));
+    }
+
+    #[test]
+    fn word_match_is_delimited() {
+        assert!(has_word("wait(&mut state)", "state"));
+        assert!(!has_word("wait(&mut state2)", "state"));
+        assert!(!has_word("restate()", "state"));
+    }
+}

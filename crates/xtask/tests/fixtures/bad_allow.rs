@@ -1,0 +1,5 @@
+//! Fixture: a `lint:allow` with no justification is itself a violation.
+
+fn unjustified(v: Option<u32>) -> u32 {
+    v.unwrap() // lint:allow(panic)
+}

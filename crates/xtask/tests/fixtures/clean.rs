@@ -1,0 +1,22 @@
+//! Fixture: passes every rule family — the engine must report nothing.
+
+fn careful(v: Option<u32>) -> Result<u32, String> {
+    v.ok_or_else(|| "missing".to_string())
+}
+
+fn safe_index(v: &[u8]) -> Option<u8> {
+    v.first().copied()
+}
+
+fn ordered_locks(mgr: &LockManager, pool: &BufferPool) {
+    let _state = mgr.state.lock();
+    let _inner = pool.inner.lock();
+}
+
+fn release_then_block(m: &Mutex<u32>, rx: &Receiver<u32>) -> u32 {
+    let x = {
+        let guard = m.lock();
+        *guard
+    };
+    x + rx.recv().unwrap_or_default()
+}

@@ -1,0 +1,28 @@
+//! Fixture: error-hygiene rule family. Not compiled — scanned by
+//! `lint_rules.rs` with `error_rules` enabled (the default for all
+//! library code).
+
+fn erased() -> Result<(), Box<dyn Error>> {
+    // line 5: error (type-erased)
+    Ok(())
+}
+
+fn erased_verbose() -> Result<(), Box<dyn std::error::Error>> {
+    // line 10: error
+    Ok(())
+}
+
+fn laundered(r: Result<u32, String>) -> u32 {
+    r.ok().unwrap() // line 16: error (.ok().unwrap())
+}
+
+fn proper(r: Result<u32, String>) -> Result<u32, String> {
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    fn test_helpers_are_exempt(r: Result<u32, String>) -> u32 {
+        r.ok().unwrap()
+    }
+}

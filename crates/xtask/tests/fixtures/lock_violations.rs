@@ -1,0 +1,54 @@
+//! Fixture: lock-discipline rule family. Not compiled — scanned by
+//! `lint_rules.rs` with `lock_rules` + `lock_order_rules` enabled.
+
+fn blocks_while_holding_guard(m: &Mutex<u32>, rx: &Receiver<u32>) {
+    let guard = m.lock();
+    let _v = rx.recv(); // line 6: lock (guard held across recv)
+    drop(guard);
+}
+
+fn condvar_wait_names_the_guard(m: &Mutex<bool>, cv: &Condvar) {
+    let mut state = m.lock();
+    while !*state {
+        cv.wait(&mut state); // OK: wait releases `state` atomically
+    }
+}
+
+fn drop_releases_before_blocking(m: &Mutex<u32>, rx: &Receiver<u32>) {
+    let guard = m.lock();
+    let _x = *guard;
+    drop(guard);
+    let _v = rx.recv(); // OK: guard explicitly dropped
+}
+
+fn scope_releases_before_blocking(m: &Mutex<u32>, rx: &Receiver<u32>) {
+    {
+        let guard = m.lock();
+        let _x = *guard;
+    }
+    let _v = rx.recv(); // OK: guard died with its block
+}
+
+fn violates_lock_order(pool: &BufferPool, mgr: &LockManager) {
+    let frame = pool.frame();
+    let page = frame.data.write();
+    let _locks = mgr.state.lock(); // line 35: lock_order (rank 0 under rank 2)
+    drop(page);
+}
+
+fn ascending_order_is_fine(mgr: &LockManager, pool: &BufferPool) {
+    let _locks = mgr.state.lock();
+    let _inner = pool.inner.lock(); // OK: rank 0 then rank 1
+}
+
+fn io_while_holding_guard(m: &Mutex<u32>) {
+    let guard = m.lock();
+    let _data = fs::read("wal.log"); // line 46: lock (file I/O under guard)
+    drop(guard);
+}
+
+fn waived_blocking(m: &Mutex<u32>, rx: &Receiver<u32>) {
+    let guard = m.lock();
+    let _v = rx.recv(); // lint:allow(lock): fixture shows a justified waiver
+    drop(guard);
+}

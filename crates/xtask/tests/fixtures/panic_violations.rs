@@ -1,0 +1,51 @@
+//! Fixture: panic-path rule family. Not compiled — scanned by
+//! `lint_rules.rs` with `panic_rules` enabled.
+
+fn bad_unwrap(v: Option<u32>) -> u32 {
+    v.unwrap() // line 5: panic
+}
+
+fn bad_expect(v: Option<u32>) -> u32 {
+    v.expect("present") // line 9: panic
+}
+
+fn bad_macros(x: u32) {
+    if x > 3 {
+        panic!("boom"); // line 14: panic
+    }
+    unreachable!() // line 16: panic
+}
+
+fn bad_index(v: &[u8]) -> u8 {
+    v[0] // line 20: index
+}
+
+fn bad_discard() {
+    let _ = std::fs::remove_file("x"); // line 24: discard
+}
+
+fn allowed_unwrap(v: Option<u32>) -> u32 {
+    v.unwrap() // lint:allow(panic): fixture shows a justified waiver
+}
+
+fn allowed_index(v: &[u8]) -> u8 {
+    // lint:allow(index): bounds established by caller contract
+    v[0]
+}
+
+fn strings_and_comments_do_not_count() {
+    // .unwrap() in a comment is fine
+    let _s = "calling .unwrap() in a string is fine";
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic_freely() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        let s = &[1u8, 2][..];
+        let _ = s[0];
+        panic!("even this is exempt");
+    }
+}

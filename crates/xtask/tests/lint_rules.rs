@@ -1,0 +1,171 @@
+//! Fixture-driven tests for the lint engine: every rule family firing,
+//! every rule family passing, the `lint:allow` escape hatch, the
+//! `#[cfg(test)]` exemption, and the malformed-annotation check.
+
+use std::path::{Path, PathBuf};
+
+use xtask::{classify, lint_source, FileClass, Rule, Violation};
+
+fn fixture(name: &str) -> (PathBuf, String) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let src = std::fs::read_to_string(&path).unwrap();
+    (path, src)
+}
+
+fn scan(name: &str, class: FileClass) -> Vec<Violation> {
+    let (path, src) = fixture(name);
+    lint_source(&path, &src, class)
+}
+
+const ALL_RULES: FileClass = FileClass {
+    panic_rules: true,
+    lock_rules: true,
+    lock_order_rules: true,
+    error_rules: true,
+};
+
+fn lines_of(violations: &[Violation], rule: Rule) -> Vec<usize> {
+    violations
+        .iter()
+        .filter(|v| v.rule == rule)
+        .map(|v| v.line)
+        .collect()
+}
+
+#[test]
+fn panic_family_fires_on_each_token() {
+    let v = scan(
+        "panic_violations.rs",
+        FileClass {
+            panic_rules: true,
+            ..FileClass::default()
+        },
+    );
+    assert_eq!(lines_of(&v, Rule::Panic), vec![5, 9, 14, 16]);
+    assert_eq!(lines_of(&v, Rule::Index), vec![20]);
+    assert_eq!(lines_of(&v, Rule::Discard), vec![24]);
+    // Waived lines, comments, strings, and the #[cfg(test)] module
+    // produced nothing beyond the six above.
+    assert_eq!(v.len(), 6, "{v:#?}");
+}
+
+#[test]
+fn allow_waives_same_line_and_next_line() {
+    let v = scan(
+        "panic_violations.rs",
+        FileClass {
+            panic_rules: true,
+            ..FileClass::default()
+        },
+    );
+    // `allowed_unwrap` (trailing annotation) and `allowed_index`
+    // (comment-line annotation) are absent from the findings.
+    let (_, src) = fixture("panic_violations.rs");
+    let allowed_unwrap_line = src
+        .lines()
+        .position(|l| l.contains("lint:allow(panic): fixture"))
+        .unwrap()
+        + 1;
+    assert!(lines_of(&v, Rule::Panic)
+        .iter()
+        .all(|&l| l != allowed_unwrap_line));
+}
+
+#[test]
+fn cfg_test_module_is_exempt() {
+    let (_, src) = fixture("panic_violations.rs");
+    let first_test_line = src
+        .lines()
+        .position(|l| l.contains("#[cfg(test)]"))
+        .unwrap()
+        + 1;
+    let v = scan("panic_violations.rs", ALL_RULES);
+    assert!(
+        v.iter().all(|f| f.line < first_test_line),
+        "violations inside #[cfg(test)]: {v:#?}"
+    );
+}
+
+#[test]
+fn lock_family_fires_and_respects_releases() {
+    let v = scan(
+        "lock_violations.rs",
+        FileClass {
+            lock_rules: true,
+            lock_order_rules: true,
+            ..FileClass::default()
+        },
+    );
+    // Guard held across recv (6), lock-order inversion (35), file I/O
+    // under a guard (45). The condvar wait, drop(), scope-exit and
+    // waived cases must stay quiet.
+    assert_eq!(lines_of(&v, Rule::Lock), vec![6, 46]);
+    assert_eq!(lines_of(&v, Rule::LockOrder), vec![35]);
+    assert_eq!(v.len(), 3, "{v:#?}");
+}
+
+#[test]
+fn error_family_fires_on_erasure_and_laundering() {
+    let v = scan(
+        "error_violations.rs",
+        FileClass {
+            error_rules: true,
+            ..FileClass::default()
+        },
+    );
+    assert_eq!(lines_of(&v, Rule::Error), vec![5, 10, 16]);
+    assert_eq!(v.len(), 3, "{v:#?}");
+}
+
+#[test]
+fn clean_fixture_passes_every_rule() {
+    let v = scan("clean.rs", ALL_RULES);
+    assert!(v.is_empty(), "{v:#?}");
+}
+
+#[test]
+fn allow_without_reason_is_flagged_and_does_not_waive() {
+    let v = scan(
+        "bad_allow.rs",
+        FileClass {
+            panic_rules: true,
+            ..FileClass::default()
+        },
+    );
+    assert_eq!(lines_of(&v, Rule::BadAllow), vec![4]);
+    // The malformed annotation does NOT suppress the underlying finding.
+    assert_eq!(lines_of(&v, Rule::Panic), vec![4]);
+}
+
+#[test]
+fn classify_maps_recovery_critical_paths() {
+    assert!(classify("crates/core/src/session.rs").panic_rules);
+    assert!(classify("crates/core/src/persist.rs").panic_rules);
+    assert!(classify("crates/sqlengine/src/wal/log.rs").panic_rules);
+    assert!(classify("crates/wire/src/server.rs").panic_rules);
+    assert!(!classify("crates/sqlengine/src/sql/parser.rs").panic_rules);
+
+    assert!(classify("crates/sqlengine/src/txn/locks.rs").lock_rules);
+    assert!(classify("crates/sqlengine/src/storage/buffer.rs").lock_rules);
+    assert!(!classify("crates/core/src/session.rs").lock_rules);
+
+    assert!(classify("crates/sqlengine/src/engine.rs").lock_order_rules);
+    assert!(!classify("crates/wire/src/protocol.rs").lock_order_rules);
+
+    // Everything scanned gets error hygiene.
+    assert!(classify("crates/workloads/src/lib.rs").error_rules);
+}
+
+#[test]
+fn workspace_lint_is_clean() {
+    // The repo itself must stay lint-clean; this is the same scan
+    // `cargo xtask lint` runs, so a regression fails the test suite too.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .unwrap();
+    let v = xtask::lint_workspace(root).unwrap();
+    assert!(v.is_empty(), "workspace lint regressions: {v:#?}");
+}

@@ -11,6 +11,8 @@
 //! query — it reopens the table and repositions, in a fraction of the
 //! original query time. Both repositioning modes are demonstrated.
 
+// Integration tests unwrap freely; hygiene lints target library code.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use std::time::{Duration, Instant};
 
 use phoenix::{PhoenixConfig, PhoenixConnection, RepositionMode};
@@ -103,7 +105,10 @@ fn main() {
             batch.push(format!("({i}, '{r}', '{p}', {amount:.2})"));
             if batch.len() == 500 {
                 engine
-                    .execute(sid, &format!("INSERT INTO sales VALUES {}", batch.join(",")))
+                    .execute(
+                        sid,
+                        &format!("INSERT INTO sales VALUES {}", batch.join(",")),
+                    )
                     .unwrap();
                 batch.clear();
             }

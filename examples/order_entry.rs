@@ -13,6 +13,8 @@
 //! despite the outages, the application code only handles ordinary
 //! transaction aborts (retry), never connection failures.
 
+// Integration tests unwrap freely; hygiene lints target library code.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -33,10 +35,8 @@ fn main() {
     px.exec("CREATE TABLE counters (name VARCHAR(20) PRIMARY KEY, next_id INT)")
         .unwrap();
     px.exec("INSERT INTO counters VALUES ('order', 1)").unwrap();
-    px.exec(
-        "CREATE TABLE orders (o_id INT PRIMARY KEY, item VARCHAR(20), qty INT, price FLOAT)",
-    )
-    .unwrap();
+    px.exec("CREATE TABLE orders (o_id INT PRIMARY KEY, item VARCHAR(20), qty INT, price FLOAT)")
+        .unwrap();
     px.exec("CREATE TABLE stock (item VARCHAR(20) PRIMARY KEY, on_hand INT)")
         .unwrap();
     px.exec("INSERT INTO stock VALUES ('anvil', 10000), ('rocket', 10000), ('magnet', 10000)")
@@ -113,26 +113,30 @@ fn main() {
         .unwrap()[0][0]
         .as_i64()
         .unwrap();
-    let sold = px
-        .query_all("SELECT SUM(qty) FROM orders")
-        .unwrap()[0][0]
+    let sold = px.query_all("SELECT SUM(qty) FROM orders").unwrap()[0][0]
         .as_i64()
         .unwrap();
-    let on_hand = px
-        .query_all("SELECT SUM(on_hand) FROM stock")
-        .unwrap()[0][0]
+    let on_hand = px.query_all("SELECT SUM(on_hand) FROM stock").unwrap()[0][0]
         .as_i64()
         .unwrap();
 
     println!("   committed client-side: {committed}");
     println!("   orders in database:    {n_orders}");
     println!("   order counter:         {next_id} (= orders + 1)");
-    println!("   stock sold {sold}, on hand {on_hand} (= 30000 - sold: {})", 30000 - sold);
+    println!(
+        "   stock sold {sold}, on hand {on_hand} (= 30000 - sold: {})",
+        30000 - sold
+    );
 
-    assert_eq!(n_orders as u64, committed, "every committed order exactly once");
+    assert_eq!(
+        n_orders as u64, committed,
+        "every committed order exactly once"
+    );
     assert_eq!(next_id, n_orders + 1, "counter consistent with orders");
     assert_eq!(on_hand, 30000 - sold, "stock consistent with orders");
-    let ids = px.query_all("SELECT o_id FROM orders ORDER BY o_id").unwrap();
+    let ids = px
+        .query_all("SELECT o_id FROM orders ORDER BY o_id")
+        .unwrap();
     for (i, r) in ids.iter().enumerate() {
         assert_eq!(r[0], Value::Int(i as i64 + 1), "order ids dense");
     }

@@ -10,6 +10,8 @@
 //! underneath it. The application code has **no** failure handling — that
 //! is the whole point of the paper.
 
+// Integration tests unwrap freely; hygiene lints target library code.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use std::time::Duration;
 
 use phoenix::{PhoenixConfig, PhoenixConnection};
@@ -56,7 +58,10 @@ fn main() {
     while let Some(r) = px.fetch().unwrap() {
         rows.push(r);
     }
-    println!("   delivered {} rows total, in order, exactly once", rows.len());
+    println!(
+        "   delivered {} rows total, in order, exactly once",
+        rows.len()
+    );
     assert_eq!(rows.len(), 200);
     for (i, r) in rows.iter().enumerate() {
         assert_eq!(r[0], sqlengine::Value::Int(i as i64));

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Pre-merge gate for this repository (see ROADMAP.md). Runs the tier-1
+# release build, then the full `cargo xtask ci` chain:
+#   fmt --check -> clippy (-D warnings, unwrap/expect stay advisory)
+#   -> xtask lint (panic-path / lock-discipline / error-hygiene)
+#   -> cargo test --workspace
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo xtask ci

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_cache_sweep-07122d270592c5ca.d: crates/bench/src/bin/ablation_cache_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_cache_sweep-07122d270592c5ca.rmeta: crates/bench/src/bin/ablation_cache_sweep.rs Cargo.toml
+
+crates/bench/src/bin/ablation_cache_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_cache_sweep-73e47ab54c4955cc.d: crates/bench/src/bin/ablation_cache_sweep.rs
+
+/root/repo/target/debug/deps/ablation_cache_sweep-73e47ab54c4955cc: crates/bench/src/bin/ablation_cache_sweep.rs
+
+crates/bench/src/bin/ablation_cache_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_cache_sweep-e8f9d3ab384adb86.d: crates/bench/src/bin/ablation_cache_sweep.rs
+
+/root/repo/target/debug/deps/ablation_cache_sweep-e8f9d3ab384adb86: crates/bench/src/bin/ablation_cache_sweep.rs
+
+crates/bench/src/bin/ablation_cache_sweep.rs:

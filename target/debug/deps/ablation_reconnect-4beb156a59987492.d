@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_reconnect-4beb156a59987492.d: crates/bench/src/bin/ablation_reconnect.rs
+
+/root/repo/target/debug/deps/ablation_reconnect-4beb156a59987492: crates/bench/src/bin/ablation_reconnect.rs
+
+crates/bench/src/bin/ablation_reconnect.rs:

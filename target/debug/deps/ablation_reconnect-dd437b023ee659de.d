@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_reconnect-dd437b023ee659de.d: crates/bench/src/bin/ablation_reconnect.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_reconnect-dd437b023ee659de.rmeta: crates/bench/src/bin/ablation_reconnect.rs Cargo.toml
+
+crates/bench/src/bin/ablation_reconnect.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_tpcc_sensitivity-6ef98e3fc89f1209.d: crates/bench/src/bin/ablation_tpcc_sensitivity.rs
+
+/root/repo/target/debug/deps/ablation_tpcc_sensitivity-6ef98e3fc89f1209: crates/bench/src/bin/ablation_tpcc_sensitivity.rs
+
+crates/bench/src/bin/ablation_tpcc_sensitivity.rs:

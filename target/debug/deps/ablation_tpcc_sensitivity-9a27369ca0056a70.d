@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_tpcc_sensitivity-9a27369ca0056a70.d: crates/bench/src/bin/ablation_tpcc_sensitivity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_tpcc_sensitivity-9a27369ca0056a70.rmeta: crates/bench/src/bin/ablation_tpcc_sensitivity.rs Cargo.toml
+
+crates/bench/src/bin/ablation_tpcc_sensitivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

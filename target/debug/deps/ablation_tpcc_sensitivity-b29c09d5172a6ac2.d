@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_tpcc_sensitivity-b29c09d5172a6ac2.d: crates/bench/src/bin/ablation_tpcc_sensitivity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_tpcc_sensitivity-b29c09d5172a6ac2.rmeta: crates/bench/src/bin/ablation_tpcc_sensitivity.rs Cargo.toml
+
+crates/bench/src/bin/ablation_tpcc_sensitivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_tpcc_sensitivity-ff3b7ff0c3111d2f.d: crates/bench/src/bin/ablation_tpcc_sensitivity.rs
+
+/root/repo/target/debug/deps/ablation_tpcc_sensitivity-ff3b7ff0c3111d2f: crates/bench/src/bin/ablation_tpcc_sensitivity.rs
+
+crates/bench/src/bin/ablation_tpcc_sensitivity.rs:

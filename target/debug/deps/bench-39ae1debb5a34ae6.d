@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bench-39ae1debb5a34ae6.d: crates/bench/src/lib.rs crates/bench/src/measure.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench-39ae1debb5a34ae6.rmeta: crates/bench/src/lib.rs crates/bench/src/measure.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/measure.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

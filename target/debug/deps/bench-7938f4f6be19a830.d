@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/bench-7938f4f6be19a830.d: crates/bench/src/lib.rs crates/bench/src/measure.rs
+
+/root/repo/target/debug/deps/libbench-7938f4f6be19a830.rlib: crates/bench/src/lib.rs crates/bench/src/measure.rs
+
+/root/repo/target/debug/deps/libbench-7938f4f6be19a830.rmeta: crates/bench/src/lib.rs crates/bench/src/measure.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/measure.rs:

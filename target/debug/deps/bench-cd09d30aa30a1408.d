@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/bench-cd09d30aa30a1408.d: crates/bench/src/lib.rs crates/bench/src/measure.rs
+
+/root/repo/target/debug/deps/bench-cd09d30aa30a1408: crates/bench/src/lib.rs crates/bench/src/measure.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/measure.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/concurrency-4be4144cb7ec4d2f.d: crates/sqlengine/tests/concurrency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconcurrency-4be4144cb7ec4d2f.rmeta: crates/sqlengine/tests/concurrency.rs Cargo.toml
+
+crates/sqlengine/tests/concurrency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrency-6ceacc382dd5ce06.d: crates/sqlengine/tests/concurrency.rs
+
+/root/repo/target/debug/deps/concurrency-6ceacc382dd5ce06: crates/sqlengine/tests/concurrency.rs
+
+crates/sqlengine/tests/concurrency.rs:

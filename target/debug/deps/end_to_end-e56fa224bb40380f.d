@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-e56fa224bb40380f.d: crates/integration/../../tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-e56fa224bb40380f: crates/integration/../../tests/end_to_end.rs
+
+crates/integration/../../tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_micro-19573beee8c6c69b.d: crates/bench/benches/engine_micro.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_micro-19573beee8c6c69b.rmeta: crates/bench/benches/engine_micro.rs Cargo.toml
+
+crates/bench/benches/engine_micro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

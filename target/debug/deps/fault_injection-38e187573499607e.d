@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_injection-38e187573499607e.d: crates/integration/../../tests/fault_injection.rs
+
+/root/repo/target/debug/deps/fault_injection-38e187573499607e: crates/integration/../../tests/fault_injection.rs
+
+crates/integration/../../tests/fault_injection.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_injection-45700155e2cb591f.d: crates/integration/../../tests/fault_injection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_injection-45700155e2cb591f.rmeta: crates/integration/../../tests/fault_injection.rs Cargo.toml
+
+crates/integration/../../tests/fault_injection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_recovery_client-2b145e8ee45ee17e.d: crates/bench/src/bin/fig3_recovery_client.rs
+
+/root/repo/target/debug/deps/fig3_recovery_client-2b145e8ee45ee17e: crates/bench/src/bin/fig3_recovery_client.rs
+
+crates/bench/src/bin/fig3_recovery_client.rs:

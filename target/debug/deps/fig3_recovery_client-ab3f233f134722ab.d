@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_recovery_client-ab3f233f134722ab.d: crates/bench/src/bin/fig3_recovery_client.rs
+
+/root/repo/target/debug/deps/fig3_recovery_client-ab3f233f134722ab: crates/bench/src/bin/fig3_recovery_client.rs
+
+crates/bench/src/bin/fig3_recovery_client.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_recovery_client-c982d19fca544ee2.d: crates/bench/src/bin/fig3_recovery_client.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_recovery_client-c982d19fca544ee2.rmeta: crates/bench/src/bin/fig3_recovery_client.rs Cargo.toml
+
+crates/bench/src/bin/fig3_recovery_client.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

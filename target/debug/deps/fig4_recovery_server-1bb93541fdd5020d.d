@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_recovery_server-1bb93541fdd5020d.d: crates/bench/src/bin/fig4_recovery_server.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_recovery_server-1bb93541fdd5020d.rmeta: crates/bench/src/bin/fig4_recovery_server.rs Cargo.toml
+
+crates/bench/src/bin/fig4_recovery_server.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_recovery_server-7b6ff263c84d8b03.d: crates/bench/src/bin/fig4_recovery_server.rs
+
+/root/repo/target/debug/deps/fig4_recovery_server-7b6ff263c84d8b03: crates/bench/src/bin/fig4_recovery_server.rs
+
+crates/bench/src/bin/fig4_recovery_server.rs:

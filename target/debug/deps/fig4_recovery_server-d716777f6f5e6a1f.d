@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_recovery_server-d716777f6f5e6a1f.d: crates/bench/src/bin/fig4_recovery_server.rs
+
+/root/repo/target/debug/deps/fig4_recovery_server-d716777f6f5e6a1f: crates/bench/src/bin/fig4_recovery_server.rs
+
+crates/bench/src/bin/fig4_recovery_server.rs:

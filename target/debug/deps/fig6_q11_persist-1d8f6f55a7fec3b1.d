@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_q11_persist-1d8f6f55a7fec3b1.d: crates/bench/src/bin/fig6_q11_persist.rs
+
+/root/repo/target/debug/deps/fig6_q11_persist-1d8f6f55a7fec3b1: crates/bench/src/bin/fig6_q11_persist.rs
+
+crates/bench/src/bin/fig6_q11_persist.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_q11_persist-f19d805b76aa7189.d: crates/bench/src/bin/fig6_q11_persist.rs
+
+/root/repo/target/debug/deps/fig6_q11_persist-f19d805b76aa7189: crates/bench/src/bin/fig6_q11_persist.rs
+
+crates/bench/src/bin/fig6_q11_persist.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_q11_persist-f7854cbb22abad99.d: crates/bench/src/bin/fig6_q11_persist.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_q11_persist-f7854cbb22abad99.rmeta: crates/bench/src/bin/fig6_q11_persist.rs Cargo.toml
+
+crates/bench/src/bin/fig6_q11_persist.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_tests-08f7ffe53309d2b7.d: crates/integration/src/lib.rs
+
+/root/repo/target/debug/deps/integration_tests-08f7ffe53309d2b7: crates/integration/src/lib.rs
+
+crates/integration/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/integration_tests-57f77917f36d51e0.d: crates/integration/src/lib.rs
+
+/root/repo/target/debug/deps/libintegration_tests-57f77917f36d51e0.rlib: crates/integration/src/lib.rs
+
+/root/repo/target/debug/deps/libintegration_tests-57f77917f36d51e0.rmeta: crates/integration/src/lib.rs
+
+crates/integration/src/lib.rs:

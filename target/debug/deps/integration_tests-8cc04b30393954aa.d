@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_tests-8cc04b30393954aa.d: crates/integration/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_tests-8cc04b30393954aa.rmeta: crates/integration/src/lib.rs Cargo.toml
+
+crates/integration/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

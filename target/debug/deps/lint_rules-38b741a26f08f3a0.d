@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lint_rules-38b741a26f08f3a0.d: crates/xtask/tests/lint_rules.rs
+
+/root/repo/target/debug/deps/lint_rules-38b741a26f08f3a0: crates/xtask/tests/lint_rules.rs
+
+crates/xtask/tests/lint_rules.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/xtask

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lint_rules-bb5891305cf455e2.d: crates/xtask/tests/lint_rules.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblint_rules-bb5891305cf455e2.rmeta: crates/xtask/tests/lint_rules.rs Cargo.toml
+
+crates/xtask/tests/lint_rules.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/xtask
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/odbcsim-3a09d245e631c04a.d: crates/odbcsim/src/lib.rs
+
+/root/repo/target/debug/deps/odbcsim-3a09d245e631c04a: crates/odbcsim/src/lib.rs
+
+crates/odbcsim/src/lib.rs:

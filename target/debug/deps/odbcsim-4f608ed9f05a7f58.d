@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/odbcsim-4f608ed9f05a7f58.d: crates/odbcsim/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libodbcsim-4f608ed9f05a7f58.rmeta: crates/odbcsim/src/lib.rs Cargo.toml
+
+crates/odbcsim/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/odbcsim-7210800a8a035330.d: crates/odbcsim/src/lib.rs
+
+/root/repo/target/debug/deps/libodbcsim-7210800a8a035330.rlib: crates/odbcsim/src/lib.rs
+
+/root/repo/target/debug/deps/libodbcsim-7210800a8a035330.rmeta: crates/odbcsim/src/lib.rs
+
+crates/odbcsim/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/persist_steps-2c5d56fc1dc5c210.d: crates/bench/benches/persist_steps.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpersist_steps-2c5d56fc1dc5c210.rmeta: crates/bench/benches/persist_steps.rs Cargo.toml
+
+crates/bench/benches/persist_steps.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/phoenix-80ccd68bd19e2347.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/intercept.rs crates/core/src/persist.rs crates/core/src/session.rs Cargo.toml
+
+/root/repo/target/debug/deps/libphoenix-80ccd68bd19e2347.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/intercept.rs crates/core/src/persist.rs crates/core/src/session.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/intercept.rs:
+crates/core/src/persist.rs:
+crates/core/src/session.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/phoenix-94ffc6c7fedff8a6.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/intercept.rs crates/core/src/persist.rs crates/core/src/session.rs
+
+/root/repo/target/debug/deps/phoenix-94ffc6c7fedff8a6: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/intercept.rs crates/core/src/persist.rs crates/core/src/session.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/intercept.rs:
+crates/core/src/persist.rs:
+crates/core/src/session.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/phoenix-d5e5081ea5aab63c.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/intercept.rs crates/core/src/persist.rs crates/core/src/session.rs
+
+/root/repo/target/debug/deps/libphoenix-d5e5081ea5aab63c.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/intercept.rs crates/core/src/persist.rs crates/core/src/session.rs
+
+/root/repo/target/debug/deps/libphoenix-d5e5081ea5aab63c.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/intercept.rs crates/core/src/persist.rs crates/core/src/session.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/intercept.rs:
+crates/core/src/persist.rs:
+crates/core/src/session.rs:

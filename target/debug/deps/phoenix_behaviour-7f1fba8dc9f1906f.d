@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/phoenix_behaviour-7f1fba8dc9f1906f.d: crates/core/tests/phoenix_behaviour.rs Cargo.toml
+
+/root/repo/target/debug/deps/libphoenix_behaviour-7f1fba8dc9f1906f.rmeta: crates/core/tests/phoenix_behaviour.rs Cargo.toml
+
+crates/core/tests/phoenix_behaviour.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

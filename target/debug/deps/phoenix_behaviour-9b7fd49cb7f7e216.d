@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/phoenix_behaviour-9b7fd49cb7f7e216.d: crates/core/tests/phoenix_behaviour.rs
+
+/root/repo/target/debug/deps/phoenix_behaviour-9b7fd49cb7f7e216: crates/core/tests/phoenix_behaviour.rs
+
+crates/core/tests/phoenix_behaviour.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-3a2b1d004ecd6224.d: crates/integration/../../tests/properties.rs
+
+/root/repo/target/debug/deps/properties-3a2b1d004ecd6224: crates/integration/../../tests/properties.rs
+
+crates/integration/../../tests/properties.rs:

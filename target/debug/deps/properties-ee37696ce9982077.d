@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-ee37696ce9982077.d: crates/integration/../../tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-ee37696ce9982077.rmeta: crates/integration/../../tests/properties.rs Cargo.toml
+
+crates/integration/../../tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

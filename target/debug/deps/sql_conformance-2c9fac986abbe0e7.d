@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sql_conformance-2c9fac986abbe0e7.d: crates/sqlengine/tests/sql_conformance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsql_conformance-2c9fac986abbe0e7.rmeta: crates/sqlengine/tests/sql_conformance.rs Cargo.toml
+
+crates/sqlengine/tests/sql_conformance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

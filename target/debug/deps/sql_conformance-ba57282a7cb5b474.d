@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sql_conformance-ba57282a7cb5b474.d: crates/sqlengine/tests/sql_conformance.rs
+
+/root/repo/target/debug/deps/sql_conformance-ba57282a7cb5b474: crates/sqlengine/tests/sql_conformance.rs
+
+crates/sqlengine/tests/sql_conformance.rs:

@@ -1,0 +1,33 @@
+/root/repo/target/debug/deps/sqlengine-a36ca99e90ec7f9a.d: crates/sqlengine/src/lib.rs crates/sqlengine/src/catalog.rs crates/sqlengine/src/engine.rs crates/sqlengine/src/error.rs crates/sqlengine/src/exec/mod.rs crates/sqlengine/src/exec/binding.rs crates/sqlengine/src/exec/eval.rs crates/sqlengine/src/exec/select.rs crates/sqlengine/src/schema.rs crates/sqlengine/src/session.rs crates/sqlengine/src/sql/mod.rs crates/sqlengine/src/sql/ast.rs crates/sqlengine/src/sql/lexer.rs crates/sqlengine/src/sql/parser.rs crates/sqlengine/src/storage/mod.rs crates/sqlengine/src/storage/buffer.rs crates/sqlengine/src/storage/disk.rs crates/sqlengine/src/storage/heap.rs crates/sqlengine/src/storage/page.rs crates/sqlengine/src/txn/mod.rs crates/sqlengine/src/txn/locks.rs crates/sqlengine/src/types.rs crates/sqlengine/src/wal/mod.rs crates/sqlengine/src/wal/log.rs crates/sqlengine/src/wal/recovery.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsqlengine-a36ca99e90ec7f9a.rmeta: crates/sqlengine/src/lib.rs crates/sqlengine/src/catalog.rs crates/sqlengine/src/engine.rs crates/sqlengine/src/error.rs crates/sqlengine/src/exec/mod.rs crates/sqlengine/src/exec/binding.rs crates/sqlengine/src/exec/eval.rs crates/sqlengine/src/exec/select.rs crates/sqlengine/src/schema.rs crates/sqlengine/src/session.rs crates/sqlengine/src/sql/mod.rs crates/sqlengine/src/sql/ast.rs crates/sqlengine/src/sql/lexer.rs crates/sqlengine/src/sql/parser.rs crates/sqlengine/src/storage/mod.rs crates/sqlengine/src/storage/buffer.rs crates/sqlengine/src/storage/disk.rs crates/sqlengine/src/storage/heap.rs crates/sqlengine/src/storage/page.rs crates/sqlengine/src/txn/mod.rs crates/sqlengine/src/txn/locks.rs crates/sqlengine/src/types.rs crates/sqlengine/src/wal/mod.rs crates/sqlengine/src/wal/log.rs crates/sqlengine/src/wal/recovery.rs Cargo.toml
+
+crates/sqlengine/src/lib.rs:
+crates/sqlengine/src/catalog.rs:
+crates/sqlengine/src/engine.rs:
+crates/sqlengine/src/error.rs:
+crates/sqlengine/src/exec/mod.rs:
+crates/sqlengine/src/exec/binding.rs:
+crates/sqlengine/src/exec/eval.rs:
+crates/sqlengine/src/exec/select.rs:
+crates/sqlengine/src/schema.rs:
+crates/sqlengine/src/session.rs:
+crates/sqlengine/src/sql/mod.rs:
+crates/sqlengine/src/sql/ast.rs:
+crates/sqlengine/src/sql/lexer.rs:
+crates/sqlengine/src/sql/parser.rs:
+crates/sqlengine/src/storage/mod.rs:
+crates/sqlengine/src/storage/buffer.rs:
+crates/sqlengine/src/storage/disk.rs:
+crates/sqlengine/src/storage/heap.rs:
+crates/sqlengine/src/storage/page.rs:
+crates/sqlengine/src/txn/mod.rs:
+crates/sqlengine/src/txn/locks.rs:
+crates/sqlengine/src/types.rs:
+crates/sqlengine/src/wal/mod.rs:
+crates/sqlengine/src/wal/log.rs:
+crates/sqlengine/src/wal/recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

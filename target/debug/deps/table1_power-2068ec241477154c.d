@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_power-2068ec241477154c.d: crates/bench/src/bin/table1_power.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_power-2068ec241477154c.rmeta: crates/bench/src/bin/table1_power.rs Cargo.toml
+
+crates/bench/src/bin/table1_power.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

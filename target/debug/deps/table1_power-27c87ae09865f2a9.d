@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_power-27c87ae09865f2a9.d: crates/bench/src/bin/table1_power.rs
+
+/root/repo/target/debug/deps/table1_power-27c87ae09865f2a9: crates/bench/src/bin/table1_power.rs
+
+crates/bench/src/bin/table1_power.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_power-7cc273e5a4fe5e01.d: crates/bench/src/bin/table1_power.rs
+
+/root/repo/target/debug/deps/table1_power-7cc273e5a4fe5e01: crates/bench/src/bin/table1_power.rs
+
+crates/bench/src/bin/table1_power.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_throughput-2ee1837be110bbab.d: crates/bench/src/bin/table2_throughput.rs
+
+/root/repo/target/debug/deps/table2_throughput-2ee1837be110bbab: crates/bench/src/bin/table2_throughput.rs
+
+crates/bench/src/bin/table2_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_throughput-80ed5bdd36d0c684.d: crates/bench/src/bin/table2_throughput.rs
+
+/root/repo/target/debug/deps/table2_throughput-80ed5bdd36d0c684: crates/bench/src/bin/table2_throughput.rs
+
+crates/bench/src/bin/table2_throughput.rs:

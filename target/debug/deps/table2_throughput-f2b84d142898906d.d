@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_throughput-f2b84d142898906d.d: crates/bench/src/bin/table2_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_throughput-f2b84d142898906d.rmeta: crates/bench/src/bin/table2_throughput.rs Cargo.toml
+
+crates/bench/src/bin/table2_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

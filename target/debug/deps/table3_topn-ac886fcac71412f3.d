@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_topn-ac886fcac71412f3.d: crates/bench/src/bin/table3_topn.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_topn-ac886fcac71412f3.rmeta: crates/bench/src/bin/table3_topn.rs Cargo.toml
+
+crates/bench/src/bin/table3_topn.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_topn-b6d1af40967bf798.d: crates/bench/src/bin/table3_topn.rs
+
+/root/repo/target/debug/deps/table3_topn-b6d1af40967bf798: crates/bench/src/bin/table3_topn.rs
+
+crates/bench/src/bin/table3_topn.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_topn-fc2efd1a2f4f39aa.d: crates/bench/src/bin/table3_topn.rs
+
+/root/repo/target/debug/deps/table3_topn-fc2efd1a2f4f39aa: crates/bench/src/bin/table3_topn.rs
+
+crates/bench/src/bin/table3_topn.rs:

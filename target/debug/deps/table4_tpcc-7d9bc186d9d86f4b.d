@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4_tpcc-7d9bc186d9d86f4b.d: crates/bench/src/bin/table4_tpcc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4_tpcc-7d9bc186d9d86f4b.rmeta: crates/bench/src/bin/table4_tpcc.rs Cargo.toml
+
+crates/bench/src/bin/table4_tpcc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

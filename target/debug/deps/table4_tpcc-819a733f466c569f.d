@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_tpcc-819a733f466c569f.d: crates/bench/src/bin/table4_tpcc.rs
+
+/root/repo/target/debug/deps/table4_tpcc-819a733f466c569f: crates/bench/src/bin/table4_tpcc.rs
+
+crates/bench/src/bin/table4_tpcc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_tpcc-f78b84d1dfbe1634.d: crates/bench/src/bin/table4_tpcc.rs
+
+/root/repo/target/debug/deps/table4_tpcc-f78b84d1dfbe1634: crates/bench/src/bin/table4_tpcc.rs
+
+crates/bench/src/bin/table4_tpcc.rs:

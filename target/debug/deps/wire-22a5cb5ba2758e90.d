@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/wire-22a5cb5ba2758e90.d: crates/wire/src/lib.rs crates/wire/src/protocol.rs crates/wire/src/server.rs crates/wire/src/transport.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwire-22a5cb5ba2758e90.rmeta: crates/wire/src/lib.rs crates/wire/src/protocol.rs crates/wire/src/server.rs crates/wire/src/transport.rs Cargo.toml
+
+crates/wire/src/lib.rs:
+crates/wire/src/protocol.rs:
+crates/wire/src/server.rs:
+crates/wire/src/transport.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

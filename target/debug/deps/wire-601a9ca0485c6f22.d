@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/wire-601a9ca0485c6f22.d: crates/wire/src/lib.rs crates/wire/src/protocol.rs crates/wire/src/server.rs crates/wire/src/transport.rs
+
+/root/repo/target/debug/deps/libwire-601a9ca0485c6f22.rlib: crates/wire/src/lib.rs crates/wire/src/protocol.rs crates/wire/src/server.rs crates/wire/src/transport.rs
+
+/root/repo/target/debug/deps/libwire-601a9ca0485c6f22.rmeta: crates/wire/src/lib.rs crates/wire/src/protocol.rs crates/wire/src/server.rs crates/wire/src/transport.rs
+
+crates/wire/src/lib.rs:
+crates/wire/src/protocol.rs:
+crates/wire/src/server.rs:
+crates/wire/src/transport.rs:

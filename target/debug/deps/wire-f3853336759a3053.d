@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/wire-f3853336759a3053.d: crates/wire/src/lib.rs crates/wire/src/protocol.rs crates/wire/src/server.rs crates/wire/src/transport.rs
+
+/root/repo/target/debug/deps/wire-f3853336759a3053: crates/wire/src/lib.rs crates/wire/src/protocol.rs crates/wire/src/server.rs crates/wire/src/transport.rs
+
+crates/wire/src/lib.rs:
+crates/wire/src/protocol.rs:
+crates/wire/src/server.rs:
+crates/wire/src/transport.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wire_stress-025ea5dfba222723.d: crates/wire/tests/wire_stress.rs
+
+/root/repo/target/debug/deps/wire_stress-025ea5dfba222723: crates/wire/tests/wire_stress.rs
+
+crates/wire/tests/wire_stress.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wire_stress-e733e15dffc17065.d: crates/wire/tests/wire_stress.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwire_stress-e733e15dffc17065.rmeta: crates/wire/tests/wire_stress.rs Cargo.toml
+
+crates/wire/tests/wire_stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workload_smoke-e029611224ef3ee9.d: crates/workloads/tests/workload_smoke.rs
+
+/root/repo/target/debug/deps/workload_smoke-e029611224ef3ee9: crates/workloads/tests/workload_smoke.rs
+
+crates/workloads/tests/workload_smoke.rs:

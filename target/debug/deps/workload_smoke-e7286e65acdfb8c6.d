@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/workload_smoke-e7286e65acdfb8c6.d: crates/workloads/tests/workload_smoke.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkload_smoke-e7286e65acdfb8c6.rmeta: crates/workloads/tests/workload_smoke.rs Cargo.toml
+
+crates/workloads/tests/workload_smoke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/workloads-4085cdd6ff36b967.d: crates/workloads/src/lib.rs crates/workloads/src/client.rs crates/workloads/src/tpcc/mod.rs crates/workloads/src/tpcc/driver.rs crates/workloads/src/tpcc/gen.rs crates/workloads/src/tpcc/txns.rs crates/workloads/src/tpch/mod.rs crates/workloads/src/tpch/gen.rs crates/workloads/src/tpch/queries.rs crates/workloads/src/tpch/refresh.rs
+
+/root/repo/target/debug/deps/workloads-4085cdd6ff36b967: crates/workloads/src/lib.rs crates/workloads/src/client.rs crates/workloads/src/tpcc/mod.rs crates/workloads/src/tpcc/driver.rs crates/workloads/src/tpcc/gen.rs crates/workloads/src/tpcc/txns.rs crates/workloads/src/tpch/mod.rs crates/workloads/src/tpch/gen.rs crates/workloads/src/tpch/queries.rs crates/workloads/src/tpch/refresh.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/client.rs:
+crates/workloads/src/tpcc/mod.rs:
+crates/workloads/src/tpcc/driver.rs:
+crates/workloads/src/tpcc/gen.rs:
+crates/workloads/src/tpcc/txns.rs:
+crates/workloads/src/tpch/mod.rs:
+crates/workloads/src/tpch/gen.rs:
+crates/workloads/src/tpch/queries.rs:
+crates/workloads/src/tpch/refresh.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/workloads-432e5eed871546d3.d: crates/workloads/src/lib.rs crates/workloads/src/client.rs crates/workloads/src/tpcc/mod.rs crates/workloads/src/tpcc/driver.rs crates/workloads/src/tpcc/gen.rs crates/workloads/src/tpcc/txns.rs crates/workloads/src/tpch/mod.rs crates/workloads/src/tpch/gen.rs crates/workloads/src/tpch/queries.rs crates/workloads/src/tpch/refresh.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkloads-432e5eed871546d3.rmeta: crates/workloads/src/lib.rs crates/workloads/src/client.rs crates/workloads/src/tpcc/mod.rs crates/workloads/src/tpcc/driver.rs crates/workloads/src/tpcc/gen.rs crates/workloads/src/tpcc/txns.rs crates/workloads/src/tpch/mod.rs crates/workloads/src/tpch/gen.rs crates/workloads/src/tpch/queries.rs crates/workloads/src/tpch/refresh.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/client.rs:
+crates/workloads/src/tpcc/mod.rs:
+crates/workloads/src/tpcc/driver.rs:
+crates/workloads/src/tpcc/gen.rs:
+crates/workloads/src/tpcc/txns.rs:
+crates/workloads/src/tpch/mod.rs:
+crates/workloads/src/tpch/gen.rs:
+crates/workloads/src/tpch/queries.rs:
+crates/workloads/src/tpch/refresh.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

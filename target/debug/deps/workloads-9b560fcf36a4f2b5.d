@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/workloads-9b560fcf36a4f2b5.d: crates/workloads/src/lib.rs crates/workloads/src/client.rs crates/workloads/src/tpcc/mod.rs crates/workloads/src/tpcc/driver.rs crates/workloads/src/tpcc/gen.rs crates/workloads/src/tpcc/txns.rs crates/workloads/src/tpch/mod.rs crates/workloads/src/tpch/gen.rs crates/workloads/src/tpch/queries.rs crates/workloads/src/tpch/refresh.rs
+
+/root/repo/target/debug/deps/libworkloads-9b560fcf36a4f2b5.rlib: crates/workloads/src/lib.rs crates/workloads/src/client.rs crates/workloads/src/tpcc/mod.rs crates/workloads/src/tpcc/driver.rs crates/workloads/src/tpcc/gen.rs crates/workloads/src/tpcc/txns.rs crates/workloads/src/tpch/mod.rs crates/workloads/src/tpch/gen.rs crates/workloads/src/tpch/queries.rs crates/workloads/src/tpch/refresh.rs
+
+/root/repo/target/debug/deps/libworkloads-9b560fcf36a4f2b5.rmeta: crates/workloads/src/lib.rs crates/workloads/src/client.rs crates/workloads/src/tpcc/mod.rs crates/workloads/src/tpcc/driver.rs crates/workloads/src/tpcc/gen.rs crates/workloads/src/tpcc/txns.rs crates/workloads/src/tpch/mod.rs crates/workloads/src/tpch/gen.rs crates/workloads/src/tpch/queries.rs crates/workloads/src/tpch/refresh.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/client.rs:
+crates/workloads/src/tpcc/mod.rs:
+crates/workloads/src/tpcc/driver.rs:
+crates/workloads/src/tpcc/gen.rs:
+crates/workloads/src/tpcc/txns.rs:
+crates/workloads/src/tpch/mod.rs:
+crates/workloads/src/tpch/gen.rs:
+crates/workloads/src/tpch/queries.rs:
+crates/workloads/src/tpch/refresh.rs:

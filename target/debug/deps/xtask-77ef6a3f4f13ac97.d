@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xtask-77ef6a3f4f13ac97.d: crates/xtask/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxtask-77ef6a3f4f13ac97.rmeta: crates/xtask/src/lib.rs Cargo.toml
+
+crates/xtask/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/analyst_session-7683a46ac8d9219d.d: crates/core/../../examples/analyst_session.rs
+
+/root/repo/target/debug/examples/analyst_session-7683a46ac8d9219d: crates/core/../../examples/analyst_session.rs
+
+crates/core/../../examples/analyst_session.rs:

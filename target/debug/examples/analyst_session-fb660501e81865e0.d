@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/analyst_session-fb660501e81865e0.d: crates/core/../../examples/analyst_session.rs Cargo.toml
+
+/root/repo/target/debug/examples/libanalyst_session-fb660501e81865e0.rmeta: crates/core/../../examples/analyst_session.rs Cargo.toml
+
+crates/core/../../examples/analyst_session.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/order_entry-bb5bd557f1085187.d: crates/core/../../examples/order_entry.rs
+
+/root/repo/target/debug/examples/order_entry-bb5bd557f1085187: crates/core/../../examples/order_entry.rs
+
+crates/core/../../examples/order_entry.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/order_entry-c427a6d467469157.d: crates/core/../../examples/order_entry.rs Cargo.toml
+
+/root/repo/target/debug/examples/liborder_entry-c427a6d467469157.rmeta: crates/core/../../examples/order_entry.rs Cargo.toml
+
+crates/core/../../examples/order_entry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

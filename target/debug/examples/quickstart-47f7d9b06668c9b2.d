@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-47f7d9b06668c9b2.d: crates/core/../../examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-47f7d9b06668c9b2.rmeta: crates/core/../../examples/quickstart.rs Cargo.toml
+
+crates/core/../../examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-6914d2bf1b0f48fc.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-6914d2bf1b0f48fc: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

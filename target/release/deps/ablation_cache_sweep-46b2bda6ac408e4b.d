@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_cache_sweep-46b2bda6ac408e4b.d: crates/bench/src/bin/ablation_cache_sweep.rs
+
+/root/repo/target/release/deps/ablation_cache_sweep-46b2bda6ac408e4b: crates/bench/src/bin/ablation_cache_sweep.rs
+
+crates/bench/src/bin/ablation_cache_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_reconnect-3ebf69946c011c29.d: crates/bench/src/bin/ablation_reconnect.rs
+
+/root/repo/target/release/deps/ablation_reconnect-3ebf69946c011c29: crates/bench/src/bin/ablation_reconnect.rs
+
+crates/bench/src/bin/ablation_reconnect.rs:

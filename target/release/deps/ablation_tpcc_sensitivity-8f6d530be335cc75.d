@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_tpcc_sensitivity-8f6d530be335cc75.d: crates/bench/src/bin/ablation_tpcc_sensitivity.rs
+
+/root/repo/target/release/deps/ablation_tpcc_sensitivity-8f6d530be335cc75: crates/bench/src/bin/ablation_tpcc_sensitivity.rs
+
+crates/bench/src/bin/ablation_tpcc_sensitivity.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/bench-ea13dc6403acb616.d: crates/bench/src/lib.rs crates/bench/src/measure.rs
+
+/root/repo/target/release/deps/libbench-ea13dc6403acb616.rlib: crates/bench/src/lib.rs crates/bench/src/measure.rs
+
+/root/repo/target/release/deps/libbench-ea13dc6403acb616.rmeta: crates/bench/src/lib.rs crates/bench/src/measure.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/measure.rs:

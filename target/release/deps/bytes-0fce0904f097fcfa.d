@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-0fce0904f097fcfa.d: compat/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-0fce0904f097fcfa.rlib: compat/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-0fce0904f097fcfa.rmeta: compat/bytes/src/lib.rs
+
+compat/bytes/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-558002775892a3e9.d: compat/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-558002775892a3e9.rlib: compat/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-558002775892a3e9.rmeta: compat/criterion/src/lib.rs
+
+compat/criterion/src/lib.rs:

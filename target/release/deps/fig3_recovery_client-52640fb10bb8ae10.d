@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_recovery_client-52640fb10bb8ae10.d: crates/bench/src/bin/fig3_recovery_client.rs
+
+/root/repo/target/release/deps/fig3_recovery_client-52640fb10bb8ae10: crates/bench/src/bin/fig3_recovery_client.rs
+
+crates/bench/src/bin/fig3_recovery_client.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_recovery_server-e217fca2898d7624.d: crates/bench/src/bin/fig4_recovery_server.rs
+
+/root/repo/target/release/deps/fig4_recovery_server-e217fca2898d7624: crates/bench/src/bin/fig4_recovery_server.rs
+
+crates/bench/src/bin/fig4_recovery_server.rs:

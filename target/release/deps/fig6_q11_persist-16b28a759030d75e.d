@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_q11_persist-16b28a759030d75e.d: crates/bench/src/bin/fig6_q11_persist.rs
+
+/root/repo/target/release/deps/fig6_q11_persist-16b28a759030d75e: crates/bench/src/bin/fig6_q11_persist.rs
+
+crates/bench/src/bin/fig6_q11_persist.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/integration_tests-78e077dda15b6c27.d: crates/integration/src/lib.rs
+
+/root/repo/target/release/deps/libintegration_tests-78e077dda15b6c27.rlib: crates/integration/src/lib.rs
+
+/root/repo/target/release/deps/libintegration_tests-78e077dda15b6c27.rmeta: crates/integration/src/lib.rs
+
+crates/integration/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/odbcsim-63147e12ebda4b9c.d: crates/odbcsim/src/lib.rs
+
+/root/repo/target/release/deps/libodbcsim-63147e12ebda4b9c.rlib: crates/odbcsim/src/lib.rs
+
+/root/repo/target/release/deps/libodbcsim-63147e12ebda4b9c.rmeta: crates/odbcsim/src/lib.rs
+
+crates/odbcsim/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-1f086c5a719e1276.d: compat/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-1f086c5a719e1276.rlib: compat/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-1f086c5a719e1276.rmeta: compat/parking_lot/src/lib.rs
+
+compat/parking_lot/src/lib.rs:

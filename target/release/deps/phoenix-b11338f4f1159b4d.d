@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/phoenix-b11338f4f1159b4d.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/intercept.rs crates/core/src/persist.rs crates/core/src/session.rs
+
+/root/repo/target/release/deps/libphoenix-b11338f4f1159b4d.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/intercept.rs crates/core/src/persist.rs crates/core/src/session.rs
+
+/root/repo/target/release/deps/libphoenix-b11338f4f1159b4d.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/intercept.rs crates/core/src/persist.rs crates/core/src/session.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/intercept.rs:
+crates/core/src/persist.rs:
+crates/core/src/session.rs:

@@ -1,0 +1,31 @@
+/root/repo/target/release/deps/sqlengine-6251511ac3820fe0.d: crates/sqlengine/src/lib.rs crates/sqlengine/src/catalog.rs crates/sqlengine/src/engine.rs crates/sqlengine/src/error.rs crates/sqlengine/src/exec/mod.rs crates/sqlengine/src/exec/binding.rs crates/sqlengine/src/exec/eval.rs crates/sqlengine/src/exec/select.rs crates/sqlengine/src/schema.rs crates/sqlengine/src/session.rs crates/sqlengine/src/sql/mod.rs crates/sqlengine/src/sql/ast.rs crates/sqlengine/src/sql/lexer.rs crates/sqlengine/src/sql/parser.rs crates/sqlengine/src/storage/mod.rs crates/sqlengine/src/storage/buffer.rs crates/sqlengine/src/storage/disk.rs crates/sqlengine/src/storage/heap.rs crates/sqlengine/src/storage/page.rs crates/sqlengine/src/txn/mod.rs crates/sqlengine/src/txn/locks.rs crates/sqlengine/src/types.rs crates/sqlengine/src/wal/mod.rs crates/sqlengine/src/wal/log.rs crates/sqlengine/src/wal/recovery.rs
+
+/root/repo/target/release/deps/libsqlengine-6251511ac3820fe0.rlib: crates/sqlengine/src/lib.rs crates/sqlengine/src/catalog.rs crates/sqlengine/src/engine.rs crates/sqlengine/src/error.rs crates/sqlengine/src/exec/mod.rs crates/sqlengine/src/exec/binding.rs crates/sqlengine/src/exec/eval.rs crates/sqlengine/src/exec/select.rs crates/sqlengine/src/schema.rs crates/sqlengine/src/session.rs crates/sqlengine/src/sql/mod.rs crates/sqlengine/src/sql/ast.rs crates/sqlengine/src/sql/lexer.rs crates/sqlengine/src/sql/parser.rs crates/sqlengine/src/storage/mod.rs crates/sqlengine/src/storage/buffer.rs crates/sqlengine/src/storage/disk.rs crates/sqlengine/src/storage/heap.rs crates/sqlengine/src/storage/page.rs crates/sqlengine/src/txn/mod.rs crates/sqlengine/src/txn/locks.rs crates/sqlengine/src/types.rs crates/sqlengine/src/wal/mod.rs crates/sqlengine/src/wal/log.rs crates/sqlengine/src/wal/recovery.rs
+
+/root/repo/target/release/deps/libsqlengine-6251511ac3820fe0.rmeta: crates/sqlengine/src/lib.rs crates/sqlengine/src/catalog.rs crates/sqlengine/src/engine.rs crates/sqlengine/src/error.rs crates/sqlengine/src/exec/mod.rs crates/sqlengine/src/exec/binding.rs crates/sqlengine/src/exec/eval.rs crates/sqlengine/src/exec/select.rs crates/sqlengine/src/schema.rs crates/sqlengine/src/session.rs crates/sqlengine/src/sql/mod.rs crates/sqlengine/src/sql/ast.rs crates/sqlengine/src/sql/lexer.rs crates/sqlengine/src/sql/parser.rs crates/sqlengine/src/storage/mod.rs crates/sqlengine/src/storage/buffer.rs crates/sqlengine/src/storage/disk.rs crates/sqlengine/src/storage/heap.rs crates/sqlengine/src/storage/page.rs crates/sqlengine/src/txn/mod.rs crates/sqlengine/src/txn/locks.rs crates/sqlengine/src/types.rs crates/sqlengine/src/wal/mod.rs crates/sqlengine/src/wal/log.rs crates/sqlengine/src/wal/recovery.rs
+
+crates/sqlengine/src/lib.rs:
+crates/sqlengine/src/catalog.rs:
+crates/sqlengine/src/engine.rs:
+crates/sqlengine/src/error.rs:
+crates/sqlengine/src/exec/mod.rs:
+crates/sqlengine/src/exec/binding.rs:
+crates/sqlengine/src/exec/eval.rs:
+crates/sqlengine/src/exec/select.rs:
+crates/sqlengine/src/schema.rs:
+crates/sqlengine/src/session.rs:
+crates/sqlengine/src/sql/mod.rs:
+crates/sqlengine/src/sql/ast.rs:
+crates/sqlengine/src/sql/lexer.rs:
+crates/sqlengine/src/sql/parser.rs:
+crates/sqlengine/src/storage/mod.rs:
+crates/sqlengine/src/storage/buffer.rs:
+crates/sqlengine/src/storage/disk.rs:
+crates/sqlengine/src/storage/heap.rs:
+crates/sqlengine/src/storage/page.rs:
+crates/sqlengine/src/txn/mod.rs:
+crates/sqlengine/src/txn/locks.rs:
+crates/sqlengine/src/types.rs:
+crates/sqlengine/src/wal/mod.rs:
+crates/sqlengine/src/wal/log.rs:
+crates/sqlengine/src/wal/recovery.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_power-39954210efac1100.d: crates/bench/src/bin/table1_power.rs
+
+/root/repo/target/release/deps/table1_power-39954210efac1100: crates/bench/src/bin/table1_power.rs
+
+crates/bench/src/bin/table1_power.rs:

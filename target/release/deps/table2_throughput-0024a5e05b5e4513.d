@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_throughput-0024a5e05b5e4513.d: crates/bench/src/bin/table2_throughput.rs
+
+/root/repo/target/release/deps/table2_throughput-0024a5e05b5e4513: crates/bench/src/bin/table2_throughput.rs
+
+crates/bench/src/bin/table2_throughput.rs:

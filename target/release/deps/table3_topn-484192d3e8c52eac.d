@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_topn-484192d3e8c52eac.d: crates/bench/src/bin/table3_topn.rs
+
+/root/repo/target/release/deps/table3_topn-484192d3e8c52eac: crates/bench/src/bin/table3_topn.rs
+
+crates/bench/src/bin/table3_topn.rs:

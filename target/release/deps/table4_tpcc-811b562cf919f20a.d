@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4_tpcc-811b562cf919f20a.d: crates/bench/src/bin/table4_tpcc.rs
+
+/root/repo/target/release/deps/table4_tpcc-811b562cf919f20a: crates/bench/src/bin/table4_tpcc.rs
+
+crates/bench/src/bin/table4_tpcc.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/wire-492bb61ee0e51e0d.d: crates/wire/src/lib.rs crates/wire/src/protocol.rs crates/wire/src/server.rs crates/wire/src/transport.rs
+
+/root/repo/target/release/deps/libwire-492bb61ee0e51e0d.rlib: crates/wire/src/lib.rs crates/wire/src/protocol.rs crates/wire/src/server.rs crates/wire/src/transport.rs
+
+/root/repo/target/release/deps/libwire-492bb61ee0e51e0d.rmeta: crates/wire/src/lib.rs crates/wire/src/protocol.rs crates/wire/src/server.rs crates/wire/src/transport.rs
+
+crates/wire/src/lib.rs:
+crates/wire/src/protocol.rs:
+crates/wire/src/server.rs:
+crates/wire/src/transport.rs:

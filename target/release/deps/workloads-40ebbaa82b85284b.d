@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/workloads-40ebbaa82b85284b.d: crates/workloads/src/lib.rs crates/workloads/src/client.rs crates/workloads/src/tpcc/mod.rs crates/workloads/src/tpcc/driver.rs crates/workloads/src/tpcc/gen.rs crates/workloads/src/tpcc/txns.rs crates/workloads/src/tpch/mod.rs crates/workloads/src/tpch/gen.rs crates/workloads/src/tpch/queries.rs crates/workloads/src/tpch/refresh.rs
+
+/root/repo/target/release/deps/libworkloads-40ebbaa82b85284b.rlib: crates/workloads/src/lib.rs crates/workloads/src/client.rs crates/workloads/src/tpcc/mod.rs crates/workloads/src/tpcc/driver.rs crates/workloads/src/tpcc/gen.rs crates/workloads/src/tpcc/txns.rs crates/workloads/src/tpch/mod.rs crates/workloads/src/tpch/gen.rs crates/workloads/src/tpch/queries.rs crates/workloads/src/tpch/refresh.rs
+
+/root/repo/target/release/deps/libworkloads-40ebbaa82b85284b.rmeta: crates/workloads/src/lib.rs crates/workloads/src/client.rs crates/workloads/src/tpcc/mod.rs crates/workloads/src/tpcc/driver.rs crates/workloads/src/tpcc/gen.rs crates/workloads/src/tpcc/txns.rs crates/workloads/src/tpch/mod.rs crates/workloads/src/tpch/gen.rs crates/workloads/src/tpch/queries.rs crates/workloads/src/tpch/refresh.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/client.rs:
+crates/workloads/src/tpcc/mod.rs:
+crates/workloads/src/tpcc/driver.rs:
+crates/workloads/src/tpcc/gen.rs:
+crates/workloads/src/tpcc/txns.rs:
+crates/workloads/src/tpch/mod.rs:
+crates/workloads/src/tpch/gen.rs:
+crates/workloads/src/tpch/queries.rs:
+crates/workloads/src/tpch/refresh.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/xtask-34f7d781b42867db.d: crates/xtask/src/lib.rs
+
+/root/repo/target/release/deps/libxtask-34f7d781b42867db.rlib: crates/xtask/src/lib.rs
+
+/root/repo/target/release/deps/libxtask-34f7d781b42867db.rmeta: crates/xtask/src/lib.rs
+
+crates/xtask/src/lib.rs:

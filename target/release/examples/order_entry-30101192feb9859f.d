@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/order_entry-30101192feb9859f.d: crates/core/../../examples/order_entry.rs
+
+/root/repo/target/release/examples/order_entry-30101192feb9859f: crates/core/../../examples/order_entry.rs
+
+crates/core/../../examples/order_entry.rs:

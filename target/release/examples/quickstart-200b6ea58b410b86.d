@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-200b6ea58b410b86.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-200b6ea58b410b86: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/release/libxtask.rlib: /root/repo/crates/xtask/src/lib.rs

@@ -140,8 +140,7 @@ fn long_result_delivery_with_many_crashes_is_exact() {
             .execute("CREATE TABLE seq (n INT PRIMARY KEY, sq INT)")
             .unwrap();
         for chunk in (0..3000i64).collect::<Vec<_>>().chunks(500) {
-            let vals: Vec<String> =
-                chunk.iter().map(|n| format!("({n}, {})", n * n)).collect();
+            let vals: Vec<String> = chunk.iter().map(|n| format!("({n}, {})", n * n)).collect();
             client
                 .execute(&format!("INSERT INTO seq VALUES {}", vals.join(",")))
                 .unwrap();
@@ -205,7 +204,9 @@ fn native_application_fails_where_phoenix_survives() {
     {
         let engine = server.engine().unwrap();
         let client = EngineClient::new(engine).unwrap();
-        client.execute("CREATE TABLE t (a INT PRIMARY KEY)").unwrap();
+        client
+            .execute("CREATE TABLE t (a INT PRIMARY KEY)")
+            .unwrap();
         let vals: Vec<String> = (0..2000).map(|i| format!("({i})")).collect();
         for c in vals.chunks(500) {
             client

@@ -125,9 +125,13 @@ fn repeated_recovery_without_checkpoint_converges() {
     for round in 0..5 {
         let engine = Engine::recover(&durable, RecoveryConfig::default()).unwrap();
         let sid = engine.create_session().unwrap();
-        let (_, rows) = engine.execute_collect(sid, "SELECT a FROM t ORDER BY a").unwrap();
+        let (_, rows) = engine
+            .execute_collect(sid, "SELECT a FROM t ORDER BY a")
+            .unwrap();
         assert_eq!(
-            rows.iter().map(|r| r[0].as_i64().unwrap()).collect::<Vec<_>>(),
+            rows.iter()
+                .map(|r| r[0].as_i64().unwrap())
+                .collect::<Vec<_>>(),
             vec![1, 2, 3],
             "round {round}"
         );

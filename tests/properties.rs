@@ -77,8 +77,14 @@ proptest! {
 
 #[derive(Debug, Clone)]
 enum LockOp {
-    Lock { txn: u64, row: Option<u64>, mode: u8 },
-    Release { txn: u64 },
+    Lock {
+        txn: u64,
+        row: Option<u64>,
+        mode: u8,
+    },
+    Release {
+        txn: u64,
+    },
 }
 
 fn arb_lock_ops() -> impl Strategy<Value = Vec<LockOp>> {
@@ -232,10 +238,8 @@ proptest! {
                         Op::Update(k, v) => {
                             let r = engine
                                 .execute(sid, &format!("UPDATE kv SET v = {v} WHERE k = {k}"));
-                            if r.is_ok() {
-                                if shadow.contains_key(k) {
-                                    shadow.insert(*k, *v);
-                                }
+                            if r.is_ok() && shadow.contains_key(k) {
+                                shadow.insert(*k, *v);
                             }
                             r.map(|_| ())
                         }
