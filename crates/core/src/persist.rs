@@ -96,6 +96,7 @@ pub fn persist_result(
     };
 
     // Step 1: metadata.
+    faultkit::crashpoint!("persist.probe");
     let t = Instant::now();
     let probe = private.exec_direct(&metadata_probe_sql(select_sql))?;
     let columns = probe.columns().to_vec();
@@ -107,18 +108,21 @@ pub fn persist_result(
     }
 
     // Step 2: create the persistent holding table.
+    faultkit::crashpoint!("persist.create");
     let t = Instant::now();
     private.exec_direct(&create_table_sql(table, &columns))?;
     timing.create_table = t.elapsed();
 
     // Step 3: materialize at the server (data moves locally, not to the
     // client). When this returns, the result survives server crashes.
+    faultkit::crashpoint!("persist.materialize");
     let t = Instant::now();
     let load = app.exec_direct(&materialize_sql(table, select_sql))?;
     let loaded = load.row_count().unwrap_or(0);
     timing.load = t.elapsed();
 
     // Step 4: reopen for seamless delivery.
+    faultkit::crashpoint!("persist.reopen");
     let t = Instant::now();
     let stmt = app.exec_direct(&reopen_sql(table))?;
     timing.reopen = t.elapsed();

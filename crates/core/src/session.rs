@@ -580,9 +580,15 @@ impl PhoenixConnection {
                 inner.app.exec_direct("BEGIN TRAN")?;
                 let st = inner.app.exec_direct(sql)?;
                 let n = st.row_count().unwrap_or(0);
+                // The two windows the status table exists to close: crash
+                // before the status row is written (txn aborts, safe to
+                // re-execute) and crash after commit but before the client
+                // learns of it (status row says "done", don't re-execute).
+                faultkit::crashpoint!("phoenix.status.write");
                 inner.app.exec_direct(&format!(
                     "INSERT INTO {STATUS_TABLE} VALUES ('{key}', {req_id}, {n})"
                 ))?;
+                faultkit::crashpoint!("phoenix.status.commit");
                 inner.app.exec_direct("COMMIT")?;
                 Ok(n)
             })();

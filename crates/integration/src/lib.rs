@@ -1,9 +1,21 @@
-//! Support helpers for the repository-level integration tests in `tests/`.
+//! Support helpers for the repository-level integration tests in `tests/`:
+//! the chaos crash/restart thread and the deterministic crashpoint
+//! **schedule explorer** built on [`faultkit`].
+//!
+//! The explorer turns "crash at any point of the protocol" into an
+//! enumerable test: [`record_trace`] runs a scenario once and returns the
+//! exact sequence of crashpoints it hits; [`explore`] then re-runs the
+//! scenario once per hit with a [`faultkit::FaultPlan`] armed to crash the
+//! server at precisely that hit. A failing schedule panics with a one-line
+//! replay spec (`FAULTKIT_REPLAY='scenario:wire.exec.post#3'`) that
+//! reproduces the failure bit-for-bit; set the `FAULTKIT_REPLAY`
+//! environment variable to run only that schedule.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use faultkit::{FaultPlan, Session, TracePoint};
 use wire::{DbServer, ServerConfig};
 
 /// Start a chaos thread that crashes and restarts the server at the given
@@ -27,7 +39,7 @@ impl Chaos {
                 server.crash();
                 crashes += 1;
                 std::thread::sleep(downtime);
-                server.restart().expect("restart");
+                restart_with_retry(&server, 50);
             }
             crashes
         });
@@ -53,7 +65,96 @@ impl Drop for Chaos {
     }
 }
 
+/// Restart `server`, retrying (with logging) instead of panicking: a
+/// concurrent test step may have raced us to the restart, in which case
+/// "already running" is success, and transient failures get `attempts`
+/// more tries before giving up loudly but without poisoning the thread.
+pub fn restart_with_retry(server: &DbServer, attempts: u32) {
+    for attempt in 1..=attempts.max(1) {
+        if server.is_up() {
+            return;
+        }
+        match server.restart() {
+            Ok(_) => return,
+            Err(e) => {
+                eprintln!("restart attempt {attempt}/{attempts} failed: {e}");
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+    }
+    eprintln!("server did not restart after {attempts} attempts");
+}
+
 /// A small server with fast (zero-latency) networking for tests.
 pub fn test_server() -> DbServer {
     DbServer::start(ServerConfig::instant_net()).expect("server")
+}
+
+// ---------------------------------------------------------------------------
+// Crashpoint schedule explorer
+// ---------------------------------------------------------------------------
+
+/// The environment variable holding a single `scenario:name#nth` replay
+/// spec; when set, [`explore`] runs only that schedule.
+pub const REPLAY_ENV: &str = "FAULTKIT_REPLAY";
+
+/// Run `scenario` once with trace recording enabled and return every
+/// crashpoint hit. The scenario receives no armed plan, so nothing fires.
+pub fn record_trace(session: &Session, scenario: impl FnOnce()) -> Vec<TracePoint> {
+    let rec = session.record();
+    scenario();
+    rec.finish()
+}
+
+/// Enumerate single-crash schedules for a named scenario.
+///
+/// `run_one` maps a schedule to one full run: build fresh state, arm the
+/// plan, run the workload, and assert correctness. `explore` drives it
+/// once per point of `trace`; the first panicking schedule is re-raised
+/// with a `FAULTKIT_REPLAY='<scenario>:<name>#<nth>'` line prepended so
+/// the exact schedule can be replayed in isolation.
+pub fn explore(scenario_name: &str, trace: &[TracePoint], mut run_one: impl FnMut(&FaultPlan)) {
+    // Replay mode: run exactly one schedule, from the environment spec.
+    if let Ok(spec) = std::env::var(REPLAY_ENV) {
+        let (scen, plan_spec) = spec.rsplit_once(':').unwrap_or(("", spec.as_str()));
+        if !scen.is_empty() && scen != scenario_name {
+            return; // spec names a different scenario; skip this one
+        }
+        let plan = FaultPlan::parse(plan_spec)
+            .unwrap_or_else(|| panic!("bad {REPLAY_ENV} spec {spec:?} (want name#nth)"));
+        eprintln!("replaying single schedule {scenario_name}:{plan_spec}");
+        run_one(&plan);
+        return;
+    }
+    assert!(
+        !trace.is_empty(),
+        "{scenario_name}: recorded trace is empty — instrumentation missing?"
+    );
+    for point in trace {
+        let plan = FaultPlan::at(point.name, point.nth);
+        let spec = point.spec();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_one(&plan)));
+        if let Err(payload) = outcome {
+            eprintln!(
+                "\nschedule failed — reproduce with:\n  {REPLAY_ENV}='{scenario_name}:{spec}' \
+                 cargo test -p integration-tests --test fault_injection\n"
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// The crash action used by wire-level schedules: kill the server at the
+/// instrumented point and restart it immediately. Running synchronously on
+/// the thread that hit the crashpoint keeps the whole schedule
+/// deterministic — no helper thread lingers into the next replay. Clients
+/// observe the crash regardless: their endpoints are closed by `crash()`
+/// before the restart begins, so every in-flight call fails fatally and
+/// Phoenix recovery reconnects to the already-restarted server.
+pub fn crash_restart_action(server: &DbServer) -> impl FnOnce() + Send + 'static {
+    let server = server.clone();
+    move || {
+        server.crash();
+        restart_with_retry(&server, 100);
+    }
 }

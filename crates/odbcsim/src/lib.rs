@@ -139,6 +139,9 @@ impl OdbcConnection {
             }
         }
         let id = self.inner.next_stmt.fetch_add(1, Ordering::Relaxed);
+        // Request about to leave the client: a crash here means the server
+        // never saw it (safe to re-execute after recovery).
+        faultkit::crashpoint!("odbc.send");
         self.inner
             .conn
             .send(&Request::Exec {
@@ -307,6 +310,9 @@ impl OdbcStatement {
             if until_full && self.buf_bytes >= self.inner.cfg.buffer_bytes {
                 return Ok(());
             }
+            // About to wait for a response: a crash here lands mid-delivery
+            // (some rows buffered, the rest lost with the server).
+            faultkit::crashpoint!("odbc.recv");
             let resp = self
                 .inner
                 .conn

@@ -571,8 +571,8 @@ impl<'b> Binder<'b> {
             Ok((has_inner, has_outer, has_sub))
         };
 
-        if decorrelatable {
-            let conjuncts = split_conjuncts(q.filter.as_ref().unwrap());
+        if let Some(filter) = q.filter.as_ref().filter(|_| decorrelatable) {
+            let conjuncts = split_conjuncts(filter);
             let mut inner_conj: Vec<Expr> = Vec::new();
             let mut pairs: Vec<(Expr, Expr)> = Vec::new(); // (inner, outer)
             let mut residual: Vec<Expr> = Vec::new();
@@ -754,7 +754,11 @@ pub fn split_conjuncts(e: &Expr) -> Vec<&Expr> {
 
 /// AND together a list of expressions.
 pub fn conjoin(mut list: Vec<Expr>) -> Expr {
-    let mut acc = list.pop().expect("non-empty");
+    // The empty conjunction is vacuously true.
+    let mut acc = match list.pop() {
+        Some(e) => e,
+        None => Expr::Literal(Value::Int(1)),
+    };
     while let Some(e) = list.pop() {
         acc = Expr::Binary {
             op: BinOp::And,
@@ -986,8 +990,8 @@ fn eval_binary(
                 BinOp::Lt => o == std::cmp::Ordering::Less,
                 BinOp::Le => o != std::cmp::Ordering::Greater,
                 BinOp::Gt => o == std::cmp::Ordering::Greater,
-                BinOp::Ge => o != std::cmp::Ordering::Less,
-                _ => unreachable!(),
+                // Ge; the enclosing arm admits only the six comparisons.
+                _ => o != std::cmp::Ordering::Less,
             });
             Ok(bool_val(b))
         }
@@ -1033,13 +1037,13 @@ fn num_arith(op: BinOp, a: f64, b: f64, both_int: bool) -> Result<Value> {
             }
             a / b
         }
-        BinOp::Mod => {
+        // Mod, plus any non-arithmetic operator the callers never pass.
+        _ => {
             if b == 0.0 {
                 return Ok(Value::Null);
             }
             a % b
         }
-        _ => unreachable!(),
     };
     if both_int && op != BinOp::Div {
         Ok(Value::Int(f as i64))

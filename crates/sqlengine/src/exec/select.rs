@@ -266,12 +266,14 @@ pub(crate) fn pk_probe(
             continue;
         };
         let (col, lit) = match (&**left, &**right) {
-            (Expr::Column { name, .. }, other) if const_value(ctx, other).is_some() => {
-                (name, const_value(ctx, other).unwrap())
-            }
-            (other, Expr::Column { name, .. }) if const_value(ctx, other).is_some() => {
-                (name, const_value(ctx, other).unwrap())
-            }
+            (Expr::Column { name, .. }, other) => match const_value(ctx, other) {
+                Some(v) => (name, v),
+                None => continue,
+            },
+            (other, Expr::Column { name, .. }) => match const_value(ctx, other) {
+                Some(v) => (name, v),
+                None => continue,
+            },
             _ => continue,
         };
         if let Some(i) = schema.col_index(col) {
@@ -490,7 +492,11 @@ fn split_disjuncts(e: &Expr) -> Vec<&Expr> {
 }
 
 fn disjoin(mut list: Vec<Expr>) -> Expr {
-    let mut acc = list.pop().expect("non-empty");
+    // The empty disjunction is vacuously false.
+    let mut acc = match list.pop() {
+        Some(e) => e,
+        None => Expr::Literal(Value::Int(0)),
+    };
     while let Some(e) = list.pop() {
         acc = Expr::Binary {
             op: BinOp::Or,
@@ -701,9 +707,11 @@ pub fn run_select_materialized(
         };
     } else {
         let start = (0..n)
-            .min_by_key(|&i| rels[i].as_ref().map(|r| r.rows.len()).unwrap_or(0))
-            .unwrap();
-        current = rels[start].take().unwrap();
+            .min_by_key(|&i| rels[i].as_ref().map_or(0, |r| r.rows.len()))
+            .unwrap_or(0);
+        current = rels[start]
+            .take()
+            .ok_or_else(|| Error::Storage("join planner lost its starting relation".into()))?;
         joined_units.push(start);
         while joined_units.len() < n {
             // Prefer a unit connected by an equi-edge.
@@ -718,10 +726,12 @@ pub fn run_select_materialized(
                 .or_else(|| {
                     (0..n)
                         .filter(|i| rels[*i].is_some())
-                        .min_by_key(|&i| rels[i].as_ref().unwrap().rows.len())
+                        .min_by_key(|&i| rels[i].as_ref().map_or(usize::MAX, |r| r.rows.len()))
                 });
             let Some(next) = next else { break };
-            let right = rels[next].take().unwrap();
+            let Some(right) = rels[next].take() else {
+                break;
+            };
             // Collect all edges now satisfied (between joined set+next).
             let mut on_parts: Vec<Expr> = Vec::new();
             join_edges.retain(|(c, a, b)| {
@@ -937,15 +947,15 @@ fn project_and_finish(
                 },
             );
         }
+        // `order` holds each group key exactly once, in first-seen order,
+        // so draining `groups` through it visits every accumulator.
         groups_out = order
             .into_iter()
-            .map(|gk| {
-                let g = groups.remove(&gk).expect("group present");
-                GroupOut {
-                    rep: g.rep,
-                    keys: g.keys,
-                    aggs: g.accs.into_iter().map(Accumulator::finish).collect(),
-                }
+            .filter_map(|gk| groups.remove(&gk))
+            .map(|g| GroupOut {
+                rep: g.rep,
+                keys: g.keys,
+                aggs: g.accs.into_iter().map(Accumulator::finish).collect(),
             })
             .collect();
 

@@ -25,10 +25,10 @@ pub fn parse_statements(src: &str) -> Result<Vec<Stmt>> {
 
 /// Parse exactly one statement.
 pub fn parse_one(src: &str) -> Result<Stmt> {
-    let stmts = parse_statements(src)?;
-    match stmts.len() {
-        1 => Ok(stmts.into_iter().next().unwrap()),
-        n => Err(Error::Syntax(format!("expected one statement, got {n}"))),
+    let mut stmts = parse_statements(src)?;
+    match (stmts.len(), stmts.pop()) {
+        (1, Some(stmt)) => Ok(stmt),
+        (n, _) => Err(Error::Syntax(format!("expected one statement, got {n}"))),
     }
 }
 

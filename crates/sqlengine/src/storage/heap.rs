@@ -488,12 +488,14 @@ impl Storage {
     /// the checkpoint record, update the master record. The caller must
     /// ensure no transactions are active.
     pub fn checkpoint(&self) -> Result<()> {
+        faultkit::crashpoint!("wal.checkpoint.pre");
         self.log.flush_all()?;
         self.pool.flush_all()?;
         let snapshot = self.catalog.snapshot();
         let lsn = self.log.append(&LogRecord::Checkpoint { snapshot });
         self.log.flush_all()?;
         self.log.store().set_checkpoint(lsn);
+        faultkit::crashpoint!("wal.checkpoint.post");
         Ok(())
     }
 

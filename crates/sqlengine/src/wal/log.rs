@@ -445,6 +445,7 @@ impl LogManager {
 
     /// Append a record to the volatile tail; returns its LSN.
     pub fn append(&self, rec: &LogRecord) -> Lsn {
+        faultkit::crashpoint!("wal.append");
         let mut payload = Vec::new();
         rec.encode(&mut payload);
         let mut tail = self.tail.lock();
@@ -464,14 +465,19 @@ impl LogManager {
 
     /// Flush the whole tail.
     pub fn flush_all(&self) -> Result<()> {
-        let mut tail = self.tail.lock();
-        if tail.buf.is_empty() {
-            return Ok(());
+        // Crashpoints sit outside the tail lock: a crash action fences
+        // the durable store and must never deadlock against the log.
+        faultkit::crashpoint!("wal.flush.pre");
+        {
+            let mut tail = self.tail.lock();
+            if !tail.buf.is_empty() {
+                self.store.append(&tail.buf, self.epoch)?;
+                tail.base += tail.buf.len() as u64;
+                tail.buf.clear();
+                self.flushed.store(tail.base, Ordering::Release);
+            }
         }
-        self.store.append(&tail.buf, self.epoch)?;
-        tail.base += tail.buf.len() as u64;
-        tail.buf.clear();
-        self.flushed.store(tail.base, Ordering::Release);
+        faultkit::crashpoint!("wal.flush.post");
         Ok(())
     }
 

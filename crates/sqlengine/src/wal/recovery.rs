@@ -63,6 +63,7 @@ pub fn recover(
     let log = Arc::new(LogManager::new(Arc::clone(&store)));
 
     // --- Analysis: restore catalog from checkpoint ---
+    faultkit::crashpoint!("recovery.analysis");
     let (catalog, redo_start) = match store.checkpoint() {
         Some(cp_lsn) => {
             let recs = store.records_from(cp_lsn)?;
@@ -144,6 +145,7 @@ pub fn recover(
     }
 
     // --- Redo ---
+    faultkit::crashpoint!("recovery.redo");
     for (lsn, rec) in &records {
         match rec {
             LogRecord::CreateTable { table_id, schema } => {
@@ -251,12 +253,14 @@ pub fn recover(
     }
 
     // --- Undo losers ---
+    faultkit::crashpoint!("recovery.redo.done");
     let losers: Vec<TxnId> = seen
         .iter()
         .copied()
         .filter(|t| !ended.contains(t))
         .collect();
     for txn in &losers {
+        faultkit::crashpoint!("recovery.undo");
         let done = compensated.remove(txn).unwrap_or_default();
         let mut entries = undo_log.remove(txn).unwrap_or_default();
         entries.sort_by_key(|e| e.0);
@@ -285,6 +289,7 @@ pub fn recover(
         log.append(&LogRecord::Abort { txn: *txn });
         stats.losers_rolled_back += 1;
     }
+    faultkit::crashpoint!("recovery.flush");
     log.flush_all()?;
 
     let storage = Storage::new(catalog, pool, log, TxnManager::starting_at(max_txn + 1));

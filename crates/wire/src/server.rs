@@ -247,6 +247,9 @@ fn connection_loop(server: DbServer, engine: Arc<Engine>, ep: Arc<Endpoint>, cfg
             engine.close_session(sid);
             return;
         };
+        // Frame received but not yet acted on: a crash here loses the
+        // request entirely (client must re-submit).
+        faultkit::crashpoint!("wire.exec.recv");
         let req = match Request::decode(&frame) {
             Ok(r) => r,
             Err(_) => continue,
@@ -265,12 +268,18 @@ fn connection_loop(server: DbServer, engine: Arc<Engine>, ep: Arc<Endpoint>, cfg
                 }
             }
             Request::Exec { stmt, sql, skip } => {
+                faultkit::crashpoint!("wire.exec.pre");
                 match engine.execute(sid, &sql) {
                     Err(e) => {
                         reply(&ep, Response::Error { stmt, error: e }, None);
                     }
                     Ok(res) => match res.outcome {
                         ExecOutcome::Affected(n) => {
+                            // Executed (and, for modifications, committed)
+                            // but the reply has not been sent: the
+                            // paper's "crash after commit, before reply"
+                            // window that the status table masks.
+                            faultkit::crashpoint!("wire.exec.post");
                             reply(
                                 &ep,
                                 Response::Done {
@@ -281,6 +290,7 @@ fn connection_loop(server: DbServer, engine: Arc<Engine>, ep: Arc<Endpoint>, cfg
                             );
                         }
                         ExecOutcome::Ok => {
+                            faultkit::crashpoint!("wire.exec.post.ok");
                             reply(
                                 &ep,
                                 Response::Done {
@@ -335,6 +345,7 @@ fn stream_result(
     cancel: Arc<AtomicBool>,
 ) {
     let columns = columns_to_wire(&cursor.schema);
+    faultkit::crashpoint!("wire.stream.meta");
     if ep
         .tx
         .send(Response::Meta { stmt, columns }.encode(), Some(&cancel))
@@ -369,6 +380,7 @@ fn stream_result(
                         stmt,
                         rows: std::mem::take(&mut batch),
                     };
+                    faultkit::crashpoint!("wire.stream.batch");
                     if ep.tx.send(msg.encode(), Some(&cancel)).is_err() {
                         return;
                     }
@@ -384,10 +396,12 @@ fn stream_result(
     if !batch.is_empty() {
         sent += batch.len() as u64;
         let msg = Response::RowBatch { stmt, rows: batch };
+        faultkit::crashpoint!("wire.stream.tail");
         if ep.tx.send(msg.encode(), Some(&cancel)).is_err() {
             return;
         }
     }
+    faultkit::crashpoint!("wire.stream.done");
     reply(
         &ep,
         Response::Done {

@@ -55,6 +55,9 @@ pub enum Rule {
     LockOrder,
     /// `Box<dyn Error>` or `.ok().unwrap()` in library code.
     Error,
+    /// Duplicate `crashpoint!` name: replay specs (`name#nth`) are only
+    /// meaningful when each name identifies one program point.
+    Crashpoint,
     /// Malformed `lint:allow` annotation (missing justification).
     BadAllow,
 }
@@ -69,6 +72,7 @@ impl Rule {
             Rule::Lock => "lock",
             Rule::LockOrder => "lock_order",
             Rule::Error => "error",
+            Rule::Crashpoint => "crashpoint",
             Rule::BadAllow => "bad_allow",
         }
     }
@@ -104,6 +108,9 @@ pub struct FileClass {
     /// Panic-path hygiene (`panic`, `index`, `discard`): the
     /// recovery-critical module list.
     pub panic_rules: bool,
+    /// Panic-call hygiene only (`panic` tokens, without the index/discard
+    /// rules): modules cleared of `unwrap`/`expect` that must stay clear.
+    pub panic_call_rules: bool,
     /// Guard-across-blocking (`lock`): concurrency-heavy modules.
     pub lock_rules: bool,
     /// Acquisition-order (`lock_order`): the engine crate, where the
@@ -123,6 +130,16 @@ const PANIC_CRITICAL: &[&str] = &[
     "crates/wire/src/server.rs",
 ];
 
+/// Planner/executor modules whose non-test code has been cleared of
+/// `unwrap`/`expect` and must not regress. These only get the panic-call
+/// token rule: they index rows and slices pervasively, so the `index`
+/// and `discard` rules stay scoped to [`PANIC_CRITICAL`].
+const PANIC_CALLS: &[&str] = &[
+    "crates/sqlengine/src/exec/select.rs",
+    "crates/sqlengine/src/exec/eval.rs",
+    "crates/sqlengine/src/sql/parser.rs",
+];
+
 /// Modules that take the ranked locks or block while holding guards.
 const LOCK_SCOPE: &[&str] = &[
     "crates/sqlengine/src/txn/",
@@ -136,6 +153,7 @@ pub fn classify(rel_path: &str) -> FileClass {
     let hit = |list: &[&str]| list.iter().any(|p| rel_path.starts_with(p));
     FileClass {
         panic_rules: hit(PANIC_CRITICAL),
+        panic_call_rules: hit(PANIC_CRITICAL) || hit(PANIC_CALLS),
         lock_rules: hit(LOCK_SCOPE),
         lock_order_rules: rel_path.starts_with("crates/sqlengine/src/"),
         error_rules: true,
@@ -528,7 +546,7 @@ pub fn lint_source(path: &Path, src: &str, class: FileClass) -> Vec<Violation> {
     for (idx, text) in stripped.lines().enumerate() {
         let line = idx + 1;
 
-        if class.panic_rules {
+        if class.panic_rules || class.panic_call_rules {
             for tok in PANIC_TOKENS {
                 if text.contains(tok) {
                     push(
@@ -541,6 +559,8 @@ pub fn lint_source(path: &Path, src: &str, class: FileClass) -> Vec<Violation> {
                     );
                 }
             }
+        }
+        if class.panic_rules {
             if has_index_expr(text) {
                 push(
                     line,
@@ -656,6 +676,71 @@ pub fn lint_source(path: &Path, src: &str, class: FileClass) -> Vec<Violation> {
     out
 }
 
+/// Extract every `crashpoint!("name")` invocation in non-test code,
+/// returning `(line, name)` pairs. The macro site is located on stripped
+/// source (so commented-out invocations don't count) and the name literal
+/// is read back from the original source at the same byte offset (the
+/// stripper blanks string contents).
+pub fn crashpoint_names(src: &str) -> Vec<(usize, String)> {
+    let stripped = strip_comments_and_strings(src);
+    let test_regions = cfg_test_regions(&stripped);
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(rel) = stripped[from..].find("crashpoint!(") {
+        let at = from + rel;
+        let mut j = at + "crashpoint!(".len();
+        from = j;
+        let bytes = src.as_bytes();
+        while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        if j >= bytes.len() || bytes[j] != b'"' {
+            continue; // not a string literal; the macro itself rejects this
+        }
+        let Some(close) = src[j + 1..].find('"') else {
+            continue;
+        };
+        let line = stripped[..at].matches('\n').count() + 1;
+        if test_regions
+            .iter()
+            .any(|&(lo, hi)| line >= lo && line <= hi)
+        {
+            continue;
+        }
+        out.push((line, src[j + 1..j + 1 + close].to_string()));
+    }
+    out
+}
+
+/// Check workspace-wide uniqueness of crashpoint names. `sites` holds
+/// `(file, line, name)` for every non-test invocation; each name reused
+/// across sites yields one violation per duplicate site.
+pub fn crashpoint_duplicates(sites: &[(PathBuf, usize, String)]) -> Vec<Violation> {
+    let mut first: std::collections::HashMap<&str, (&PathBuf, usize)> =
+        std::collections::HashMap::new();
+    let mut out = Vec::new();
+    for (file, line, name) in sites {
+        match first.get(name.as_str()) {
+            None => {
+                first.insert(name, (file, *line));
+            }
+            Some((ffile, fline)) => {
+                out.push(Violation {
+                    file: file.clone(),
+                    line: *line,
+                    rule: Rule::Crashpoint,
+                    message: format!(
+                        "crashpoint name {name:?} already used at {}:{fline}; \
+                         names must be unique for `name#nth` replay specs",
+                        ffile.display()
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
 /// Recursively collect `.rs` files under `dir`, skipping `fixtures`
 /// directories (they contain deliberate violations for the linter's own
 /// tests).
@@ -689,6 +774,7 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Violation>> {
     files.sort();
 
     let mut out = Vec::new();
+    let mut crashpoints: Vec<(PathBuf, usize, String)> = Vec::new();
     for file in files {
         let rel = file
             .strip_prefix(root)
@@ -698,7 +784,11 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Violation>> {
         let src = fs::read_to_string(&file)?;
         let rel_path = PathBuf::from(&rel);
         out.extend(lint_source(&rel_path, &src, classify(&rel)));
+        for (line, name) in crashpoint_names(&src) {
+            crashpoints.push((rel_path.clone(), line, name));
+        }
     }
+    out.extend(crashpoint_duplicates(&crashpoints));
     Ok(out)
 }
 
@@ -770,6 +860,29 @@ mod tests {
         assert!(!has_index_expr("let v = vec![1, 2];"));
         assert!(!has_index_expr("let [a, b] = pair;"));
         assert!(!has_index_expr("let x: [u8; 4] = y;"));
+    }
+
+    #[test]
+    fn crashpoint_names_extracted_outside_tests() {
+        let src = "fn f() {\n    faultkit::crashpoint!(\"wal.append\");\n}\n\
+                   // crashpoint!(\"commented.out\")\n\
+                   #[cfg(test)]\nmod tests {\n    fn g() { crashpoint!(\"test.only\"); }\n}\n";
+        let names = crashpoint_names(src);
+        assert_eq!(names, vec![(2, "wal.append".to_string())]);
+    }
+
+    #[test]
+    fn duplicate_crashpoint_names_flagged() {
+        let sites = vec![
+            (PathBuf::from("a.rs"), 3, "wal.append".to_string()),
+            (PathBuf::from("b.rs"), 9, "wal.append".to_string()),
+            (PathBuf::from("b.rs"), 12, "wal.flush".to_string()),
+        ];
+        let v = crashpoint_duplicates(&sites);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].file, PathBuf::from("b.rs"));
+        assert_eq!(v[0].line, 9);
+        assert_eq!(v[0].rule, Rule::Crashpoint);
     }
 
     #[test]

@@ -21,6 +21,7 @@ fn scan(name: &str, class: FileClass) -> Vec<Violation> {
 
 const ALL_RULES: FileClass = FileClass {
     panic_rules: true,
+    panic_call_rules: true,
     lock_rules: true,
     lock_order_rules: true,
     error_rules: true,
