@@ -45,10 +45,7 @@ fn main() {
 
     for interval_ms in [5u64, 20, 50, 100, 250, 500] {
         let mut cfg = PhoenixConfig {
-            reconnect: ReconnectPolicy {
-                max_attempts: 10_000,
-                retry_interval: Duration::from_millis(interval_ms),
-            },
+            reconnect: ReconnectPolicy::fixed(10_000, Duration::from_millis(interval_ms)),
             ..Default::default()
         };
         cfg.driver.buffer_bytes = 256;

@@ -33,6 +33,7 @@ pub fn tpch_server() -> ServerConfig {
         net_c2s: paper_net(),
         net_s2c: paper_net(),
         row_batch: 16,
+        faults: None,
     }
 }
 
@@ -46,6 +47,7 @@ pub fn tpcc_server(pool_pages: usize, io_latency: Duration) -> ServerConfig {
         net_c2s: paper_net(),
         net_s2c: paper_net(),
         row_batch: 16,
+        faults: None,
     }
 }
 

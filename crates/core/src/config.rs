@@ -1,6 +1,6 @@
 //! Phoenix/ODBC configuration.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use odbcsim::DriverConfig;
 
@@ -17,23 +17,146 @@ pub enum RepositionMode {
     Server,
 }
 
-/// Reconnection policy used after a suspected server failure.
+/// Reconnection policy used after a suspected server failure: bounded
+/// exponential backoff with deterministic jitter and an overall recovery
+/// deadline budget. One policy governs every retry decision Phoenix
+/// makes — reconnect pacing in phase-1 recovery *and* the
+/// statement-level masking retries around it.
+///
+/// When either bound (attempts or deadline) is exhausted, `recover()`
+/// degrades gracefully: it returns the retryable
+/// `Error::RecoveryExhausted` with the virtual-session state intact, so
+/// a later application call resumes recovery instead of failing
+/// permanently.
 #[derive(Debug, Clone, Copy)]
 pub struct ReconnectPolicy {
-    /// Maximum reconnect attempts before Phoenix gives up and reveals the
-    /// failure to the application.
+    /// Maximum reconnect attempts per recovery before Phoenix reports
+    /// `RecoveryExhausted` to the application.
     pub max_attempts: u32,
-    /// Delay between attempts (the paper "periodically attempts to
-    /// reconnect").
-    pub retry_interval: Duration,
+    /// Backoff before the first retry; doubles per attempt (the paper
+    /// "periodically attempts to reconnect", made adaptive).
+    pub initial_backoff: Duration,
+    /// Ceiling on the per-attempt backoff.
+    pub max_backoff: Duration,
+    /// Overall wall-clock budget for one recovery. Counted from the
+    /// moment recovery starts; once spent, `RecoveryExhausted`.
+    pub deadline: Duration,
+    /// How many times a *statement* is transparently re-executed across
+    /// successful recoveries before the underlying error is surfaced
+    /// (the masking-retry cap formerly hardcoded as `3`).
+    pub masking_retries: u32,
+    /// Seed for the deterministic jitter mixed into each backoff delay,
+    /// decorrelating concurrent reconnect storms while keeping every
+    /// run reproducible.
+    pub jitter_seed: u64,
 }
 
 impl Default for ReconnectPolicy {
     fn default() -> Self {
         ReconnectPolicy {
             max_attempts: 50,
-            retry_interval: Duration::from_millis(100),
+            initial_backoff: Duration::from_millis(25),
+            max_backoff: Duration::from_millis(800),
+            deadline: Duration::from_secs(30),
+            masking_retries: 10,
+            jitter_seed: 0x5eed,
         }
+    }
+}
+
+impl ReconnectPolicy {
+    /// Fixed-interval policy (no growth, generous deadline): the shape
+    /// the pre-backoff tests were written against. `interval` is used
+    /// for every attempt.
+    pub fn fixed(max_attempts: u32, interval: Duration) -> ReconnectPolicy {
+        ReconnectPolicy {
+            max_attempts,
+            initial_backoff: interval,
+            max_backoff: interval,
+            deadline: Duration::from_secs(24 * 60 * 60),
+            ..ReconnectPolicy::default()
+        }
+    }
+
+    /// The pure backoff schedule: delay before retry `attempt` (1-based),
+    /// exponentially grown from `initial_backoff`, capped at
+    /// `max_backoff`, plus deterministic jitter in `[0, delay/4]` drawn
+    /// from `jitter_seed` — same policy and attempt, same delay.
+    pub fn backoff_delay(&self, attempt: u32) -> Duration {
+        let exp = attempt.saturating_sub(1).min(16);
+        let base = self
+            .initial_backoff
+            .saturating_mul(1u32 << exp)
+            .min(self.max_backoff);
+        let quarter = (base / 4).as_nanos() as u64;
+        if quarter == 0 {
+            return base;
+        }
+        let jitter =
+            Duration::from_nanos(splitmix64(self.jitter_seed ^ attempt as u64) % (quarter + 1));
+        base + jitter
+    }
+}
+
+/// SplitMix64 finalizer — the jitter source. Pure arithmetic, so the
+/// schedule needs no RNG state and replays bit-for-bit.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The single sleeping point of Phoenix's recovery path: tracks the
+/// attempt count and the deadline budget of one recovery and performs
+/// the policy's backoff waits. `wait` returns `false` when the budget
+/// (either bound) is exhausted — the caller's cue to degrade to
+/// `RecoveryExhausted`.
+pub struct Backoff {
+    policy: ReconnectPolicy,
+    attempt: u32,
+    deadline: Option<Instant>,
+}
+
+impl Backoff {
+    /// Start a recovery budget: the deadline clock begins now.
+    pub fn new(policy: &ReconnectPolicy) -> Backoff {
+        Backoff {
+            policy: *policy,
+            attempt: 0,
+            deadline: Instant::now().checked_add(policy.deadline),
+        }
+    }
+
+    /// Retries waited for so far.
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Sleep before the next retry. Returns `false` — without sleeping —
+    /// once `max_attempts` retries have been consumed or the deadline
+    /// budget has run out; waits never overshoot the deadline.
+    pub fn wait(&mut self) -> bool {
+        if self.attempt >= self.policy.max_attempts {
+            return false;
+        }
+        self.attempt += 1;
+        let mut delay = self.policy.backoff_delay(self.attempt);
+        if let Some(d) = self.deadline {
+            let now = Instant::now();
+            if now >= d {
+                return false;
+            }
+            delay = delay.min(d - now);
+        }
+        // lint:allow(sleep): the Backoff helper IS the policy's one sanctioned sleep site
+        std::thread::sleep(delay);
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                return false;
+            }
+        }
+        true
     }
 }
 
@@ -95,5 +218,61 @@ impl PhoenixConfig {
             cache: CacheMode::enabled(64 * 1024),
             ..Default::default()
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_schedule_is_deterministic_grows_and_caps() {
+        let p = ReconnectPolicy::default();
+        for attempt in 1..=24 {
+            let d = p.backoff_delay(attempt);
+            assert_eq!(d, p.backoff_delay(attempt), "jitter must be deterministic");
+            assert!(d <= p.max_backoff + p.max_backoff / 4);
+            assert!(d >= p.initial_backoff);
+        }
+        assert!(p.backoff_delay(1) < p.backoff_delay(6));
+    }
+
+    #[test]
+    fn wait_stops_after_max_attempts() {
+        let p = ReconnectPolicy {
+            max_attempts: 3,
+            initial_backoff: Duration::from_micros(50),
+            max_backoff: Duration::from_micros(50),
+            ..ReconnectPolicy::default()
+        };
+        let mut b = Backoff::new(&p);
+        assert!(b.wait());
+        assert!(b.wait());
+        assert!(b.wait());
+        assert!(!b.wait());
+        assert_eq!(b.attempts(), 3);
+    }
+
+    #[test]
+    fn wait_stops_at_the_deadline_budget() {
+        let p = ReconnectPolicy {
+            max_attempts: u32::MAX,
+            initial_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(5),
+            deadline: Duration::from_millis(40),
+            ..ReconnectPolicy::default()
+        };
+        let mut b = Backoff::new(&p);
+        let t0 = Instant::now();
+        while b.wait() {}
+        let spent = t0.elapsed();
+        assert!(
+            spent >= Duration::from_millis(30),
+            "gave up early: {spent:?}"
+        );
+        assert!(
+            spent < Duration::from_secs(5),
+            "overshot the budget: {spent:?}"
+        );
     }
 }

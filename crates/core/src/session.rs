@@ -21,7 +21,7 @@ use sqlengine::types::{DataType, Row, Value};
 use sqlengine::{Error, Result};
 use wire::DbServer;
 
-use crate::config::{CacheMode, PhoenixConfig, RepositionMode};
+use crate::config::{Backoff, CacheMode, PhoenixConfig, RepositionMode};
 use crate::intercept::{classify, reopen_sql, RequestClass};
 use crate::persist::{persist_result, PersistTiming};
 
@@ -35,8 +35,11 @@ static NEXT_CONN_ID: AtomicU64 = AtomicU64::new(1);
 /// Counters describing Phoenix's activity (observability + tests).
 #[derive(Debug, Default, Clone, Copy)]
 pub struct PhoenixStats {
-    /// Session recoveries performed (each masks one detected failure).
+    /// Real session recoveries: phase-1 reconnects actually performed.
     pub recoveries: u64,
+    /// Suspected failures that turned out to be transient: the existing
+    /// connections still answered, nothing was rebuilt.
+    pub false_alarms: u64,
     /// Result sets persisted as server tables (Section 2 path).
     pub results_persisted: u64,
     /// Result sets served entirely from the client cache (Section 4 path).
@@ -94,6 +97,11 @@ struct Active {
     columns: Vec<(String, DataType)>,
     delivered: u64,
     source: ActiveSource,
+    /// Set while the server-side state backing this result is stale
+    /// (recovery phase 2 started but did not finish). Cleared only when
+    /// reinstall fully succeeds, so an interrupted recovery is resumed —
+    /// never served from a dead statement.
+    needs_reinstall: bool,
 }
 
 struct Inner {
@@ -400,7 +408,9 @@ impl PhoenixConnection {
         loop {
             match inner.app.exec_direct(sql) {
                 Ok(st) => return Ok(st),
-                Err(e) if e.is_connection_fatal() && attempts < 3 => {
+                Err(e)
+                    if e.is_connection_fatal() && attempts < self.cfg.reconnect.masking_retries =>
+                {
                     attempts += 1;
                     self.recover(inner)?;
                 }
@@ -442,6 +452,7 @@ impl PhoenixConnection {
                         columns,
                         delivered: 0,
                         source: ActiveSource::Cached(rows),
+                        needs_reinstall: false,
                     });
                     return Ok(ExecKind::ResultSet { columns: columns2 });
                 }
@@ -474,6 +485,7 @@ impl PhoenixConnection {
                             table: pr.table,
                             stmt: pr.stmt,
                         },
+                        needs_reinstall: false,
                     });
                     return Ok(ExecKind::ResultSet { columns });
                 }
@@ -487,7 +499,7 @@ impl PhoenixConnection {
                             "server failure during transaction".into(),
                         ));
                     }
-                    if attempts >= 3 {
+                    if attempts >= self.cfg.reconnect.masking_retries {
                         return Err(e);
                     }
                     attempts += 1;
@@ -507,7 +519,9 @@ impl PhoenixConnection {
         'retry: loop {
             let mut stmt = match inner.app.exec_direct(sql) {
                 Ok(s) => s,
-                Err(e) if e.is_connection_fatal() && attempts < 3 => {
+                Err(e)
+                    if e.is_connection_fatal() && attempts < self.cfg.reconnect.masking_retries =>
+                {
                     self.recover(inner)?;
                     if inner.in_app_txn {
                         inner.in_app_txn = false;
@@ -528,7 +542,10 @@ impl PhoenixConnection {
                 // Single block-cursor read per driver call.
                 let batch = match stmt.fetch_block(256) {
                     Ok(b) => b,
-                    Err(e) if e.is_connection_fatal() && attempts < 3 => {
+                    Err(e)
+                        if e.is_connection_fatal()
+                            && attempts < self.cfg.reconnect.masking_retries =>
+                    {
                         // Full result never arrived: usual recovery, then
                         // re-execute the query (Section 4.1).
                         self.recover(inner)?;
@@ -595,23 +612,40 @@ impl PhoenixConnection {
             match r {
                 Ok(n) => return Ok(n),
                 Err(e) if e.is_connection_fatal() => {
-                    if attempts >= self.cfg.reconnect.max_attempts {
+                    if attempts >= self.cfg.reconnect.masking_retries {
                         return Err(e);
                     }
                     attempts += 1;
                     self.recover(inner)?;
                     // Did the wrapped transaction commit before the crash?
-                    let check = query_all(
-                        &inner.private,
-                        &format!(
-                            "SELECT affected FROM {STATUS_TABLE} \
-                             WHERE app_key = '{key}' AND req_id = {req_id}"
-                        ),
-                    )?;
-                    if let Some(row) = check.first() {
-                        if let Some(Value::Int(n)) = row.first() {
-                            return Ok(*n as u64);
+                    // The check itself runs over the network and can hit
+                    // the next fault — keep it inside the masking loop.
+                    let committed = loop {
+                        match query_all(
+                            &inner.private,
+                            &format!(
+                                "SELECT affected FROM {STATUS_TABLE} \
+                                 WHERE app_key = '{key}' AND req_id = {req_id}"
+                            ),
+                        ) {
+                            Ok(check) => {
+                                break check.first().and_then(|row| match row.first() {
+                                    Some(Value::Int(n)) => Some(*n as u64),
+                                    _ => None,
+                                })
+                            }
+                            Err(e) if e.is_connection_fatal() => {
+                                if attempts >= self.cfg.reconnect.masking_retries {
+                                    return Err(e);
+                                }
+                                attempts += 1;
+                                self.recover(inner)?;
+                            }
+                            Err(e) => return Err(e),
                         }
+                    };
+                    if let Some(n) = committed {
+                        return Ok(n);
                     }
                     // Not recorded ⇒ the transaction aborted; re-execute.
                 }
@@ -619,7 +653,7 @@ impl PhoenixConnection {
                     // Wait-die victim: retry the wrapped transaction.
                     // lint:allow(discard): the victim txn is already rolled back server-side
                     let _ = inner.app.exec_direct("ROLLBACK");
-                    if attempts >= self.cfg.reconnect.max_attempts {
+                    if attempts >= self.cfg.reconnect.masking_retries {
                         return Err(Error::Deadlock);
                     }
                     attempts += 1;
@@ -636,15 +670,22 @@ impl PhoenixConnection {
     // -- recovery (Section 2.3) --------------------------------------------------
 
     /// Recover the virtual database session after a suspected failure.
-    /// Idempotent: a crash *during* recovery simply re-enters here.
+    /// Idempotent: a crash *during* recovery simply re-enters here, and an
+    /// exhausted budget ([`Error::RecoveryExhausted`]) leaves the virtual
+    /// session intact so the *next* application call resumes recovery
+    /// instead of failing permanently.
     fn recover(&self, inner: &mut Inner) -> Result<()> {
-        inner.stats.recoveries += 1;
         let policy = self.cfg.reconnect;
         let t0 = Instant::now();
 
         // Transient-failure short circuit: if the private connection still
-        // answers pings and the app connection is alive, nothing to do.
-        if !inner.app.is_dead() && inner.private.ping().is_ok() {
+        // answers pings, the app connection is alive, and no interrupted
+        // phase-2 work is outstanding, nothing needs rebuilding.
+        if !inner.app.is_dead()
+            && inner.private.ping().is_ok()
+            && !inner.active.as_ref().is_some_and(|a| a.needs_reinstall)
+        {
+            inner.stats.false_alarms += 1;
             inner.last_recovery = Some(RecoveryTiming {
                 virtual_session: t0.elapsed(),
                 sql_state: Duration::ZERO,
@@ -653,120 +694,153 @@ impl PhoenixConnection {
             return Ok(());
         }
 
-        // Phase 1: re-establish connections and the virtual session.
-        let mut attempts = 0u32;
-        let (app, private) = loop {
-            attempts += 1;
-            match Self::open_pair(&self.server, &self.cfg) {
-                Ok((app, private)) => {
-                    // Ping over the private connection, then decide whether
-                    // the database session survived via the temp-table
-                    // proxy (temp tables die with their session).
-                    if private.ping().is_err() {
-                        if attempts >= policy.max_attempts {
-                            return Err(Error::ServerShutdown);
-                        }
-                        std::thread::sleep(policy.retry_interval);
-                        continue;
-                    }
-                    let _session_survived = app
-                        .exec_direct(&format!("SELECT * FROM {PROBE_TABLE} WHERE 0=1"))
-                        .is_ok();
-                    // (In this substrate a broken link always implies a
-                    // dead session, so the probe is informational.)
-                    if let Err(e) = Self::install_session_context(&app, &private) {
-                        if e.is_connection_fatal() {
-                            if attempts >= policy.max_attempts {
-                                return Err(e);
+        // One budget governs both phases; a connection-fatal error in
+        // phase 2 re-enters phase 1 on the same Backoff, so a crash during
+        // recovery cannot leak `ServerShutdown` past this function.
+        let mut backoff = Backoff::new(&policy);
+        let (virtual_session, sql_state) = loop {
+            // Phase 1: re-establish connections and the virtual session
+            // (skipped when the links survived and only phase 2 remains).
+            if inner.app.is_dead() || inner.private.ping().is_err() {
+                match Self::open_pair(&self.server, &self.cfg) {
+                    Ok((app, private)) => {
+                        // Ping over the private connection, then decide
+                        // whether the database session survived via the
+                        // temp-table proxy (temp tables die with their
+                        // session).
+                        if private.ping().is_err() {
+                            if !backoff.wait() {
+                                return Err(Error::RecoveryExhausted);
                             }
-                            std::thread::sleep(policy.retry_interval);
                             continue;
                         }
-                        return Err(e);
+                        let _session_survived = app
+                            .exec_direct(&format!("SELECT * FROM {PROBE_TABLE} WHERE 0=1"))
+                            .is_ok();
+                        // (In this substrate a broken link always implies a
+                        // dead session, so the probe is informational.)
+                        if let Err(e) = Self::install_session_context(&app, &private) {
+                            if e.is_connection_fatal() {
+                                if !backoff.wait() {
+                                    return Err(Error::RecoveryExhausted);
+                                }
+                                continue;
+                            }
+                            return Err(e);
+                        }
+                        inner.app = app;
+                        inner.private = private;
+                        inner.stats.recoveries += 1;
                     }
-                    break (app, private);
+                    Err(_) => {
+                        if !backoff.wait() {
+                            return Err(Error::RecoveryExhausted);
+                        }
+                        continue;
+                    }
                 }
-                Err(_) if attempts < policy.max_attempts => {
-                    std::thread::sleep(policy.retry_interval);
+            }
+            let virtual_session = t0.elapsed();
+
+            // Phase 2: reinstall SQL state for the interrupted request.
+            let t1 = Instant::now();
+            match self.reinstall_sql_state(inner) {
+                Ok(()) => break (virtual_session, t1.elapsed()),
+                Err(e) if e.is_connection_fatal() => {
+                    if !backoff.wait() {
+                        return Err(Error::RecoveryExhausted);
+                    }
+                    // Loop: `needs_reinstall` stays set, so we retry the
+                    // reinstall (after phase 1 if the link died again).
                 }
                 Err(e) => return Err(e),
             }
         };
-        inner.app = app;
-        inner.private = private;
-        let virtual_session = t0.elapsed();
-
-        // Phase 2: reinstall SQL state for the interrupted request.
-        let t1 = Instant::now();
-        let active_opt = inner.active.take();
-        inner.active = match (inner.in_app_txn, active_opt) {
-            // The transaction died with the server; the caller surfaces
-            // TxnAborted. Nothing to reinstall.
-            (true, _) => None,
-            (false, None) => None,
-            (false, Some(mut active)) => match &mut active.source {
-                // Entire result is client-side; no server state needed.
-                ActiveSource::Cached(_) => Some(active),
-                ActiveSource::Persisted { table, stmt } => {
-                    // Verify database recovery restored the result table.
-                    // If it is somehow gone (it was dropped out of band, or
-                    // never reached commit), redo the whole persistence
-                    // from the remembered request — the result is
-                    // recomputed, not lost.
-                    let verify = inner
-                        .private
-                        .exec_direct(&format!("SELECT * FROM {table} WHERE 0=1"));
-                    match verify {
-                        Ok(_) => {}
-                        Err(Error::NotFound(_)) => {
-                            let fresh = format!("phx_res_{}_{}", self.conn_id, inner.next_result);
-                            inner.next_result += 1;
-                            let pr = persist_result(
-                                &inner.app,
-                                &inner.private,
-                                &fresh,
-                                &active.sql,
-                                Duration::ZERO,
-                            )?;
-                            // lint:allow(discard): the persisted table is what matters; the probe stmt is disposable
-                            let _ = pr.stmt.close();
-                            *table = fresh;
-                        }
-                        Err(e) => return Err(e),
-                    }
-                    // Reopen and reposition to the last delivered tuple.
-                    let new_stmt = match self.cfg.reposition {
-                        RepositionMode::Server => {
-                            // Advance server-side; no tuples cross the wire
-                            // (the repositioning stored procedure).
-                            inner
-                                .app
-                                .exec_direct_skip(&reopen_sql(table), active.delivered)?
-                        }
-                        RepositionMode::Client => {
-                            // Sequence through the result from the client.
-                            let mut s = inner.app.exec_direct(&reopen_sql(table))?;
-                            for _ in 0..active.delivered {
-                                if s.fetch()?.is_none() {
-                                    break;
-                                }
-                            }
-                            s
-                        }
-                    };
-                    *stmt = new_stmt;
-                    Some(active)
-                }
-            },
-        };
-        let sql_state = t1.elapsed();
 
         inner.last_recovery = Some(RecoveryTiming {
             virtual_session,
             sql_state,
-            attempts,
+            attempts: backoff.attempts(),
         });
         Ok(())
+    }
+
+    /// Phase 2 of recovery: reinstall SQL state on the (fresh or verified)
+    /// connections. Failures leave `inner.active` in place with
+    /// `needs_reinstall` set, so the work can be resumed — the virtual
+    /// session is never torn down by a failed reinstall.
+    fn reinstall_sql_state(&self, inner: &mut Inner) -> Result<()> {
+        let Inner {
+            app,
+            private,
+            in_app_txn,
+            active,
+            next_result,
+            ..
+        } = inner;
+        if *in_app_txn {
+            // The transaction died with the server; the caller surfaces
+            // TxnAborted. Nothing to reinstall.
+            *active = None;
+            return Ok(());
+        }
+        let Some(a) = active.as_mut() else {
+            return Ok(());
+        };
+        a.needs_reinstall = true;
+        match &mut a.source {
+            // Entire result is client-side; no server state needed.
+            ActiveSource::Cached(_) => {
+                a.needs_reinstall = false;
+                Ok(())
+            }
+            ActiveSource::Persisted { table, stmt } => {
+                // Verify database recovery restored the result table. If it
+                // is somehow gone (it was dropped out of band, or never
+                // reached commit), redo the whole persistence from the
+                // remembered request — the result is recomputed, not lost.
+                match private.exec_direct(&format!("SELECT * FROM {table} WHERE 0=1")) {
+                    Ok(_) => {}
+                    Err(Error::NotFound(_)) => {
+                        let fresh = format!("phx_res_{}_{}", self.conn_id, *next_result);
+                        *next_result += 1;
+                        let pr = persist_result(app, private, &fresh, &a.sql, Duration::ZERO)?;
+                        // lint:allow(discard): the persisted table is what matters; the probe stmt is disposable
+                        let _ = pr.stmt.close();
+                        *table = fresh;
+                    }
+                    Err(e) => return Err(e),
+                }
+                // Reopen and reposition to the last delivered tuple.
+                let new_stmt = match self.cfg.reposition {
+                    RepositionMode::Server => {
+                        // Advance server-side; no tuples cross the wire
+                        // (the repositioning stored procedure).
+                        app.exec_direct_skip(&reopen_sql(table), a.delivered)?
+                    }
+                    RepositionMode::Client => {
+                        // Sequence through the result from the client. A
+                        // reopened result shorter than the remembered
+                        // position means the persisted table lost rows —
+                        // surface that, never silently resume short.
+                        let mut s = app.exec_direct(&reopen_sql(table))?;
+                        for consumed in 0..a.delivered {
+                            if s.fetch()?.is_none() {
+                                return Err(Error::Storage(format!(
+                                    "persisted result {table} ended at row {consumed} \
+                                     while repositioning to {}",
+                                    a.delivered
+                                )));
+                            }
+                        }
+                        s
+                    }
+                };
+                *stmt = new_stmt;
+                a.needs_reinstall = false;
+                Ok(())
+            }
+        }
     }
 }
 

@@ -14,10 +14,7 @@ use sqlengine::Error;
 use wire::{DbServer, ServerConfig};
 
 fn quick_policy() -> ReconnectPolicy {
-    ReconnectPolicy {
-        max_attempts: 100,
-        retry_interval: Duration::from_millis(20),
-    }
+    ReconnectPolicy::fixed(100, Duration::from_millis(20))
 }
 
 fn cfg_with(reposition: RepositionMode, cache: CacheMode) -> PhoenixConfig {
@@ -314,16 +311,15 @@ fn result_tables_are_cleaned_up() {
 fn phoenix_gives_up_when_server_never_returns() {
     let server = server_with_rows(2000);
     let mut cfg = cfg_with(RepositionMode::Server, CacheMode::Disabled);
-    cfg.reconnect = ReconnectPolicy {
-        max_attempts: 3,
-        retry_interval: Duration::from_millis(10),
-    };
+    cfg.reconnect = ReconnectPolicy::fixed(3, Duration::from_millis(10));
     let px = PhoenixConnection::connect(&server, cfg).unwrap();
     px.exec("SELECT k FROM items").unwrap();
     px.fetch().unwrap();
     server.crash();
     // Server never restarts: once the client-side buffer is exhausted and
-    // all reconnect attempts fail, Phoenix reveals the failure.
+    // all reconnect attempts fail, Phoenix degrades gracefully — the error
+    // is the *retryable* RecoveryExhausted, not a fatal one, because the
+    // virtual session survives the exhausted budget.
     let err = loop {
         match px.fetch() {
             Ok(Some(_)) => continue,
@@ -331,7 +327,9 @@ fn phoenix_gives_up_when_server_never_returns() {
             Err(e) => break e,
         }
     };
-    assert!(err.is_connection_fatal(), "got {err:?}");
+    assert!(matches!(err, Error::RecoveryExhausted), "got {err:?}");
+    assert!(err.is_retryable(), "RecoveryExhausted must be retryable");
+    assert!(!err.is_connection_fatal());
 }
 
 #[test]
@@ -375,4 +373,101 @@ fn aggregate_results_survive_crash() {
     for r in &rows {
         assert_eq!(r[1], Value::Int(50));
     }
+}
+
+#[test]
+fn exhausted_budget_preserves_session_and_resumes_on_later_call() {
+    let server = server_with_rows(2000);
+    let mut cfg = cfg_with(RepositionMode::Server, CacheMode::Disabled);
+    // Tiny recovery budget: exhausts quickly while the server is down.
+    cfg.reconnect = ReconnectPolicy {
+        max_attempts: 100,
+        initial_backoff: Duration::from_millis(5),
+        max_backoff: Duration::from_millis(20),
+        deadline: Duration::from_millis(150),
+        ..Default::default()
+    };
+    let px = PhoenixConnection::connect(&server, cfg).unwrap();
+    px.exec("SELECT k FROM items ORDER BY k").unwrap();
+    let mut delivered = 0i64;
+    for _ in 0..50 {
+        px.fetch().unwrap().unwrap();
+        delivered += 1;
+    }
+    server.crash();
+    // Server stays down: a few client-buffered rows may still arrive, then
+    // the recovery budget runs out.
+    let err = loop {
+        match px.fetch() {
+            Ok(Some(_)) => delivered += 1,
+            Ok(None) => panic!("result cannot complete: server is down"),
+            Err(e) => break e,
+        }
+    };
+    assert!(matches!(err, Error::RecoveryExhausted), "got {err:?}");
+    // A failed recovery performed no reconnect: the counter must not move
+    // (the historical over-count incremented it on every attempt).
+    assert_eq!(px.stats().recoveries, 0);
+    // Still down: the next call re-enters recovery and exhausts again —
+    // the session is not poisoned, just waiting.
+    let err2 = px.fetch().unwrap_err();
+    assert!(matches!(err2, Error::RecoveryExhausted), "got {err2:?}");
+
+    // Server returns: the very next call resumes recovery and delivers
+    // the remaining rows from the exact remembered position.
+    server.restart().unwrap();
+    let mut rest = Vec::new();
+    while let Some(r) = px.fetch().unwrap() {
+        rest.push(r);
+    }
+    assert_eq!(rest.len(), (2000 - delivered) as usize);
+    assert_eq!(rest[0][0], Value::Int(delivered), "resumed at the position");
+    let stats = px.stats();
+    assert_eq!(stats.recoveries, 1, "exactly one real reconnect happened");
+}
+
+#[test]
+fn client_reposition_surfaces_short_persisted_result() {
+    let server = server_with_rows(300);
+    let px = PhoenixConnection::connect(
+        &server,
+        cfg_with(RepositionMode::Client, CacheMode::Disabled),
+    )
+    .unwrap();
+    px.exec("SELECT k FROM items ORDER BY k").unwrap();
+    for _ in 0..60 {
+        px.fetch().unwrap().unwrap();
+    }
+    // Corrupt the persisted result out of band: most of its rows vanish,
+    // so the remembered position (60) now lies beyond the end.
+    let engine = server.engine().unwrap();
+    let table = engine
+        .storage()
+        .catalog
+        .table_names()
+        .into_iter()
+        .find(|n| n.starts_with("phx_res_"))
+        .expect("persisted result table");
+    let sid = engine.create_session().unwrap();
+    engine
+        .execute(sid, &format!("DELETE FROM {table} WHERE k >= 10"))
+        .unwrap();
+    engine.close_session(sid);
+    server.crash();
+    server.restart().unwrap();
+    // Client repositioning must notice the truncated result and surface a
+    // consistent error — never silently resume at a wrong position. (A few
+    // client-buffered rows may still drain first.)
+    let err = loop {
+        match px.fetch() {
+            Ok(Some(_)) => continue,
+            Ok(None) => panic!("truncated result must not complete cleanly"),
+            Err(e) => break e,
+        }
+    };
+    assert!(matches!(err, Error::Storage(_)), "got {err:?}");
+    // The condition is persistent, so a retry reports it again rather
+    // than delivering mispositioned rows.
+    let err2 = px.fetch().unwrap_err();
+    assert!(matches!(err2, Error::Storage(_)), "got {err2:?}");
 }

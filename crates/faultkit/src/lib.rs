@@ -36,6 +36,8 @@
 //! is hit. [`FaultPlan::parse`] accepts exactly this shape, and
 //! [`TracePoint::spec`] produces it.
 
+pub mod net;
+
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError};

@@ -1,0 +1,383 @@
+//! Deterministic network fault plans.
+//!
+//! The crashpoint machinery in the crate root kills the server at an
+//! instruction boundary — a *clean* failure. Real outages are messier:
+//! messages vanish, frames arrive half-written, links flap, and reads
+//! stall without any error at all. A [`NetPlan`] describes such a
+//! schedule deterministically so the simulated transport
+//! (`wire::transport::Pipe`) can inject it and a failing run can be
+//! reproduced from its seed alone.
+//!
+//! Two plan shapes mirror [`crate::FaultPlan`]:
+//!
+//! * [`NetPlan::At`] — fire one fault of a given kind at the `nth`
+//!   message sent through a pipe (1-based). The spec grammar is the
+//!   crashpoint one: `"drop#5"`, `"flap#2"`, … parseable by
+//!   [`NetPlan::parse`] and printable by [`NetPlan::spec`], so the
+//!   existing `FAULTKIT_REPLAY` one-liner works unchanged.
+//! * [`NetPlan::Seeded`] — per-mille fault rates drawn from a seeded
+//!   RNG, bounded by `max_faults` per pipe so recovery always has a
+//!   quiet tail to succeed in. The per-pipe stream is derived from
+//!   `(seed, pipe_index)`, so the schedule depends only on how many
+//!   messages each pipe carries — not on wall-clock timing.
+//!
+//! Fault *magnitudes* (how long a latency spike or a stall lasts) are
+//! fixed model constants ([`DELAY_SPIKE`], [`STALL`]), in the same
+//! spirit as `NetConfig`'s canned 100 Mbit LAN parameters.
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Extra delivery delay injected by a [`NetFaultKind::Delay`] spike.
+/// Below any sane query timeout: a spike slows a request, it does not
+/// fail it.
+pub const DELAY_SPIKE: Duration = Duration::from_millis(25);
+
+/// How long a [`NetFaultKind::Stall`] withholds delivery. Above the
+/// soak tests' query timeout: a stall is only survivable because the
+/// driver's watchdog converts it into a detectable timeout error.
+pub const STALL: Duration = Duration::from_millis(400);
+
+/// The kinds of network fault the transport can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetFaultKind {
+    /// The message silently never arrives (a lost segment, never
+    /// retransmitted). On a stream transport the loss is a permanent
+    /// hole: later frames are withheld too, and only the receiver's
+    /// timeout detects it.
+    Drop,
+    /// A prefix of the frame arrives; the rest is lost. Decoding fails
+    /// and the receiver must treat the connection as broken — a
+    /// half-written TCP stream is not resynchronizable.
+    Truncate,
+    /// Latency spike: the message arrives late but intact.
+    Delay,
+    /// Delivery stalls: this and subsequent messages are withheld for
+    /// [`STALL`], with no error raised. The pathological "hung read".
+    Stall,
+    /// Link flap: the pipe closes abruptly, as if the peer reset the
+    /// connection. Both sides see a fatal error.
+    Flap,
+}
+
+impl NetFaultKind {
+    /// All kinds, in spec order.
+    pub const ALL: [NetFaultKind; 5] = [
+        NetFaultKind::Drop,
+        NetFaultKind::Truncate,
+        NetFaultKind::Delay,
+        NetFaultKind::Stall,
+        NetFaultKind::Flap,
+    ];
+
+    /// Spec name (`"drop"`, `"truncate"`, …).
+    pub fn name(&self) -> &'static str {
+        match self {
+            NetFaultKind::Drop => "drop",
+            NetFaultKind::Truncate => "truncate",
+            NetFaultKind::Delay => "delay",
+            NetFaultKind::Stall => "stall",
+            NetFaultKind::Flap => "flap",
+        }
+    }
+
+    /// Inverse of [`NetFaultKind::name`].
+    pub fn from_name(s: &str) -> Option<NetFaultKind> {
+        NetFaultKind::ALL.into_iter().find(|k| k.name() == s)
+    }
+}
+
+/// One materialized fault, applied to a single message send.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetFault {
+    /// Discard the message.
+    Drop,
+    /// Deliver only a prefix of the frame.
+    Truncate,
+    /// Deliver after an extra delay.
+    Delay(Duration),
+    /// Withhold delivery (of everything queued) for the duration.
+    Stall(Duration),
+    /// Close the pipe.
+    Flap,
+}
+
+impl NetFaultKind {
+    fn materialize(self) -> NetFault {
+        match self {
+            NetFaultKind::Drop => NetFault::Drop,
+            NetFaultKind::Truncate => NetFault::Truncate,
+            NetFaultKind::Delay => NetFault::Delay(DELAY_SPIKE),
+            NetFaultKind::Stall => NetFault::Stall(STALL),
+            NetFaultKind::Flap => NetFault::Flap,
+        }
+    }
+}
+
+/// Per-mille incidence rates for [`NetPlan::Seeded`] (out of 1000 per
+/// message sent). The sum must stay ≤ 1000.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetRates {
+    /// ‰ of messages silently dropped.
+    pub drop: u16,
+    /// ‰ of messages truncated (→ connection-fatal at the receiver).
+    pub truncate: u16,
+    /// ‰ of messages hit by a latency spike.
+    pub delay: u16,
+    /// ‰ of messages that stall the link.
+    pub stall: u16,
+    /// ‰ of messages that flap (close) the link.
+    pub flap: u16,
+}
+
+impl NetRates {
+    /// A mixed profile suitable for soak tests: mostly-working network
+    /// with occasional faults of every kind.
+    pub const fn mixed() -> NetRates {
+        NetRates {
+            drop: 8,
+            truncate: 5,
+            delay: 20,
+            stall: 4,
+            flap: 6,
+        }
+    }
+
+    fn total(&self) -> u32 {
+        self.drop as u32
+            + self.truncate as u32
+            + self.delay as u32
+            + self.stall as u32
+            + self.flap as u32
+    }
+}
+
+/// A deterministic per-pipe fault schedule description. `Copy` so it can
+/// ride inside server configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetPlan {
+    /// Fire one `fault` at the `nth` (1-based) message sent on *every*
+    /// pipe the plan is installed on — the deterministic shape unit
+    /// tests and replay specs use.
+    At {
+        /// Fault kind to inject.
+        fault: NetFaultKind,
+        /// 1-based message index at which to fire.
+        nth: u64,
+    },
+    /// Seeded random schedule: each message sent draws against `rates`;
+    /// at most `max_faults` faults fire per pipe, so every pipe
+    /// eventually goes quiet and recovery can complete.
+    Seeded {
+        /// Base seed; combined with the pipe index for per-pipe streams.
+        seed: u64,
+        /// Per-mille fault rates.
+        rates: NetRates,
+        /// Per-pipe cap on injected faults.
+        max_faults: u32,
+    },
+}
+
+impl NetPlan {
+    /// Schedule one `fault` at the `nth` (1-based) message.
+    pub fn at(fault: NetFaultKind, nth: u64) -> NetPlan {
+        NetPlan::At {
+            fault,
+            nth: nth.max(1),
+        }
+    }
+
+    /// Seeded schedule with the given rates and per-pipe fault cap.
+    pub fn seeded(seed: u64, rates: NetRates, max_faults: u32) -> NetPlan {
+        debug_assert!(rates.total() <= 1000, "rates sum to >1000 per mille");
+        NetPlan::Seeded {
+            seed,
+            rates,
+            max_faults,
+        }
+    }
+
+    /// Parse a replay spec of the form `<kind>#<nth>` (`"drop#5"`) —
+    /// the same grammar as [`crate::FaultPlan::parse`], restricted to
+    /// the fault-kind vocabulary.
+    pub fn parse(spec: &str) -> Option<NetPlan> {
+        let (name, nth) = spec.rsplit_once('#')?;
+        let nth: u64 = nth.trim().parse().ok()?;
+        if nth == 0 {
+            return None;
+        }
+        Some(NetPlan::at(NetFaultKind::from_name(name.trim())?, nth))
+    }
+
+    /// One-line replay spec. For seeded plans this is informational
+    /// (`"seeded#<seed>"`); reproduce those by re-running with the seed.
+    pub fn spec(&self) -> String {
+        match self {
+            NetPlan::At { fault, nth } => format!("{}#{nth}", fault.name()),
+            NetPlan::Seeded { seed, .. } => format!("seeded#{seed}"),
+        }
+    }
+
+    /// Instantiate the stateful per-pipe schedule for the
+    /// `pipe_index`-th pipe created under this plan.
+    pub fn schedule(&self, pipe_index: u64) -> NetSchedule {
+        let seed = match self {
+            NetPlan::At { .. } => 0,
+            NetPlan::Seeded { seed, .. } => mix(*seed, pipe_index),
+        };
+        NetSchedule {
+            plan: *self,
+            rng: StdRng::seed_from_u64(seed),
+            msg_index: 0,
+            fired: 0,
+        }
+    }
+}
+
+/// SplitMix64 finalizer: decorrelates `(seed, pipe_index)` pairs so
+/// neighbouring pipes see independent fault streams.
+fn mix(seed: u64, pipe_index: u64) -> u64 {
+    let mut z = seed ^ pipe_index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Stateful fault injector for one pipe. The transport calls
+/// [`NetSchedule::next_fault`] once per message send; the returned fault (if
+/// any) applies to that message.
+#[derive(Debug)]
+pub struct NetSchedule {
+    plan: NetPlan,
+    rng: StdRng,
+    msg_index: u64,
+    fired: u32,
+}
+
+impl NetSchedule {
+    /// Evaluate the schedule for the next message. Deterministic in the
+    /// number of calls: the same plan and pipe index always yield the
+    /// same fault sequence.
+    pub fn next_fault(&mut self) -> Option<NetFault> {
+        self.msg_index += 1;
+        match self.plan {
+            NetPlan::At { fault, nth } => {
+                if self.msg_index == nth {
+                    self.fired += 1;
+                    Some(fault.materialize())
+                } else {
+                    None
+                }
+            }
+            NetPlan::Seeded {
+                rates, max_faults, ..
+            } => {
+                // Draw even when capped so the stream stays aligned
+                // with the message index regardless of earlier faults.
+                let roll: u32 = self.rng.gen_range(0..1000u32);
+                if self.fired >= max_faults {
+                    return None;
+                }
+                let mut acc = 0u32;
+                for kind in NetFaultKind::ALL {
+                    acc += match kind {
+                        NetFaultKind::Drop => rates.drop as u32,
+                        NetFaultKind::Truncate => rates.truncate as u32,
+                        NetFaultKind::Delay => rates.delay as u32,
+                        NetFaultKind::Stall => rates.stall as u32,
+                        NetFaultKind::Flap => rates.flap as u32,
+                    };
+                    if roll < acc {
+                        self.fired += 1;
+                        return Some(kind.materialize());
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Faults injected so far on this pipe.
+    pub fn fired(&self) -> u32 {
+        self.fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn at_plan_fires_exactly_once_at_nth_send() {
+        let mut s = NetPlan::at(NetFaultKind::Drop, 3).schedule(0);
+        assert_eq!(s.next_fault(), None);
+        assert_eq!(s.next_fault(), None);
+        assert_eq!(s.next_fault(), Some(NetFault::Drop));
+        assert_eq!(s.next_fault(), None);
+        assert_eq!(s.fired(), 1);
+    }
+
+    #[test]
+    fn spec_round_trips_every_kind() {
+        for kind in NetFaultKind::ALL {
+            let plan = NetPlan::at(kind, 7);
+            assert_eq!(NetPlan::parse(&plan.spec()), Some(plan));
+        }
+        assert_eq!(NetPlan::parse("nonsense"), None);
+        assert_eq!(NetPlan::parse("drop#0"), None);
+        assert_eq!(NetPlan::parse("sever#1"), None);
+    }
+
+    #[test]
+    fn seeded_schedule_is_deterministic_per_pipe() {
+        let plan = NetPlan::seeded(42, NetRates::mixed(), 8);
+        let run = |pipe: u64| -> Vec<Option<NetFault>> {
+            let mut s = plan.schedule(pipe);
+            (0..200).map(|_| s.next_fault()).collect()
+        };
+        assert_eq!(run(0), run(0));
+        assert_eq!(run(5), run(5));
+        // Distinct pipes draw from decorrelated streams; with 200 draws
+        // at ~4% fault rate identical sequences would be astronomically
+        // unlikely.
+        assert_ne!(run(0), run(1));
+    }
+
+    #[test]
+    fn seeded_schedule_respects_fault_cap() {
+        let hot = NetRates {
+            drop: 500,
+            truncate: 0,
+            delay: 0,
+            stall: 0,
+            flap: 0,
+        };
+        let mut s = NetPlan::seeded(7, hot, 3).schedule(0);
+        let fired = (0..1000).filter(|_| s.next_fault().is_some()).count();
+        assert_eq!(fired, 3);
+    }
+
+    #[test]
+    fn cap_does_not_shift_the_stream() {
+        // The capped schedule must agree with the uncapped one on every
+        // message index where both still fire.
+        let rates = NetRates::mixed();
+        let mut capped = NetPlan::seeded(9, rates, 2).schedule(3);
+        let mut open = NetPlan::seeded(9, rates, u32::MAX).schedule(3);
+        let mut seen = 0;
+        for _ in 0..500 {
+            let (c, o) = (capped.next_fault(), open.next_fault());
+            if seen < 2 {
+                assert_eq!(c, o);
+            } else {
+                assert_eq!(c, None);
+            }
+            if o.is_some() {
+                seen += 1;
+            }
+        }
+        assert!(seen >= 2, "rates too low for the assertion to bite");
+    }
+}

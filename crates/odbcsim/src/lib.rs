@@ -25,7 +25,7 @@
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
@@ -43,8 +43,15 @@ pub struct DriverConfig {
     /// Driver-side row buffer capacity in bytes. `exec_direct` returns
     /// once the statement is done or this buffer is full.
     pub buffer_bytes: usize,
-    /// Per-request timeout; `None` blocks indefinitely.
+    /// Per-receive timeout; `None` blocks indefinitely (up to the
+    /// request watchdog).
     pub query_timeout: Option<Duration>,
+    /// Request watchdog: wall-clock bound on one whole driver call
+    /// (connect / exec / fetch / ping). A stalled receive — delivery
+    /// withheld with no error raised — makes no per-receive progress
+    /// and would otherwise hang; the watchdog converts it into a
+    /// detectable [`Error::Timeout`]. `None` disables the watchdog.
+    pub request_deadline: Option<Duration>,
 }
 
 impl Default for DriverConfig {
@@ -53,7 +60,40 @@ impl Default for DriverConfig {
             login: "app".into(),
             buffer_bytes: 16 * 1024,
             query_timeout: Some(Duration::from_secs(30)),
+            request_deadline: Some(Duration::from_secs(60)),
         }
+    }
+}
+
+/// Watchdog for one driver call: yields per-receive timeouts clipped to
+/// the remaining request budget, and raises [`Error::Timeout`] once the
+/// budget is spent.
+struct Watchdog {
+    deadline: Option<Instant>,
+}
+
+impl Watchdog {
+    fn start(cfg: &DriverConfig) -> Watchdog {
+        Watchdog {
+            deadline: cfg
+                .request_deadline
+                .and_then(|d| Instant::now().checked_add(d)),
+        }
+    }
+
+    /// Timeout for the next receive: the per-receive `query_timeout`
+    /// clipped to the watchdog's remaining budget. `Err(Timeout)` once
+    /// the budget is exhausted.
+    fn recv_timeout(&self, per_recv: Option<Duration>) -> Result<Option<Duration>> {
+        let Some(d) = self.deadline else {
+            return Ok(per_recv);
+        };
+        let now = Instant::now();
+        if now >= d {
+            return Err(Error::Timeout);
+        }
+        let remaining = d - now;
+        Ok(Some(per_recv.map_or(remaining, |t| t.min(remaining))))
     }
 }
 
@@ -70,6 +110,11 @@ impl ConnInner {
     fn fail(&self, e: Error) -> Error {
         if e.is_connection_fatal() {
             self.dead.store(true, Ordering::SeqCst);
+            // Free anything blocked on this link (e.g. a server-side
+            // result stream waiting for buffer space): the connection is
+            // unusable, so tear the endpoint down now rather than when
+            // the application drops the handle.
+            self.conn.close();
         }
         e
     }
@@ -95,7 +140,8 @@ impl OdbcConnection {
         conn.send(&Request::Connect {
             login: cfg.login.clone(),
         })?;
-        let timeout = cfg.query_timeout;
+        let wd = Watchdog::start(&cfg);
+        let timeout = wd.recv_timeout(cfg.query_timeout)?;
         match conn.recv(timeout)? {
             Response::Connected { session } => Ok(OdbcConnection {
                 inner: Arc::new(ConnInner {
@@ -162,7 +208,8 @@ impl OdbcConnection {
             fetched: 0,
         };
         // Default result set: pump until done or driver buffer full.
-        stmt.pump(true)?;
+        let wd = Watchdog::start(&stmt.inner.cfg);
+        stmt.pump(true, &wd)?;
         Ok(stmt)
     }
 
@@ -173,9 +220,12 @@ impl OdbcConnection {
             .conn
             .send(&Request::Ping)
             .map_err(|e| self.inner.fail(e))?;
-        let deadline = self.inner.cfg.query_timeout;
+        let wd = Watchdog::start(&self.inner.cfg);
         loop {
-            match self.inner.conn.recv(deadline) {
+            let timeout = wd
+                .recv_timeout(self.inner.cfg.query_timeout)
+                .map_err(|e| self.inner.fail(e))?;
+            match self.inner.conn.recv(timeout) {
                 Ok(Response::Pong) => return Ok(()),
                 // Stale statement traffic may precede the pong.
                 Ok(_) => continue,
@@ -258,6 +308,7 @@ impl OdbcStatement {
 
     /// `SQLFetch`: next row, or `None` at end of the result set.
     pub fn fetch(&mut self) -> Result<Option<Row>> {
+        let wd = Watchdog::start(&self.inner.cfg);
         loop {
             if let Some(row) = self.buf.pop_front() {
                 let mut tmp = Vec::new();
@@ -269,7 +320,7 @@ impl OdbcStatement {
             if self.done.is_some() {
                 return Ok(None);
             }
-            self.pump(false)?;
+            self.pump(false, &wd)?;
         }
     }
 
@@ -301,8 +352,8 @@ impl OdbcStatement {
 
     /// Read responses. With `until_full`, returns once done OR the driver
     /// buffer is full; otherwise returns after any progress (rows/done).
-    fn pump(&mut self, until_full: bool) -> Result<()> {
-        let timeout = self.inner.cfg.query_timeout;
+    /// Every receive wait is clipped to the caller's request watchdog.
+    fn pump(&mut self, until_full: bool, wd: &Watchdog) -> Result<()> {
         loop {
             if self.done.is_some() {
                 return Ok(());
@@ -313,6 +364,9 @@ impl OdbcStatement {
             // About to wait for a response: a crash here lands mid-delivery
             // (some rows buffered, the rest lost with the server).
             faultkit::crashpoint!("odbc.recv");
+            let timeout = wd
+                .recv_timeout(self.inner.cfg.query_timeout)
+                .map_err(|e| self.inner.fail(e))?;
             let resp = self
                 .inner
                 .conn
@@ -500,6 +554,32 @@ mod tests {
         s.restart().unwrap();
         let c2 = OdbcConnection::connect(&s, quick_cfg()).unwrap();
         c2.exec_direct("SELECT * FROM t").unwrap();
+    }
+
+    #[test]
+    fn watchdog_converts_stalled_receive_into_timeout() {
+        use faultkit::net::{NetFaultKind, NetPlan, STALL};
+        let s = server();
+        // Stall the link at the 2nd message of every pipe: the Exec
+        // request (client→server message #2, after Connect) is withheld
+        // with no error raised — the pathological hung read.
+        s.set_fault_plan(Some(NetPlan::at(NetFaultKind::Stall, 2)));
+        let cfg = DriverConfig {
+            // No per-receive timeout: only the watchdog can detect this.
+            query_timeout: None,
+            request_deadline: Some(Duration::from_millis(100)),
+            ..Default::default()
+        };
+        let c = OdbcConnection::connect(&s, cfg).unwrap();
+        let t = Instant::now();
+        let e = c.exec_direct("CREATE TABLE w (a INT)").unwrap_err();
+        assert!(matches!(e, Error::Timeout), "got {e:?}");
+        assert!(
+            t.elapsed() < STALL,
+            "watchdog must fire before the stall drains, took {:?}",
+            t.elapsed()
+        );
+        assert!(c.is_dead(), "a timed-out request marks the link suspect");
     }
 
     #[test]

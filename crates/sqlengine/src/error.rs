@@ -36,6 +36,11 @@ pub enum Error {
     Timeout,
     /// The session handle is no longer valid (e.g. server restarted).
     NoSuchSession,
+    /// Phoenix's recovery budget (attempts and/or deadline) ran out
+    /// before the server came back. The virtual session state is
+    /// preserved: the call is *retryable*, and a later call on the same
+    /// connection resumes recovery where it left off.
+    RecoveryExhausted,
     /// Storage-layer invariant violation (page full bookkeeping, etc.).
     Storage(String),
     /// Internal invariant violation; indicates an engine bug.
@@ -50,6 +55,14 @@ impl Error {
             self,
             Error::ServerShutdown | Error::NoSuchSession | Error::Timeout
         )
+    }
+
+    /// True when the failed call can simply be issued again on the same
+    /// handle: nothing about the session was torn down, the failure was
+    /// a scheduling outcome (deadlock victim) or an exhausted recovery
+    /// budget that a later attempt may get past.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, Error::Deadlock | Error::RecoveryExhausted)
     }
 }
 
@@ -66,6 +79,12 @@ impl fmt::Display for Error {
             Error::ServerShutdown => write!(f, "server shutdown"),
             Error::Timeout => write!(f, "request timed out"),
             Error::NoSuchSession => write!(f, "no such session"),
+            Error::RecoveryExhausted => {
+                write!(
+                    f,
+                    "recovery budget exhausted; session preserved, retry later"
+                )
+            }
             Error::Storage(m) => write!(f, "storage error: {m}"),
             Error::Internal(m) => write!(f, "internal error: {m}"),
         }

@@ -9,7 +9,7 @@ use std::sync::Arc;
 use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use super::disk::{MemDisk, PageId, PAGE_SIZE};
-use super::page::Page;
+use super::page::{Page, PageRef};
 use crate::error::Result;
 use crate::wal::log::LogManager;
 
@@ -150,7 +150,11 @@ impl BufferPool {
                 // sizes are an accepted overflow case.
                 return Ok(());
             };
-            let frame = inner.frames.remove(&vid).expect("victim present");
+            // The victim id was selected from this same map under the lock,
+            // so the entry is still there; skip defensively if it is not.
+            let Some(frame) = inner.frames.remove(&vid) else {
+                continue;
+            };
             self.flush_frame(&frame)?;
         }
         Ok(())
@@ -161,7 +165,7 @@ impl BufferPool {
             return Ok(());
         }
         let data = frame.data.read();
-        let lsn = u64::from_be_bytes(data[0..8].try_into().unwrap());
+        let lsn = PageRef::new(&data).lsn();
         // WAL rule.
         self.log.flush_to(lsn)?;
         self.disk.write_page(frame.id, &data, self.epoch)?;

@@ -453,7 +453,11 @@ impl Storage {
     /// Rebuild every PK index by scanning heaps (restart path).
     pub fn rebuild_indexes(&self) -> Result<()> {
         for name in self.catalog.table_names() {
-            let meta = self.catalog.resolve(&name).unwrap();
+            // Names come from the catalog itself, but a concurrent DROP can
+            // remove the entry between the two calls — skip it if so.
+            let Some(meta) = self.catalog.resolve(&name) else {
+                continue;
+            };
             let (id, schema, pages) = {
                 let m = meta.read();
                 (m.id, m.schema.clone(), m.pages.clone())

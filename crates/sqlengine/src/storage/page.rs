@@ -30,6 +30,14 @@ const LEN_MASK: u16 = 0x7FFF;
 /// Slot index within a page.
 pub type SlotId = u16;
 
+/// Copy `N` bytes out of `buf` starting at `at`. The compile-time width
+/// sidesteps the fallible `try_into` that a slice conversion would need.
+fn read_arr<const N: usize>(buf: &[u8], at: usize) -> [u8; N] {
+    let mut out = [0u8; N];
+    out.copy_from_slice(&buf[at..at + N]);
+    out
+}
+
 /// A view over a page buffer providing slotted-page operations.
 pub struct Page<'a> {
     buf: &'a mut [u8; PAGE_SIZE],
@@ -53,7 +61,7 @@ impl<'a> Page<'a> {
 
     /// LSN of the last log record applied to this page.
     pub fn lsn(&self) -> u64 {
-        u64::from_be_bytes(self.buf[0..8].try_into().unwrap())
+        u64::from_be_bytes(read_arr(self.buf, 0))
     }
 
     /// Stamp the page LSN.
@@ -63,7 +71,7 @@ impl<'a> Page<'a> {
 
     /// Owning table.
     pub fn table_id(&self) -> u32 {
-        u32::from_be_bytes(self.buf[8..12].try_into().unwrap())
+        u32::from_be_bytes(read_arr(self.buf, 8))
     }
 
     fn set_table_id(&mut self, id: u32) {
@@ -72,7 +80,7 @@ impl<'a> Page<'a> {
 
     /// Number of slots (live + tombstoned).
     pub fn slot_count(&self) -> u16 {
-        u16::from_be_bytes(self.buf[12..14].try_into().unwrap())
+        u16::from_be_bytes(read_arr(self.buf, 12))
     }
 
     fn set_slot_count(&mut self, n: u16) {
@@ -80,7 +88,7 @@ impl<'a> Page<'a> {
     }
 
     fn free_end(&self) -> u16 {
-        u16::from_be_bytes(self.buf[14..16].try_into().unwrap())
+        u16::from_be_bytes(read_arr(self.buf, 14))
     }
 
     fn set_free_end(&mut self, v: u16) {
@@ -89,8 +97,8 @@ impl<'a> Page<'a> {
 
     fn slot_entry(&self, slot: SlotId) -> (u16, u16) {
         let base = HEADER + slot as usize * SLOT_BYTES;
-        let off = u16::from_be_bytes(self.buf[base..base + 2].try_into().unwrap());
-        let lf = u16::from_be_bytes(self.buf[base + 2..base + 4].try_into().unwrap());
+        let off = u16::from_be_bytes(read_arr(self.buf, base));
+        let lf = u16::from_be_bytes(read_arr(self.buf, base + 2));
         (off, lf)
     }
 
@@ -216,23 +224,23 @@ impl<'a> PageRef<'a> {
 
     /// LSN of the last log record applied to this page.
     pub fn lsn(&self) -> u64 {
-        u64::from_be_bytes(self.buf[0..8].try_into().unwrap())
+        u64::from_be_bytes(read_arr(self.buf, 0))
     }
 
     /// Owning table.
     pub fn table_id(&self) -> u32 {
-        u32::from_be_bytes(self.buf[8..12].try_into().unwrap())
+        u32::from_be_bytes(read_arr(self.buf, 8))
     }
 
     /// Number of slots (live + tombstoned).
     pub fn slot_count(&self) -> u16 {
-        u16::from_be_bytes(self.buf[12..14].try_into().unwrap())
+        u16::from_be_bytes(read_arr(self.buf, 12))
     }
 
     fn slot_entry(&self, slot: SlotId) -> (u16, u16) {
         let base = HEADER + slot as usize * SLOT_BYTES;
-        let off = u16::from_be_bytes(self.buf[base..base + 2].try_into().unwrap());
-        let lf = u16::from_be_bytes(self.buf[base + 2..base + 4].try_into().unwrap());
+        let off = u16::from_be_bytes(read_arr(self.buf, base));
+        let lf = u16::from_be_bytes(read_arr(self.buf, base + 2));
         (off, lf)
     }
 
@@ -258,7 +266,7 @@ impl<'a> PageRef<'a> {
     }
 
     fn free_end(&self) -> u16 {
-        u16::from_be_bytes(self.buf[14..16].try_into().unwrap())
+        u16::from_be_bytes(read_arr(self.buf, 14))
     }
 
     /// Free bytes between the slot array and the tuple space.

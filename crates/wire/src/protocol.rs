@@ -112,6 +112,7 @@ fn error_code(e: &Error) -> u8 {
         Error::Storage(_) => 9,
         Error::Internal(_) => 10,
         Error::Timeout => 11,
+        Error::RecoveryExhausted => 12,
     }
 }
 
@@ -142,6 +143,7 @@ fn error_from(code: u8, msg: String) -> Error {
         8 => Error::NoSuchSession,
         9 => Error::Storage(msg),
         11 => Error::Timeout,
+        12 => Error::RecoveryExhausted,
         _ => Error::Internal(msg),
     }
 }

@@ -3,10 +3,11 @@
 //! (`SHUTDOWN WITH NOWAIT` / fault injection) and restart with recovery.
 
 use std::collections::HashMap;
-use std::sync::atomic::AtomicBool;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use faultkit::net::NetPlan;
 use parking_lot::Mutex;
 
 use sqlengine::engine::{Cursor, Durable, Engine, ExecOutcome};
@@ -30,6 +31,9 @@ pub struct ServerConfig {
     pub net_s2c: NetConfig,
     /// Rows per `RowBatch` message.
     pub row_batch: usize,
+    /// Initial network fault plan applied to every new connection's
+    /// pipes (see [`DbServer::set_fault_plan`] for runtime control).
+    pub faults: Option<NetPlan>,
 }
 
 impl Default for ServerConfig {
@@ -40,6 +44,7 @@ impl Default for ServerConfig {
             net_c2s: NetConfig::default(),
             net_s2c: NetConfig::default(),
             row_batch: 16,
+            faults: None,
         }
     }
 }
@@ -65,6 +70,13 @@ struct ServerInner {
     config: ServerConfig,
     process: Mutex<Option<Arc<Process>>>,
     last_recovery: Mutex<Option<(Duration, RecoveryStats)>>,
+    /// Active network fault plan; new connections derive per-pipe
+    /// schedules from it. Survives crash/restart (the *network* is
+    /// faulty, not the server process).
+    faults: Mutex<Option<NetPlan>>,
+    /// Monotonic pipe index: each connection consumes two (c2s, s2c),
+    /// so seeded plans give every pipe its own deterministic stream.
+    pipe_seq: AtomicU64,
 }
 
 /// A crashable database server.
@@ -86,6 +98,8 @@ impl DbServer {
             config,
             process: Mutex::new(None),
             last_recovery: Mutex::new(None),
+            faults: Mutex::new(config.faults),
+            pipe_seq: AtomicU64::new(0),
         });
         let server = DbServer { inner };
         server.restart()?;
@@ -157,6 +171,13 @@ impl DbServer {
             .map(|p| Arc::clone(&p.engine))
     }
 
+    /// Install (or clear) the network fault plan. Applies to connections
+    /// opened from now on — including the reconnects a recovering client
+    /// makes, which is exactly what a chaos soak wants.
+    pub fn set_fault_plan(&self, plan: Option<NetPlan>) {
+        *self.inner.faults.lock() = plan;
+    }
+
     /// Open a network connection to the server.
     pub fn connect(&self) -> Result<ClientConn> {
         let proc = {
@@ -165,6 +186,11 @@ impl DbServer {
         };
         let (client_ep, server_ep) =
             Endpoint::pair(self.inner.config.net_c2s, self.inner.config.net_s2c);
+        if let Some(plan) = *self.inner.faults.lock() {
+            let i = self.inner.pipe_seq.fetch_add(2, Ordering::Relaxed);
+            client_ep.tx.inject(plan.schedule(i)); // client → server
+            client_ep.rx.inject(plan.schedule(i + 1)); // server → client
+        }
         let server_ep = Arc::new(server_ep);
         proc.conns.lock().push(Arc::clone(&server_ep));
         let engine = Arc::clone(&proc.engine);
@@ -187,9 +213,19 @@ impl ClientConn {
     }
 
     /// Receive the next response, waiting up to `timeout`.
+    ///
+    /// A frame that fails to decode means the byte stream is corrupt
+    /// (e.g. a truncated message): there is no way to resynchronize, so
+    /// the link is torn down and the error is connection-fatal.
     pub fn recv(&self, timeout: Option<Duration>) -> Result<Response> {
         let frame = self.ep.rx.recv(timeout)?;
-        Response::decode(&frame)
+        match Response::decode(&frame) {
+            Ok(resp) => Ok(resp),
+            Err(_) => {
+                self.ep.close();
+                Err(Error::ServerShutdown)
+            }
+        }
     }
 
     /// Drop the link abruptly (client-side close).
@@ -219,7 +255,10 @@ fn reply(ep: &Endpoint, resp: Response, cancel: Option<&AtomicBool>) {
 fn connection_loop(server: DbServer, engine: Arc<Engine>, ep: Arc<Endpoint>, cfg: ServerConfig) {
     // Handshake.
     let sid = loop {
-        let Ok(frame) = ep.rx.recv(None) else { return };
+        let Ok(frame) = ep.rx.recv(None) else {
+            ep.close();
+            return;
+        };
         match Request::decode(&frame) {
             Ok(Request::Connect { .. }) => match engine.create_session() {
                 Ok(sid) => {
@@ -228,13 +267,18 @@ fn connection_loop(server: DbServer, engine: Arc<Engine>, ep: Arc<Endpoint>, cfg
                 }
                 Err(e) => {
                     reply(&ep, Response::Error { stmt: 0, error: e }, None);
+                    ep.close();
                     return;
                 }
             },
             Ok(Request::Ping) => {
                 reply(&ep, Response::Pong, None);
             }
-            _ => return,
+            _ => {
+                // Corrupt or unexpected pre-session frame: drop the link.
+                ep.close();
+                return;
+            }
         }
     };
 
@@ -243,8 +287,10 @@ fn connection_loop(server: DbServer, engine: Arc<Engine>, ep: Arc<Endpoint>, cfg
 
     loop {
         let Ok(frame) = ep.rx.recv(None) else {
-            // Link dead (crash or client close).
+            // Link dead (crash or client close). Close our half too so
+            // producer threads blocked on the outbound pipe wake up.
             engine.close_session(sid);
+            ep.close();
             return;
         };
         // Frame received but not yet acted on: a crash here loses the
@@ -252,7 +298,14 @@ fn connection_loop(server: DbServer, engine: Arc<Engine>, ep: Arc<Endpoint>, cfg
         faultkit::crashpoint!("wire.exec.recv");
         let req = match Request::decode(&frame) {
             Ok(r) => r,
-            Err(_) => continue,
+            Err(_) => {
+                // Corrupt request frame (e.g. truncated in transit): the
+                // stream cannot be resynchronized — treat it like a dead
+                // link, exactly as a real server drops a broken socket.
+                engine.close_session(sid);
+                ep.close();
+                return;
+            }
         };
         match req {
             Request::Ping => {
@@ -260,6 +313,7 @@ fn connection_loop(server: DbServer, engine: Arc<Engine>, ep: Arc<Endpoint>, cfg
             }
             Request::Disconnect => {
                 engine.close_session(sid);
+                ep.close();
                 return;
             }
             Request::CloseStmt { stmt } => {

@@ -8,6 +8,11 @@
 //!
 //! Closing a pipe (server crash) wakes all blocked parties with a
 //! disconnect error.
+//!
+//! A pipe can additionally carry a deterministic fault schedule
+//! ([`Pipe::inject`], driven by [`faultkit::net::NetPlan`]): message
+//! drops, frame truncation, latency spikes, link flaps, and stalled
+//! delivery — the messy failures a clean `close()` cannot express.
 
 use std::collections::VecDeque;
 use std::sync::atomic::AtomicBool;
@@ -16,6 +21,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
+use faultkit::net::{NetFault, NetSchedule};
 use sqlengine::Error;
 
 /// Network model parameters for one direction.
@@ -60,12 +66,29 @@ impl NetConfig {
     }
 }
 
+/// One queued frame. A `hole` frame marks where a dropped message sat:
+/// frames ahead of it deliver normally, frames behind it cannot be
+/// reassembled (no retransmission on this model), so delivery halts
+/// silently at the hole — exactly how an unrecovered TCP segment loss
+/// presents to the receiver.
+#[derive(Clone)]
+struct Frame {
+    payload: Vec<u8>,
+    deliver_at: Instant,
+    hole: bool,
+}
+
 struct PipeState {
-    queue: VecDeque<(Vec<u8>, Instant)>,
+    queue: VecDeque<Frame>,
     bytes: usize,
     closed: bool,
     /// Virtual time at which the link frees up (bandwidth serialization).
     link_free_at: Instant,
+    /// Injected fault schedule, consulted once per send.
+    faults: Option<NetSchedule>,
+    /// While set, delivery of everything queued is withheld (stalled
+    /// link): receivers see silence, not an error.
+    stall_until: Option<Instant>,
 }
 
 /// One direction of a connection.
@@ -86,16 +109,35 @@ impl Pipe {
                 bytes: 0,
                 closed: false,
                 link_free_at: Instant::now(),
+                faults: None,
+                stall_until: None,
             }),
             readable: Condvar::new(),
             writable: Condvar::new(),
         })
     }
 
+    /// Install a fault schedule; evaluated once per [`Pipe::send`].
+    pub fn inject(&self, schedule: NetSchedule) {
+        self.state.lock().faults = Some(schedule);
+    }
+
+    /// Remove any installed fault schedule (the network heals: stalls
+    /// lift and dropped frames are "retransmitted", unblocking the
+    /// stream).
+    pub fn clear_faults(&self) {
+        let mut st = self.state.lock();
+        st.faults = None;
+        st.stall_until = None;
+        st.queue.retain(|f| !f.hole);
+        drop(st);
+        self.readable.notify_all();
+    }
+
     /// Send a message, blocking while the buffer is full. Returns
     /// `Err(ServerShutdown)` if the pipe is closed, or if `cancel` is set
     /// while waiting.
-    pub fn send(&self, msg: Vec<u8>, cancel: Option<&AtomicBool>) -> Result<(), Error> {
+    pub fn send(&self, mut msg: Vec<u8>, cancel: Option<&AtomicBool>) -> Result<(), Error> {
         let size = msg.len().max(1);
         let mut st = self.state.lock();
         loop {
@@ -112,6 +154,44 @@ impl Pipe {
             }
             self.writable.wait_for(&mut st, Duration::from_millis(1));
         }
+        // Injected network faults, one draw per message.
+        let mut extra_delay = Duration::ZERO;
+        match st.faults.as_mut().and_then(NetSchedule::next_fault) {
+            None => {}
+            Some(NetFault::Drop) => {
+                // Silently lost: the sender believes it went out. On a
+                // stream transport the loss is a permanent hole — later
+                // frames cannot be delivered past it, so the receiver
+                // sees silence until a timeout tears the link down.
+                st.queue.push_back(Frame {
+                    payload: Vec::new(),
+                    deliver_at: Instant::now(),
+                    hole: true,
+                });
+                return Ok(());
+            }
+            Some(NetFault::Truncate) => {
+                // A prefix arrives; the receiver's decode fails and must
+                // treat the stream as unrecoverable.
+                msg.truncate(msg.len() / 2);
+            }
+            Some(NetFault::Delay(d)) => extra_delay = d,
+            Some(NetFault::Stall(d)) => {
+                let until = Instant::now() + d;
+                st.stall_until = Some(st.stall_until.map_or(until, |u| u.max(until)));
+            }
+            Some(NetFault::Flap) => {
+                // Link reset: both sides see the connection die.
+                st.closed = true;
+                st.queue.clear();
+                st.bytes = 0;
+                drop(st);
+                self.readable.notify_all();
+                self.writable.notify_all();
+                return Err(Error::ServerShutdown);
+            }
+        }
+        let size = msg.len().max(1);
         // Delivery time: serialize on the link after the previous message.
         let now = Instant::now();
         let start = st.link_free_at.max(now);
@@ -121,10 +201,14 @@ impl Pipe {
             }
             _ => Duration::ZERO,
         };
-        let deliver_at = start + self.cfg.latency + tx_time + self.cfg.per_msg_cost;
+        let deliver_at = start + self.cfg.latency + tx_time + self.cfg.per_msg_cost + extra_delay;
         st.link_free_at = start + tx_time + self.cfg.per_msg_cost;
         st.bytes += size;
-        st.queue.push_back((msg, deliver_at));
+        st.queue.push_back(Frame {
+            payload: msg,
+            deliver_at,
+            hole: false,
+        });
         drop(st);
         self.readable.notify_one();
         Ok(())
@@ -137,8 +221,19 @@ impl Pipe {
         let deadline = timeout.map(|t| Instant::now() + t);
         let mut st = self.state.lock();
         loop {
-            if let Some((msg, deliver_at)) = st.queue.front().cloned() {
+            // A hole at the front withholds everything behind it: the
+            // receiver sees silence, not an error (fall through to the
+            // timed waits below).
+            if let Some(frame) = st.queue.front().cloned().filter(|f| !f.hole) {
+                let msg = frame.payload;
+                let mut deliver_at = frame.deliver_at;
                 let now = Instant::now();
+                // A stalled link withholds everything queued, silently.
+                match st.stall_until {
+                    Some(until) if until > now => deliver_at = deliver_at.max(until),
+                    Some(_) => st.stall_until = None,
+                    None => {}
+                }
                 if deliver_at <= now {
                     st.queue.pop_front();
                     st.bytes -= msg.len().max(1);
@@ -335,6 +430,97 @@ mod tests {
         let start = Instant::now();
         pipe.recv(Some(Duration::from_secs(1))).unwrap();
         assert!(start.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn injected_drop_holes_the_stream() {
+        use faultkit::net::{NetFaultKind, NetPlan};
+        let pipe = Pipe::new(NetConfig::instant());
+        pipe.inject(NetPlan::at(NetFaultKind::Drop, 2).schedule(0));
+        pipe.send(b"a".to_vec(), None).unwrap();
+        pipe.send(b"b".to_vec(), None).unwrap(); // silently lost
+        pipe.send(b"c".to_vec(), None).unwrap();
+        assert_eq!(pipe.recv(Some(Duration::from_secs(1))).unwrap(), b"a");
+        // "c" must NOT arrive in "b"'s place: frames beyond the hole are
+        // withheld (a gap on a stream transport is unrecoverable), and
+        // the receiver can detect the loss only by timing out.
+        assert_eq!(
+            pipe.recv(Some(Duration::from_millis(20))),
+            Err(Error::Timeout)
+        );
+        // Healing the link ("retransmission") resumes delivery in order.
+        pipe.clear_faults();
+        assert_eq!(pipe.recv(Some(Duration::from_secs(1))).unwrap(), b"c");
+    }
+
+    #[test]
+    fn injected_truncate_delivers_a_prefix() {
+        use faultkit::net::{NetFaultKind, NetPlan};
+        let pipe = Pipe::new(NetConfig::instant());
+        pipe.inject(NetPlan::at(NetFaultKind::Truncate, 1).schedule(0));
+        pipe.send(vec![7u8; 10], None).unwrap();
+        let got = pipe.recv(Some(Duration::from_secs(1))).unwrap();
+        assert_eq!(got, vec![7u8; 5]);
+        // Byte accounting must match the truncated size.
+        assert_eq!(pipe.buffered_bytes(), 0);
+    }
+
+    #[test]
+    fn injected_flap_closes_the_pipe() {
+        use faultkit::net::{NetFaultKind, NetPlan};
+        let pipe = Pipe::new(NetConfig::instant());
+        pipe.inject(NetPlan::at(NetFaultKind::Flap, 2).schedule(0));
+        pipe.send(b"a".to_vec(), None).unwrap();
+        assert_eq!(pipe.send(b"b".to_vec(), None), Err(Error::ServerShutdown));
+        assert!(pipe.is_closed());
+        assert_eq!(
+            pipe.recv(Some(Duration::from_millis(20))),
+            Err(Error::ServerShutdown)
+        );
+    }
+
+    #[test]
+    fn injected_stall_withholds_delivery_without_error() {
+        use faultkit::net::{NetFaultKind, NetPlan, STALL};
+        let pipe = Pipe::new(NetConfig::instant());
+        pipe.inject(NetPlan::at(NetFaultKind::Stall, 1).schedule(0));
+        pipe.send(b"x".to_vec(), None).unwrap();
+        let start = Instant::now();
+        // Short-deadline reads see silence, not an error payload.
+        assert_eq!(
+            pipe.recv(Some(Duration::from_millis(50))),
+            Err(Error::Timeout)
+        );
+        // Patience (or a watchdog-sized deadline) gets the message.
+        let got = pipe.recv(Some(STALL * 4)).unwrap();
+        assert_eq!(got, b"x");
+        assert!(start.elapsed() >= STALL - Duration::from_millis(20));
+    }
+
+    #[test]
+    fn injected_delay_spikes_latency_once() {
+        use faultkit::net::{NetFaultKind, NetPlan, DELAY_SPIKE};
+        let pipe = Pipe::new(NetConfig::instant());
+        pipe.inject(NetPlan::at(NetFaultKind::Delay, 1).schedule(0));
+        pipe.send(b"x".to_vec(), None).unwrap();
+        let start = Instant::now();
+        pipe.recv(Some(Duration::from_secs(1))).unwrap();
+        assert!(start.elapsed() >= DELAY_SPIKE - Duration::from_millis(5));
+        // Later messages are unaffected.
+        pipe.send(b"y".to_vec(), None).unwrap();
+        let start = Instant::now();
+        pipe.recv(Some(Duration::from_secs(1))).unwrap();
+        assert!(start.elapsed() < DELAY_SPIKE);
+    }
+
+    #[test]
+    fn clear_faults_heals_the_link() {
+        use faultkit::net::{NetFaultKind, NetPlan};
+        let pipe = Pipe::new(NetConfig::instant());
+        pipe.inject(NetPlan::at(NetFaultKind::Drop, 1).schedule(0));
+        pipe.clear_faults();
+        pipe.send(b"a".to_vec(), None).unwrap();
+        assert_eq!(pipe.recv(Some(Duration::from_secs(1))).unwrap(), b"a");
     }
 
     #[test]

@@ -55,6 +55,9 @@ pub enum Rule {
     LockOrder,
     /// `Box<dyn Error>` or `.ok().unwrap()` in library code.
     Error,
+    /// Raw `thread::sleep` in reconnect/recovery code, where every wait
+    /// must flow through `ReconnectPolicy`'s budgeted backoff.
+    Sleep,
     /// Duplicate `crashpoint!` name: replay specs (`name#nth`) are only
     /// meaningful when each name identifies one program point.
     Crashpoint,
@@ -72,6 +75,7 @@ impl Rule {
             Rule::Lock => "lock",
             Rule::LockOrder => "lock_order",
             Rule::Error => "error",
+            Rule::Sleep => "sleep",
             Rule::Crashpoint => "crashpoint",
             Rule::BadAllow => "bad_allow",
         }
@@ -118,6 +122,9 @@ pub struct FileClass {
     pub lock_order_rules: bool,
     /// Error hygiene (`error`): all scanned library code.
     pub error_rules: bool,
+    /// Unbudgeted-wait hygiene (`sleep`): recovery code where every wait
+    /// must go through the reconnect policy's `Backoff`.
+    pub sleep_rules: bool,
 }
 
 /// Modules where a panic or swallowed error breaks crash recovery — the
@@ -137,8 +144,22 @@ const PANIC_CRITICAL: &[&str] = &[
 const PANIC_CALLS: &[&str] = &[
     "crates/sqlengine/src/exec/select.rs",
     "crates/sqlengine/src/exec/eval.rs",
+    "crates/sqlengine/src/exec/mod.rs",
+    "crates/sqlengine/src/exec/binding.rs",
+    "crates/sqlengine/src/engine.rs",
     "crates/sqlengine/src/sql/parser.rs",
+    "crates/sqlengine/src/storage/page.rs",
+    "crates/sqlengine/src/storage/buffer.rs",
+    "crates/sqlengine/src/storage/heap.rs",
+    "crates/sqlengine/src/storage/disk.rs",
 ];
+
+/// Reconnect/recovery code: a raw `thread::sleep` here is a wait that
+/// ignores the `ReconnectPolicy` budget (backoff curve, overall
+/// deadline), so it can stretch recovery past the promised deadline.
+/// The one sanctioned sleep site is `Backoff::wait`, which carries a
+/// `lint:allow(sleep)` waiver.
+const SLEEP_SCOPE: &[&str] = &["crates/core/src/"];
 
 /// Modules that take the ranked locks or block while holding guards.
 const LOCK_SCOPE: &[&str] = &[
@@ -157,6 +178,7 @@ pub fn classify(rel_path: &str) -> FileClass {
         lock_rules: hit(LOCK_SCOPE),
         lock_order_rules: rel_path.starts_with("crates/sqlengine/src/"),
         error_rules: true,
+        sleep_rules: hit(SLEEP_SCOPE),
     }
 }
 
@@ -575,6 +597,16 @@ pub fn lint_source(path: &Path, src: &str, class: FileClass) -> Vec<Violation> {
                     "`let _ =` discards a result in recovery-critical code".into(),
                 );
             }
+        }
+
+        if class.sleep_rules && text.contains("thread::sleep") {
+            push(
+                line,
+                Rule::Sleep,
+                "raw `thread::sleep` in recovery code; waits must go through \
+                 `ReconnectPolicy`'s budgeted `Backoff`"
+                    .into(),
+            );
         }
 
         if class.error_rules {

@@ -33,7 +33,7 @@ fn print_help() {
          \x20 lint   static-analysis pass: panic-path hygiene, lock discipline,\n\
          \x20        error hygiene (waive a line with `// lint:allow(rule): why`)\n\
          \x20 ci     full pre-merge gate: fmt --check, clippy, lint, test,\n\
-         \x20        seeded fault-schedule enumeration"
+         \x20        seeded fault-schedule enumeration, bounded chaos soak"
     );
 }
 
@@ -151,7 +151,27 @@ fn ci() -> ExitCode {
                 .current_dir(&root),
         );
 
-    if faults_ok {
+    // Bounded chaos soak: a pinned block of seeds so the gate replays
+    // the same randomized fault schedules on every run. The full 64-seed
+    // sweep stays a local/manual job (CHAOS_SOAK_SEEDS=64).
+    let soak_ok = faults_ok
+        && step(
+            "chaos soak (8 pinned seeds)",
+            Command::new(&cargo)
+                .args([
+                    "test",
+                    "-p",
+                    "integration-tests",
+                    "--test",
+                    "chaos_soak",
+                    "-q",
+                ])
+                .env("CHAOS_SOAK_SEEDS", "8")
+                .env("CHAOS_SOAK_BASE", "2026")
+                .current_dir(&root),
+        );
+
+    if soak_ok {
         println!("== xtask ci: all green ==");
         ExitCode::SUCCESS
     } else {

@@ -1,0 +1,17 @@
+use std::time::Duration;
+
+pub fn bad_wait() {
+    std::thread::sleep(Duration::from_millis(50));
+}
+
+pub fn sanctioned_wait() {
+    // lint:allow(sleep): fixture — models the policy's one budgeted wait site
+    std::thread::sleep(Duration::from_millis(1));
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn test_only_wait() {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+}

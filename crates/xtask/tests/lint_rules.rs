@@ -25,6 +25,7 @@ const ALL_RULES: FileClass = FileClass {
     lock_rules: true,
     lock_order_rules: true,
     error_rules: true,
+    sleep_rules: true,
 };
 
 fn lines_of(violations: &[Violation], rule: Rule) -> Vec<usize> {
@@ -121,6 +122,21 @@ fn error_family_fires_on_erasure_and_laundering() {
 }
 
 #[test]
+fn sleep_rule_fires_outside_waivers_and_tests() {
+    let v = scan(
+        "sleep_violations.rs",
+        FileClass {
+            sleep_rules: true,
+            ..FileClass::default()
+        },
+    );
+    // The raw sleep fires; the waived site and the #[cfg(test)] module
+    // stay quiet.
+    assert_eq!(lines_of(&v, Rule::Sleep), vec![4]);
+    assert_eq!(v.len(), 1, "{v:#?}");
+}
+
+#[test]
 fn clean_fixture_passes_every_rule() {
     let v = scan("clean.rs", ALL_RULES);
     assert!(v.is_empty(), "{v:#?}");
@@ -157,6 +173,11 @@ fn classify_maps_recovery_critical_paths() {
 
     // Everything scanned gets error hygiene.
     assert!(classify("crates/workloads/src/lib.rs").error_rules);
+
+    // Recovery code may not sleep outside the budgeted backoff.
+    assert!(classify("crates/core/src/session.rs").sleep_rules);
+    assert!(classify("crates/core/src/config.rs").sleep_rules);
+    assert!(!classify("crates/sqlengine/src/engine.rs").sleep_rules);
 }
 
 #[test]

@@ -1,0 +1,222 @@
+//! Seeded chaos soak: an order-entry workload runs under a randomized
+//! schedule of network faults (drop / truncate / delay / stall / flap,
+//! via [`faultkit::net::NetPlan::Seeded`]) interleaved with full server
+//! crashes, and must come out exactly-once and gap/dup-free:
+//!
+//! * every wrapped modification leaves exactly one `phx_status` row and
+//!   its effect is applied exactly once (the model comparison would
+//!   diverge on any double-apply or loss);
+//! * every SELECT delivers precisely the model's rows — no gaps, no
+//!   duplicates, no mispositioned resume after recovery.
+//!
+//! Each seed is fully deterministic in the fault *schedule* (what fires
+//! on which message of which pipe); a failing seed prints a one-line
+//! `FAULTKIT_REPLAY='chaos_soak:seed#<n>'` reproduction, reusing the
+//! crashpoint replay grammar. `CHAOS_SOAK_SEEDS` / `CHAOS_SOAK_BASE`
+//! override how many and which seeds run.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use faultkit::net::{NetPlan, NetRates};
+use integration_tests::{restart_with_retry, REPLAY_ENV};
+use phoenix::{ExecKind, PhoenixConfig, PhoenixConnection, ReconnectPolicy};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sqlengine::Value;
+use wire::{DbServer, ServerConfig};
+
+const SCENARIO: &str = "chaos_soak";
+
+fn soak_cfg(seed: u64) -> PhoenixConfig {
+    let mut cfg = PhoenixConfig {
+        reconnect: ReconnectPolicy {
+            max_attempts: 5_000,
+            initial_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(10),
+            deadline: Duration::from_secs(30),
+            masking_retries: 500,
+            jitter_seed: seed,
+        },
+        ..Default::default()
+    };
+    cfg.driver.buffer_bytes = 512;
+    // Both bounds sit below the faultkit stall length (400 ms): a stalled
+    // or holed receive must surface as a detectable timeout quickly, or
+    // every injected stall would cost the soak half a second.
+    cfg.driver.query_timeout = Some(Duration::from_millis(150));
+    cfg.driver.request_deadline = Some(Duration::from_millis(200));
+    cfg
+}
+
+fn expect_rows(px: &PhoenixConnection, model: &BTreeMap<i64, (i64, String)>) {
+    let rows = px
+        .query_all("SELECT id, qty, note FROM orders ORDER BY id")
+        .unwrap();
+    let got: Vec<(i64, i64, String)> = rows
+        .iter()
+        .map(|r| {
+            let Value::Int(id) = r[0] else {
+                panic!("id: {r:?}")
+            };
+            let Value::Int(qty) = r[1] else {
+                panic!("qty: {r:?}")
+            };
+            let Value::Str(note) = &r[2] else {
+                panic!("note: {r:?}")
+            };
+            (id, qty, note.clone())
+        })
+        .collect();
+    let want: Vec<(i64, i64, String)> = model
+        .iter()
+        .map(|(id, (qty, note))| (*id, *qty, note.clone()))
+        .collect();
+    assert_eq!(got, want, "orders diverged from the model");
+}
+
+fn modify(px: &PhoenixConnection, sql: &str) -> u64 {
+    match px.exec(sql).unwrap() {
+        ExecKind::RowCount(n) => n,
+        other => panic!("expected row count for {sql:?}, got {other:?}"),
+    }
+}
+
+fn run_seed(seed: u64) {
+    let server = DbServer::start(ServerConfig::instant_net()).unwrap();
+    {
+        let engine = server.engine().unwrap();
+        let sid = engine.create_session().unwrap();
+        engine
+            .execute(
+                sid,
+                "CREATE TABLE orders (id INT PRIMARY KEY, qty INT, note VARCHAR(24))",
+            )
+            .unwrap();
+        engine.close_session(sid);
+        engine.checkpoint().unwrap();
+    }
+    let px = PhoenixConnection::connect(&server, soak_cfg(seed)).unwrap();
+
+    // Chaos on: every pipe created from here draws a decorrelated seeded
+    // fault schedule (bounded per pipe, so recovery always finds quiet).
+    server.set_fault_plan(Some(NetPlan::seeded(seed, NetRates::mixed(), 6)));
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut model: BTreeMap<i64, (i64, String)> = BTreeMap::new();
+    let mut next_id = 0i64;
+    let mut wrapped = 0u64;
+    const STEPS: u32 = 50;
+    for step in 0..STEPS {
+        // Occasionally a full crash lands on top of the network chaos.
+        if rng.gen_range(0..STEPS) < 3 {
+            server.crash();
+            restart_with_retry(&server, 200);
+        }
+        match rng.gen_range(0..10u32) {
+            0..=4 => {
+                let id = next_id;
+                next_id += 1;
+                let qty = rng.gen_range(1..100i64);
+                let note = format!("n-{id}-{step}");
+                let n = modify(
+                    &px,
+                    &format!("INSERT INTO orders VALUES ({id}, {qty}, '{note}')"),
+                );
+                assert_eq!(n, 1, "insert of {id} applied once");
+                model.insert(id, (qty, note));
+                wrapped += 1;
+            }
+            5 | 6 if !model.is_empty() => {
+                let idx = rng.gen_range(0..model.len());
+                let (&id, _) = model.iter().nth(idx).unwrap();
+                let d = rng.gen_range(1..5i64);
+                let n = modify(
+                    &px,
+                    &format!("UPDATE orders SET qty = qty + {d} WHERE id = {id}"),
+                );
+                assert_eq!(n, 1, "update of {id} applied once");
+                if let Some(e) = model.get_mut(&id) {
+                    e.0 += d;
+                }
+                wrapped += 1;
+            }
+            7 if !model.is_empty() => {
+                let idx = rng.gen_range(0..model.len());
+                let (&id, _) = model.iter().nth(idx).unwrap();
+                let n = modify(&px, &format!("DELETE FROM orders WHERE id = {id}"));
+                assert_eq!(n, 1, "delete of {id} applied once");
+                model.remove(&id);
+                wrapped += 1;
+            }
+            _ => expect_rows(&px, &model),
+        }
+    }
+
+    // The network heals; connections made from here get clean pipes (any
+    // residual faults on the live pipes are masked the usual way).
+    server.set_fault_plan(None);
+
+    // Final verification: the table matches the model row for row…
+    expect_rows(&px, &model);
+    assert_eq!(px.stats().updates_wrapped, wrapped);
+
+    // …and the status table holds exactly one row per wrapped request —
+    // the exactly-once ledger has no holes and no duplicates.
+    let status = px
+        .query_all("SELECT req_id FROM phx_status ORDER BY req_id")
+        .unwrap();
+    let req_ids: Vec<i64> = status
+        .iter()
+        .map(|r| {
+            let Value::Int(id) = r[0] else {
+                panic!("req_id: {r:?}")
+            };
+            id
+        })
+        .collect();
+    assert_eq!(
+        req_ids,
+        (1..=wrapped as i64).collect::<Vec<i64>>(),
+        "phx_status must record every wrapped request exactly once"
+    );
+    px.close();
+}
+
+#[test]
+fn chaos_soak_randomized_fault_schedules() {
+    // Replay mode: `FAULTKIT_REPLAY='chaos_soak:seed#<n>'` runs exactly
+    // that seed (specs naming other scenarios are ignored).
+    if let Ok(spec) = std::env::var(REPLAY_ENV) {
+        let (scen, plan_spec) = spec.rsplit_once(':').unwrap_or(("", spec.as_str()));
+        if !scen.is_empty() && scen != SCENARIO {
+            return;
+        }
+        let seed: u64 = plan_spec
+            .strip_prefix("seed#")
+            .and_then(|n| n.trim().parse().ok())
+            .unwrap_or_else(|| panic!("bad {REPLAY_ENV} spec {spec:?} (want {SCENARIO}:seed#<n>)"));
+        eprintln!("replaying single chaos seed {seed}");
+        run_seed(seed);
+        return;
+    }
+
+    let count: u64 = std::env::var("CHAOS_SOAK_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    let base: u64 = std::env::var("CHAOS_SOAK_BASE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2026);
+    for seed in base..base + count {
+        let outcome = std::panic::catch_unwind(|| run_seed(seed));
+        if let Err(payload) = outcome {
+            eprintln!(
+                "\nchaos seed failed — reproduce with:\n  {REPLAY_ENV}='{SCENARIO}:seed#{seed}' \
+                 cargo test -p integration-tests --test chaos_soak\n"
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}

@@ -15,10 +15,7 @@ use workloads::{EngineClient, SqlClient};
 
 fn px_cfg() -> PhoenixConfig {
     let mut cfg = PhoenixConfig {
-        reconnect: ReconnectPolicy {
-            max_attempts: 200,
-            retry_interval: Duration::from_millis(10),
-        },
+        reconnect: ReconnectPolicy::fixed(200, Duration::from_millis(10)),
         ..Default::default()
     };
     cfg.driver.buffer_bytes = 512;

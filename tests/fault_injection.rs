@@ -29,10 +29,7 @@ use workloads::{EngineClient, SqlClient};
 
 fn px_cfg() -> PhoenixConfig {
     let mut cfg = PhoenixConfig {
-        reconnect: ReconnectPolicy {
-            max_attempts: 300,
-            retry_interval: Duration::from_millis(5),
-        },
+        reconnect: ReconnectPolicy::fixed(300, Duration::from_millis(5)),
         ..Default::default()
     };
     cfg.driver.buffer_bytes = 256;
