@@ -78,4 +78,8 @@ fn main() {
         px.close();
     }
     table.emit("ablation_cache_sweep");
+    bench::emit_json(
+        "ablation_cache_sweep",
+        &[("sf", sf.to_string()), ("seed", seed.to_string())],
+    );
 }

@@ -85,4 +85,8 @@ fn main() {
         px.close();
     }
     table.emit("ablation_reconnect");
+    bench::emit_json(
+        "ablation_reconnect",
+        &[("downtime_ms", downtime.as_millis().to_string())],
+    );
 }

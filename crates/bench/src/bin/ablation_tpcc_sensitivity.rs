@@ -94,4 +94,12 @@ fn main() {
         }
     }
     table.emit("ablation_tpcc_sensitivity");
+    bench::emit_json(
+        "ablation_tpcc_sensitivity",
+        &[
+            ("users", users.to_string()),
+            ("measure_s", measure.as_secs().to_string()),
+            ("seed", seed.to_string()),
+        ],
+    );
 }

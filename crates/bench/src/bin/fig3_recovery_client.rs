@@ -24,4 +24,13 @@ fn main() {
         &points,
         recompute,
     );
+    bench::emit_json(
+        "fig3_recovery_client",
+        &[
+            ("sf", sf.to_string()),
+            ("seed", seed.to_string()),
+            ("reposition", "client".to_string()),
+            ("points", points.len().to_string()),
+        ],
+    );
 }

@@ -25,4 +25,13 @@ fn main() {
         &points,
         recompute,
     );
+    bench::emit_json(
+        "fig4_recovery_server",
+        &[
+            ("sf", sf.to_string()),
+            ("seed", seed.to_string()),
+            ("reposition", "server".to_string()),
+            ("points", points.len().to_string()),
+        ],
+    );
 }

@@ -132,4 +132,8 @@ fn main() {
     ]);
     steps.row(vec!["fetch per tuple, Phoenix".into(), us(avg(&phx_fetch))]);
     steps.emit("fig6_step_costs");
+    bench::emit_json(
+        "fig6_q11_persist",
+        &[("sf", sf.to_string()), ("seed", seed.to_string())],
+    );
 }

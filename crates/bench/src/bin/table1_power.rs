@@ -147,4 +147,12 @@ fn main() {
         fmt_ratio(tot_u_px, tot_u_native),
     ]);
     table.emit("table1_power");
+    bench::emit_json(
+        "table1_power",
+        &[
+            ("sf", sf.to_string()),
+            ("runs", runs.to_string()),
+            ("seed", seed.to_string()),
+        ],
+    );
 }

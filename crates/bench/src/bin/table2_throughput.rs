@@ -160,4 +160,15 @@ fn main() {
     ]);
     table.row(vec!["Ratio".into(), fmt_ratio(phx, native)]);
     table.emit("table2_throughput");
+    bench::emit_json(
+        "table2_throughput",
+        &[
+            ("sf", sf.to_string()),
+            ("streams", streams.to_string()),
+            ("reps", reps.to_string()),
+            ("seed", seed.to_string()),
+            ("native_s", fmt_secs(native)),
+            ("phoenix_s", fmt_secs(phx)),
+        ],
+    );
 }

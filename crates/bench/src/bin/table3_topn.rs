@@ -108,4 +108,12 @@ fn main() {
         n *= 2;
     }
     table.emit("table3_topn");
+    bench::emit_json(
+        "table3_topn",
+        &[
+            ("max_n", max_n.to_string()),
+            ("row_pad", pad.to_string()),
+            ("buffer_kb", buffer_kb.to_string()),
+        ],
+    );
 }

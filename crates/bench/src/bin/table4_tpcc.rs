@@ -214,4 +214,15 @@ fn main() {
         ]);
     }
     table.emit("table4_tpcc");
+    bench::emit_json(
+        "table4_tpcc",
+        &[
+            ("users", users.to_string()),
+            ("measure_s", measure.as_secs().to_string()),
+            ("pool_pages", pool_pages.to_string()),
+            ("io_us", io_us.to_string()),
+            ("reps", reps.to_string()),
+            ("seed", seed.to_string()),
+        ],
+    );
 }

@@ -143,6 +143,32 @@ impl TextTable {
     }
 }
 
+/// Write `bench_results/<name>.json` — the machine-readable twin of a
+/// harness's text table. The payload is an obskit snapshot: run metadata
+/// plus every counter/gauge/histogram accumulated in the process-global
+/// registry during the run (wire round trips, recovery-phase durations,
+/// persist-step costs, WAL timings, ...), rendered deterministically.
+///
+/// The round-trip and recovery-phase histograms are pre-registered so
+/// their keys are always present, even for a mode that never exercised
+/// them (e.g. a native-only run records no recovery).
+pub fn emit_json(name: &str, meta: &[(&str, String)]) {
+    let reg = obskit::metrics::global();
+    reg.histogram("odbcsim.roundtrip.exec");
+    for phase in phoenix::RecoveryPhases::NAMES {
+        reg.histogram(phase);
+    }
+    let mut m = std::collections::BTreeMap::new();
+    m.insert("bench".to_string(), name.to_string());
+    for (k, v) in meta {
+        m.insert((*k).to_string(), v.clone());
+    }
+    let json = obskit::export::snapshot_json(&m, &reg.snapshot(), &obskit::trace::snapshot());
+    let dir = results_dir();
+    let _ = fs::create_dir_all(&dir);
+    let _ = fs::write(dir.join(format!("{name}.json")), json);
+}
+
 /// Where harnesses drop their outputs.
 pub fn results_dir() -> PathBuf {
     std::env::var("PHX_RESULTS_DIR")

@@ -62,4 +62,6 @@ pub mod session;
 pub use config::{CacheMode, PhoenixConfig, ReconnectPolicy, RepositionMode};
 pub use intercept::{classify, RequestClass};
 pub use persist::{PersistTiming, PersistedResult};
-pub use session::{ExecKind, PhoenixConnection, PhoenixStats, RecoveryTiming, STATUS_TABLE};
+pub use session::{
+    ExecKind, PhoenixConnection, PhoenixStats, RecoveryPhases, RecoveryTiming, STATUS_TABLE,
+};

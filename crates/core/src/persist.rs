@@ -127,6 +127,18 @@ pub fn persist_result(
     let stmt = app.exec_direct(&reopen_sql(table))?;
     timing.reopen = t.elapsed();
 
+    // Publish the step breakdown (the paper's Figure 6 decomposition):
+    // histograms feed the bench JSON snapshots, spans the trace timeline.
+    for (name, d) in [
+        ("phoenix.persist.probe", timing.metadata),
+        ("phoenix.persist.create", timing.create_table),
+        ("phoenix.persist.materialize", timing.load),
+        ("phoenix.persist.reopen", timing.reopen),
+    ] {
+        obskit::metrics::global().record(name, d);
+        obskit::trace::emit_span(name, d, String::new());
+    }
+
     Ok(PersistedResult {
         table: table.to_string(),
         columns,

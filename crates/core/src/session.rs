@@ -32,7 +32,12 @@ const PROBE_TABLE: &str = "#phx_probe";
 
 static NEXT_CONN_ID: AtomicU64 = AtomicU64::new(1);
 
-/// Counters describing Phoenix's activity (observability + tests).
+/// Snapshot of Phoenix's activity counters (observability + tests).
+///
+/// Since the obskit migration this is a *view*: the live values are
+/// per-connection [`obskit::Counter`]s in the registry returned by
+/// [`PhoenixConnection::metrics`], and [`PhoenixConnection::stats`]
+/// materializes them into this struct for API compatibility.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct PhoenixStats {
     /// Real session recoveries: phase-1 reconnects actually performed.
@@ -55,7 +60,8 @@ pub struct PhoenixStats {
 }
 
 /// Timing of the most recent session recovery, split into the paper's two
-/// phases (Figures 3 and 4).
+/// phases (Figures 3 and 4). Derived from the finer-grained
+/// [`RecoveryPhases`] breakdown.
 #[derive(Debug, Clone, Copy)]
 pub struct RecoveryTiming {
     /// Phase 1: reconnect, reset connection options, re-map the virtual
@@ -66,6 +72,61 @@ pub struct RecoveryTiming {
     pub sql_state: Duration,
     /// Reconnect attempts made during phase 1.
     pub attempts: u32,
+}
+
+/// Per-phase breakdown of one session recovery, in pipeline order. The
+/// first four phases sum (with loop bookkeeping) to
+/// [`RecoveryTiming::virtual_session`], the last two to
+/// [`RecoveryTiming::sql_state`]. Each phase is also recorded as a
+/// histogram under its name in both the connection's and the global
+/// obskit registry, and emitted as a trace span when tracing is on.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RecoveryPhases {
+    /// Deciding the suspected failure is real (app-link liveness check).
+    pub detect: Duration,
+    /// Pinging the surviving private connection (false-alarm probe).
+    pub ping: Duration,
+    /// Re-opening the connection pair until the server answers, including
+    /// reconnect backoff waits.
+    pub reconnect: Duration,
+    /// Re-binding the virtual session (probe table + status table).
+    pub rebind: Duration,
+    /// Verifying — and if lost, re-persisting — the result table.
+    pub reinstall: Duration,
+    /// Reopening the persisted result and repositioning to the last
+    /// delivered tuple.
+    pub reposition: Duration,
+}
+
+impl RecoveryPhases {
+    /// Histogram/trace-span names, in causal pipeline order.
+    pub const NAMES: [&'static str; 6] = [
+        "phoenix.recovery.detect",
+        "phoenix.recovery.ping",
+        "phoenix.recovery.reconnect",
+        "phoenix.recovery.rebind",
+        "phoenix.recovery.reinstall",
+        "phoenix.recovery.reposition",
+    ];
+
+    /// `(name, duration)` pairs in pipeline order.
+    pub fn named(&self) -> [(&'static str, Duration); 6] {
+        let [detect, ping, reconnect, rebind, reinstall, reposition] = Self::NAMES;
+        [
+            (detect, self.detect),
+            (ping, self.ping),
+            (reconnect, self.reconnect),
+            (rebind, self.rebind),
+            (reinstall, self.reinstall),
+            (reposition, self.reposition),
+        ]
+    }
+
+    /// Sum of all six phases (≤ the recovery wall-clock, which also
+    /// spans loop bookkeeping between phases).
+    pub fn total(&self) -> Duration {
+        self.named().iter().map(|(_, d)| *d).sum()
+    }
 }
 
 /// Outcome of [`PhoenixConnection::exec`].
@@ -110,12 +171,44 @@ struct Inner {
     in_app_txn: bool,
     next_req: u64,
     active: Option<Active>,
-    stats: PhoenixStats,
     last_recovery: Option<RecoveryTiming>,
+    last_phases: Option<RecoveryPhases>,
     last_persist: Option<PersistTiming>,
     /// Result tables whose DROP is pending (processed lazily).
     pending_drop: Vec<String>,
     next_result: u64,
+}
+
+/// Per-connection activity counters: the single source of truth behind
+/// [`PhoenixConnection::stats`]. Handles are resolved once so the hot
+/// paths (row delivery, wrapped updates) pay one relaxed atomic add.
+struct ConnMetrics {
+    registry: std::sync::Arc<obskit::Registry>,
+    recoveries: std::sync::Arc<obskit::Counter>,
+    false_alarms: std::sync::Arc<obskit::Counter>,
+    results_persisted: std::sync::Arc<obskit::Counter>,
+    results_cached: std::sync::Arc<obskit::Counter>,
+    cache_overflows: std::sync::Arc<obskit::Counter>,
+    updates_wrapped: std::sync::Arc<obskit::Counter>,
+    rows_delivered: std::sync::Arc<obskit::Counter>,
+    txn_aborts_surfaced: std::sync::Arc<obskit::Counter>,
+}
+
+impl ConnMetrics {
+    fn new() -> ConnMetrics {
+        let registry = std::sync::Arc::new(obskit::Registry::new());
+        ConnMetrics {
+            recoveries: registry.counter("phoenix.session.recoveries"),
+            false_alarms: registry.counter("phoenix.session.false_alarms"),
+            results_persisted: registry.counter("phoenix.session.results_persisted"),
+            results_cached: registry.counter("phoenix.session.results_cached"),
+            cache_overflows: registry.counter("phoenix.session.cache_overflows"),
+            updates_wrapped: registry.counter("phoenix.session.updates_wrapped"),
+            rows_delivered: registry.counter("phoenix.session.rows_delivered"),
+            txn_aborts_surfaced: registry.counter("phoenix.session.txn_aborts_surfaced"),
+            registry,
+        }
+    }
 }
 
 /// A persistent database session.
@@ -124,6 +217,7 @@ pub struct PhoenixConnection {
     cfg: PhoenixConfig,
     /// Stable identity used for result-table names and status-table keys.
     conn_id: u64,
+    metrics: ConnMetrics,
     inner: Mutex<Inner>,
 }
 
@@ -139,14 +233,15 @@ impl PhoenixConnection {
             server: server.clone(),
             cfg,
             conn_id,
+            metrics: ConnMetrics::new(),
             inner: Mutex::new(Inner {
                 app,
                 private,
                 in_app_txn: false,
                 next_req: 1,
                 active: None,
-                stats: PhoenixStats::default(),
                 last_recovery: None,
+                last_phases: None,
                 last_persist: None,
                 pending_drop: Vec::new(),
                 next_result: 1,
@@ -189,14 +284,36 @@ impl PhoenixConnection {
 
     // -- observability --------------------------------------------------------
 
-    /// Counters describing this session's activity.
+    /// Counters describing this session's activity (a snapshot view over
+    /// the per-connection obskit registry).
     pub fn stats(&self) -> PhoenixStats {
-        self.inner.lock().stats
+        PhoenixStats {
+            recoveries: self.metrics.recoveries.get(),
+            false_alarms: self.metrics.false_alarms.get(),
+            results_persisted: self.metrics.results_persisted.get(),
+            results_cached: self.metrics.results_cached.get(),
+            cache_overflows: self.metrics.cache_overflows.get(),
+            updates_wrapped: self.metrics.updates_wrapped.get(),
+            rows_delivered: self.metrics.rows_delivered.get(),
+            txn_aborts_surfaced: self.metrics.txn_aborts_surfaced.get(),
+        }
+    }
+
+    /// This connection's metrics registry: the counters behind
+    /// [`Self::stats`] plus per-phase recovery histograms.
+    pub fn metrics(&self) -> std::sync::Arc<obskit::Registry> {
+        std::sync::Arc::clone(&self.metrics.registry)
     }
 
     /// Timing of the most recent recovery, if any happened.
     pub fn last_recovery_timing(&self) -> Option<RecoveryTiming> {
         self.inner.lock().last_recovery
+    }
+
+    /// Per-phase breakdown of the most recent *real* recovery (a false
+    /// alarm does not produce one).
+    pub fn last_recovery_phases(&self) -> Option<RecoveryPhases> {
+        self.inner.lock().last_phases
     }
 
     /// Step timings of the most recent server-side result persistence.
@@ -235,7 +352,7 @@ impl PhoenixConnection {
                         // Transaction outcome unknown/aborted: recover the
                         // session, surface the abort to the application.
                         self.recover(&mut inner)?;
-                        inner.stats.txn_aborts_surfaced += 1;
+                        self.metrics.txn_aborts_surfaced.incr();
                         Err(Error::TxnAborted(
                             "server failure during transaction".into(),
                         ))
@@ -305,7 +422,7 @@ impl PhoenixConnection {
             match step {
                 Step::Row(Some(row)) => {
                     active.delivered += 1;
-                    inner.stats.rows_delivered += 1;
+                    self.metrics.rows_delivered.incr();
                     return Ok(Some(row));
                 }
                 Step::Row(None) => return Ok(None),
@@ -318,7 +435,7 @@ impl PhoenixConnection {
                     self.recover(&mut guard)?;
                     guard.in_app_txn = false;
                     guard.active = None;
-                    guard.stats.txn_aborts_surfaced += 1;
+                    self.metrics.txn_aborts_surfaced.incr();
                     return Err(Error::TxnAborted(
                         "server failure during transaction".into(),
                     ));
@@ -427,7 +544,7 @@ impl PhoenixConnection {
             Err(e) if e.is_connection_fatal() => {
                 self.recover(inner)?;
                 inner.in_app_txn = false;
-                inner.stats.txn_aborts_surfaced += 1;
+                self.metrics.txn_aborts_surfaced.incr();
                 Err(Error::TxnAborted(
                     "server failure during transaction".into(),
                 ))
@@ -445,7 +562,7 @@ impl PhoenixConnection {
         if let CacheMode::Enabled { capacity_bytes } = self.cfg.cache {
             match self.try_cache_result(inner, sql, capacity_bytes)? {
                 CacheAttempt::Cached { columns, rows } => {
-                    inner.stats.results_cached += 1;
+                    self.metrics.results_cached.incr();
                     let columns2 = columns.clone();
                     inner.active = Some(Active {
                         sql: sql.to_string(),
@@ -457,7 +574,7 @@ impl PhoenixConnection {
                     return Ok(ExecKind::ResultSet { columns: columns2 });
                 }
                 CacheAttempt::Overflow => {
-                    inner.stats.cache_overflows += 1;
+                    self.metrics.cache_overflows.incr();
                     // Fall through to server-side persistence.
                 }
             }
@@ -474,7 +591,7 @@ impl PhoenixConnection {
             inner.next_result += 1;
             match persist_result(&inner.app, &inner.private, &table, sql, parse_time) {
                 Ok(pr) => {
-                    inner.stats.results_persisted += 1;
+                    self.metrics.results_persisted.incr();
                     inner.last_persist = Some(pr.timing);
                     let columns = pr.columns.clone();
                     inner.active = Some(Active {
@@ -494,7 +611,7 @@ impl PhoenixConnection {
                     self.recover(inner)?;
                     if inner.in_app_txn {
                         inner.in_app_txn = false;
-                        inner.stats.txn_aborts_surfaced += 1;
+                        self.metrics.txn_aborts_surfaced.incr();
                         return Err(Error::TxnAborted(
                             "server failure during transaction".into(),
                         ));
@@ -525,7 +642,7 @@ impl PhoenixConnection {
                     self.recover(inner)?;
                     if inner.in_app_txn {
                         inner.in_app_txn = false;
-                        inner.stats.txn_aborts_surfaced += 1;
+                        self.metrics.txn_aborts_surfaced.incr();
                         return Err(Error::TxnAborted(
                             "server failure during transaction".into(),
                         ));
@@ -551,7 +668,7 @@ impl PhoenixConnection {
                         self.recover(inner)?;
                         if inner.in_app_txn {
                             inner.in_app_txn = false;
-                            inner.stats.txn_aborts_surfaced += 1;
+                            self.metrics.txn_aborts_surfaced.incr();
                             return Err(Error::TxnAborted(
                                 "server failure during transaction".into(),
                             ));
@@ -586,7 +703,7 @@ impl PhoenixConnection {
     /// table; on failure, the status row tells recovery whether the
     /// statement completed.
     fn wrapped_modification(&self, inner: &mut Inner, sql: &str) -> Result<u64> {
-        inner.stats.updates_wrapped += 1;
+        self.metrics.updates_wrapped.incr();
         let req_id = inner.next_req;
         inner.next_req += 1;
         let key = self.status_key();
@@ -677,15 +794,19 @@ impl PhoenixConnection {
     fn recover(&self, inner: &mut Inner) -> Result<()> {
         let policy = self.cfg.reconnect;
         let t0 = Instant::now();
+        let mut phases = RecoveryPhases::default();
 
         // Transient-failure short circuit: if the private connection still
         // answers pings, the app connection is alive, and no interrupted
         // phase-2 work is outstanding, nothing needs rebuilding.
-        if !inner.app.is_dead()
-            && inner.private.ping().is_ok()
-            && !inner.active.as_ref().is_some_and(|a| a.needs_reinstall)
-        {
-            inner.stats.false_alarms += 1;
+        let app_dead = inner.app.is_dead();
+        phases.detect = t0.elapsed();
+        let t_ping = Instant::now();
+        let private_alive = !app_dead && inner.private.ping().is_ok();
+        phases.ping = t_ping.elapsed();
+        if !app_dead && private_alive && !inner.active.as_ref().is_some_and(|a| a.needs_reinstall) {
+            self.metrics.false_alarms.incr();
+            obskit::event!("phoenix.recovery.false_alarm");
             inner.last_recovery = Some(RecoveryTiming {
                 virtual_session: t0.elapsed(),
                 sql_state: Duration::ZERO,
@@ -697,58 +818,74 @@ impl PhoenixConnection {
         // One budget governs both phases; a connection-fatal error in
         // phase 2 re-enters phase 1 on the same Backoff, so a crash during
         // recovery cannot leak `ServerShutdown` past this function.
+        // Budget-exhausted exits flow through `exhausted` so the abandoned
+        // attempt still lands on the timeline.
         let mut backoff = Backoff::new(&policy);
+        let exhausted = || {
+            obskit::event!("phoenix.recovery.exhausted");
+            Err(Error::RecoveryExhausted)
+        };
         let (virtual_session, sql_state) = loop {
             // Phase 1: re-establish connections and the virtual session
             // (skipped when the links survived and only phase 2 remains).
+            // Reconnect time includes the backoff waits between attempts.
             if inner.app.is_dead() || inner.private.ping().is_err() {
-                match Self::open_pair(&self.server, &self.cfg) {
-                    Ok((app, private)) => {
-                        // Ping over the private connection, then decide
-                        // whether the database session survived via the
-                        // temp-table proxy (temp tables die with their
-                        // session).
-                        if private.ping().is_err() {
-                            if !backoff.wait() {
-                                return Err(Error::RecoveryExhausted);
-                            }
-                            continue;
-                        }
+                let t_reconnect = Instant::now();
+                let fresh = match Self::open_pair(&self.server, &self.cfg) {
+                    // Ping over the private connection, then decide whether
+                    // the database session survived via the temp-table
+                    // proxy (temp tables die with their session).
+                    Ok((app, private)) if private.ping().is_ok() => {
                         let _session_survived = app
                             .exec_direct(&format!("SELECT * FROM {PROBE_TABLE} WHERE 0=1"))
                             .is_ok();
                         // (In this substrate a broken link always implies a
                         // dead session, so the probe is informational.)
-                        if let Err(e) = Self::install_session_context(&app, &private) {
-                            if e.is_connection_fatal() {
-                                if !backoff.wait() {
-                                    return Err(Error::RecoveryExhausted);
-                                }
-                                continue;
-                            }
-                            return Err(e);
-                        }
-                        inner.app = app;
-                        inner.private = private;
-                        inner.stats.recoveries += 1;
+                        Some((app, private))
                     }
-                    Err(_) => {
-                        if !backoff.wait() {
-                            return Err(Error::RecoveryExhausted);
+                    _ => None,
+                };
+                phases.reconnect += t_reconnect.elapsed();
+                let Some((app, private)) = fresh else {
+                    let t_wait = Instant::now();
+                    let retry = backoff.wait();
+                    phases.reconnect += t_wait.elapsed();
+                    if !retry {
+                        return exhausted();
+                    }
+                    continue;
+                };
+                let t_rebind = Instant::now();
+                let rebound = Self::install_session_context(&app, &private);
+                phases.rebind += t_rebind.elapsed();
+                if let Err(e) = rebound {
+                    if e.is_connection_fatal() {
+                        let t_wait = Instant::now();
+                        let retry = backoff.wait();
+                        phases.reconnect += t_wait.elapsed();
+                        if !retry {
+                            return exhausted();
                         }
                         continue;
                     }
+                    return Err(e);
                 }
+                inner.app = app;
+                inner.private = private;
+                self.metrics.recoveries.incr();
             }
             let virtual_session = t0.elapsed();
 
             // Phase 2: reinstall SQL state for the interrupted request.
             let t1 = Instant::now();
-            match self.reinstall_sql_state(inner) {
+            match self.reinstall_sql_state(inner, &mut phases) {
                 Ok(()) => break (virtual_session, t1.elapsed()),
                 Err(e) if e.is_connection_fatal() => {
-                    if !backoff.wait() {
-                        return Err(Error::RecoveryExhausted);
+                    let t_wait = Instant::now();
+                    let retry = backoff.wait();
+                    phases.reconnect += t_wait.elapsed();
+                    if !retry {
+                        return exhausted();
                     }
                     // Loop: `needs_reinstall` stays set, so we retry the
                     // reinstall (after phase 1 if the link died again).
@@ -757,19 +894,32 @@ impl PhoenixConnection {
             }
         };
 
+        // Publish the breakdown: per-phase histograms in both the
+        // connection's and the process registry, plus one trace span per
+        // phase in pipeline order (seq order = causal order).
+        for (name, d) in phases.named() {
+            self.metrics.registry.record(name, d);
+            obskit::metrics::global().record(name, d);
+            obskit::trace::emit_span(name, d, String::new());
+        }
         inner.last_recovery = Some(RecoveryTiming {
             virtual_session,
             sql_state,
             attempts: backoff.attempts(),
         });
+        inner.last_phases = Some(phases);
         Ok(())
     }
 
     /// Phase 2 of recovery: reinstall SQL state on the (fresh or verified)
     /// connections. Failures leave `inner.active` in place with
     /// `needs_reinstall` set, so the work can be resumed — the virtual
-    /// session is never torn down by a failed reinstall.
-    fn reinstall_sql_state(&self, inner: &mut Inner) -> Result<()> {
+    /// session is never torn down by a failed reinstall. Time spent is
+    /// accumulated into `phases` (verification/re-persist → `reinstall`,
+    /// reopen/skip → `reposition`), including on the error paths, so a
+    /// retried phase 2 reports its full cost.
+    fn reinstall_sql_state(&self, inner: &mut Inner, phases: &mut RecoveryPhases) -> Result<()> {
+        let t_reinstall = Instant::now();
         let Inner {
             app,
             private,
@@ -782,9 +932,11 @@ impl PhoenixConnection {
             // The transaction died with the server; the caller surfaces
             // TxnAborted. Nothing to reinstall.
             *active = None;
+            phases.reinstall += t_reinstall.elapsed();
             return Ok(());
         }
         let Some(a) = active.as_mut() else {
+            phases.reinstall += t_reinstall.elapsed();
             return Ok(());
         };
         a.needs_reinstall = true;
@@ -792,6 +944,7 @@ impl PhoenixConnection {
             // Entire result is client-side; no server state needed.
             ActiveSource::Cached(_) => {
                 a.needs_reinstall = false;
+                phases.reinstall += t_reinstall.elapsed();
                 Ok(())
             }
             ActiveSource::Persisted { table, stmt } => {
@@ -799,44 +952,52 @@ impl PhoenixConnection {
                 // is somehow gone (it was dropped out of band, or never
                 // reached commit), redo the whole persistence from the
                 // remembered request — the result is recomputed, not lost.
-                match private.exec_direct(&format!("SELECT * FROM {table} WHERE 0=1")) {
-                    Ok(_) => {}
-                    Err(Error::NotFound(_)) => {
-                        let fresh = format!("phx_res_{}_{}", self.conn_id, *next_result);
-                        *next_result += 1;
-                        let pr = persist_result(app, private, &fresh, &a.sql, Duration::ZERO)?;
-                        // lint:allow(discard): the persisted table is what matters; the probe stmt is disposable
-                        let _ = pr.stmt.close();
-                        *table = fresh;
-                    }
-                    Err(e) => return Err(e),
-                }
+                let verified =
+                    match private.exec_direct(&format!("SELECT * FROM {table} WHERE 0=1")) {
+                        Ok(_) => Ok(()),
+                        Err(Error::NotFound(_)) => {
+                            let fresh = format!("phx_res_{}_{}", self.conn_id, *next_result);
+                            *next_result += 1;
+                            persist_result(app, private, &fresh, &a.sql, Duration::ZERO).map(|pr| {
+                                // lint:allow(discard): the persisted table is what matters; the probe stmt is disposable
+                                let _ = pr.stmt.close();
+                                *table = fresh;
+                            })
+                        }
+                        Err(e) => Err(e),
+                    };
+                phases.reinstall += t_reinstall.elapsed();
+                verified?;
                 // Reopen and reposition to the last delivered tuple.
-                let new_stmt = match self.cfg.reposition {
+                let t_reposition = Instant::now();
+                let reopened = match self.cfg.reposition {
                     RepositionMode::Server => {
                         // Advance server-side; no tuples cross the wire
                         // (the repositioning stored procedure).
-                        app.exec_direct_skip(&reopen_sql(table), a.delivered)?
+                        app.exec_direct_skip(&reopen_sql(table), a.delivered)
                     }
                     RepositionMode::Client => {
                         // Sequence through the result from the client. A
                         // reopened result shorter than the remembered
                         // position means the persisted table lost rows —
                         // surface that, never silently resume short.
-                        let mut s = app.exec_direct(&reopen_sql(table))?;
-                        for consumed in 0..a.delivered {
-                            if s.fetch()?.is_none() {
-                                return Err(Error::Storage(format!(
-                                    "persisted result {table} ended at row {consumed} \
-                                     while repositioning to {}",
-                                    a.delivered
-                                )));
+                        (|| {
+                            let mut s = app.exec_direct(&reopen_sql(table))?;
+                            for consumed in 0..a.delivered {
+                                if s.fetch()?.is_none() {
+                                    return Err(Error::Storage(format!(
+                                        "persisted result {table} ended at row {consumed} \
+                                         while repositioning to {}",
+                                        a.delivered
+                                    )));
+                                }
                             }
-                        }
-                        s
+                            Ok(s)
+                        })()
                     }
                 };
-                *stmt = new_stmt;
+                phases.reposition += t_reposition.elapsed();
+                *stmt = reopened?;
                 a.needs_reinstall = false;
                 Ok(())
             }

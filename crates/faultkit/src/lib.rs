@@ -143,6 +143,13 @@ fn hit_slow(name: &'static str) {
         }
     };
     if let Some(f) = fire {
+        // A firing crashpoint is exactly the kind of rare causal landmark
+        // the trace timeline exists for: the event names the same
+        // `name#nth` coordinate a FAULTKIT_REPLAY spec would.
+        obskit::metrics::global()
+            .counter("faultkit.crashpoint.fires")
+            .incr();
+        obskit::event!("faultkit.crashpoint.fire", "{name}");
         f();
     }
 }

@@ -104,6 +104,20 @@ pub enum NetFault {
     Flap,
 }
 
+impl NetFault {
+    /// The [`NetFaultKind`] this fault materialized from (used to label
+    /// trace events and counters at the application site).
+    pub fn kind(&self) -> NetFaultKind {
+        match self {
+            NetFault::Drop => NetFaultKind::Drop,
+            NetFault::Truncate => NetFaultKind::Truncate,
+            NetFault::Delay(_) => NetFaultKind::Delay,
+            NetFault::Stall(_) => NetFaultKind::Stall,
+            NetFault::Flap => NetFaultKind::Flap,
+        }
+    }
+}
+
 impl NetFaultKind {
     fn materialize(self) -> NetFault {
         match self {

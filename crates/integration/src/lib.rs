@@ -77,11 +77,13 @@ pub fn restart_with_retry(server: &DbServer, attempts: u32) {
         match server.restart() {
             Ok(_) => return,
             Err(e) => {
+                // lint:allow(print): test-harness progress line for humans watching a run
                 eprintln!("restart attempt {attempt}/{attempts} failed: {e}");
                 std::thread::sleep(Duration::from_millis(2));
             }
         }
     }
+    // lint:allow(print): test-harness diagnostic; deliberately non-fatal
     eprintln!("server did not restart after {attempts} attempts");
 }
 
@@ -122,6 +124,7 @@ pub fn explore(scenario_name: &str, trace: &[TracePoint], mut run_one: impl FnMu
         }
         let plan = FaultPlan::parse(plan_spec)
             .unwrap_or_else(|| panic!("bad {REPLAY_ENV} spec {spec:?} (want name#nth)"));
+        // lint:allow(print): replay-mode banner for humans reproducing a failure
         eprintln!("replaying single schedule {scenario_name}:{plan_spec}");
         run_one(&plan);
         return;
@@ -135,6 +138,7 @@ pub fn explore(scenario_name: &str, trace: &[TracePoint], mut run_one: impl FnMu
         let spec = point.spec();
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_one(&plan)));
         if let Err(payload) = outcome {
+            // lint:allow(print): the one-line replay spec must reach the test log
             eprintln!(
                 "\nschedule failed — reproduce with:\n  {REPLAY_ENV}='{scenario_name}:{spec}' \
                  cargo test -p integration-tests --test fault_injection\n"

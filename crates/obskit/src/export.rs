@@ -1,0 +1,319 @@
+//! Snapshot exporters: aligned human-readable text and deterministic
+//! JSON.
+//!
+//! Determinism: every map is a `BTreeMap`, histograms serialize their
+//! buckets sparsely in index order, and no timestamps are invented — the
+//! same snapshot always renders byte-identically, so emitted files diff
+//! cleanly across runs with identical measurements.
+//!
+//! JSON snapshot schema (version 1; see DESIGN.md §10):
+//!
+//! ```json
+//! {
+//!   "obskit": 1,
+//!   "meta": {"bench": "table2_throughput", "seed": "42"},
+//!   "counters": {"wire.faults.drop": 3},
+//!   "gauges": {"pool.pages": 512},
+//!   "histograms": {
+//!     "odbcsim.roundtrip": {
+//!       "count": 100, "sum": 12345, "min": 7, "max": 990,
+//!       "mean": 123.45, "p50": 127, "p95": 511, "p99": 990,
+//!       "buckets": [[3, 10], [4, 90]]
+//!     }
+//!   },
+//!   "events": [
+//!     {"seq": 0, "micros": 12, "kind": "span",
+//!      "name": "phoenix.recovery.ping", "dur_nanos": 1500, "detail": ""}
+//!   ]
+//! }
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::hist::{bucket_bounds, HistogramSnapshot};
+use crate::metrics::Snapshot;
+use crate::trace::Event;
+
+/// Escape a string for inclusion in a JSON document (quotes included).
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+fn hist_json(h: &HistogramSnapshot) -> String {
+    let mut out = String::from("{");
+    let _ = write!(
+        out,
+        "\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}",
+        h.count,
+        h.sum,
+        h.min().unwrap_or(0),
+        h.max
+    );
+    let _ = write!(
+        out,
+        ", \"mean\": {}",
+        h.mean().map_or_else(|| "null".into(), json_f64)
+    );
+    for (label, q) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)] {
+        let _ = write!(
+            out,
+            ", \"{label}\": {}",
+            h.quantile(q)
+                .map_or_else(|| "null".into(), |v| v.to_string())
+        );
+    }
+    out.push_str(", \"buckets\": [");
+    let mut first = true;
+    for (i, &c) in h.buckets.iter().enumerate() {
+        if c > 0 {
+            if !first {
+                out.push_str(", ");
+            }
+            first = false;
+            let _ = write!(out, "[{i}, {c}]");
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+fn event_json(ev: &Event) -> String {
+    let mut out = String::from("{");
+    let _ = write!(
+        out,
+        "\"seq\": {}, \"micros\": {}, \"kind\": {}, \"name\": {}, \"dur_nanos\": {}, \"detail\": {}",
+        ev.seq,
+        ev.micros,
+        json_str(ev.kind.name()),
+        json_str(ev.name),
+        ev.dur_nanos
+            .map_or_else(|| "null".into(), |d| d.to_string()),
+        json_str(&ev.detail)
+    );
+    out.push('}');
+    out
+}
+
+/// Serialize a metrics snapshot (plus run metadata and an optional event
+/// timeline) as a deterministic JSON document — the `bench_results/*.json`
+/// twin format.
+pub fn snapshot_json(meta: &BTreeMap<String, String>, snap: &Snapshot, events: &[Event]) -> String {
+    let mut out = String::from("{\n  \"obskit\": 1,\n  \"meta\": {");
+    let mut first = true;
+    for (k, v) in meta {
+        if !first {
+            out.push_str(", ");
+        }
+        first = false;
+        let _ = write!(out, "{}: {}", json_str(k), json_str(v));
+    }
+    out.push_str("},\n  \"counters\": {");
+    first = true;
+    for (k, v) in &snap.counters {
+        if !first {
+            out.push_str(", ");
+        }
+        first = false;
+        let _ = write!(out, "{}: {v}", json_str(k));
+    }
+    out.push_str("},\n  \"gauges\": {");
+    first = true;
+    for (k, v) in &snap.gauges {
+        if !first {
+            out.push_str(", ");
+        }
+        first = false;
+        let _ = write!(out, "{}: {v}", json_str(k));
+    }
+    out.push_str("},\n  \"histograms\": {");
+    first = true;
+    for (k, h) in &snap.hists {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "\n    {}: {}", json_str(k), hist_json(h));
+    }
+    out.push_str("\n  },\n  \"events\": [");
+    first = true;
+    for ev in events {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "\n    {}", event_json(ev));
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Render a snapshot as aligned human-readable text (for stdout dumps
+/// and quick inspection; the JSON twin is the machine-readable form).
+pub fn render_text(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    if !snap.counters.is_empty() {
+        let _ = writeln!(out, "counters:");
+        let w = snap.counters.keys().map(String::len).max().unwrap_or(0);
+        for (k, v) in &snap.counters {
+            let _ = writeln!(out, "  {k:<w$}  {v}");
+        }
+    }
+    if !snap.gauges.is_empty() {
+        let _ = writeln!(out, "gauges:");
+        let w = snap.gauges.keys().map(String::len).max().unwrap_or(0);
+        for (k, v) in &snap.gauges {
+            let _ = writeln!(out, "  {k:<w$}  {v}");
+        }
+    }
+    if !snap.hists.is_empty() {
+        let _ = writeln!(out, "histograms (ns):");
+        let w = snap.hists.keys().map(String::len).max().unwrap_or(0);
+        for (k, h) in &snap.hists {
+            let _ = write!(out, "  {k:<w$}  n={}", h.count);
+            if h.count > 0 {
+                let _ = write!(
+                    out,
+                    " min={} p50={} p95={} p99={} max={} mean={:.1}",
+                    h.min().unwrap_or(0),
+                    h.quantile(0.50).unwrap_or(0),
+                    h.quantile(0.95).unwrap_or(0),
+                    h.quantile(0.99).unwrap_or(0),
+                    h.max,
+                    h.mean().unwrap_or(0.0),
+                );
+            }
+            out.push('\n');
+        }
+    }
+    if out.is_empty() {
+        out.push_str("(no metrics recorded)\n");
+    }
+    out
+}
+
+/// Human-readable dump of which buckets a histogram populated (debug aid).
+pub fn render_buckets(h: &HistogramSnapshot) -> String {
+    let mut out = String::new();
+    for (i, &c) in h.buckets.iter().enumerate() {
+        if c > 0 {
+            let (lo, hi) = bucket_bounds(i);
+            let _ = writeln!(out, "  [{lo:>20} ..= {hi:>20}]  {c}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+    use crate::json::Json;
+    use crate::metrics::Registry;
+    use crate::trace::EventKind;
+
+    fn sample() -> (BTreeMap<String, String>, Snapshot, Vec<Event>) {
+        let reg = Registry::new();
+        reg.counter("test.export.count").add(3);
+        reg.gauge("test.export.level").set(-2);
+        let h = reg.histogram("test.export.lat");
+        for v in [10, 100, 1000, 10_000] {
+            h.record(v);
+        }
+        let meta = BTreeMap::from([
+            ("bench".to_string(), "demo \"quoted\"".to_string()),
+            ("seed".to_string(), "42".to_string()),
+        ]);
+        let events = vec![Event {
+            seq: 7,
+            micros: 1234,
+            kind: EventKind::Span,
+            name: "phoenix.recovery.ping",
+            dur_nanos: Some(1500),
+            detail: "attempt 2\n".to_string(),
+        }];
+        (meta, reg.snapshot(), events)
+    }
+
+    #[test]
+    fn json_round_trips_through_own_parser() {
+        let (meta, snap, events) = sample();
+        let doc = snapshot_json(&meta, &snap, &events);
+        let v = Json::parse(&doc).unwrap_or_else(|e| panic!("{e}\n{doc}"));
+        assert_eq!(v.get("obskit").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(
+            v.get("meta")
+                .and_then(|m| m.get("bench"))
+                .and_then(Json::as_str),
+            Some("demo \"quoted\"")
+        );
+        let hist = v
+            .get("histograms")
+            .and_then(|h| h.get("test.export.lat"))
+            .expect("histogram present");
+        assert_eq!(hist.get("count").and_then(Json::as_f64), Some(4.0));
+        assert_eq!(hist.get("min").and_then(Json::as_f64), Some(10.0));
+        let ev = v.get("events").and_then(Json::as_arr).expect("events");
+        assert_eq!(ev.len(), 1);
+        assert_eq!(
+            ev[0].get("name").and_then(Json::as_str),
+            Some("phoenix.recovery.ping")
+        );
+        assert_eq!(
+            ev[0].get("detail").and_then(Json::as_str),
+            Some("attempt 2\n")
+        );
+    }
+
+    #[test]
+    fn json_is_deterministic() {
+        let (meta, snap, events) = sample();
+        assert_eq!(
+            snapshot_json(&meta, &snap, &events),
+            snapshot_json(&meta, &snap, &events)
+        );
+    }
+
+    #[test]
+    fn empty_snapshot_is_valid_json() {
+        let doc = snapshot_json(&BTreeMap::new(), &Snapshot::default(), &[]);
+        assert!(Json::parse(&doc).is_ok());
+    }
+
+    #[test]
+    fn text_render_mentions_every_metric() {
+        let (_, snap, _) = sample();
+        let text = render_text(&snap);
+        assert!(text.contains("test.export.count"));
+        assert!(text.contains("test.export.level"));
+        assert!(text.contains("test.export.lat"));
+        assert!(text.contains("p95="));
+        let hist = Histogram::new();
+        hist.record(5);
+        assert!(render_buckets(&hist.snapshot()).contains("..="));
+    }
+}

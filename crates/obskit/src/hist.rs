@@ -1,0 +1,271 @@
+//! Fixed log2-bucket histograms.
+//!
+//! Values (typically durations in nanoseconds) are binned by bit length:
+//! bucket 0 holds the value 0 and bucket `i` holds `2^(i-1) ..= 2^i - 1`
+//! (the last bucket absorbs everything above). 64 buckets therefore cover
+//! the whole `u64` range with a worst-case 2× relative error on quantile
+//! estimates — ample for the order-of-magnitude phase breakdowns the
+//! paper reports, and recordable with a handful of relaxed atomic adds.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets; covers the full `u64` range.
+pub const BUCKETS: usize = 64;
+
+/// Bucket index for a value: 0 for 0, else its bit length (clamped).
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    ((u64::BITS - v.leading_zeros()) as usize).min(BUCKETS - 1)
+}
+
+/// Inclusive value range `(lo, hi)` a bucket covers.
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    match i {
+        0 => (0, 0),
+        _ if i >= BUCKETS - 1 => (1u64 << (BUCKETS - 2), u64::MAX),
+        _ => (1u64 << (i - 1), (1u64 << i) - 1),
+    }
+}
+
+/// Lock-free recording side: every field is a relaxed atomic, so a
+/// `record` costs four adds and two compare-updates with no ordering
+/// constraints. Snapshots are not atomic across fields (a concurrent
+/// recorder may land between reads); merged totals stay self-consistent
+/// to within in-flight records, which is all metrics need.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&self, v: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a duration as nanoseconds (saturating past ~584 years).
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Copy the current contents (see the struct docs for the relaxed
+    /// cross-field consistency caveat).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Owned, mergeable copy of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded observations.
+    pub count: u64,
+    /// Sum of all observations (wrapping add on overflow).
+    pub sum: u64,
+    /// Smallest observation (`u64::MAX` while empty — see [`Self::min`]).
+    pub min: u64,
+    /// Largest observation (0 while empty).
+    pub max: u64,
+    /// Per-bucket observation counts (see [`bucket_bounds`]).
+    pub buckets: [u64; BUCKETS],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Smallest observation, if any were recorded.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Mean observation, if any were recorded.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Combine two snapshots: the result is exactly the histogram that
+    /// would have recorded both observation streams.
+    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count + other.count,
+            sum: self.sum.wrapping_add(other.sum),
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+            buckets: std::array::from_fn(|i| self.buckets[i] + other.buckets[i]),
+        }
+    }
+
+    /// Estimated `q`-quantile (`0.0 ..= 1.0`): the upper bound of the
+    /// bucket containing the rank-`⌈q·count⌉` observation, clamped to the
+    /// observed max — so the estimate always lands in the same log2
+    /// bucket as the true order statistic (≤ 2× relative error).
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let (_, hi) = bucket_bounds(i);
+                return Some(hi.min(self.max).max(self.min));
+            }
+        }
+        Some(self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bucket_index_bounds_agree() {
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1023, 1024, u64::MAX / 2, u64::MAX] {
+            let i = bucket_index(v);
+            let (lo, hi) = bucket_bounds(i);
+            assert!(lo <= v && v <= hi, "v={v} bucket={i} bounds=({lo},{hi})");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_has_no_stats() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.quantile(0.5), None);
+    }
+
+    #[test]
+    fn basic_record_and_quantiles() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.min(), Some(1));
+        assert_eq!(s.max, 1000);
+        let p50 = s.quantile(0.50).unwrap_or(0);
+        let p99 = s.quantile(0.99).unwrap_or(0);
+        // True p50 = 500 (bucket up to 511), true p99 = 990 (clamped to
+        // the observed max 1000).
+        assert_eq!(p50, 511);
+        assert_eq!(p99, 1000);
+        assert!(p50 <= p99);
+    }
+
+    fn exact_rank_value(sorted: &[u64], q: f64) -> u64 {
+        let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+        sorted[rank - 1]
+    }
+
+    proptest! {
+        #[test]
+        fn buckets_partition_the_record_stream(values in prop::collection::vec(any::<u64>(), 0..200)) {
+            let h = Histogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            let s = h.snapshot();
+            // Bucket counts sum to the total count, and the cumulative
+            // bucket curve is monotone non-decreasing by construction.
+            prop_assert_eq!(s.buckets.iter().sum::<u64>(), values.len() as u64);
+            let mut cum = 0u64;
+            for &b in &s.buckets {
+                let next = cum + b;
+                prop_assert!(next >= cum);
+                cum = next;
+            }
+            prop_assert_eq!(cum, s.count);
+        }
+
+        #[test]
+        fn merge_equals_concatenated_record(
+            a in prop::collection::vec(any::<u64>(), 0..100),
+            b in prop::collection::vec(any::<u64>(), 0..100),
+        ) {
+            let ha = Histogram::new();
+            let hb = Histogram::new();
+            let hboth = Histogram::new();
+            for &v in &a {
+                ha.record(v);
+                hboth.record(v);
+            }
+            for &v in &b {
+                hb.record(v);
+                hboth.record(v);
+            }
+            prop_assert_eq!(ha.snapshot().merge(&hb.snapshot()), hboth.snapshot());
+        }
+
+        #[test]
+        fn quantile_estimate_shares_bucket_with_true_order_statistic(
+            values in prop::collection::vec(1u64..1_000_000_000, 1..200),
+            qi in 0u32..=100,
+        ) {
+            let q = qi as f64 / 100.0;
+            let h = Histogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            let mut sorted = values.clone();
+            sorted.sort_unstable();
+            let truth = exact_rank_value(&sorted, q);
+            let est = h.snapshot().quantile(q).unwrap_or(0);
+            // The estimate is the bucket upper bound clamped to [min, max],
+            // so it never leaves the true order statistic's bucket and
+            // never understates it by more than the clamp.
+            prop_assert_eq!(
+                bucket_index(est), bucket_index(truth),
+                "est {} truth {} q {}", est, truth, q
+            );
+            let (lo, hi) = bucket_bounds(bucket_index(truth));
+            prop_assert!(lo <= est && est <= hi);
+        }
+    }
+}

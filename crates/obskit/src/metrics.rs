@@ -1,0 +1,206 @@
+//! Always-on metrics: named counters, gauges and histograms.
+//!
+//! Unlike tracing, metrics are not gated — recording is a few relaxed
+//! atomic operations, cheap enough for the wire round-trip path. A
+//! [`Registry`] is a plain value: the process-wide [`global()`] registry
+//! backs the benchmark exporters, while subsystems that need isolated
+//! counts (each `PhoenixConnection`) own their own. Handles returned by
+//! `counter`/`gauge`/`histogram` are `Arc`s, so hot paths resolve a name
+//! once and then record lock-free.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::RwLock;
+
+use crate::hist::{Histogram, HistogramSnapshot};
+
+/// Monotone counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add 1.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins signed gauge.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Set the level.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjust the level by `d` (may be negative).
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A namespace of metrics. Names follow the `layer.component.action`
+/// callsite convention shared with crashpoints and trace events.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: RwLock<BTreeMap<&'static str, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<&'static str, Arc<Gauge>>>,
+    hists: RwLock<BTreeMap<&'static str, Arc<Histogram>>>,
+}
+
+fn get_or_insert<T: Default>(
+    map: &RwLock<BTreeMap<&'static str, Arc<T>>>,
+    name: &'static str,
+) -> Arc<T> {
+    if let Some(v) = map.read().get(name) {
+        return Arc::clone(v);
+    }
+    Arc::clone(map.write().entry(name).or_default())
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &'static str) -> Arc<Counter> {
+        get_or_insert(&self.counters, name)
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &'static str) -> Arc<Gauge> {
+        get_or_insert(&self.gauges, name)
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &'static str) -> Arc<Histogram> {
+        get_or_insert(&self.hists, name)
+    }
+
+    /// Record a duration (as nanoseconds) into the histogram `name`.
+    /// Convenience for cold paths; hot paths should hold the `Arc`.
+    pub fn record(&self, name: &'static str, d: std::time::Duration) {
+        self.histogram(name).record_duration(d);
+    }
+
+    /// Copy every metric into an owned, mergeable [`Snapshot`].
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters
+                .read()
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .read()
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.get()))
+                .collect(),
+            hists: self
+                .hists
+                .read()
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// The process-wide registry (benchmark exporters snapshot this one).
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Owned copy of a [`Registry`] at a point in time.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge levels by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram contents by name.
+    pub hists: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// Combine two snapshots: counters add, gauges take `other`'s value
+    /// where both exist (last write wins), histograms merge.
+    pub fn merge(&self, other: &Snapshot) -> Snapshot {
+        let mut out = self.clone();
+        for (k, v) in &other.counters {
+            *out.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            out.gauges.insert(k.clone(), *v);
+        }
+        for (k, v) in &other.hists {
+            let merged = match out.hists.get(k) {
+                Some(mine) => mine.merge(v),
+                None => v.clone(),
+            };
+            out.hists.insert(k.clone(), merged);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_handles_are_shared() {
+        let reg = Registry::new();
+        let a = reg.counter("test.reg.c");
+        let b = reg.counter("test.reg.c");
+        a.add(2);
+        b.incr();
+        assert_eq!(reg.counter("test.reg.c").get(), 3);
+        reg.gauge("test.reg.g").set(-5);
+        assert_eq!(reg.gauge("test.reg.g").get(), -5);
+        reg.record("test.reg.h", std::time::Duration::from_nanos(100));
+        assert_eq!(reg.histogram("test.reg.h").snapshot().count, 1);
+    }
+
+    #[test]
+    fn snapshots_merge() {
+        let a = Registry::new();
+        let b = Registry::new();
+        a.counter("c").add(1);
+        b.counter("c").add(2);
+        b.counter("only_b").add(7);
+        a.gauge("g").set(1);
+        b.gauge("g").set(9);
+        a.histogram("h").record(10);
+        b.histogram("h").record(20);
+        let m = a.snapshot().merge(&b.snapshot());
+        assert_eq!(m.counters.get("c"), Some(&3));
+        assert_eq!(m.counters.get("only_b"), Some(&7));
+        assert_eq!(m.gauges.get("g"), Some(&9));
+        assert_eq!(m.hists.get("h").map(|h| h.count), Some(2));
+    }
+}

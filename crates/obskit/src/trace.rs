@@ -1,0 +1,291 @@
+//! Gated structured tracing over a lock-sharded ring buffer.
+//!
+//! The gate follows `faultkit::crashpoint!`: a single process-wide
+//! `AtomicBool` loaded with `Relaxed` ordering at every callsite. While
+//! no [`TraceSession`] is active the macros compile down to that one
+//! load — no clock read, no formatting, no locking. When enabled, events
+//! go to a fixed-capacity ring buffer sharded across several mutexes
+//! (writers on different shards never contend); each event carries a
+//! global sequence number so a merged timeline has a total causal order
+//! even across shards.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Mutex, MutexGuard};
+
+/// Number of ring shards; writers hash by sequence number, so bursts
+/// spread round-robin across shards.
+const SHARDS: usize = 8;
+/// Events retained per shard (total capacity = `SHARDS * SHARD_CAP`).
+const SHARD_CAP: usize = 512;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Is tracing currently enabled? The only cost a disabled callsite pays.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// The instant all event timestamps are relative to (first use).
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn session_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+/// Serializes tests that depend on the global enabled/disabled state.
+#[doc(hidden)]
+pub fn exclusive() -> MutexGuard<'static, ()> {
+    session_lock().lock()
+}
+
+/// RAII guard enabling tracing for its lifetime. Sessions serialize on a
+/// process-wide lock (like faultkit sessions) so concurrent tests cannot
+/// observe each other's gate flips; the prior state is restored on drop.
+pub struct TraceSession {
+    _lock: MutexGuard<'static, ()>,
+    prev: bool,
+}
+
+/// Enable tracing until the returned guard is dropped.
+pub fn session() -> TraceSession {
+    let lock = session_lock().lock();
+    let prev = ENABLED.swap(true, Ordering::SeqCst);
+    TraceSession { _lock: lock, prev }
+}
+
+impl Drop for TraceSession {
+    fn drop(&mut self) {
+        ENABLED.store(self.prev, Ordering::SeqCst);
+    }
+}
+
+/// What a recorded event marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A point in time (`event!`).
+    Instant,
+    /// A completed timed region (`span!` guard drop); `dur_nanos` is set.
+    Span,
+}
+
+impl EventKind {
+    /// Stable lowercase name used by the exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Instant => "instant",
+            EventKind::Span => "span",
+        }
+    }
+}
+
+/// One timeline entry.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Global sequence number: the total causal order across shards.
+    pub seq: u64,
+    /// Microseconds since the process trace epoch.
+    pub micros: u64,
+    /// Event kind (instant or span).
+    pub kind: EventKind,
+    /// Callsite name, `layer.component.action`.
+    pub name: &'static str,
+    /// Span duration in nanoseconds (spans only).
+    pub dur_nanos: Option<u64>,
+    /// Free-form detail (empty unless the callsite formatted one).
+    pub detail: String,
+}
+
+/// One shard: a circular array indexed by `(seq / SHARDS) % SHARD_CAP`,
+/// so each shard holds the most recent `SHARD_CAP` of its events and the
+/// merged view keeps the most recent `SHARDS * SHARD_CAP` overall.
+struct Shard {
+    slots: Mutex<Vec<Option<Event>>>,
+}
+
+fn shards() -> &'static [Shard; SHARDS] {
+    static RING: OnceLock<[Shard; SHARDS]> = OnceLock::new();
+    RING.get_or_init(|| {
+        std::array::from_fn(|_| Shard {
+            slots: Mutex::new(vec![None; SHARD_CAP]),
+        })
+    })
+}
+
+#[cold]
+fn push(kind: EventKind, name: &'static str, dur_nanos: Option<u64>, detail: String) {
+    let micros = epoch().elapsed().as_micros() as u64;
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    let shard = &shards()[(seq as usize) % SHARDS];
+    let slot = ((seq as usize) / SHARDS) % SHARD_CAP;
+    let ev = Event {
+        seq,
+        micros,
+        kind,
+        name,
+        dur_nanos,
+        detail,
+    };
+    let mut slots = shard.slots.lock();
+    if let Some(s) = slots.get_mut(slot) {
+        *s = Some(ev);
+    }
+}
+
+/// Record an instantaneous event (no-op while disabled). Prefer the
+/// [`event!`](crate::event!) macro, which also gates the detail `format!`.
+#[cold]
+pub fn emit_instant(name: &'static str, detail: String) {
+    if enabled() {
+        push(EventKind::Instant, name, None, detail);
+    }
+}
+
+/// Record a completed span of `dur` (no-op while disabled). Used directly
+/// by code that already measures durations for its own purposes and wants
+/// the measurement on the timeline too.
+#[cold]
+pub fn emit_span(name: &'static str, dur: Duration, detail: String) {
+    if enabled() {
+        push(EventKind::Span, name, Some(dur.as_nanos() as u64), detail);
+    }
+}
+
+/// Guard returned by [`span!`](crate::span!): records one span event with
+/// the elapsed time on drop. Inert when tracing was disabled at entry.
+pub struct SpanGuard {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl SpanGuard {
+    /// Open a span (reads the clock only if tracing is enabled).
+    pub fn enter(name: &'static str) -> SpanGuard {
+        let start = enabled().then(Instant::now);
+        SpanGuard { name, start }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            emit_span(self.name, start.elapsed(), String::new());
+        }
+    }
+}
+
+/// All retained events, oldest first (total order by sequence number).
+pub fn snapshot() -> Vec<Event> {
+    let mut out = Vec::new();
+    for shard in shards() {
+        let slots = shard.slots.lock();
+        out.extend(slots.iter().filter_map(|s| s.as_ref().cloned()));
+    }
+    out.sort_by_key(|e| e.seq);
+    out
+}
+
+/// Total number of events ever emitted (retained or overwritten).
+pub fn emitted() -> u64 {
+    SEQ.load(Ordering::Relaxed)
+}
+
+/// Discard all retained events (the sequence counter keeps running).
+pub fn clear() {
+    for shard in shards() {
+        let mut slots = shard.slots.lock();
+        for s in slots.iter_mut() {
+            *s = None;
+        }
+    }
+}
+
+/// Render the last `n` retained events as an indented human-readable
+/// timeline — the block chaos-soak failures print next to their
+/// `FAULTKIT_REPLAY` line.
+pub fn dump_last(n: usize) -> String {
+    use std::fmt::Write as _;
+    let events = snapshot();
+    let skipped = events.len().saturating_sub(n);
+    let mut out = String::new();
+    if skipped > 0 {
+        let _ = writeln!(out, "  … {skipped} earlier events elided …");
+    }
+    for ev in events.iter().skip(skipped) {
+        let _ = write!(
+            out,
+            "  [{:>6}] +{:>12.3}ms {:<7} {}",
+            ev.seq,
+            ev.micros as f64 / 1_000.0,
+            ev.kind.name(),
+            ev.name
+        );
+        if let Some(d) = ev.dur_nanos {
+            let _ = write!(out, "  ({:.3}ms)", d as f64 / 1_000_000.0);
+        }
+        if !ev.detail.is_empty() {
+            let _ = write!(out, "  {}", ev.detail);
+        }
+        out.push('\n');
+    }
+    if events.is_empty() {
+        out.push_str("  (no events retained — was a TraceSession active?)\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_restores_prior_state() {
+        let outer = session();
+        assert!(enabled());
+        drop(outer);
+        let _x = exclusive();
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn events_are_ordered_and_capped() {
+        let _s = session();
+        clear();
+        let total = SHARDS * SHARD_CAP + 100;
+        for _ in 0..total {
+            emit_instant("test.ring.fill", String::new());
+        }
+        let evs = snapshot();
+        // Wraparound: exactly the capacity is retained, and it is the
+        // most recent slice in strict sequence order.
+        assert_eq!(evs.len(), SHARDS * SHARD_CAP);
+        for w in evs.windows(2) {
+            assert_eq!(w[1].seq, w[0].seq + 1);
+            assert!(w[1].micros >= w[0].micros);
+        }
+        let newest = evs.last().map(|e| e.seq).unwrap_or(0);
+        let oldest = evs.first().map(|e| e.seq).unwrap_or(0);
+        assert_eq!(newest - oldest + 1, (SHARDS * SHARD_CAP) as u64);
+    }
+
+    #[test]
+    fn dump_elides_older_events() {
+        let _s = session();
+        clear();
+        for i in 0..10 {
+            emit_instant("test.dump.ev", format!("i={i}"));
+        }
+        let dump = dump_last(3);
+        assert!(dump.contains("7 earlier events elided"));
+        assert!(dump.contains("i=9"));
+        assert!(!dump.contains("i=2"));
+    }
+}

@@ -185,6 +185,9 @@ impl OdbcConnection {
             }
         }
         let id = self.inner.next_stmt.fetch_add(1, Ordering::Relaxed);
+        // Round trip measured from the request leaving the client to the
+        // initial response pump completing (metadata + first buffer).
+        let t_round = Instant::now();
         // Request about to leave the client: a crash here means the server
         // never saw it (safe to re-execute after recovery).
         faultkit::crashpoint!("odbc.send");
@@ -210,12 +213,15 @@ impl OdbcConnection {
         // Default result set: pump until done or driver buffer full.
         let wd = Watchdog::start(&stmt.inner.cfg);
         stmt.pump(true, &wd)?;
+        obskit::metrics::global().record("odbcsim.roundtrip.exec", t_round.elapsed());
+        obskit::trace::emit_span("odbcsim.roundtrip.exec", t_round.elapsed(), String::new());
         Ok(stmt)
     }
 
     /// Liveness probe on this connection.
     pub fn ping(&self) -> Result<()> {
         self.inner.check()?;
+        let t_round = Instant::now();
         self.inner
             .conn
             .send(&Request::Ping)
@@ -226,7 +232,10 @@ impl OdbcConnection {
                 .recv_timeout(self.inner.cfg.query_timeout)
                 .map_err(|e| self.inner.fail(e))?;
             match self.inner.conn.recv(timeout) {
-                Ok(Response::Pong) => return Ok(()),
+                Ok(Response::Pong) => {
+                    obskit::metrics::global().record("odbcsim.roundtrip.ping", t_round.elapsed());
+                    return Ok(());
+                }
                 // Stale statement traffic may precede the pong.
                 Ok(_) => continue,
                 Err(e) => return Err(self.inner.fail(e)),

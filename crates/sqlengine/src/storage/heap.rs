@@ -493,12 +493,15 @@ impl Storage {
     /// ensure no transactions are active.
     pub fn checkpoint(&self) -> Result<()> {
         faultkit::crashpoint!("wal.checkpoint.pre");
+        let t_ckpt = std::time::Instant::now();
         self.log.flush_all()?;
         self.pool.flush_all()?;
         let snapshot = self.catalog.snapshot();
         let lsn = self.log.append(&LogRecord::Checkpoint { snapshot });
         self.log.flush_all()?;
         self.log.store().set_checkpoint(lsn);
+        obskit::metrics::global().record("sqlengine.wal.checkpoint", t_ckpt.elapsed());
+        obskit::trace::emit_span("sqlengine.wal.checkpoint", t_ckpt.elapsed(), String::new());
         faultkit::crashpoint!("wal.checkpoint.post");
         Ok(())
     }

@@ -151,23 +151,36 @@ impl LockManager {
         let deadline = start + self.wait_timeout;
         let young_deadline = start + self.young_grace;
         let mut state = self.state.lock();
+        let mut waited = false;
         loop {
             let entry = state.entry(target).or_default();
             let conflicting = entry.conflicting(txn, mode);
             if conflicting.is_empty() {
                 *entry.holders.entry(txn).or_insert(0) |= mode.bit();
+                if waited {
+                    // Only contended acquisitions are interesting: the
+                    // uncontended fast path stays clock-free.
+                    obskit::metrics::global().record("sqlengine.lock.wait", start.elapsed());
+                }
                 return Ok(());
             }
             let now = Instant::now();
             // Wait-die: a younger requester dies — after its grace wait.
             if conflicting.iter().any(|&h| h < txn) && now >= young_deadline {
                 Self::gc_entry(&mut state, target);
+                obskit::metrics::global()
+                    .counter("sqlengine.lock.deadlocks")
+                    .incr();
                 return Err(Error::Deadlock);
             }
             if now >= deadline {
                 Self::gc_entry(&mut state, target);
+                obskit::metrics::global()
+                    .counter("sqlengine.lock.deadlocks")
+                    .incr();
                 return Err(Error::Deadlock);
             }
+            waited = true;
             // Condvar waits are allowed to wake spuriously (and `std`'s
             // documentation reserves the right): correctness rests on
             // this loop re-evaluating `conflicting` before every grant,

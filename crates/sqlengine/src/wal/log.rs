@@ -10,6 +10,7 @@ use bytes::{Buf, BufMut};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use crate::error::{Error, Result};
 use crate::schema::{decode_schema, encode_schema, get_str, put_str, TableSchema};
@@ -446,12 +447,15 @@ impl LogManager {
     /// Append a record to the volatile tail; returns its LSN.
     pub fn append(&self, rec: &LogRecord) -> Lsn {
         faultkit::crashpoint!("wal.append");
+        let t_append = Instant::now();
         let mut payload = Vec::new();
         rec.encode(&mut payload);
         let mut tail = self.tail.lock();
         let lsn = tail.base + tail.buf.len() as u64;
         tail.buf.put_u32(payload.len() as u32);
         tail.buf.extend_from_slice(&payload);
+        drop(tail);
+        obskit::metrics::global().record("sqlengine.wal.append", t_append.elapsed());
         lsn
     }
 
@@ -471,10 +475,13 @@ impl LogManager {
         {
             let mut tail = self.tail.lock();
             if !tail.buf.is_empty() {
+                let t_flush = Instant::now();
                 self.store.append(&tail.buf, self.epoch)?;
                 tail.base += tail.buf.len() as u64;
                 tail.buf.clear();
                 self.flushed.store(tail.base, Ordering::Release);
+                drop(tail);
+                obskit::metrics::global().record("sqlengine.wal.flush", t_flush.elapsed());
             }
         }
         faultkit::crashpoint!("wal.flush.post");

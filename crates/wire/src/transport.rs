@@ -21,8 +21,20 @@ use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
-use faultkit::net::{NetFault, NetSchedule};
+use faultkit::net::{NetFault, NetFaultKind, NetSchedule};
 use sqlengine::Error;
+
+/// Static counter name for each injected fault kind (counter names are
+/// `&'static str`, so the mapping is spelled out once here).
+fn fault_counter(kind: NetFaultKind) -> &'static str {
+    match kind {
+        NetFaultKind::Drop => "wire.net.fault.drop",
+        NetFaultKind::Truncate => "wire.net.fault.truncate",
+        NetFaultKind::Delay => "wire.net.fault.delay",
+        NetFaultKind::Stall => "wire.net.fault.stall",
+        NetFaultKind::Flap => "wire.net.fault.flap",
+    }
+}
 
 /// Network model parameters for one direction.
 #[derive(Debug, Clone, Copy)]
@@ -156,7 +168,21 @@ impl Pipe {
         }
         // Injected network faults, one draw per message.
         let mut extra_delay = Duration::ZERO;
-        match st.faults.as_mut().and_then(NetSchedule::next_fault) {
+        let fault = st.faults.as_mut().and_then(NetSchedule::next_fault);
+        if let Some(f) = &fault {
+            // Every injected fault is a causal landmark for the chaos
+            // timeline: count it and trace it under the kind's spec name.
+            obskit::metrics::global()
+                .counter(fault_counter(f.kind()))
+                .incr();
+            obskit::event!(
+                "wire.net.fault",
+                "{} ({} B frame)",
+                f.kind().name(),
+                msg.len()
+            );
+        }
+        match fault {
             None => {}
             Some(NetFault::Drop) => {
                 // Silently lost: the sender believes it went out. On a

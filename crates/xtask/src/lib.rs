@@ -61,6 +61,10 @@ pub enum Rule {
     /// Duplicate `crashpoint!` name: replay specs (`name#nth`) are only
     /// meaningful when each name identifies one program point.
     Crashpoint,
+    /// Raw `println!`/`eprintln!` in library code: diagnostics must flow
+    /// through obskit (trace events / metrics) or be returned to the
+    /// caller, not write to stdio the harness can't capture.
+    Print,
     /// Malformed `lint:allow` annotation (missing justification).
     BadAllow,
 }
@@ -77,6 +81,7 @@ impl Rule {
             Rule::Error => "error",
             Rule::Sleep => "sleep",
             Rule::Crashpoint => "crashpoint",
+            Rule::Print => "print",
             Rule::BadAllow => "bad_allow",
         }
     }
@@ -125,6 +130,9 @@ pub struct FileClass {
     /// Unbudgeted-wait hygiene (`sleep`): recovery code where every wait
     /// must go through the reconnect policy's `Backoff`.
     pub sleep_rules: bool,
+    /// Stdio hygiene (`print`): library crates must not write raw
+    /// `println!`/`eprintln!`; bench and xtask binaries are sanctioned.
+    pub print_rules: bool,
 }
 
 /// Modules where a panic or swallowed error breaks crash recovery — the
@@ -137,22 +145,13 @@ const PANIC_CRITICAL: &[&str] = &[
     "crates/wire/src/server.rs",
 ];
 
-/// Planner/executor modules whose non-test code has been cleared of
-/// `unwrap`/`expect` and must not regress. These only get the panic-call
-/// token rule: they index rows and slices pervasively, so the `index`
-/// and `discard` rules stay scoped to [`PANIC_CRITICAL`].
-const PANIC_CALLS: &[&str] = &[
-    "crates/sqlengine/src/exec/select.rs",
-    "crates/sqlengine/src/exec/eval.rs",
-    "crates/sqlengine/src/exec/mod.rs",
-    "crates/sqlengine/src/exec/binding.rs",
-    "crates/sqlengine/src/engine.rs",
-    "crates/sqlengine/src/sql/parser.rs",
-    "crates/sqlengine/src/storage/page.rs",
-    "crates/sqlengine/src/storage/buffer.rs",
-    "crates/sqlengine/src/storage/heap.rs",
-    "crates/sqlengine/src/storage/disk.rs",
-];
+/// Modules whose non-test code has been cleared of `unwrap`/`expect` and
+/// must not regress. The whole engine crate is promoted now that the last
+/// warn-level sites are gone (catalog, schema, lexer, locks, types all
+/// panic only inside `#[cfg(test)]`). These only get the panic-call token
+/// rule: they index rows and slices pervasively, so the `index` and
+/// `discard` rules stay scoped to [`PANIC_CRITICAL`].
+const PANIC_CALLS: &[&str] = &["crates/sqlengine/src/"];
 
 /// Reconnect/recovery code: a raw `thread::sleep` here is a wait that
 /// ignores the `ReconnectPolicy` budget (backoff curve, overall
@@ -160,6 +159,11 @@ const PANIC_CALLS: &[&str] = &[
 /// The one sanctioned sleep site is `Backoff::wait`, which carries a
 /// `lint:allow(sleep)` waiver.
 const SLEEP_SCOPE: &[&str] = &["crates/core/src/"];
+
+/// Crates whose binaries legitimately write to stdio: the bench harnesses
+/// print their tables and xtask is the dev tool itself. Everything else
+/// under `crates/*/src` is library code where raw prints bypass obskit.
+const PRINT_SANCTIONED: &[&str] = &["crates/bench/", "crates/xtask/"];
 
 /// Modules that take the ranked locks or block while holding guards.
 const LOCK_SCOPE: &[&str] = &[
@@ -179,6 +183,7 @@ pub fn classify(rel_path: &str) -> FileClass {
         lock_order_rules: rel_path.starts_with("crates/sqlengine/src/"),
         error_rules: true,
         sleep_rules: hit(SLEEP_SCOPE),
+        print_rules: !hit(PRINT_SANCTIONED),
     }
 }
 
@@ -596,6 +601,23 @@ pub fn lint_source(path: &Path, src: &str, class: FileClass) -> Vec<Violation> {
                     Rule::Discard,
                     "`let _ =` discards a result in recovery-critical code".into(),
                 );
+            }
+        }
+
+        if class.print_rules {
+            // `has_word` keeps `println!` from also matching inside
+            // `eprintln!` (and `print!` inside `println!`).
+            for tok in ["println!", "eprintln!", "print!", "eprint!"] {
+                if has_word(text, tok) {
+                    push(
+                        line,
+                        Rule::Print,
+                        format!(
+                            "raw `{tok}` in library code; emit an obskit event/metric \
+                             or return the text to the caller"
+                        ),
+                    );
+                }
             }
         }
 

@@ -89,6 +89,43 @@ fn step(name: &str, cmd: &mut Command) -> bool {
     }
 }
 
+/// Parse the exported obskit snapshot and check the schema essentials:
+/// the version tag, a `histograms` object, and a non-empty timeline from
+/// the traced seed.
+fn validate_snapshot(path: &Path) -> bool {
+    println!("== xtask ci: validate obskit snapshot ==");
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("xtask ci: snapshot {} unreadable: {e}", path.display());
+            return false;
+        }
+    };
+    let doc = match obskit::json::Json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("xtask ci: snapshot is not valid JSON: {e}");
+            return false;
+        }
+    };
+    let version_ok = doc.get("obskit").and_then(|v| v.as_f64()) == Some(1.0);
+    let hists_ok = doc.get("histograms").and_then(|h| h.as_obj()).is_some();
+    let events = doc.get("events").and_then(|e| e.as_arr()).map(<[_]>::len);
+    if !version_ok || !hists_ok || events.is_none_or(|n| n == 0) {
+        eprintln!(
+            "xtask ci: snapshot schema check failed \
+             (version ok: {version_ok}, histograms ok: {hists_ok}, events: {events:?})"
+        );
+        return false;
+    }
+    println!(
+        "snapshot ok: {} bytes, {} timeline events",
+        text.len(),
+        events.unwrap_or(0)
+    );
+    true
+}
+
 fn ci() -> ExitCode {
     let root = workspace_root();
     let cargo = env::var("CARGO").unwrap_or_else(|_| "cargo".into());
@@ -171,7 +208,30 @@ fn ci() -> ExitCode {
                 .current_dir(&root),
         );
 
-    if soak_ok {
+    // Observability smoke: one trace-enabled chaos seed exports an obskit
+    // snapshot, which must come back as well-formed JSON with the schema
+    // tag — guarding the exporter the bench twins and timeline dumps use.
+    let snapshot = root.join("target").join("xtask-obskit-snapshot.json");
+    let obs_ok = soak_ok
+        && step(
+            "obskit snapshot (1 traced seed)",
+            Command::new(&cargo)
+                .args([
+                    "test",
+                    "-p",
+                    "integration-tests",
+                    "--test",
+                    "chaos_soak",
+                    "-q",
+                ])
+                .env("CHAOS_SOAK_SEEDS", "1")
+                .env("CHAOS_SOAK_BASE", "2026")
+                .env("OBSKIT_SNAPSHOT", &snapshot)
+                .current_dir(&root),
+        )
+        && validate_snapshot(&snapshot);
+
+    if obs_ok {
         println!("== xtask ci: all green ==");
         ExitCode::SUCCESS
     } else {

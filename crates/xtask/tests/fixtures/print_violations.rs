@@ -1,0 +1,27 @@
+// Fixture: stdio-hygiene (`print`) rule.
+
+fn bad() {
+    println!("library code writing to stdout");
+    eprintln!("library code writing to stderr");
+    print!("no newline either");
+    eprint!("still stdio");
+}
+
+fn waived() {
+    // lint:allow(print): fixture — sanctioned diagnostic
+    eprintln!("allowed with a justification");
+}
+
+fn quiet() {
+    let s = "println!(\"inside a string does not count\")";
+    let _ = s;
+    // println!("commented out does not count");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_print() {
+        println!("tests are exempt");
+    }
+}

@@ -26,6 +26,7 @@ const ALL_RULES: FileClass = FileClass {
     lock_order_rules: true,
     error_rules: true,
     sleep_rules: true,
+    print_rules: true,
 };
 
 fn lines_of(violations: &[Violation], rule: Rule) -> Vec<usize> {
@@ -137,6 +138,21 @@ fn sleep_rule_fires_outside_waivers_and_tests() {
 }
 
 #[test]
+fn print_rule_fires_in_library_code_only() {
+    let v = scan(
+        "print_violations.rs",
+        FileClass {
+            print_rules: true,
+            ..FileClass::default()
+        },
+    );
+    // All four macros fire once each; the waived site, the string, the
+    // comment, and the #[cfg(test)] module stay quiet.
+    assert_eq!(lines_of(&v, Rule::Print), vec![4, 5, 6, 7]);
+    assert_eq!(v.len(), 4, "{v:#?}");
+}
+
+#[test]
 fn clean_fixture_passes_every_rule() {
     let v = scan("clean.rs", ALL_RULES);
     assert!(v.is_empty(), "{v:#?}");
@@ -178,6 +194,16 @@ fn classify_maps_recovery_critical_paths() {
     assert!(classify("crates/core/src/session.rs").sleep_rules);
     assert!(classify("crates/core/src/config.rs").sleep_rules);
     assert!(!classify("crates/sqlengine/src/engine.rs").sleep_rules);
+
+    // The whole engine crate is promoted to the panic-call rule.
+    assert!(classify("crates/sqlengine/src/catalog.rs").panic_call_rules);
+    assert!(classify("crates/sqlengine/src/sql/parser.rs").panic_call_rules);
+
+    // Library crates may not write raw stdio; bench/xtask binaries may.
+    assert!(classify("crates/core/src/session.rs").print_rules);
+    assert!(classify("crates/obskit/src/export.rs").print_rules);
+    assert!(!classify("crates/bench/src/lib.rs").print_rules);
+    assert!(!classify("crates/xtask/src/main.rs").print_rules);
 }
 
 #[test]

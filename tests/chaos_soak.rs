@@ -83,6 +83,11 @@ fn modify(px: &PhoenixConnection, sql: &str) -> u64 {
 }
 
 fn run_seed(seed: u64) {
+    // Trace the whole seed: on failure the last events are dumped next to
+    // the FAULTKIT_REPLAY line, and `OBSKIT_SNAPSHOT` exports the final
+    // timeline. Cleared per seed so a dump shows only the failing run.
+    let _trace = obskit::trace::session();
+    obskit::trace::clear();
     let server = DbServer::start(ServerConfig::instant_net()).unwrap();
     {
         let engine = server.engine().unwrap();
@@ -198,6 +203,7 @@ fn chaos_soak_randomized_fault_schedules() {
             .unwrap_or_else(|| panic!("bad {REPLAY_ENV} spec {spec:?} (want {SCENARIO}:seed#<n>)"));
         eprintln!("replaying single chaos seed {seed}");
         run_seed(seed);
+        write_snapshot_if_requested(seed, 1);
         return;
     }
 
@@ -216,7 +222,34 @@ fn chaos_soak_randomized_fault_schedules() {
                 "\nchaos seed failed — reproduce with:\n  {REPLAY_ENV}='{SCENARIO}:seed#{seed}' \
                  cargo test -p integration-tests --test chaos_soak\n"
             );
+            eprintln!(
+                "trace timeline before the failure:\n{}",
+                obskit::trace::dump_last(40)
+            );
             std::panic::resume_unwind(payload);
         }
     }
+    write_snapshot_if_requested(base, count);
+}
+
+/// When `OBSKIT_SNAPSHOT=<path>` is set, export the global metrics
+/// registry plus the retained trace timeline as deterministic JSON —
+/// `cargo xtask ci` runs one seed this way and validates the output.
+fn write_snapshot_if_requested(base: u64, count: u64) {
+    let Ok(path) = std::env::var("OBSKIT_SNAPSHOT") else {
+        return;
+    };
+    let mut meta = BTreeMap::new();
+    meta.insert("source".to_string(), SCENARIO.to_string());
+    meta.insert("base".to_string(), base.to_string());
+    meta.insert("seeds".to_string(), count.to_string());
+    let json = obskit::export::snapshot_json(
+        &meta,
+        &obskit::metrics::global().snapshot(),
+        &obskit::trace::snapshot(),
+    );
+    if let Some(dir) = std::path::Path::new(&path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&path, json).expect("write OBSKIT_SNAPSHOT");
 }
