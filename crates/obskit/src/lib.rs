@@ -26,6 +26,7 @@
 pub mod export;
 pub mod hist;
 pub mod json;
+pub mod lockcheck;
 pub mod metrics;
 pub mod trace;
 

@@ -1,0 +1,183 @@
+//! Runtime lock-order witness for `cargo xtask analyze`.
+//!
+//! The static analyzer infers a lock-order graph from source; this module
+//! records what actually happens at runtime so the two can be compared.
+//! Instrumented acquisition sites call [`held`] right after taking their
+//! guard; while the witness token is alive its lock counts as held on the
+//! current thread, and every acquisition taken under it records a
+//! `(held, acquired)` edge into a global set. `cargo xtask ci` runs one
+//! pinned chaos seed with the recorder enabled and fails if any observed
+//! edge contradicts the static graph (or names a lock the analyzer has
+//! never seen — static/dynamic drift).
+//!
+//! The discipline matches the crashpoint/trace gates: disabled by default,
+//! and a disabled callsite costs exactly one relaxed atomic load. Node
+//! names must match the analyzer's (`Struct::field`, e.g.
+//! `"BufferPool::inner"`).
+
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use parking_lot::Mutex;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+static EDGES: Mutex<BTreeSet<(&'static str, &'static str)>> = Mutex::new(BTreeSet::new());
+
+thread_local! {
+    static HELD: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Turn the recorder on (idempotent).
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turn the recorder off. Held witnesses stay valid; their drops still
+/// pop the per-thread stack so a later [`enable`] starts consistent.
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Whether the recorder is on.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Forget all recorded edges (tests).
+pub fn clear() {
+    EDGES.lock().clear();
+}
+
+/// RAII token marking a lock as held on this thread. Returned by [`held`];
+/// drop order must mirror release order, so bind it right after the guard
+/// (locals drop in reverse declaration order, releasing the witness first).
+#[must_use]
+pub struct Witness {
+    name: Option<&'static str>,
+}
+
+/// Record that `name` is now held, noting an edge from every lock already
+/// held by this thread. No-op (beyond one atomic load) while disabled.
+pub fn held(name: &'static str) -> Witness {
+    if !enabled() {
+        return Witness { name: None };
+    }
+    HELD.with(|h| {
+        let mut h = h.borrow_mut();
+        if !h.is_empty() {
+            let mut edges = EDGES.lock();
+            for &prior in h.iter() {
+                edges.insert((prior, name));
+            }
+        }
+        h.push(name);
+    });
+    Witness { name: Some(name) }
+}
+
+impl Drop for Witness {
+    fn drop(&mut self) {
+        let Some(name) = self.name else {
+            return;
+        };
+        // `try_with` guards against thread-teardown ordering: losing one
+        // pop during exit is harmless, the thread's stack dies with it.
+        let _ = HELD.try_with(|h| {
+            let mut h = h.borrow_mut();
+            if let Some(pos) = h.iter().rposition(|&n| n == name) {
+                h.remove(pos);
+            }
+        });
+    }
+}
+
+/// All recorded `(from, to)` edges, sorted.
+pub fn edges() -> Vec<(&'static str, &'static str)> {
+    EDGES.lock().iter().copied().collect()
+}
+
+/// The witness as deterministic JSON:
+/// `{"lockcheck":1,"edges":[{"from":"A::x","to":"B::y"},…]}`.
+pub fn snapshot_json() -> String {
+    let mut s = String::from("{\"lockcheck\":1,\"edges\":[");
+    for (k, (from, to)) in edges().iter().enumerate() {
+        if k > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!("{{\"from\":\"{from}\",\"to\":\"{to}\"}}"));
+    }
+    s.push_str("]}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serialize tests that poke the global recorder.
+    static GATE: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let _g = GATE.lock();
+        disable();
+        clear();
+        let a = held("T::a");
+        let b = held("T::b");
+        drop(b);
+        drop(a);
+        assert!(edges().is_empty());
+    }
+
+    #[test]
+    fn nested_holds_record_edges_in_order() {
+        let _g = GATE.lock();
+        enable();
+        clear();
+        {
+            let _a = held("T::a");
+            let _b = held("T::b");
+            let _c = held("T::c");
+        }
+        disable();
+        assert_eq!(
+            edges(),
+            vec![("T::a", "T::b"), ("T::a", "T::c"), ("T::b", "T::c")]
+        );
+    }
+
+    #[test]
+    fn sibling_holds_record_nothing() {
+        let _g = GATE.lock();
+        enable();
+        clear();
+        {
+            let a = held("S::a");
+            drop(a);
+            let b = held("S::b");
+            drop(b);
+        }
+        disable();
+        assert!(edges().is_empty());
+    }
+
+    #[test]
+    fn snapshot_json_round_trips_through_parser() {
+        let _g = GATE.lock();
+        enable();
+        clear();
+        {
+            let _a = held("J::a");
+            let _b = held("J::b");
+        }
+        disable();
+        let doc = crate::json::Json::parse(&snapshot_json()).expect("valid json");
+        assert_eq!(doc.get("lockcheck").and_then(|v| v.as_f64()), Some(1.0));
+        let arr = doc.get("edges").and_then(|v| v.as_arr()).expect("edges");
+        assert_eq!(arr.len(), 1);
+        assert_eq!(arr[0].get("from").and_then(|v| v.as_str()), Some("J::a"));
+        assert_eq!(arr[0].get("to").and_then(|v| v.as_str()), Some("J::b"));
+    }
+}

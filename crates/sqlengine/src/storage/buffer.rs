@@ -91,6 +91,7 @@ impl BufferPool {
     /// Fetch a page into the pool (reading from disk on miss) and pin it.
     pub fn fetch(&self, id: PageId) -> Result<PageGuard> {
         let mut inner = self.inner.lock();
+        let _lw = obskit::lockcheck::held("BufferPool::inner");
         inner.tick += 1;
         let tick = inner.tick;
         if let Some(frame) = inner.frames.get(&id) {
@@ -119,6 +120,7 @@ impl BufferPool {
     pub fn new_page(&self, table_id: u32) -> Result<(PageId, PageGuard)> {
         let id = self.disk.allocate(self.epoch)?;
         let mut inner = self.inner.lock();
+        let _lw = obskit::lockcheck::held("BufferPool::inner");
         inner.tick += 1;
         let tick = inner.tick;
         self.make_room(&mut inner)?;
@@ -165,6 +167,7 @@ impl BufferPool {
             return Ok(());
         }
         let data = frame.data.read();
+        let _lw = obskit::lockcheck::held("Frame::data");
         let lsn = PageRef::new(&data).lsn();
         // WAL rule.
         self.log.flush_to(lsn)?;
@@ -176,6 +179,7 @@ impl BufferPool {
     pub fn flush_all(&self) -> Result<()> {
         let frames: Vec<Arc<Frame>> = {
             let inner = self.inner.lock();
+            let _lw = obskit::lockcheck::held("BufferPool::inner");
             inner.frames.values().cloned().collect()
         };
         for f in frames {

@@ -148,6 +148,7 @@ impl MemDisk {
     /// Allocate a fresh zeroed page and return its id.
     pub fn allocate(&self, epoch: u64) -> Result<PageId> {
         let mut pages = self.pages.write();
+        let _lw = obskit::lockcheck::held("MemDisk::pages");
         self.check_epoch(epoch)?;
         pages.push(Box::new([0u8; PAGE_SIZE]));
         Ok((pages.len() - 1) as PageId)
@@ -157,6 +158,7 @@ impl MemDisk {
     /// redoing page allocations that had not been flushed).
     pub fn ensure_capacity(&self, n: u32, epoch: u64) -> Result<()> {
         let mut pages = self.pages.write();
+        let _lw = obskit::lockcheck::held("MemDisk::pages");
         self.check_epoch(epoch)?;
         while (pages.len() as u32) < n {
             pages.push(Box::new([0u8; PAGE_SIZE]));
@@ -168,6 +170,7 @@ impl MemDisk {
     pub fn read_page(&self, id: PageId, out: &mut [u8; PAGE_SIZE]) -> Result<()> {
         self.simulate(false);
         let pages = self.pages.read();
+        let _lw = obskit::lockcheck::held("MemDisk::pages");
         let page = pages
             .get(id as usize)
             .ok_or_else(|| Error::Storage(format!("read of unallocated page {id}")))?;
@@ -179,6 +182,7 @@ impl MemDisk {
     pub fn write_page(&self, id: PageId, data: &[u8; PAGE_SIZE], epoch: u64) -> Result<()> {
         self.simulate(true);
         let mut pages = self.pages.write();
+        let _lw = obskit::lockcheck::held("MemDisk::pages");
         self.check_epoch(epoch)?;
         let page = pages
             .get_mut(id as usize)

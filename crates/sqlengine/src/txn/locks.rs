@@ -151,6 +151,7 @@ impl LockManager {
         let deadline = start + self.wait_timeout;
         let young_deadline = start + self.young_grace;
         let mut state = self.state.lock();
+        let _lw = obskit::lockcheck::held("LockManager::state");
         let mut waited = false;
         loop {
             let entry = state.entry(target).or_default();
@@ -205,6 +206,7 @@ impl LockManager {
     /// Release every lock `txn` holds on the given targets.
     pub fn release_all(&self, txn: TxnId, targets: impl IntoIterator<Item = LockTarget>) {
         let mut state = self.state.lock();
+        let _lw = obskit::lockcheck::held("LockManager::state");
         for t in targets {
             if let Some(l) = state.get_mut(&t) {
                 l.holders.remove(&txn);

@@ -375,6 +375,7 @@ impl LogStore {
 
     fn append(&self, bytes: &[u8], epoch: u64) -> crate::error::Result<()> {
         let mut durable = self.durable.lock();
+        let _lw = obskit::lockcheck::held("LogStore::durable");
         if epoch != self.current_epoch() {
             return Err(Error::ServerShutdown);
         }
@@ -385,6 +386,7 @@ impl LogStore {
     /// Decode all records with LSN >= `from`, in order.
     pub fn records_from(&self, from: Lsn) -> Result<Vec<(Lsn, LogRecord)>> {
         let data = self.durable.lock();
+        let _lw = obskit::lockcheck::held("LogStore::durable");
         let mut out = Vec::new();
         let mut pos = from as usize;
         while pos + 4 <= data.len() {
@@ -451,6 +453,7 @@ impl LogManager {
         let mut payload = Vec::new();
         rec.encode(&mut payload);
         let mut tail = self.tail.lock();
+        let _lw = obskit::lockcheck::held("LogManager::tail");
         let lsn = tail.base + tail.buf.len() as u64;
         tail.buf.put_u32(payload.len() as u32);
         tail.buf.extend_from_slice(&payload);
@@ -474,6 +477,7 @@ impl LogManager {
         faultkit::crashpoint!("wal.flush.pre");
         {
             let mut tail = self.tail.lock();
+            let _lw = obskit::lockcheck::held("LogManager::tail");
             if !tail.buf.is_empty() {
                 let t_flush = Instant::now();
                 self.store.append(&tail.buf, self.epoch)?;
@@ -496,6 +500,7 @@ impl LogManager {
     /// Next LSN that would be assigned (end of stream).
     pub fn end_lsn(&self) -> Lsn {
         let tail = self.tail.lock();
+        let _lw = obskit::lockcheck::held("LogManager::tail");
         tail.base + tail.buf.len() as u64
     }
 }

@@ -1,0 +1,245 @@
+//! Instrumentation-coverage passes: cross-checks between the three
+//! harnesses the repo already has.
+//!
+//! 1. **Durability** — a function that emits a `wal.*` / `persist.*` /
+//!    `recovery.*` obskit name is a durability site; it must also contain
+//!    a `crashpoint!` in the same family, or crash testing silently lost
+//!    coverage of that site. (Client-side `phoenix.recovery.*` phase
+//!    events are exempt: the client has no crashpoints by design.)
+//! 2. **Scenario** — every crashpoint name compiled into non-test code
+//!    must be referenced by at least one scenario under `tests/` (exact
+//!    string or a dot-terminated prefix like `"wal."`), or the fault
+//!    enumeration can never reach it.
+//! 3. **Phase** — the `RecoveryPhases` struct, its `NAMES` table and the
+//!    emitting code must stay in sync: every phase field needs a
+//!    `phoenix.recovery.<field>` entry and vice versa.
+
+use super::items::FnDef;
+use super::lexer::{Tok, TokKind};
+use super::Workspace;
+use std::path::PathBuf;
+
+use crate::{Rule, Violation};
+
+/// Names that flow into the durability cross-check.
+pub fn is_durability_name(name: &str) -> bool {
+    name.split('.').any(|seg| seg == "wal" || seg == "persist") || name.starts_with("recovery.")
+}
+
+/// `crashpoint!("name")` invocations in a token run.
+pub fn crashpoints_in(toks: &[Tok]) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    for j in 0..toks.len() {
+        if toks[j].is_ident("crashpoint")
+            && toks.get(j + 1).is_some_and(|t| t.is_punct('!'))
+            && toks.get(j + 2).is_some_and(|t| t.is_punct('('))
+        {
+            if let Some(s) = toks.get(j + 3).filter(|t| t.kind == TokKind::Str) {
+                out.push((s.text.clone(), s.line));
+            }
+        }
+    }
+    out
+}
+
+const OBSKIT_MACROS: &[&str] = &["event", "span"];
+const OBSKIT_CALLS: &[&str] = &[
+    "record",
+    "counter",
+    "gauge",
+    "observe",
+    "emit_span",
+    "emit_instant",
+];
+
+/// Obskit metric/event names emitted in a token run: the first string
+/// argument of `event!`/`span!` and of the registry calls.
+pub fn obskit_names_in(toks: &[Tok]) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    for j in 0..toks.len() {
+        let t = &toks[j];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let name_tok = if OBSKIT_MACROS.contains(&t.text.as_str())
+            && toks.get(j + 1).is_some_and(|t| t.is_punct('!'))
+            && toks.get(j + 2).is_some_and(|t| t.is_punct('('))
+        {
+            toks.get(j + 3)
+        } else if OBSKIT_CALLS.contains(&t.text.as_str())
+            && toks.get(j + 1).is_some_and(|t| t.is_punct('('))
+        {
+            toks.get(j + 2)
+        } else {
+            None
+        };
+        if let Some(s) = name_tok.filter(|t| t.kind == TokKind::Str) {
+            out.push((s.text.clone(), s.line));
+        }
+    }
+    out
+}
+
+fn fn_line_range(def: &FnDef) -> (usize, usize) {
+    let lo = def.line as usize;
+    let hi = def.body.last().map_or(lo, |t| t.line as usize);
+    (lo, hi)
+}
+
+/// Pass 1: durability sites must carry a crashpoint.
+pub fn durability_pass(ws: &Workspace) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        for def in &file.items.fns {
+            let emitted: Vec<(String, u32)> = obskit_names_in(&def.body)
+                .into_iter()
+                .filter(|(n, _)| is_durability_name(n))
+                .collect();
+            if emitted.is_empty() {
+                continue;
+            }
+            let has_crash = crashpoints_in(&def.body)
+                .iter()
+                .any(|(n, _)| is_durability_name(n));
+            if has_crash {
+                continue;
+            }
+            let (lo, hi) = fn_line_range(def);
+            if (lo..=hi).any(|l| file.allows.waives("durability", l)) {
+                continue;
+            }
+            let (name, line) = &emitted[0];
+            out.push(Violation {
+                file: PathBuf::from(&file.rel),
+                line: *line as usize,
+                rule: Rule::Durability,
+                message: format!(
+                    "{} emits durability event {name:?} but contains no durability crashpoint!",
+                    def.qual_name()
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Pass 2: every compiled crashpoint needs a covering test scenario.
+pub fn scenario_pass(ws: &Workspace) -> Vec<Violation> {
+    let covered = |name: &str| {
+        ws.test_literals
+            .iter()
+            .any(|l| l == name || (l.ends_with('.') && name.starts_with(l.as_str())))
+    };
+    let mut out = Vec::new();
+    for file in &ws.files {
+        for def in &file.items.fns {
+            for (name, line) in crashpoints_in(&def.body) {
+                if covered(&name) || file.allows.waives("scenario", line as usize) {
+                    continue;
+                }
+                out.push(Violation {
+                    file: PathBuf::from(&file.rel),
+                    line: line as usize,
+                    rule: Rule::Scenario,
+                    message: format!(
+                        "crashpoint {name:?} is not referenced by any scenario under tests/"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Pass 3: recovery phases ↔ names table ↔ emission. Returns the number
+/// of phases checked (0 = the struct was not found — the workspace test
+/// guards against that going stale).
+pub fn phase_pass(ws: &Workspace) -> (usize, Vec<Violation>) {
+    let mut out = Vec::new();
+    let Some((file, def)) = ws.files.iter().find_map(|f| {
+        f.items
+            .structs
+            .iter()
+            .find(|s| s.name == "RecoveryPhases")
+            .map(|s| (f, s))
+    }) else {
+        return (0, out);
+    };
+    if file.allows.waives("phase", def.line as usize) {
+        return (def.fields.len(), out);
+    }
+    let names = const_str_array(&file.toks, "NAMES");
+    for f in &def.fields {
+        let want = format!("phoenix.recovery.{}", f.name);
+        if !names.contains(&want) {
+            out.push(Violation {
+                file: PathBuf::from(&file.rel),
+                line: def.line as usize,
+                rule: Rule::Phase,
+                message: format!(
+                    "recovery phase field {:?} has no {want:?} entry in RecoveryPhases::NAMES",
+                    f.name
+                ),
+            });
+        }
+    }
+    for n in &names {
+        let field = n.rsplit('.').next().unwrap_or_default();
+        if !def.fields.iter().any(|f| f.name == field) {
+            out.push(Violation {
+                file: PathBuf::from(&file.rel),
+                line: def.line as usize,
+                rule: Rule::Phase,
+                message: format!("NAMES entry {n:?} matches no RecoveryPhases field"),
+            });
+        }
+    }
+    // The defining file must actually publish the phases as spans.
+    if !file.toks.iter().any(|t| t.is_ident("emit_span")) {
+        out.push(Violation {
+            file: PathBuf::from(&file.rel),
+            line: def.line as usize,
+            rule: Rule::Phase,
+            message: "recovery phases are never emitted via obskit emit_span in this file".into(),
+        });
+    }
+    (def.fields.len(), out)
+}
+
+/// String entries of `const NAME: […] = ["a", "b", …];` in a file.
+fn const_str_array(toks: &[Tok], name: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for j in 0..toks.len() {
+        if toks[j].is_ident(name) && toks.get(j + 1).is_some_and(|t| t.is_punct(':')) {
+            // Skip the type annotation up to the `=`. The array length in
+            // `[&'static str; 6]` hides a `;` inside brackets, so only a
+            // top-level `;` (no initializer at all) ends the search.
+            let mut k = j + 1;
+            let mut depth = 0i32;
+            while k < toks.len() {
+                let t = &toks[k];
+                if t.is_punct('[') || t.is_punct('(') {
+                    depth += 1;
+                } else if t.is_punct(']') || t.is_punct(')') {
+                    depth -= 1;
+                } else if depth == 0 && (t.is_punct('=') || t.is_punct(';')) {
+                    break;
+                }
+                k += 1;
+            }
+            if !toks.get(k).is_some_and(|t| t.is_punct('=')) {
+                continue; // declaration without an initializer
+            }
+            while k < toks.len() && !toks[k].is_punct(';') {
+                if toks[k].kind == TokKind::Str {
+                    out.push(toks[k].text.clone());
+                }
+                k += 1;
+            }
+            if !out.is_empty() {
+                break;
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,462 @@
+//! phoenix-analyze: a small static-analysis framework over the workspace.
+//!
+//! Where phoenix-lint (in the crate root) judges single lines, the
+//! analyzer builds a model of the whole workspace — structs, impls,
+//! functions, call sites — and answers cross-cutting questions:
+//!
+//! * the **lock-order graph** ([`locks`]): which lock is ever acquired
+//!   while which other is held, with cycle detection (potential
+//!   deadlocks) and a full `file:line` acquisition chain per cycle;
+//! * **instrumentation coverage** ([`coverage`]): durability sites carry
+//!   crashpoints, crashpoints are reachable from test scenarios, and the
+//!   recovery-phase table is internally consistent;
+//! * the **lockcheck witness** ([`check_witness`]): a runtime acquisition
+//!   log from `obskit::lockcheck` is validated against the static graph.
+//!
+//! False positives are waived in-source with
+//! `// analyze:allow(<pass>): reason` (passes: `lock_edge`,
+//! `durability`, `scenario`, `phase`) — same own-line / next-line
+//! semantics as `lint:allow`, and a reason is mandatory.
+
+pub mod coverage;
+pub mod items;
+pub mod lexer;
+pub mod locks;
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use crate::{Rule, Violation};
+
+/// Waivers collected from one file's `analyze:allow` comments.
+#[derive(Debug, Default)]
+pub struct AllowMap {
+    entries: Vec<(String, usize)>,
+}
+
+impl AllowMap {
+    pub fn waives(&self, pass: &str, line: usize) -> bool {
+        self.entries.iter().any(|(p, l)| p == pass && *l == line)
+    }
+}
+
+pub const ANALYZE_PASSES: &[&str] = &["lock_edge", "durability", "scenario", "phase"];
+
+/// Parse `// analyze:allow(<pass>): reason` annotations. Returns the
+/// allow map and any malformed annotations (line, complaint). A match
+/// outside a comment (a string literal quoting the syntax) or with a
+/// non-identifier placeholder pass (`<pass>`) is documentation, not a
+/// directive, and is skipped silently.
+fn collect_allows(src: &str) -> (AllowMap, Vec<(usize, String)>) {
+    let mut map = AllowMap::default();
+    let mut bad = Vec::new();
+    for (idx, line) in src.lines().enumerate() {
+        let lineno = idx + 1;
+        let Some(pos) = line.find("analyze:allow(") else {
+            continue;
+        };
+        let Some(cpos) = line.find("//") else {
+            continue;
+        };
+        if cpos > pos {
+            continue;
+        }
+        let rest = &line[pos + "analyze:allow(".len()..];
+        let Some(close) = rest.find(')') else {
+            bad.push((lineno, "unterminated analyze:allow".to_string()));
+            continue;
+        };
+        let pass = rest[..close].trim();
+        if pass
+            .chars()
+            .any(|c| !c.is_ascii_lowercase() && !c.is_ascii_digit() && c != '_')
+        {
+            continue;
+        }
+        if !ANALYZE_PASSES.contains(&pass) {
+            bad.push((
+                lineno,
+                format!("unknown analyze pass {pass:?} (expected one of {ANALYZE_PASSES:?})"),
+            ));
+            continue;
+        }
+        let after = rest[close + 1..].trim_start();
+        let reasoned = after
+            .strip_prefix(':')
+            .is_some_and(|r| !r.trim().is_empty());
+        if !reasoned {
+            bad.push((
+                lineno,
+                format!("analyze:allow({pass}) without a reason — add `: why`"),
+            ));
+            continue;
+        }
+        let own_line = line[..cpos].trim().is_empty();
+        let waived = if own_line { lineno + 1 } else { lineno };
+        map.entries.push((pass.to_string(), waived));
+    }
+    (map, bad)
+}
+
+/// One analyzed source file.
+pub struct SrcFile {
+    /// Path relative to the workspace root, `/`-separated.
+    pub rel: String,
+    /// Crate directory name (`core`, `sqlengine`, …) — used to qualify
+    /// static lock cells.
+    pub crate_name: String,
+    pub toks: Vec<lexer::Tok>,
+    pub items: items::FileItems,
+    pub allows: AllowMap,
+    bad_allows: Vec<(usize, String)>,
+}
+
+/// The loaded workspace: all non-fixture sources under `crates/*/src`,
+/// plus the string literals of the test corpus (`tests/*.rs` and the
+/// integration support crate) for scenario-coverage matching.
+pub struct Workspace {
+    pub files: Vec<SrcFile>,
+    pub test_literals: Vec<String>,
+}
+
+impl Workspace {
+    /// Build a workspace from in-memory sources — the fixture tests use
+    /// this to analyze synthetic files.
+    pub fn from_sources<S: AsRef<str>>(
+        files: &[(&str, &str, S)],
+        test_sources: &[&str],
+    ) -> Workspace {
+        let files = files
+            .iter()
+            .map(|(rel, crate_name, src)| {
+                let src = src.as_ref();
+                let toks = lexer::lex(src);
+                let items = items::extract(&toks);
+                let (allows, bad_allows) = collect_allows(src);
+                SrcFile {
+                    rel: rel.to_string(),
+                    crate_name: crate_name.to_string(),
+                    toks,
+                    items,
+                    allows,
+                    bad_allows,
+                }
+            })
+            .collect();
+        let test_literals = test_sources
+            .iter()
+            .flat_map(|src| {
+                lexer::lex(src)
+                    .into_iter()
+                    .filter(|t| t.kind == lexer::TokKind::Str)
+                    .map(|t| t.text)
+            })
+            .collect();
+        Workspace {
+            files,
+            test_literals,
+        }
+    }
+}
+
+/// Load every Rust source under `crates/*/src` (skipping `fixtures`
+/// directories) plus the test corpus.
+pub fn load_workspace(root: &Path) -> std::io::Result<Workspace> {
+    let mut sources: Vec<(String, String, String)> = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<_> = std::fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let crate_name = dir
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_string();
+        let src_dir = dir.join("src");
+        if src_dir.is_dir() {
+            walk_rs(&src_dir, &mut |p| {
+                let rel = p
+                    .strip_prefix(root)
+                    .unwrap_or(p)
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                let src = std::fs::read_to_string(p)?;
+                sources.push((rel, crate_name.clone(), src));
+                Ok(())
+            })?;
+        }
+    }
+    let mut test_sources = Vec::new();
+    for dir in [root.join("tests"), root.join("crates/integration/src")] {
+        if dir.is_dir() {
+            walk_rs(&dir, &mut |p| {
+                test_sources.push(std::fs::read_to_string(p)?);
+                Ok(())
+            })?;
+        }
+    }
+    let files = sources
+        .iter()
+        .map(|(rel, crate_name, src)| (rel.as_str(), crate_name.as_str(), src.as_str()))
+        .collect::<Vec<_>>();
+    let tests = test_sources.iter().map(String::as_str).collect::<Vec<_>>();
+    Ok(Workspace::from_sources(&files, &tests))
+}
+
+fn walk_rs(dir: &Path, f: &mut dyn FnMut(&Path) -> std::io::Result<()>) -> std::io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?.filter_map(|e| e.ok()).collect();
+    entries.sort_by_key(|e| e.path());
+    for e in entries {
+        let p = e.path();
+        if p.is_dir() {
+            if p.file_name().and_then(|n| n.to_str()) == Some("fixtures") {
+                continue;
+            }
+            walk_rs(&p, f)?;
+        } else if p.extension().and_then(|x| x.to_str()) == Some("rs") {
+            f(&p)?;
+        }
+    }
+    Ok(())
+}
+
+/// Summary counters for the report and the JSON artifact.
+#[derive(Debug, Default)]
+pub struct Stats {
+    pub files: usize,
+    pub functions: usize,
+    pub acquisitions: usize,
+    pub acq_unresolved: usize,
+    pub calls_resolved: usize,
+    pub calls_unresolved: usize,
+    pub nodes: usize,
+    pub edges: usize,
+    pub edges_waived: usize,
+    pub cycles: usize,
+    pub crashpoints: usize,
+    pub phases_checked: usize,
+}
+
+pub struct Analysis {
+    pub graph: locks::LockGraph,
+    pub cycles: Vec<locks::Cycle>,
+    pub violations: Vec<Violation>,
+    pub stats: Stats,
+}
+
+/// Run every pass over a loaded workspace.
+pub fn analyze(ws: &Workspace) -> Analysis {
+    let (graph, lock_stats) = locks::build_graph(ws);
+    let cycles = locks::find_cycles(&graph);
+    let mut violations = Vec::new();
+    for c in &cycles {
+        violations.push(Violation {
+            file: PathBuf::from(&c.sites[0].file),
+            line: c.sites[0].line as usize,
+            rule: Rule::Deadlock,
+            message: format!("potential deadlock cycle: {}", c.chain()),
+        });
+    }
+    violations.extend(coverage::durability_pass(ws));
+    violations.extend(coverage::scenario_pass(ws));
+    let (phases_checked, phase_violations) = coverage::phase_pass(ws);
+    violations.extend(phase_violations);
+    for file in &ws.files {
+        for (line, msg) in &file.bad_allows {
+            violations.push(Violation {
+                file: PathBuf::from(&file.rel),
+                line: *line,
+                rule: Rule::BadAllow,
+                message: msg.clone(),
+            });
+        }
+    }
+    violations.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+
+    let crashpoints = ws
+        .files
+        .iter()
+        .flat_map(|f| f.items.fns.iter())
+        .map(|d| coverage::crashpoints_in(&d.body).len())
+        .sum();
+    let stats = Stats {
+        files: ws.files.len(),
+        functions: lock_stats.functions,
+        acquisitions: lock_stats.acquisitions,
+        acq_unresolved: lock_stats.acq_unresolved,
+        calls_resolved: lock_stats.calls_resolved,
+        calls_unresolved: lock_stats.calls_unresolved,
+        nodes: graph.nodes.len(),
+        edges: graph.edges.len(),
+        edges_waived: lock_stats.edges_waived,
+        cycles: cycles.len(),
+        crashpoints,
+        phases_checked,
+    };
+    Analysis {
+        graph,
+        cycles,
+        violations,
+        stats,
+    }
+}
+
+/// Validate a runtime lockcheck witness (JSON from
+/// `obskit::lockcheck::snapshot_json`) against the static graph: a
+/// runtime edge `a → b` contradicts the analysis if the static graph
+/// orders `b` before `a`, and a runtime lock name the static analysis
+/// has never seen is drift.
+pub fn check_witness(graph: &locks::LockGraph, text: &str, witness_path: &str) -> Vec<Violation> {
+    let mk = |message: String| Violation {
+        file: PathBuf::from(witness_path),
+        line: 0,
+        rule: Rule::Witness,
+        message,
+    };
+    let doc = match obskit::json::Json::parse(text) {
+        Ok(d) => d,
+        Err(e) => return vec![mk(format!("unparseable lockcheck witness: {e}"))],
+    };
+    if doc.get("lockcheck").and_then(|v| v.as_f64()) != Some(1.0) {
+        return vec![mk("not a lockcheck v1 witness".to_string())];
+    }
+    let Some(edges) = doc.get("edges").and_then(|v| v.as_arr()) else {
+        return vec![mk("lockcheck witness has no edges array".to_string())];
+    };
+    let mut out = Vec::new();
+    for e in edges {
+        let (Some(from), Some(to)) = (
+            e.get("from").and_then(|v| v.as_str()),
+            e.get("to").and_then(|v| v.as_str()),
+        ) else {
+            out.push(mk(format!("malformed witness edge: {e:?}")));
+            continue;
+        };
+        for n in [from, to] {
+            if !graph.nodes.contains(n) {
+                out.push(mk(format!(
+                    "runtime lock {n:?} is unknown to the static graph — static/dynamic drift"
+                )));
+            }
+        }
+        if !graph.nodes.contains(from) || !graph.nodes.contains(to) {
+            continue;
+        }
+        if from == to {
+            if !graph
+                .edges
+                .contains_key(&(from.to_string(), to.to_string()))
+            {
+                out.push(mk(format!(
+                    "runtime re-acquisition of {from:?} has no static self-edge — drift"
+                )));
+            }
+        } else if graph.reaches(to, from) {
+            out.push(mk(format!(
+                "runtime order {from:?} -> {to:?} contradicts the static graph, which orders \
+                 {to:?} before {from:?}"
+            )));
+        }
+    }
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn violations_json(violations: &[Violation]) -> String {
+    let mut s = String::from("[");
+    for (k, v) in violations.iter().enumerate() {
+        if k > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"message\":\"{}\"}}",
+            json_escape(&v.file.to_string_lossy()),
+            v.line,
+            v.rule.name(),
+            json_escape(&v.message)
+        );
+    }
+    s.push(']');
+    s
+}
+
+/// Machine-readable lint report, schema-versioned like obskit exports.
+pub fn lint_json(violations: &[Violation]) -> String {
+    format!(
+        "{{\"phoenix_lint\":1,\"violations\":{}}}\n",
+        violations_json(violations)
+    )
+}
+
+/// Machine-readable analysis report: violations, the inferred graph, and
+/// the pass statistics.
+pub fn analysis_json(a: &Analysis) -> String {
+    let mut s = String::from("{\"phoenix_analyze\":1,");
+    let _ = write!(s, "\"violations\":{},", violations_json(&a.violations));
+    s.push_str("\"graph\":{\"nodes\":[");
+    for (k, n) in a.graph.nodes.iter().enumerate() {
+        if k > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "\"{}\"", json_escape(n));
+    }
+    s.push_str("],\"edges\":[");
+    for (k, ((from, to), site)) in a.graph.edges.iter().enumerate() {
+        if k > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"from\":\"{}\",\"to\":\"{}\",\"file\":\"{}\",\"line\":{},\"fn\":\"{}\"}}",
+            json_escape(from),
+            json_escape(to),
+            json_escape(&site.file),
+            site.line,
+            json_escape(&site.func)
+        );
+    }
+    s.push_str("]},\"stats\":{");
+    let st = &a.stats;
+    let _ = write!(
+        s,
+        "\"files\":{},\"functions\":{},\"acquisitions\":{},\"acq_unresolved\":{},\
+         \"calls_resolved\":{},\"calls_unresolved\":{},\"nodes\":{},\"edges\":{},\
+         \"edges_waived\":{},\"cycles\":{},\"crashpoints\":{},\"phases_checked\":{}",
+        st.files,
+        st.functions,
+        st.acquisitions,
+        st.acq_unresolved,
+        st.calls_resolved,
+        st.calls_unresolved,
+        st.nodes,
+        st.edges,
+        st.edges_waived,
+        st.cycles,
+        st.crashpoints,
+        st.phases_checked
+    );
+    s.push_str("}}\n");
+    s
+}

@@ -13,12 +13,13 @@
 //!   must not use panicking slice indexing, and must not discard a
 //!   `Result` with `let _ =` — errors there have to surface through the
 //!   crate's `Result` types so recovery can act on them.
-//! * **Lock discipline** (`lock`, `lock_order`): no blocking call
-//!   (condvar waits, channel receives, file or network I/O) while a
+//! * **Lock discipline** (`lock`): no blocking call (condvar waits,
+//!   channel receives, file or network I/O) while a
 //!   `lock()`/`read()`/`write()` guard bound in the same scope is live,
-//!   except condvar waits that atomically release the named guard; and
-//!   lock acquisition must follow the workspace order
-//!   `LockManager::state` → `BufferPool::inner` → `Frame::data`.
+//!   except condvar waits that atomically release the named guard.
+//!   Acquisition *order* is no longer a hardcoded rank list here — the
+//!   [`analyze`] module infers the lock-order graph from the code and
+//!   reports any cycle (`cargo xtask analyze`).
 //! * **Error hygiene** (`error`): library code must not type-erase
 //!   errors as `Box<dyn Error>` or launder them through `.ok().unwrap()`.
 //!
@@ -32,6 +33,8 @@
 //! violation. `#[cfg(test)]` regions and `tests/`, `benches/`,
 //! `examples/` and `compat/` trees are exempt (only `crates/*/src` is
 //! scanned).
+
+pub mod analyze;
 
 use std::fmt;
 use std::fs;
@@ -51,8 +54,6 @@ pub enum Rule {
     Discard,
     /// Blocking call while a lock guard is live.
     Lock,
-    /// Lock acquisition violating the workspace lock order.
-    LockOrder,
     /// `Box<dyn Error>` or `.ok().unwrap()` in library code.
     Error,
     /// Raw `thread::sleep` in reconnect/recovery code, where every wait
@@ -67,6 +68,17 @@ pub enum Rule {
     Print,
     /// Malformed `lint:allow` annotation (missing justification).
     BadAllow,
+    /// Cycle in the inferred lock-order graph (`cargo xtask analyze`).
+    Deadlock,
+    /// Durability site (wal/persist/recovery obskit emission) without a
+    /// covering `crashpoint!`.
+    Durability,
+    /// Crashpoint not referenced by any test scenario.
+    Scenario,
+    /// Recovery-phase table out of sync with its `NAMES`/emission.
+    Phase,
+    /// Runtime lockcheck witness contradicting the static graph.
+    Witness,
 }
 
 impl Rule {
@@ -77,12 +89,16 @@ impl Rule {
             Rule::Index => "index",
             Rule::Discard => "discard",
             Rule::Lock => "lock",
-            Rule::LockOrder => "lock_order",
             Rule::Error => "error",
             Rule::Sleep => "sleep",
             Rule::Crashpoint => "crashpoint",
             Rule::Print => "print",
             Rule::BadAllow => "bad_allow",
+            Rule::Deadlock => "deadlock",
+            Rule::Durability => "durability",
+            Rule::Scenario => "scenario",
+            Rule::Phase => "phase",
+            Rule::Witness => "witness",
         }
     }
 }
@@ -122,9 +138,6 @@ pub struct FileClass {
     pub panic_call_rules: bool,
     /// Guard-across-blocking (`lock`): concurrency-heavy modules.
     pub lock_rules: bool,
-    /// Acquisition-order (`lock_order`): the engine crate, where the
-    /// ranked locks live.
-    pub lock_order_rules: bool,
     /// Error hygiene (`error`): all scanned library code.
     pub error_rules: bool,
     /// Unbudgeted-wait hygiene (`sleep`): recovery code where every wait
@@ -146,12 +159,15 @@ const PANIC_CRITICAL: &[&str] = &[
 ];
 
 /// Modules whose non-test code has been cleared of `unwrap`/`expect` and
-/// must not regress. The whole engine crate is promoted now that the last
-/// warn-level sites are gone (catalog, schema, lexer, locks, types all
-/// panic only inside `#[cfg(test)]`). These only get the panic-call token
-/// rule: they index rows and slices pervasively, so the `index` and
-/// `discard` rules stay scoped to [`PANIC_CRITICAL`].
-const PANIC_CALLS: &[&str] = &["crates/sqlengine/src/"];
+/// must not regress. The engine, wire, and faultkit crates are all
+/// promoted now that their last warn-level sites are gone. These only get
+/// the panic-call token rule: they index rows and slices pervasively, so
+/// the `index` and `discard` rules stay scoped to [`PANIC_CRITICAL`].
+const PANIC_CALLS: &[&str] = &[
+    "crates/sqlengine/src/",
+    "crates/wire/src/",
+    "crates/faultkit/src/",
+];
 
 /// Reconnect/recovery code: a raw `thread::sleep` here is a wait that
 /// ignores the `ReconnectPolicy` budget (backoff curve, overall
@@ -180,7 +196,6 @@ pub fn classify(rel_path: &str) -> FileClass {
         panic_rules: hit(PANIC_CRITICAL),
         panic_call_rules: hit(PANIC_CRITICAL) || hit(PANIC_CALLS),
         lock_rules: hit(LOCK_SCOPE),
-        lock_order_rules: rel_path.starts_with("crates/sqlengine/src/"),
         error_rules: true,
         sleep_rules: hit(SLEEP_SCOPE),
         print_rules: !hit(PRINT_SANCTIONED),
@@ -443,21 +458,11 @@ const BLOCKING_TOKENS: &[&str] = &[
     "OpenOptions",
 ];
 
-/// The workspace lock order: acquiring a lower rank while holding a
-/// higher one risks deadlock against a thread doing the opposite.
-const LOCK_RANKS: &[(&str, u8, &str)] = &[
-    (".state.lock(", 0, "LockManager::state"),
-    (".inner.lock(", 1, "BufferPool::inner"),
-    (".data.read(", 2, "Frame::data"),
-    (".data.write(", 2, "Frame::data"),
-];
-
 /// A guard binding being tracked for liveness.
 struct LiveGuard {
     name: String,
     depth: usize,
     line: usize,
-    rank: Option<u8>,
 }
 
 /// True when `needle` occurs in `hay` delimited by non-identifier chars.
@@ -483,26 +488,81 @@ fn has_word(hay: &str, needle: &str) -> bool {
     false
 }
 
-/// Extract `name` from a `let [mut] name = …` line, when the rest of the
-/// line looks like a guard acquisition.
-fn guard_binding(line: &str) -> Option<String> {
-    let after_let = line.trim_start().strip_prefix("let ")?;
-    let after_mut = after_let.strip_prefix("mut ").unwrap_or(after_let);
-    let name: String = after_mut
-        .chars()
-        .take_while(|c| c.is_alphanumeric() || *c == '_')
-        .collect();
-    if name.is_empty() {
+/// Extract the binding name from a line that binds a lock guard:
+/// `let [mut] name = …acquire…`, `if let PAT = …acquire…`,
+/// `while let PAT = …acquire…` (including `} else if let`), and
+/// method-chain acquisitions on the right-hand side
+/// (`let g = pool.frames.first().data.write();`). Returns the first
+/// plausible binding identifier from the pattern, plus `true` when the
+/// binding is scoped to the following body block (`if let`/`while let`)
+/// rather than the enclosing block.
+fn guard_binding(line: &str) -> Option<(String, bool)> {
+    // Locate a `let` keyword whose prefix is only control-flow glue —
+    // whitespace, `}`, `if`, `else`, `while` — so `completed = x` or
+    // `violet =` never match.
+    let mut pos = None;
+    let mut from = 0;
+    while let Some(rel) = line[from..].find("let") {
+        let at = from + rel;
+        let pre_ok = line[..at]
+            .chars()
+            .next_back()
+            .is_none_or(|c| !c.is_alphanumeric() && c != '_');
+        let post_ok = line[at + 3..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_whitespace());
+        if pre_ok && post_ok {
+            pos = Some(at);
+            break;
+        }
+        from = at + 3;
+    }
+    let pos = pos?;
+    let glue: Vec<&str> = line[..pos].split_whitespace().collect();
+    if !glue
+        .iter()
+        .all(|w| matches!(*w, "}" | "{" | "if" | "else" | "while"))
+    {
         return None;
     }
-    let rhs = after_mut[name.len()..].trim_start();
-    if !rhs.starts_with('=') {
-        return None;
+    let body_scoped = glue.iter().any(|w| matches!(*w, "if" | "while"));
+    let rest = &line[pos + 3..];
+    // Split pattern from initializer at the first plain `=` (not `==`,
+    // `=>`, `<=`, `>=`, `!=`).
+    let bytes = rest.as_bytes();
+    let mut eq = None;
+    for (k, &c) in bytes.iter().enumerate() {
+        if c != b'=' {
+            continue;
+        }
+        let prev = k.checked_sub(1).map(|p| bytes[p]);
+        let next = bytes.get(k + 1);
+        if matches!(prev, Some(b'=') | Some(b'<') | Some(b'>') | Some(b'!'))
+            || matches!(next, Some(b'=') | Some(b'>'))
+        {
+            continue;
+        }
+        eq = Some(k);
+        break;
     }
+    let eq = eq?;
+    let (pat, rhs) = (&rest[..eq], &rest[eq + 1..]);
     let acquires = [".lock()", ".read()", ".write()"]
         .iter()
         .any(|t| rhs.contains(t));
-    acquires.then_some(name)
+    if !acquires {
+        return None;
+    }
+    // First lowercase-leading identifier in the pattern that isn't a
+    // keyword: handles `mut g`, `Some(g)`, `Ok((a, b))`, `ref g`.
+    pat.split(|c: char| !c.is_alphanumeric() && c != '_')
+        .find(|w| {
+            !w.is_empty()
+                && w.chars().next().is_some_and(|c| c.is_ascii_lowercase())
+                && !matches!(*w, "mut" | "ref" | "box")
+        })
+        .map(|w| (w.to_string(), body_scoped))
 }
 
 /// Panicking index heuristic: `[` directly following an expression tail
@@ -648,35 +708,10 @@ pub fn lint_source(path: &Path, src: &str, class: FileClass) -> Vec<Violation> {
             }
         }
 
-        if class.lock_rules || class.lock_order_rules {
+        if class.lock_rules {
             // Liveness bookkeeping happens before this line's closers so
             // a guard bound at depth d dies once depth drops below d.
-            if class.lock_order_rules {
-                for &(tok, rank, what) in LOCK_RANKS {
-                    if !text.contains(tok) {
-                        continue;
-                    }
-                    if let Some(held) = guards
-                        .iter()
-                        .filter(|g| g.rank.is_some_and(|r| r > rank))
-                        .max_by_key(|g| g.rank)
-                    {
-                        push(
-                            line,
-                            Rule::LockOrder,
-                            format!(
-                                "acquires {what} (rank {rank}) while `{}` (rank {}) from line {} \
-                                 is held; order is state → inner → data",
-                                held.name,
-                                held.rank.unwrap_or(0),
-                                held.line
-                            ),
-                        );
-                    }
-                }
-            }
-
-            if class.lock_rules && !guards.is_empty() {
+            if !guards.is_empty() {
                 for tok in BLOCKING_TOKENS {
                     if !text.contains(tok) {
                         continue;
@@ -699,17 +734,12 @@ pub fn lint_source(path: &Path, src: &str, class: FileClass) -> Vec<Violation> {
                 }
             }
 
-            if let Some(name) = guard_binding(text) {
-                let rank = LOCK_RANKS
-                    .iter()
-                    .find(|(tok, _, _)| text.contains(tok))
-                    .map(|&(_, r, _)| r);
-                guards.push(LiveGuard {
-                    name,
-                    depth,
-                    line,
-                    rank,
-                });
+            if let Some((name, body_scoped)) = guard_binding(text) {
+                // An `if let`/`while let` guard lives only inside the
+                // body block that opens on this line, so it is recorded
+                // one level deeper and dies when that block closes.
+                let depth = if body_scoped { depth + 1 } else { depth };
+                guards.push(LiveGuard { name, depth, line });
             }
             for ch in text.chars() {
                 match ch {

@@ -1,9 +1,16 @@
 //! `cargo xtask` — workspace dev-tool entry point.
 //!
-//! * `cargo xtask lint` — run the in-tree static analysis pass
+//! * `cargo xtask lint [--json]` — run the line-level lint pass
 //!   (see [`xtask::lint_workspace`]) over `crates/*/src`.
+//! * `cargo xtask analyze [--json] [--witness <path>]` — run the
+//!   phoenix-analyze static passes: inferred lock-order graph with
+//!   deadlock-cycle detection, instrumentation-coverage cross-checks,
+//!   and (with `--witness`) validation of a runtime lockcheck log
+//!   against the static graph.
 //! * `cargo xtask ci` — the full pre-merge gate: `fmt --check`,
-//!   `clippy`, `lint`, `test`, failing fast on the first broken step.
+//!   `clippy`, `lint`, `analyze`, `test`, fault enumeration, chaos soak,
+//!   obskit snapshot and lockcheck witness validation, failing fast on
+//!   the first broken step.
 
 use std::env;
 use std::path::{Path, PathBuf};
@@ -11,8 +18,15 @@ use std::process::{Command, ExitCode};
 
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let witness = args
+        .iter()
+        .position(|a| a == "--witness")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     match args.first().map(String::as_str) {
-        Some("lint") => lint(),
+        Some("lint") => lint(json),
+        Some("analyze") => analyze(json, witness.as_deref()),
         Some("ci") => ci(),
         Some("help") | None => {
             print_help();
@@ -30,10 +44,17 @@ fn print_help() {
     eprintln!(
         "cargo xtask <command>\n\n\
          commands:\n\
-         \x20 lint   static-analysis pass: panic-path hygiene, lock discipline,\n\
+         \x20 lint [--json]\n\
+         \x20        line-level lint: panic-path hygiene, lock discipline,\n\
          \x20        error hygiene (waive a line with `// lint:allow(rule): why`)\n\
-         \x20 ci     full pre-merge gate: fmt --check, clippy, lint, test,\n\
-         \x20        seeded fault-schedule enumeration, bounded chaos soak"
+         \x20 analyze [--json] [--witness <path>]\n\
+         \x20        workspace static analysis: inferred lock-order graph with\n\
+         \x20        deadlock-cycle detection, instrumentation-coverage passes\n\
+         \x20        (waive with `// analyze:allow(<pass>): why`); --witness checks\n\
+         \x20        a runtime lockcheck log against the static graph\n\
+         \x20 ci     full pre-merge gate: fmt --check, clippy, lint, analyze,\n\
+         \x20        test, seeded fault enumeration, bounded chaos soak,\n\
+         \x20        obskit snapshot + lockcheck witness validation"
     );
 }
 
@@ -48,7 +69,7 @@ fn workspace_root() -> PathBuf {
         .to_path_buf()
 }
 
-fn lint() -> ExitCode {
+fn lint(json: bool) -> ExitCode {
     let root = workspace_root();
     let violations = match xtask::lint_workspace(&root) {
         Ok(v) => v,
@@ -57,6 +78,14 @@ fn lint() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if json {
+        print!("{}", xtask::analyze::lint_json(&violations));
+        return if violations.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
     if violations.is_empty() {
         println!("xtask lint: clean");
         return ExitCode::SUCCESS;
@@ -69,6 +98,65 @@ fn lint() -> ExitCode {
          `// lint:allow({}): <why this line is safe>`.",
         violations.len(),
         violations.first().map_or("rule", |v| v.rule.name())
+    );
+    ExitCode::FAILURE
+}
+
+fn analyze(json: bool, witness: Option<&str>) -> ExitCode {
+    let root = workspace_root();
+    let ws = match xtask::analyze::load_workspace(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("xtask analyze: cannot load workspace: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut analysis = xtask::analyze::analyze(&ws);
+    if let Some(wpath) = witness {
+        match std::fs::read_to_string(wpath) {
+            Ok(text) => {
+                let wv = xtask::analyze::check_witness(&analysis.graph, &text, wpath);
+                analysis.violations.extend(wv);
+            }
+            Err(e) => {
+                eprintln!("xtask analyze: cannot read witness {wpath}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if json {
+        print!("{}", xtask::analyze::analysis_json(&analysis));
+        return if analysis.violations.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+    let st = &analysis.stats;
+    println!(
+        "xtask analyze: {} files, {} fns, {} lock nodes, {} edges \
+         ({} waived), {} cycles, {} crashpoints, {} recovery phases checked",
+        st.files,
+        st.functions,
+        st.nodes,
+        st.edges,
+        st.edges_waived,
+        st.cycles,
+        st.crashpoints,
+        st.phases_checked
+    );
+    if analysis.violations.is_empty() {
+        println!("xtask analyze: clean");
+        return ExitCode::SUCCESS;
+    }
+    for v in &analysis.violations {
+        println!("{v}");
+    }
+    println!(
+        "\nxtask analyze: {} violation(s). Fix them or waive with\n\
+         `// analyze:allow(<pass>): <why>` (passes: {}).",
+        analysis.violations.len(),
+        xtask::analyze::ANALYZE_PASSES.join(", ")
     );
     ExitCode::FAILURE
 }
@@ -126,6 +214,39 @@ fn validate_snapshot(path: &Path) -> bool {
     true
 }
 
+/// Validate the runtime lockcheck witness against the statically
+/// inferred lock-order graph: every acquisition order observed at
+/// runtime must be consistent with (not contradict) the static edges.
+fn validate_witness(path: &Path) -> bool {
+    println!("== xtask ci: validate lockcheck witness ==");
+    let root = workspace_root();
+    let ws = match xtask::analyze::load_workspace(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("xtask ci: cannot load workspace for witness check: {e}");
+            return false;
+        }
+    };
+    let analysis = xtask::analyze::analyze(&ws);
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("xtask ci: witness {} unreadable: {e}", path.display());
+            return false;
+        }
+    };
+    let violations =
+        xtask::analyze::check_witness(&analysis.graph, &text, &path.display().to_string());
+    if violations.is_empty() {
+        println!("witness ok: runtime order consistent with the static graph");
+        return true;
+    }
+    for v in &violations {
+        eprintln!("{v}");
+    }
+    false
+}
+
 fn ci() -> ExitCode {
     let root = workspace_root();
     let cargo = env::var("CARGO").unwrap_or_else(|_| "cargo".into());
@@ -159,9 +280,13 @@ fn ci() -> ExitCode {
         );
     let lint_ok = clippy_ok && {
         println!("== xtask ci: lint ==");
-        lint() == ExitCode::SUCCESS
+        lint(false) == ExitCode::SUCCESS
     };
-    let test_ok = lint_ok
+    let analyze_ok = lint_ok && {
+        println!("== xtask ci: analyze ==");
+        analyze(false, None) == ExitCode::SUCCESS
+    };
+    let test_ok = analyze_ok
         && step(
             "test",
             Command::new(&cargo)
@@ -211,10 +336,15 @@ fn ci() -> ExitCode {
     // Observability smoke: one trace-enabled chaos seed exports an obskit
     // snapshot, which must come back as well-formed JSON with the schema
     // tag — guarding the exporter the bench twins and timeline dumps use.
+    // The same traced run doubles as the lockcheck witness: with
+    // OBSKIT_LOCKCHECK set, the chaos harness enables the debug-build
+    // lock-order recorder and dumps every (held -> acquired) pair it saw,
+    // which is then validated against the statically inferred graph.
     let snapshot = root.join("target").join("xtask-obskit-snapshot.json");
+    let witness = root.join("target").join("xtask-lockcheck-witness.json");
     let obs_ok = soak_ok
         && step(
-            "obskit snapshot (1 traced seed)",
+            "obskit snapshot + lockcheck witness (1 traced seed)",
             Command::new(&cargo)
                 .args([
                     "test",
@@ -227,9 +357,11 @@ fn ci() -> ExitCode {
                 .env("CHAOS_SOAK_SEEDS", "1")
                 .env("CHAOS_SOAK_BASE", "2026")
                 .env("OBSKIT_SNAPSHOT", &snapshot)
+                .env("OBSKIT_LOCKCHECK", &witness)
                 .current_dir(&root),
         )
-        && validate_snapshot(&snapshot);
+        && validate_snapshot(&snapshot)
+        && validate_witness(&witness);
 
     if obs_ok {
         println!("== xtask ci: all green ==");

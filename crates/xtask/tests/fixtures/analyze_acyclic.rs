@@ -1,0 +1,29 @@
+//! Fixture: consistent lock order. Both functions take `entries` before
+//! `members`, including one acquisition reached through a callee, so the
+//! graph has edges but no cycle. Scanned by `analyze_rules.rs`.
+
+struct Ledger {
+    entries: Mutex<Vec<u64>>,
+}
+
+struct Roster {
+    members: RwLock<Vec<u64>>,
+}
+
+fn both_in_order(ledger: &Ledger, roster: &Roster) {
+    let entries = ledger.entries.lock();
+    let members = roster.members.write();
+    drop(members);
+    drop(entries);
+}
+
+fn outer_then_callee(ledger: &Ledger, roster: &Roster) {
+    let entries = ledger.entries.lock();
+    touch_members(roster);
+    drop(entries);
+}
+
+fn touch_members(roster: &Roster) {
+    let members = roster.members.write();
+    drop(members);
+}

@@ -1,0 +1,25 @@
+//! Fixture: seeded lock-order inversion. `a_then_b` and `b_then_a`
+//! acquire the two cells in opposite order, so the inferred lock-order
+//! graph has a cycle. Scanned by `analyze_rules.rs`, never compiled.
+
+struct Ledger {
+    entries: Mutex<Vec<u64>>,
+}
+
+struct Roster {
+    members: RwLock<Vec<u64>>,
+}
+
+fn a_then_b(ledger: &Ledger, roster: &Roster) {
+    let entries = ledger.entries.lock();
+    let members = roster.members.write();
+    drop(members);
+    drop(entries);
+}
+
+fn b_then_a(ledger: &Ledger, roster: &Roster) {
+    let members = roster.members.write();
+    let entries = ledger.entries.lock();
+    drop(entries);
+    drop(members);
+}

@@ -1,0 +1,7 @@
+//! Fixture: a crashpoint no test scenario ever references. The scenario
+//! pass must flag it — an unreachable crashpoint is dead fault coverage.
+//! Scanned by `analyze_rules.rs`, never compiled.
+
+fn flush_orphan() {
+    faultkit::crashpoint!("wal.orphan.flush");
+}

@@ -1,0 +1,13 @@
+//! Fixture: a durability site without a crashpoint. The function emits a
+//! `persist.*` obskit event but contains no `crashpoint!`, so crash
+//! testing cannot interrupt it — the durability pass must flag it.
+//! Scanned by `analyze_rules.rs`, never compiled.
+
+fn persist_meta() {
+    obskit::event!("persist.meta.write");
+}
+
+fn covered_persist() {
+    faultkit::crashpoint!("persist.meta.commit");
+    obskit::event!("persist.meta.commit");
+}

@@ -1,5 +1,5 @@
 //! Fixture: lock-discipline rule family. Not compiled — scanned by
-//! `lint_rules.rs` with `lock_rules` + `lock_order_rules` enabled.
+//! `lint_rules.rs` with `lock_rules` enabled.
 
 fn blocks_while_holding_guard(m: &Mutex<u32>, rx: &Receiver<u32>) {
     let guard = m.lock();
@@ -29,21 +29,31 @@ fn scope_releases_before_blocking(m: &Mutex<u32>, rx: &Receiver<u32>) {
     let _v = rx.recv(); // OK: guard died with its block
 }
 
-fn violates_lock_order(pool: &BufferPool, mgr: &LockManager) {
-    let frame = pool.frame();
-    let page = frame.data.write();
-    let _locks = mgr.state.lock(); // line 35: lock_order (rank 0 under rank 2)
-    drop(page);
+fn if_let_guard_lives_in_its_body(m: &RwLock<Option<u32>>, rx: &Receiver<u32>) {
+    if let Some(v) = m.read().as_deref() {
+        let _x = rx.recv(); // line 34: lock (read guard live through the body)
+        let _ = v;
+    }
+    let _v = rx.recv(); // OK: the if-let guard died with its body
 }
 
-fn ascending_order_is_fine(mgr: &LockManager, pool: &BufferPool) {
-    let _locks = mgr.state.lock();
-    let _inner = pool.inner.lock(); // OK: rank 0 then rank 1
+fn while_let_guard_lives_in_its_body(q: &Mutex<Vec<u32>>, rx: &Receiver<u32>) {
+    while let Some(item) = q.lock().pop() {
+        let _x = rx.recv(); // line 42: lock (scrutinee guard live through the body)
+        let _ = item;
+    }
+    let _v = rx.recv(); // OK: released once the loop ends
+}
+
+fn method_chain_guard_is_tracked(pool: &BufferPool, rx: &Receiver<u32>) {
+    let page = pool.frames.first().data.write();
+    let _v = rx.recv(); // line 50: lock (chained write guard held)
+    drop(page);
 }
 
 fn io_while_holding_guard(m: &Mutex<u32>) {
     let guard = m.lock();
-    let _data = fs::read("wal.log"); // line 46: lock (file I/O under guard)
+    let _data = fs::read("wal.log"); // line 56: lock (file I/O under guard)
     drop(guard);
 }
 

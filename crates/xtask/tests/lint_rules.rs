@@ -23,7 +23,6 @@ const ALL_RULES: FileClass = FileClass {
     panic_rules: true,
     panic_call_rules: true,
     lock_rules: true,
-    lock_order_rules: true,
     error_rules: true,
     sleep_rules: true,
     print_rules: true,
@@ -97,16 +96,17 @@ fn lock_family_fires_and_respects_releases() {
         "lock_violations.rs",
         FileClass {
             lock_rules: true,
-            lock_order_rules: true,
             ..FileClass::default()
         },
     );
-    // Guard held across recv (6), lock-order inversion (35), file I/O
-    // under a guard (45). The condvar wait, drop(), scope-exit and
-    // waived cases must stay quiet.
-    assert_eq!(lines_of(&v, Rule::Lock), vec![6, 46]);
-    assert_eq!(lines_of(&v, Rule::LockOrder), vec![35]);
-    assert_eq!(v.len(), 3, "{v:#?}");
+    // Guard held across recv (6), blocking inside an `if let` body whose
+    // scrutinee holds a read guard (34), the classic `while let … .lock()`
+    // footgun (42), a method-chain write guard (50), and file I/O under a
+    // guard (56). The condvar wait, drop(), scope-exit, post-body and
+    // waived cases must stay quiet. (Acquisition *order* now lives in
+    // `cargo xtask analyze`, not here.)
+    assert_eq!(lines_of(&v, Rule::Lock), vec![6, 34, 42, 50, 56]);
+    assert_eq!(v.len(), 5, "{v:#?}");
 }
 
 #[test]
@@ -184,9 +184,6 @@ fn classify_maps_recovery_critical_paths() {
     assert!(classify("crates/sqlengine/src/storage/buffer.rs").lock_rules);
     assert!(!classify("crates/core/src/session.rs").lock_rules);
 
-    assert!(classify("crates/sqlengine/src/engine.rs").lock_order_rules);
-    assert!(!classify("crates/wire/src/protocol.rs").lock_order_rules);
-
     // Everything scanned gets error hygiene.
     assert!(classify("crates/workloads/src/lib.rs").error_rules);
 
@@ -195,9 +192,13 @@ fn classify_maps_recovery_critical_paths() {
     assert!(classify("crates/core/src/config.rs").sleep_rules);
     assert!(!classify("crates/sqlengine/src/engine.rs").sleep_rules);
 
-    // The whole engine crate is promoted to the panic-call rule.
+    // The engine, wire and faultkit crates are promoted to the
+    // panic-call rule.
     assert!(classify("crates/sqlengine/src/catalog.rs").panic_call_rules);
     assert!(classify("crates/sqlengine/src/sql/parser.rs").panic_call_rules);
+    assert!(classify("crates/wire/src/protocol.rs").panic_call_rules);
+    assert!(classify("crates/faultkit/src/net.rs").panic_call_rules);
+    assert!(!classify("crates/workloads/src/lib.rs").panic_call_rules);
 
     // Library crates may not write raw stdio; bench/xtask binaries may.
     assert!(classify("crates/core/src/session.rs").print_rules);

@@ -3,9 +3,19 @@
 # release build, then the full `cargo xtask ci` chain:
 #   fmt --check -> clippy (-D warnings, unwrap/expect stay advisory)
 #   -> xtask lint (panic-path / lock-discipline / error-hygiene)
-#   -> cargo test --workspace
+#   -> xtask analyze (lock-order graph + instrumentation coverage)
+#   -> cargo test --workspace -> fault enumeration -> chaos soak
+#   -> obskit snapshot + lockcheck witness validation
+# Machine-readable lint/analyze reports are archived under
+# target/ci-artifacts/ regardless of pass/fail, so a red run still
+# leaves its findings behind for tooling.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
+
+mkdir -p target/ci-artifacts
+cargo xtask lint --json > target/ci-artifacts/lint.json || true
+cargo xtask analyze --json > target/ci-artifacts/analyze.json || true
+
 cargo xtask ci

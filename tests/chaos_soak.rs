@@ -215,6 +215,9 @@ fn chaos_soak_randomized_fault_schedules() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(2026);
+    if std::env::var("OBSKIT_LOCKCHECK").is_ok() {
+        obskit::lockcheck::enable();
+    }
     for seed in base..base + count {
         let outcome = std::panic::catch_unwind(|| run_seed(seed));
         if let Err(payload) = outcome {
@@ -230,6 +233,7 @@ fn chaos_soak_randomized_fault_schedules() {
         }
     }
     write_snapshot_if_requested(base, count);
+    write_lockcheck_if_requested();
 }
 
 /// When `OBSKIT_SNAPSHOT=<path>` is set, export the global metrics
@@ -252,4 +256,18 @@ fn write_snapshot_if_requested(base: u64, count: u64) {
         let _ = std::fs::create_dir_all(dir);
     }
     std::fs::write(&path, json).expect("write OBSKIT_SNAPSHOT");
+}
+
+/// When `OBSKIT_LOCKCHECK=<path>` is set, dump the runtime lock-order
+/// witness recorded across the soak — `cargo xtask ci` validates it
+/// against the statically inferred graph from `cargo xtask analyze`.
+fn write_lockcheck_if_requested() {
+    let Ok(path) = std::env::var("OBSKIT_LOCKCHECK") else {
+        return;
+    };
+    obskit::lockcheck::disable();
+    if let Some(dir) = std::path::Path::new(&path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&path, obskit::lockcheck::snapshot_json()).expect("write OBSKIT_LOCKCHECK");
 }
