@@ -34,6 +34,7 @@ pub fn tpch_server() -> ServerConfig {
         net_s2c: paper_net(),
         row_batch: 16,
         faults: None,
+        scrub_on_restart: false,
     }
 }
 
@@ -48,6 +49,7 @@ pub fn tpcc_server(pool_pages: usize, io_latency: Duration) -> ServerConfig {
         net_s2c: paper_net(),
         row_batch: 16,
         faults: None,
+        scrub_on_restart: false,
     }
 }
 

@@ -1,0 +1,521 @@
+//! Deterministic storage fault plans.
+//!
+//! [`crate::net`] makes the *network* lie; this module makes the *disk*
+//! lie. A [`DiskPlan`] describes a seeded, per-device schedule of
+//! storage faults that the simulated durable layer (`MemDisk` pages,
+//! `LogStore` appends) consults once per I/O, mirroring the `NetPlan`
+//! shapes so the existing `FAULTKIT_REPLAY` grammar and splitmix64
+//! seeding carry over unchanged:
+//!
+//! * [`DiskPlan::At`] — fire one fault of a given kind at the `nth`
+//!   I/O *to which that kind applies* (1-based). Spec grammar:
+//!   `"torn#3"`, `"fsyncfail#1"`, … via [`DiskPlan::parse`] /
+//!   [`DiskPlan::spec`].
+//! * [`DiskPlan::Seeded`] — per-mille fault rates drawn from a seeded
+//!   RNG, bounded by `max_faults` per device so the storm always ends
+//!   and recovery/scrubbing find quiet disks. The per-device stream is
+//!   derived from `(seed, device_index)`.
+//!
+//! Fault kinds and what the storage layer is expected to do with them:
+//!
+//! | kind        | effect at the device                    | survivable via    |
+//! |-------------|-----------------------------------------|-------------------|
+//! | `torn`      | page write splits at a seeded offset    | checksum + repair |
+//! | `bitflip`   | one durable bit flips on a write        | checksum + repair |
+//! | `readerr`   | a read fails with an I/O error          | error + retry     |
+//! | `writeerr`  | a write fails, nothing lands            | error + retry     |
+//! | `fsyncfail` | a log flush fails (bytes not durable)   | fail-stop + WAL   |
+//! | `fsynclie`  | a log flush *claims* success but drops  | detected on next  |
+//! |             | the bytes                               | append (loud)     |
+//!
+//! Fault *parameters* (where a torn write splits, which bit flips) are
+//! drawn from the same per-device stream, expressed device-agnostically
+//! (per-mille split fraction, offset seed) so faultkit needs no
+//! knowledge of page sizes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The durable devices a [`DiskPlan`] can be installed on. Each gets a
+/// decorrelated schedule stream via its index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskDevice {
+    /// The page store (`MemDisk`).
+    Data,
+    /// The durable write-ahead log (`LogStore`).
+    Wal,
+}
+
+impl DiskDevice {
+    /// Stream index for [`DiskPlan::schedule`].
+    pub fn index(&self) -> u64 {
+        match self {
+            DiskDevice::Data => 0,
+            DiskDevice::Wal => 1,
+        }
+    }
+
+    /// Device name used in `Error::Corruption { device, .. }`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DiskDevice::Data => "data",
+            DiskDevice::Wal => "wal",
+        }
+    }
+}
+
+/// The operation classes a device performs; faults only fire on
+/// operations their kind applies to (the draw is still consumed, so the
+/// stream stays aligned with the I/O index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskOp {
+    /// A page (or record) read.
+    Read,
+    /// A page write.
+    Write,
+    /// A durable log append (the model's fsync boundary).
+    Flush,
+}
+
+/// The kinds of storage fault the durable layer can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskFaultKind {
+    /// A write lands partially: a seeded prefix of the new bytes, the
+    /// old bytes after it. The write *claims* success — torn pages are
+    /// discovered later, by checksum.
+    TornWrite,
+    /// One durable bit flips during a write (which still claims
+    /// success). Discovered later, by checksum / record CRC.
+    BitFlip,
+    /// A read fails with an I/O error; the bytes are intact and a retry
+    /// may succeed.
+    ReadErr,
+    /// A write fails cleanly: an error is returned and nothing lands.
+    WriteErr,
+    /// A log flush fails: nothing lands and an error is returned. Under
+    /// fsyncgate discipline the WAL manager must poison itself
+    /// fail-stop rather than retry.
+    FsyncFail,
+    /// A log flush *lies*: it reports success but the bytes never
+    /// became durable. Undetectable at the lie itself; the log's
+    /// self-verifying record CRCs catch the resulting stream hole at
+    /// the next durable append.
+    FsyncLie,
+}
+
+impl DiskFaultKind {
+    /// All kinds, in spec order.
+    pub const ALL: [DiskFaultKind; 6] = [
+        DiskFaultKind::TornWrite,
+        DiskFaultKind::BitFlip,
+        DiskFaultKind::ReadErr,
+        DiskFaultKind::WriteErr,
+        DiskFaultKind::FsyncFail,
+        DiskFaultKind::FsyncLie,
+    ];
+
+    /// Spec name (`"torn"`, `"bitflip"`, …).
+    pub fn name(&self) -> &'static str {
+        match self {
+            DiskFaultKind::TornWrite => "torn",
+            DiskFaultKind::BitFlip => "bitflip",
+            DiskFaultKind::ReadErr => "readerr",
+            DiskFaultKind::WriteErr => "writeerr",
+            DiskFaultKind::FsyncFail => "fsyncfail",
+            DiskFaultKind::FsyncLie => "fsynclie",
+        }
+    }
+
+    /// Inverse of [`DiskFaultKind::name`].
+    pub fn from_name(s: &str) -> Option<DiskFaultKind> {
+        DiskFaultKind::ALL.into_iter().find(|k| k.name() == s)
+    }
+
+    /// Whether this kind can fire on the given operation class.
+    pub fn applies_to(&self, op: DiskOp) -> bool {
+        match self {
+            DiskFaultKind::TornWrite | DiskFaultKind::BitFlip => {
+                matches!(op, DiskOp::Write | DiskOp::Flush)
+            }
+            DiskFaultKind::ReadErr => matches!(op, DiskOp::Read),
+            DiskFaultKind::WriteErr => matches!(op, DiskOp::Write | DiskOp::Flush),
+            DiskFaultKind::FsyncFail | DiskFaultKind::FsyncLie => matches!(op, DiskOp::Flush),
+        }
+    }
+}
+
+/// One materialized fault, applied to a single I/O. Parameters are
+/// device-agnostic: the injection site scales them to its own geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskFault {
+    /// Persist only a prefix of the write: `frac_pm`/1000 of its length
+    /// (the site clamps to at least one byte short of a full write).
+    TornWrite {
+        /// Per-mille fraction of the write that lands (0..=999).
+        frac_pm: u16,
+    },
+    /// Flip bit `bit` of byte `offset_seed % len` of the written bytes.
+    BitFlip {
+        /// Seed the site reduces modulo the write length.
+        offset_seed: u64,
+        /// Bit index within the chosen byte (0..8).
+        bit: u8,
+    },
+    /// Fail the read.
+    ReadErr,
+    /// Fail the write; nothing lands.
+    WriteErr,
+    /// Fail the flush; nothing lands (fail-stop at the caller).
+    FsyncFail,
+    /// Report success but persist nothing.
+    FsyncLie,
+}
+
+impl DiskFault {
+    /// The [`DiskFaultKind`] this fault materialized from (labels trace
+    /// events and counters at the injection site).
+    pub fn kind(&self) -> DiskFaultKind {
+        match self {
+            DiskFault::TornWrite { .. } => DiskFaultKind::TornWrite,
+            DiskFault::BitFlip { .. } => DiskFaultKind::BitFlip,
+            DiskFault::ReadErr => DiskFaultKind::ReadErr,
+            DiskFault::WriteErr => DiskFaultKind::WriteErr,
+            DiskFault::FsyncFail => DiskFaultKind::FsyncFail,
+            DiskFault::FsyncLie => DiskFaultKind::FsyncLie,
+        }
+    }
+}
+
+impl DiskFaultKind {
+    fn materialize(self, rng: &mut StdRng) -> DiskFault {
+        match self {
+            DiskFaultKind::TornWrite => DiskFault::TornWrite {
+                frac_pm: rng.gen_range(0..1000u32) as u16,
+            },
+            DiskFaultKind::BitFlip => DiskFault::BitFlip {
+                offset_seed: rng.gen_range(0..u64::MAX),
+                bit: rng.gen_range(0..8u32) as u8,
+            },
+            DiskFaultKind::ReadErr => DiskFault::ReadErr,
+            DiskFaultKind::WriteErr => DiskFault::WriteErr,
+            DiskFaultKind::FsyncFail => DiskFault::FsyncFail,
+            DiskFaultKind::FsyncLie => DiskFault::FsyncLie,
+        }
+    }
+}
+
+/// Per-mille incidence rates for [`DiskPlan::Seeded`] (out of 1000 per
+/// I/O). The sum must stay ≤ 1000.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiskRates {
+    /// ‰ of writes torn at a seeded offset.
+    pub torn: u16,
+    /// ‰ of writes with one durable bit flipped.
+    pub bitflip: u16,
+    /// ‰ of reads failing with an I/O error.
+    pub readerr: u16,
+    /// ‰ of writes failing cleanly.
+    pub writeerr: u16,
+    /// ‰ of flushes failing (fail-stop at the WAL manager).
+    pub fsyncfail: u16,
+    /// ‰ of flushes lying about durability.
+    pub fsynclie: u16,
+}
+
+impl DiskRates {
+    /// Mixed profile for the *data* device in soak tests: every fault
+    /// here is maskable — torn/flipped pages repair from the WAL,
+    /// failed I/Os surface as retryable statement errors.
+    pub const fn mixed_data() -> DiskRates {
+        DiskRates {
+            torn: 12,
+            bitflip: 12,
+            readerr: 8,
+            writeerr: 8,
+            fsyncfail: 0,
+            fsynclie: 0,
+        }
+    }
+
+    /// Mixed profile for the *WAL* device in soak tests. Only fail-stop
+    /// kinds: a torn or failed append poisons the manager and recovery
+    /// truncates the (never-acknowledged) torn tail. Bit flips and
+    /// lying fsyncs on the log are *detected* loudly, not masked — the
+    /// log is the redundancy — so they stay out of the soak mix and are
+    /// exercised by deterministic tests instead.
+    pub const fn mixed_wal() -> DiskRates {
+        DiskRates {
+            torn: 6,
+            bitflip: 0,
+            readerr: 0,
+            writeerr: 6,
+            fsyncfail: 6,
+            fsynclie: 0,
+        }
+    }
+
+    fn total(&self) -> u32 {
+        self.torn as u32
+            + self.bitflip as u32
+            + self.readerr as u32
+            + self.writeerr as u32
+            + self.fsyncfail as u32
+            + self.fsynclie as u32
+    }
+
+    fn rate_of(&self, kind: DiskFaultKind) -> u32 {
+        match kind {
+            DiskFaultKind::TornWrite => self.torn as u32,
+            DiskFaultKind::BitFlip => self.bitflip as u32,
+            DiskFaultKind::ReadErr => self.readerr as u32,
+            DiskFaultKind::WriteErr => self.writeerr as u32,
+            DiskFaultKind::FsyncFail => self.fsyncfail as u32,
+            DiskFaultKind::FsyncLie => self.fsynclie as u32,
+        }
+    }
+}
+
+/// A deterministic per-device fault schedule description. `Copy` so it
+/// can ride inside server configuration, like [`crate::net::NetPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskPlan {
+    /// Fire one `fault` at the `nth` (1-based) I/O of an applicable
+    /// operation class — the deterministic shape unit tests and replay
+    /// specs use.
+    At {
+        /// Fault kind to inject.
+        fault: DiskFaultKind,
+        /// 1-based applicable-I/O index at which to fire.
+        nth: u64,
+    },
+    /// Seeded random schedule: each I/O draws against `rates`; at most
+    /// `max_faults` fire per device, so the disk eventually behaves and
+    /// recovery + scrubbing can complete.
+    Seeded {
+        /// Base seed; combined with the device index for per-device
+        /// streams.
+        seed: u64,
+        /// Per-mille fault rates.
+        rates: DiskRates,
+        /// Per-device cap on injected faults.
+        max_faults: u32,
+    },
+}
+
+impl DiskPlan {
+    /// Schedule one `fault` at the `nth` (1-based) applicable I/O.
+    pub fn at(fault: DiskFaultKind, nth: u64) -> DiskPlan {
+        DiskPlan::At {
+            fault,
+            nth: nth.max(1),
+        }
+    }
+
+    /// Seeded schedule with the given rates and per-device fault cap.
+    pub fn seeded(seed: u64, rates: DiskRates, max_faults: u32) -> DiskPlan {
+        debug_assert!(rates.total() <= 1000, "rates sum to >1000 per mille");
+        DiskPlan::Seeded {
+            seed,
+            rates,
+            max_faults,
+        }
+    }
+
+    /// Parse a replay spec of the form `<kind>#<nth>` (`"torn#3"`) —
+    /// the same grammar as [`crate::FaultPlan::parse`], restricted to
+    /// the disk-fault vocabulary.
+    pub fn parse(spec: &str) -> Option<DiskPlan> {
+        let (name, nth) = spec.rsplit_once('#')?;
+        let nth: u64 = nth.trim().parse().ok()?;
+        if nth == 0 {
+            return None;
+        }
+        Some(DiskPlan::at(DiskFaultKind::from_name(name.trim())?, nth))
+    }
+
+    /// One-line replay spec. For seeded plans this is informational
+    /// (`"seeded#<seed>"`); reproduce those by re-running with the seed.
+    pub fn spec(&self) -> String {
+        match self {
+            DiskPlan::At { fault, nth } => format!("{}#{nth}", fault.name()),
+            DiskPlan::Seeded { seed, .. } => format!("seeded#{seed}"),
+        }
+    }
+
+    /// Instantiate the stateful schedule for `device`. The schedule
+    /// belongs in the durable half (the *disk* is faulty, not the
+    /// process), so injected state survives simulated crashes.
+    pub fn schedule(&self, device: DiskDevice) -> DiskSchedule {
+        let seed = match self {
+            DiskPlan::At { .. } => 0,
+            DiskPlan::Seeded { seed, .. } => crate::net::mix(*seed, device.index()),
+        };
+        DiskSchedule {
+            plan: *self,
+            rng: StdRng::seed_from_u64(seed),
+            op_index: 0,
+            fired: 0,
+        }
+    }
+}
+
+/// Stateful fault injector for one device. The durable layer calls
+/// [`DiskSchedule::next_fault`] once per I/O; the returned fault (if
+/// any) applies to that I/O.
+#[derive(Debug)]
+pub struct DiskSchedule {
+    plan: DiskPlan,
+    rng: StdRng,
+    op_index: u64,
+    fired: u32,
+}
+
+impl DiskSchedule {
+    /// Evaluate the schedule for the next I/O of class `op`.
+    /// Deterministic in the sequence of calls: the same plan, device and
+    /// I/O sequence always yield the same fault sequence.
+    pub fn next_fault(&mut self, op: DiskOp) -> Option<DiskFault> {
+        match self.plan {
+            DiskPlan::At { fault, nth } => {
+                if !fault.applies_to(op) {
+                    return None;
+                }
+                self.op_index += 1;
+                if self.op_index == nth {
+                    self.fired += 1;
+                    Some(fault.materialize(&mut self.rng))
+                } else {
+                    None
+                }
+            }
+            DiskPlan::Seeded {
+                rates, max_faults, ..
+            } => {
+                self.op_index += 1;
+                // Draw even when capped or inapplicable so the stream
+                // stays aligned with the I/O index regardless of
+                // earlier faults.
+                let roll: u32 = self.rng.gen_range(0..1000u32);
+                let mut chosen = None;
+                let mut acc = 0u32;
+                for kind in DiskFaultKind::ALL {
+                    acc += rates.rate_of(kind);
+                    if roll < acc {
+                        chosen = Some(kind);
+                        break;
+                    }
+                }
+                let kind = chosen?;
+                if self.fired >= max_faults || !kind.applies_to(op) {
+                    return None;
+                }
+                self.fired += 1;
+                Some(kind.materialize(&mut self.rng))
+            }
+        }
+    }
+
+    /// Faults injected so far on this device.
+    pub fn fired(&self) -> u32 {
+        self.fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn at_plan_counts_only_applicable_ops() {
+        let mut s = DiskPlan::at(DiskFaultKind::TornWrite, 2).schedule(DiskDevice::Data);
+        // Reads don't advance a write-fault plan.
+        assert_eq!(s.next_fault(DiskOp::Read), None);
+        assert_eq!(s.next_fault(DiskOp::Write), None);
+        assert!(matches!(
+            s.next_fault(DiskOp::Write),
+            Some(DiskFault::TornWrite { .. })
+        ));
+        assert_eq!(s.next_fault(DiskOp::Write), None);
+        assert_eq!(s.fired(), 1);
+    }
+
+    #[test]
+    fn spec_round_trips_every_kind() {
+        for kind in DiskFaultKind::ALL {
+            let plan = DiskPlan::at(kind, 7);
+            assert_eq!(DiskPlan::parse(&plan.spec()), Some(plan));
+        }
+        assert_eq!(DiskPlan::parse("nonsense"), None);
+        assert_eq!(DiskPlan::parse("torn#0"), None);
+        assert_eq!(DiskPlan::parse("scratch#1"), None);
+    }
+
+    #[test]
+    fn seeded_schedule_is_deterministic_per_device() {
+        let plan = DiskPlan::seeded(42, DiskRates::mixed_data(), 64);
+        let run = |dev: DiskDevice| -> Vec<Option<DiskFault>> {
+            let mut s = plan.schedule(dev);
+            (0..300)
+                .map(|i| {
+                    s.next_fault(if i % 3 == 0 {
+                        DiskOp::Read
+                    } else {
+                        DiskOp::Write
+                    })
+                })
+                .collect()
+        };
+        assert_eq!(run(DiskDevice::Data), run(DiskDevice::Data));
+        assert_ne!(run(DiskDevice::Data), run(DiskDevice::Wal));
+    }
+
+    #[test]
+    fn seeded_schedule_respects_fault_cap() {
+        let hot = DiskRates {
+            torn: 500,
+            bitflip: 0,
+            readerr: 0,
+            writeerr: 0,
+            fsyncfail: 0,
+            fsynclie: 0,
+        };
+        let mut s = DiskPlan::seeded(7, hot, 3).schedule(DiskDevice::Data);
+        let fired = (0..1000)
+            .filter(|_| s.next_fault(DiskOp::Write).is_some())
+            .count();
+        assert_eq!(fired, 3);
+    }
+
+    #[test]
+    fn inapplicable_draws_do_not_shift_the_stream() {
+        // A schedule fed interleaved reads must agree with a pure-write
+        // schedule on the same write indices: the draw happens per I/O,
+        // not per applicable I/O.
+        let rates = DiskRates {
+            torn: 100,
+            bitflip: 0,
+            readerr: 0,
+            writeerr: 0,
+            fsyncfail: 0,
+            fsynclie: 0,
+        };
+        let plan = DiskPlan::seeded(9, rates, u32::MAX);
+        let mut a = plan.schedule(DiskDevice::Data);
+        let mut b = plan.schedule(DiskDevice::Data);
+        for _ in 0..200 {
+            let fa = a.next_fault(DiskOp::Write);
+            let fb = b.next_fault(DiskOp::Write);
+            assert_eq!(fa, fb);
+        }
+    }
+
+    #[test]
+    fn soak_profiles_stay_within_budget() {
+        assert!(DiskRates::mixed_data().total() <= 1000);
+        assert!(DiskRates::mixed_wal().total() <= 1000);
+        // WAL soak mix must contain only fail-stop-maskable kinds.
+        let wal = DiskRates::mixed_wal();
+        assert_eq!(wal.bitflip, 0);
+        assert_eq!(wal.fsynclie, 0);
+    }
+}

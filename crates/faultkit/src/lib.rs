@@ -36,6 +36,7 @@
 //! is hit. [`FaultPlan::parse`] accepts exactly this shape, and
 //! [`TracePoint::spec`] produces it.
 
+pub mod disk;
 pub mod net;
 
 use std::collections::HashMap;

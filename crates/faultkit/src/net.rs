@@ -252,7 +252,7 @@ impl NetPlan {
 
 /// SplitMix64 finalizer: decorrelates `(seed, pipe_index)` pairs so
 /// neighbouring pipes see independent fault streams.
-fn mix(seed: u64, pipe_index: u64) -> u64 {
+pub(crate) fn mix(seed: u64, pipe_index: u64) -> u64 {
     let mut z = seed ^ pipe_index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

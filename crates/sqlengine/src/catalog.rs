@@ -210,7 +210,10 @@ impl Catalog {
 
     /// Rebuild a catalog from a checkpoint snapshot.
     pub fn restore(bytes: &[u8]) -> Result<Catalog> {
-        let corrupt = || Error::Storage("corrupt catalog snapshot".into());
+        let corrupt = || Error::Corruption {
+            device: "wal".into(),
+            detail: "corrupt catalog snapshot".into(),
+        };
         let mut buf = bytes;
         if buf.remaining() < 8 {
             return Err(corrupt());

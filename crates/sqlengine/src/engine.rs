@@ -54,6 +54,17 @@ impl Durable {
         self.disk.bump_epoch();
         self.log.bump_epoch();
     }
+
+    /// Install (or clear) storage fault schedules: `data` drives page
+    /// reads/writes on the simulated disk, `wal` drives log flushes.
+    pub fn set_disk_faults(
+        &self,
+        data: Option<faultkit::disk::DiskPlan>,
+        wal: Option<faultkit::disk::DiskPlan>,
+    ) {
+        self.disk.set_fault_plan(data);
+        self.log.set_fault_plan(wal);
+    }
 }
 
 /// Guard that commits a lazy cursor's autocommit transaction when the
@@ -353,6 +364,13 @@ impl Engine {
     /// Quiesced checkpoint (bench setup path).
     pub fn checkpoint(&self) -> Result<()> {
         self.storage.checkpoint()
+    }
+
+    /// Verify every allocated page's checksum, repairing corrupt pages
+    /// from WAL redo. Returns what the sweep found.
+    pub fn scrub(&self) -> Result<crate::storage::buffer::ScrubReport> {
+        self.check_alive()?;
+        self.storage.scrub()
     }
 }
 

@@ -43,6 +43,17 @@ pub enum Error {
     RecoveryExhausted,
     /// Storage-layer invariant violation (page full bookkeeping, etc.).
     Storage(String),
+    /// Durable bytes failed verification: a page checksum or WAL record
+    /// CRC mismatch that could not be (or was not allowed to be)
+    /// repaired. Not retryable — the damage is in the durable state, so
+    /// retrying the statement would re-read the same corrupt bytes.
+    Corruption {
+        /// The durable device the corruption was detected on
+        /// (`"data"`, `"wal"`, or a finer-grained site label).
+        device: String,
+        /// Human-readable description of what failed verification.
+        detail: String,
+    },
     /// Internal invariant violation; indicates an engine bug.
     Internal(String),
 }
@@ -86,6 +97,9 @@ impl fmt::Display for Error {
                 )
             }
             Error::Storage(m) => write!(f, "storage error: {m}"),
+            Error::Corruption { device, detail } => {
+                write!(f, "corruption on {device}: {detail}")
+            }
             Error::Internal(m) => write!(f, "internal error: {m}"),
         }
     }

@@ -134,7 +134,10 @@ pub fn encode_row(row: &[Value], out: &mut Vec<u8>) {
 
 /// Decode a row previously produced by [`encode_row`].
 pub fn decode_row(mut buf: &[u8]) -> Result<Row> {
-    let corrupt = || Error::Storage("corrupt row encoding".into());
+    let corrupt = || Error::Corruption {
+        device: "data".into(),
+        detail: "corrupt row encoding".into(),
+    };
     if buf.remaining() < 2 {
         return Err(corrupt());
     }
@@ -243,7 +246,10 @@ pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
 }
 
 pub(crate) fn get_str(buf: &mut &[u8]) -> Result<String> {
-    let corrupt = || Error::Storage("corrupt string encoding".into());
+    let corrupt = || Error::Corruption {
+        device: "data".into(),
+        detail: "corrupt string encoding".into(),
+    };
     if buf.remaining() < 4 {
         return Err(corrupt());
     }

@@ -1,0 +1,142 @@
+//! Checksums for the durable layer.
+//!
+//! Two polynomials, two jobs:
+//!
+//! * [`crc64`] (ECMA-182) guards **pages**: an 8-byte trailer at
+//!   `PAGE_SIZE - 8` over the content area, stamped by the disk on every
+//!   page write and verified on every buffer-pool miss. CRC64's minimum
+//!   distance guarantees every single-bit flip (and every burst ≤ 64
+//!   bits) in an 8 KiB page changes the checksum.
+//! * [`crc32`] (IEEE 802.3) guards **WAL records**: a 4-byte field in
+//!   each record frame over `payload ++ LSN`, verified during scan and
+//!   replay. Embedding the record's LSN means a record that was shifted
+//!   within the stream (a lying fsync dropped its predecessor) fails
+//!   verification even though its bytes are individually intact.
+//!
+//! Both tables are built in `const` context: no lazy init, no locks, no
+//! first-use latency on the recovery path.
+
+/// CRC-64/ECMA-182 table (poly 0x42F0E1EBA9EA3693, reflected form).
+const CRC64_POLY: u64 = 0xC96C_5795_D787_0F42;
+
+const fn crc64_table() -> [u64; 256] {
+    let mut table = [0u64; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u64;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ CRC64_POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC64_TABLE: [u64; 256] = crc64_table();
+
+/// CRC-64/ECMA-182 over `data` (init/xorout all-ones).
+pub fn crc64(data: &[u8]) -> u64 {
+    let mut crc = u64::MAX;
+    for &b in data {
+        let idx = ((crc as u8) ^ b) as usize;
+        crc = (crc >> 8) ^ CRC64_TABLE[idx];
+    }
+    !crc
+}
+
+/// CRC-32/IEEE table (poly 0x04C11DB7, reflected form 0xEDB88320).
+const CRC32_POLY: u32 = 0xEDB8_8320;
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ CRC32_POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32/IEEE over `data` (init/xorout all-ones).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = u32::MAX;
+    for &b in data {
+        let idx = ((crc as u8) ^ b) as usize;
+        crc = (crc >> 8) ^ CRC32_TABLE[idx];
+    }
+    !crc
+}
+
+/// CRC-32 of a WAL record: `payload ++ lsn.to_le_bytes()`. The LSN is
+/// folded in *after* the payload so verification needs no copy.
+pub fn wal_record_crc(payload: &[u8], lsn: u64) -> u32 {
+    let mut crc = u32::MAX;
+    for &b in payload.iter().chain(lsn.to_le_bytes().iter()) {
+        let idx = ((crc as u8) ^ b) as usize;
+        crc = (crc >> 8) ^ CRC32_TABLE[idx];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_answer() {
+        // CRC-32/IEEE of "123456789" is the classic check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn crc64_known_answer() {
+        // CRC-64/XZ (reflected ECMA-182) of "123456789".
+        assert_eq!(crc64(b"123456789"), 0x995D_C9BB_DF19_39FA);
+    }
+
+    #[test]
+    fn single_bit_flips_change_both_crcs() {
+        let data = vec![0xA5u8; 512];
+        let base32 = crc32(&data);
+        let base64 = crc64(&data);
+        for byte in [0usize, 100, 511] {
+            for bit in 0..8 {
+                let mut flipped = data.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), base32, "crc32 missed {byte}:{bit}");
+                assert_ne!(crc64(&flipped), base64, "crc64 missed {byte}:{bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn wal_record_crc_binds_the_lsn() {
+        let payload = b"record payload";
+        let a = wal_record_crc(payload, 10);
+        let b = wal_record_crc(payload, 11);
+        assert_ne!(a, b);
+        // Equivalent to hashing the concatenation explicitly.
+        let mut concat = payload.to_vec();
+        concat.extend_from_slice(&10u64.to_le_bytes());
+        assert_eq!(a, crc32(&concat));
+    }
+}

@@ -11,12 +11,33 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
-use parking_lot::RwLock;
+use faultkit::crashpoint;
+use faultkit::disk::{DiskDevice, DiskFault, DiskOp, DiskPlan, DiskSchedule};
+use parking_lot::{Mutex, RwLock};
 
+use super::checksum;
+use super::page::PAGE_CONTENT;
 use crate::error::{Error, Result};
 
 /// Fixed page size, matching SQL Server 7.0's 8 KiB pages.
 pub const PAGE_SIZE: usize = 8192;
+
+/// Minimum bytes a torn write persists: the slotted-page header, so the
+/// new LSN always lands and a torn image always fails verification.
+const TORN_MIN: usize = 16;
+
+/// Whether a raw page image passes checksum verification. All-zero
+/// pages (freshly allocated, never written) are vacuously valid: the
+/// disk has not stamped them yet.
+pub fn page_image_ok(buf: &[u8; PAGE_SIZE]) -> bool {
+    let mut stored = [0u8; 8];
+    stored.copy_from_slice(&buf[PAGE_CONTENT..]);
+    let stored = u64::from_be_bytes(stored);
+    if stored == 0 && buf.iter().all(|&b| b == 0) {
+        return true;
+    }
+    checksum::crc64(&buf[..PAGE_CONTENT]) == stored
+}
 
 /// Page identifier: index into the disk's page array.
 pub type PageId = u32;
@@ -105,6 +126,11 @@ pub struct MemDisk {
     model: DiskModel,
     stats: IoStats,
     epoch: AtomicU64,
+    /// Injected fault schedule (`faultkit::disk`). Lives with the disk —
+    /// the *hardware* is faulty, not the process — so a schedule
+    /// installed before a simulated crash keeps firing after recovery.
+    /// Never held across another lock: the draw happens before `pages`.
+    faults: Mutex<Option<DiskSchedule>>,
 }
 
 impl MemDisk {
@@ -115,7 +141,32 @@ impl MemDisk {
             model,
             stats: IoStats::default(),
             epoch: AtomicU64::new(0),
+            faults: Mutex::new(None),
         }
+    }
+
+    /// Install (or clear) a storage fault schedule for the data device.
+    pub fn set_fault_plan(&self, plan: Option<DiskPlan>) {
+        *self.faults.lock() = plan.map(|p| p.schedule(DiskDevice::Data));
+    }
+
+    /// Draw the next injected fault for an I/O of class `op`, recording
+    /// it in obskit when one fires. The guard is scoped: the draw never
+    /// overlaps the `pages` lock.
+    fn draw_fault(&self, op: DiskOp) -> Option<DiskFault> {
+        match op {
+            DiskOp::Read => crashpoint!("disk.read"),
+            DiskOp::Write => crashpoint!("disk.write"),
+            DiskOp::Flush => {}
+        }
+        let fault = self.faults.lock().as_mut().and_then(|s| s.next_fault(op));
+        if let Some(f) = fault {
+            obskit::metrics::global()
+                .counter("storage.fault.injected")
+                .incr();
+            obskit::event!("disk.fault.inject", "data {}", f.kind().name());
+        }
+        fault
     }
 
     /// Cumulative I/O statistics.
@@ -166,8 +217,14 @@ impl MemDisk {
         Ok(())
     }
 
-    /// Read a page into `out`, charging the latency model.
+    /// Read a page into `out`, charging the latency model. An injected
+    /// `ReadErr` surfaces as a storage error with the bytes intact; the
+    /// caller may retry.
     pub fn read_page(&self, id: PageId, out: &mut [u8; PAGE_SIZE]) -> Result<()> {
+        if self.draw_fault(DiskOp::Read).is_some() {
+            // Only ReadErr applies to reads.
+            return Err(Error::Storage(format!("injected read error on page {id}")));
+        }
         self.simulate(false);
         let pages = self.pages.read();
         let _lw = obskit::lockcheck::held("MemDisk::pages");
@@ -179,15 +236,46 @@ impl MemDisk {
     }
 
     /// Write a page, charging the latency model. Rejects stale epochs.
+    ///
+    /// The disk owns the trailer: the caller's last 8 bytes are replaced
+    /// with the CRC64 of the content area, so every durably written page
+    /// is self-verifying. Injected faults apply *after* stamping —
+    /// `TornWrite` persists a prefix of the stamped image (old trailer
+    /// retained), `BitFlip` flips one stored bit — both claim success
+    /// and are discovered later by verification.
     pub fn write_page(&self, id: PageId, data: &[u8; PAGE_SIZE], epoch: u64) -> Result<()> {
+        let fault = self.draw_fault(DiskOp::Write);
+        if matches!(fault, Some(DiskFault::WriteErr)) {
+            return Err(Error::Storage(format!("injected write error on page {id}")));
+        }
         self.simulate(true);
+        let mut stamped = *data;
+        let crc = checksum::crc64(&stamped[..PAGE_CONTENT]);
+        stamped[PAGE_CONTENT..].copy_from_slice(&crc.to_be_bytes());
         let mut pages = self.pages.write();
         let _lw = obskit::lockcheck::held("MemDisk::pages");
         self.check_epoch(epoch)?;
         let page = pages
             .get_mut(id as usize)
             .ok_or_else(|| Error::Storage(format!("write of unallocated page {id}")))?;
-        page.copy_from_slice(data);
+        match fault {
+            Some(DiskFault::TornWrite { frac_pm }) => {
+                // Persist a prefix of the stamped image. The prefix
+                // always covers the 16-byte header (so a lost update is
+                // visible in the LSN) and never reaches the trailer (so
+                // the old checksum stays behind): the torn image can
+                // never verify.
+                let split = TORN_MIN + (frac_pm as usize * (PAGE_CONTENT - TORN_MIN)) / 1000;
+                let split = split.min(PAGE_CONTENT);
+                page[..split].copy_from_slice(&stamped[..split]);
+            }
+            Some(DiskFault::BitFlip { offset_seed, bit }) => {
+                page.copy_from_slice(&stamped);
+                let off = (offset_seed % PAGE_SIZE as u64) as usize;
+                page[off] ^= 1 << (bit & 7);
+            }
+            _ => page.copy_from_slice(&stamped),
+        }
         Ok(())
     }
 
@@ -227,17 +315,20 @@ mod tests {
 
         let mut data = [0u8; PAGE_SIZE];
         data[0] = 0xAB;
-        data[PAGE_SIZE - 1] = 0xCD;
+        data[PAGE_CONTENT - 1] = 0xCD;
         disk.write_page(p1, &data, 0).unwrap();
 
         let mut out = [0u8; PAGE_SIZE];
         disk.read_page(p1, &mut out).unwrap();
         assert_eq!(out[0], 0xAB);
-        assert_eq!(out[PAGE_SIZE - 1], 0xCD);
+        assert_eq!(out[PAGE_CONTENT - 1], 0xCD);
+        // The disk stamped the trailer; the image verifies.
+        assert!(page_image_ok(&out));
 
-        // p0 still zeroed.
+        // p0 still zeroed (and vacuously valid).
         disk.read_page(p0, &mut out).unwrap();
         assert!(out.iter().all(|&b| b == 0));
+        assert!(page_image_ok(&out));
     }
 
     #[test]
@@ -278,6 +369,74 @@ mod tests {
         disk.write_page(p, &data, 1).unwrap();
         let mut out = [0u8; PAGE_SIZE];
         disk.read_page(p, &mut out).unwrap();
+    }
+
+    #[test]
+    fn injected_read_error_fires_once_then_clears() {
+        use faultkit::disk::DiskFaultKind;
+        let disk = MemDisk::new(DiskModel::default());
+        let p = disk.allocate(0).unwrap();
+        disk.set_fault_plan(Some(DiskPlan::at(DiskFaultKind::ReadErr, 1)));
+        let mut out = [0u8; PAGE_SIZE];
+        assert!(disk.read_page(p, &mut out).is_err());
+        // Retry succeeds: the bytes were never damaged.
+        disk.read_page(p, &mut out).unwrap();
+    }
+
+    #[test]
+    fn injected_write_error_leaves_old_image() {
+        use faultkit::disk::DiskFaultKind;
+        let disk = MemDisk::new(DiskModel::default());
+        let p = disk.allocate(0).unwrap();
+        let mut data = [0u8; PAGE_SIZE];
+        data[0] = 1;
+        disk.write_page(p, &data, 0).unwrap();
+        disk.set_fault_plan(Some(DiskPlan::at(DiskFaultKind::WriteErr, 1)));
+        data[0] = 2;
+        assert!(disk.write_page(p, &data, 0).is_err());
+        let mut out = [0u8; PAGE_SIZE];
+        disk.read_page(p, &mut out).unwrap();
+        assert_eq!(out[0], 1);
+        assert!(page_image_ok(&out));
+    }
+
+    #[test]
+    fn torn_write_never_verifies() {
+        use faultkit::disk::DiskFaultKind;
+        // Sweep the torn-offset space via the nth-write parameter: every
+        // torn image must fail verification, whatever the split.
+        for nth in 1..=8u64 {
+            let disk = MemDisk::new(DiskModel::default());
+            let p = disk.allocate(0).unwrap();
+            let mut data = [0u8; PAGE_SIZE];
+            data[0] = 0x11;
+            disk.write_page(p, &data, 0).unwrap();
+            disk.set_fault_plan(Some(DiskPlan::at(DiskFaultKind::TornWrite, nth)));
+            for round in 0..nth {
+                data[0] = 0x22 + round as u8;
+                data[100] = round as u8;
+                // LSN bytes move forward like a real dirty flush.
+                data[7] = round as u8 + 1;
+                disk.write_page(p, &data, 0).unwrap();
+            }
+            let mut out = [0u8; PAGE_SIZE];
+            disk.read_page(p, &mut out).unwrap();
+            assert!(!page_image_ok(&out), "torn write at nth={nth} verified");
+        }
+    }
+
+    #[test]
+    fn bit_flip_never_verifies() {
+        use faultkit::disk::DiskFaultKind;
+        let disk = MemDisk::new(DiskModel::default());
+        let p = disk.allocate(0).unwrap();
+        disk.set_fault_plan(Some(DiskPlan::at(DiskFaultKind::BitFlip, 1)));
+        let mut data = [0u8; PAGE_SIZE];
+        data[42] = 0xFF;
+        disk.write_page(p, &data, 0).unwrap();
+        let mut out = [0u8; PAGE_SIZE];
+        disk.read_page(p, &mut out).unwrap();
+        assert!(!page_image_ok(&out));
     }
 
     #[test]

@@ -506,6 +506,12 @@ impl Storage {
         Ok(())
     }
 
+    /// Verify every allocated page's checksum, repairing corrupt pages
+    /// from WAL redo. See [`BufferPool::scrub`].
+    pub fn scrub(&self) -> Result<crate::storage::buffer::ScrubReport> {
+        self.pool.scrub()
+    }
+
     // -- lock helpers ----------------------------------------------------------
 
     /// Table-granularity lock, remembered on the transaction for release.

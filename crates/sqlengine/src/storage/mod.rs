@@ -1,6 +1,7 @@
 //! Storage layer: simulated disk, slotted pages, buffer pool, heap files.
 
 pub mod buffer;
+pub mod checksum;
 pub mod disk;
 pub mod heap;
 pub mod page;

@@ -9,7 +9,8 @@
 //! 14..16  free_end (u16)        — offset where tuple data begins
 //! 16..    slot array, 4 B/slot  — offset u16, len|flags u16
 //! ...     free space
-//! ...PAGE_SIZE  tuple data (grows downward from the end)
+//! ...PAGE_CONTENT  tuple data (grows downward from the content end)
+//! PAGE_CONTENT..PAGE_SIZE  checksum trailer (u64, stamped by the disk)
 //! ```
 //!
 //! Tuple space is append-only within a page: deleting a row *tombstones*
@@ -21,6 +22,10 @@
 
 use super::disk::PAGE_SIZE;
 use crate::error::{Error, Result};
+
+/// Bytes of a page usable by the slotted layout; the trailing 8 bytes
+/// hold the CRC64 checksum the disk stamps on every write.
+pub const PAGE_CONTENT: usize = PAGE_SIZE - 8;
 
 const HEADER: usize = 16;
 const SLOT_BYTES: usize = 4;
@@ -55,7 +60,7 @@ impl<'a> Page<'a> {
         let mut p = Page { buf };
         p.set_table_id(table_id);
         p.set_slot_count(0);
-        p.set_free_end(PAGE_SIZE as u16);
+        p.set_free_end(PAGE_CONTENT as u16);
         p
     }
 
@@ -327,7 +332,7 @@ mod tests {
         while p.insert(&tuple).is_some() {
             n += 1;
         }
-        // 8176 usable / 104 per tuple ≈ 78.
+        // 8168 usable / 104 per tuple ≈ 78.
         assert!(n >= 70, "inserted only {n}");
         assert!(!p.fits(100));
         assert!(p.fits(p.free_space().saturating_sub(SLOT_BYTES)) || p.free_space() <= SLOT_BYTES);

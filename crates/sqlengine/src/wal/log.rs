@@ -7,13 +7,20 @@
 //! recovery tests.
 
 use bytes::{Buf, BufMut};
+use faultkit::disk::{DiskDevice, DiskFault, DiskOp, DiskPlan, DiskSchedule};
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use crate::error::{Error, Result};
 use crate::schema::{decode_schema, encode_schema, get_str, put_str, TableSchema};
+use crate::storage::checksum;
+
+/// Bytes of framing before each record payload: `[u32 len][u32 crc]`,
+/// with `crc = crc32(payload ++ lsn)` so a record that slid within the
+/// stream (a lying fsync dropped its predecessor) fails verification.
+const FRAME_HEADER: usize = 8;
 
 /// Log sequence number: byte offset of the record in the log stream.
 pub type Lsn = u64;
@@ -191,7 +198,10 @@ impl LogRecord {
 
     /// Decode one record, advancing `buf`.
     pub fn decode(buf: &mut &[u8]) -> Result<LogRecord> {
-        let corrupt = || Error::Storage("corrupt log record".into());
+        let corrupt = || Error::Corruption {
+            device: "wal".into(),
+            detail: "corrupt log record".into(),
+        };
         if buf.remaining() < 1 {
             return Err(corrupt());
         }
@@ -324,6 +334,54 @@ pub struct LogStore {
     /// a dead incarnation's log flushes cannot interleave with the
     /// recovered server's appends.
     epoch: AtomicU64,
+    /// Injected fault schedule for the log device. Lives with the store
+    /// (the disk is faulty, not the process) so it survives simulated
+    /// crashes. Never held across another lock.
+    faults: Mutex<Option<DiskSchedule>>,
+}
+
+/// One step of a frame scan over the durable byte stream.
+enum Frame<'a> {
+    /// Clean end of stream at this position.
+    End,
+    /// An incomplete frame runs past the end of the durable bytes — the
+    /// signature of a torn (never-acknowledged) append.
+    Torn,
+    /// A complete, CRC-verified record payload; `next` is the following
+    /// frame's offset.
+    Rec { payload: &'a [u8], next: usize },
+}
+
+/// Parse and verify the frame starting at `pos`. CRC or framing damage
+/// *within* the durable stream is [`Error::Corruption`]; only an
+/// incomplete frame at the very end classifies as torn.
+fn scan_frame(data: &[u8], pos: usize) -> Result<Frame<'_>> {
+    if pos >= data.len() {
+        return Ok(Frame::End);
+    }
+    let header = data
+        .get(pos..pos + FRAME_HEADER)
+        .and_then(|b| <[u8; FRAME_HEADER]>::try_from(b).ok());
+    let Some(header) = header else {
+        return Ok(Frame::Torn);
+    };
+    // lint:allow(index): header is a fixed [u8; 8]; indices 0..8 are always in range
+    let len = u32::from_be_bytes([header[0], header[1], header[2], header[3]]) as usize;
+    // lint:allow(index): header is a fixed [u8; 8]; indices 0..8 are always in range
+    let crc = u32::from_be_bytes([header[4], header[5], header[6], header[7]]);
+    let Some(payload) = data.get(pos + FRAME_HEADER..pos + FRAME_HEADER + len) else {
+        return Ok(Frame::Torn);
+    };
+    if checksum::wal_record_crc(payload, pos as u64) != crc {
+        return Err(Error::Corruption {
+            device: "wal".into(),
+            detail: format!("record crc mismatch at lsn {pos}"),
+        });
+    }
+    Ok(Frame::Rec {
+        payload,
+        next: pos + FRAME_HEADER + len,
+    })
 }
 
 impl Default for LogStore {
@@ -340,7 +398,31 @@ impl LogStore {
             checkpoint_lsn: AtomicU64::new(0),
             has_checkpoint: AtomicU64::new(0),
             epoch: AtomicU64::new(0),
+            faults: Mutex::new(None),
         }
+    }
+
+    /// Install (or clear) a storage fault schedule for the log device.
+    pub fn set_fault_plan(&self, plan: Option<DiskPlan>) {
+        *self.faults.lock() = plan.map(|p| p.schedule(DiskDevice::Wal));
+    }
+
+    /// Draw the next injected fault for a log flush. The guard is
+    /// scoped: the draw never overlaps the `durable` lock.
+    fn draw_fault(&self) -> Option<DiskFault> {
+        faultkit::crashpoint!("disk.wal.flush");
+        let fault = self
+            .faults
+            .lock()
+            .as_mut()
+            .and_then(|s| s.next_fault(DiskOp::Flush));
+        if let Some(f) = fault {
+            obskit::metrics::global()
+                .counter("storage.fault.injected")
+                .incr();
+            obskit::event!("disk.fault.inject", "wal {}", f.kind().name());
+        }
+        fault
     }
 
     /// Bytes durably written (= next LSN a fresh manager will use).
@@ -373,41 +455,121 @@ impl LogStore {
         }
     }
 
-    fn append(&self, bytes: &[u8], epoch: u64) -> crate::error::Result<()> {
+    /// Append flushed tail bytes at stream offset `at`. The offset check
+    /// is the fsyncgate detector: if an earlier flush *lied* (claimed
+    /// success, persisted nothing), the caller's stream position runs
+    /// ahead of the durable bytes and the very next append surfaces the
+    /// hole as [`Error::Corruption`] instead of writing a record whose
+    /// framing no scan could trust.
+    fn append(&self, bytes: &[u8], epoch: u64, at: u64) -> crate::error::Result<()> {
+        let fault = self.draw_fault();
+        if matches!(
+            fault,
+            Some(DiskFault::WriteErr) | Some(DiskFault::FsyncFail)
+        ) {
+            return Err(Error::Storage("injected log flush failure".into()));
+        }
         let mut durable = self.durable.lock();
         let _lw = obskit::lockcheck::held("LogStore::durable");
         if epoch != self.current_epoch() {
             return Err(Error::ServerShutdown);
         }
-        durable.extend_from_slice(bytes);
-        Ok(())
+        if at != durable.len() as u64 {
+            return Err(Error::Corruption {
+                device: "wal".into(),
+                detail: format!(
+                    "lost flush detected: appending at lsn {at} but durable end is {}",
+                    durable.len()
+                ),
+            });
+        }
+        match fault {
+            Some(DiskFault::TornWrite { frac_pm }) => {
+                // Persist a strict prefix, then fail the flush: a torn
+                // append is never acknowledged. Recovery truncates it.
+                let split =
+                    (frac_pm as usize * bytes.len() / 1000).min(bytes.len().saturating_sub(1));
+                // lint:allow(index): split is clamped to < bytes.len() above
+                durable.extend_from_slice(&bytes[..split]);
+                Err(Error::Storage("injected torn log append".into()))
+            }
+            Some(DiskFault::BitFlip { offset_seed, bit }) => {
+                // The flush "succeeds" with one durable bit flipped —
+                // mid-log damage the next scan reports as Corruption.
+                let base = durable.len();
+                durable.extend_from_slice(bytes);
+                if !bytes.is_empty() {
+                    let off = base + (offset_seed % bytes.len() as u64) as usize;
+                    if let Some(b) = durable.get_mut(off) {
+                        *b ^= 1 << (bit & 7);
+                    }
+                }
+                Ok(())
+            }
+            Some(DiskFault::FsyncLie) => {
+                // Claim success, persist nothing. Detected by the offset
+                // check on the next append (same incarnation) or lost
+                // with the unflushed tail on crash.
+                Ok(())
+            }
+            _ => {
+                durable.extend_from_slice(bytes);
+                Ok(())
+            }
+        }
     }
 
-    /// Decode all records with LSN >= `from`, in order.
+    /// Decode all records with LSN >= `from`, in order, verifying each
+    /// record's CRC. Any framing or CRC damage — including an
+    /// un-recovered torn tail — is [`Error::Corruption`]; run
+    /// [`LogStore::recover_tail`] first to truncate a torn tail.
     pub fn records_from(&self, from: Lsn) -> Result<Vec<(Lsn, LogRecord)>> {
         let data = self.durable.lock();
         let _lw = obskit::lockcheck::held("LogStore::durable");
         let mut out = Vec::new();
         let mut pos = from as usize;
-        while pos + 4 <= data.len() {
-            let header = data
-                .get(pos..pos + 4)
-                .and_then(|b| <[u8; 4]>::try_from(b).ok());
-            let Some(header) = header else {
-                break; // loop bound guarantees this; never panic in recovery
-            };
-            let len = u32::from_be_bytes(header) as usize;
-            if pos + 4 + len > data.len() {
-                break; // torn tail write; ignore
+        loop {
+            match scan_frame(&data, pos)? {
+                Frame::End => break,
+                Frame::Torn => {
+                    return Err(Error::Corruption {
+                        device: "wal".into(),
+                        detail: format!("torn frame at lsn {pos}; tail not recovered"),
+                    })
+                }
+                Frame::Rec { mut payload, next } => {
+                    let rec = LogRecord::decode(&mut payload)?;
+                    out.push((pos as Lsn, rec));
+                    pos = next;
+                }
             }
-            let Some(mut payload) = data.get(pos + 4..pos + 4 + len) else {
-                break;
-            };
-            let rec = LogRecord::decode(&mut payload)?;
-            out.push((pos as Lsn, rec));
-            pos += 4 + len;
         }
         Ok(out)
+    }
+
+    /// Scan the whole durable stream and physically truncate a torn
+    /// tail (the residue of a failed batched append). Returns the bytes
+    /// removed. Mid-log CRC damage is *not* a tail and fails loudly
+    /// with [`Error::Corruption`]: truncating there would silently
+    /// discard acknowledged records.
+    pub fn recover_tail(&self) -> Result<u64> {
+        faultkit::crashpoint!("wal.scan");
+        let mut data = self.durable.lock();
+        let _lw = obskit::lockcheck::held("LogStore::durable");
+        let mut pos = 0usize;
+        loop {
+            match scan_frame(&data, pos)? {
+                Frame::End => return Ok(0),
+                Frame::Torn => {
+                    let torn = (data.len() - pos) as u64;
+                    data.truncate(pos);
+                    obskit::metrics::global().counter("wal.torn_tail").incr();
+                    obskit::event!("wal.torn_tail", "truncated {torn} bytes at lsn {pos}");
+                    return Ok(torn);
+                }
+                Frame::Rec { next, .. } => pos = next,
+            }
+        }
     }
 }
 
@@ -418,11 +580,21 @@ struct Tail {
 }
 
 /// Volatile front end to the log: buffered appends + flush control.
+///
+/// **Fail-stop flushes (fsyncgate discipline).** The first flush that
+/// fails for an I/O reason *poisons* the manager: every later flush
+/// fails immediately instead of retrying the fsync. Retrying would
+/// trust the device about which bytes of the failed flush actually
+/// landed — the unsound assumption behind real-world fsyncgate bugs.
+/// The poisoned server keeps failing statements until it is restarted;
+/// recovery then truncates the (never-acknowledged) torn tail and
+/// resumes from durable truth.
 pub struct LogManager {
     store: Arc<LogStore>,
     tail: Mutex<Tail>,
     flushed: AtomicU64,
     epoch: u64,
+    poisoned: AtomicBool,
 }
 
 impl LogManager {
@@ -438,7 +610,17 @@ impl LogManager {
             }),
             flushed: AtomicU64::new(base),
             epoch,
+            poisoned: AtomicBool::new(false),
         }
+    }
+
+    /// Whether a failed flush has poisoned this manager (fail-stop).
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::SeqCst)
+    }
+
+    fn poisoned_err() -> Error {
+        Error::Storage("wal fail-stop: a log flush failed; restart the server to recover".into())
     }
 
     /// The underlying durable store.
@@ -456,6 +638,7 @@ impl LogManager {
         let _lw = obskit::lockcheck::held("LogManager::tail");
         let lsn = tail.base + tail.buf.len() as u64;
         tail.buf.put_u32(payload.len() as u32);
+        tail.buf.put_u32(checksum::wal_record_crc(&payload, lsn));
         tail.buf.extend_from_slice(&payload);
         drop(tail);
         obskit::metrics::global().record("sqlengine.wal.append", t_append.elapsed());
@@ -470,7 +653,8 @@ impl LogManager {
         self.flush_all()
     }
 
-    /// Flush the whole tail.
+    /// Flush the whole tail. Fail-stop: the first I/O failure poisons
+    /// the manager and every subsequent flush fails immediately.
     pub fn flush_all(&self) -> Result<()> {
         // Crashpoints sit outside the tail lock: a crash action fences
         // the durable store and must never deadlock against the log.
@@ -478,9 +662,21 @@ impl LogManager {
         {
             let mut tail = self.tail.lock();
             let _lw = obskit::lockcheck::held("LogManager::tail");
+            if self.is_poisoned() {
+                return Err(Self::poisoned_err());
+            }
             if !tail.buf.is_empty() {
                 let t_flush = Instant::now();
-                self.store.append(&tail.buf, self.epoch)?;
+                if let Err(e) = self.store.append(&tail.buf, self.epoch, tail.base) {
+                    // Epoch fencing means the server is gone, not that
+                    // the device failed: don't poison for it.
+                    if e != Error::ServerShutdown {
+                        self.poisoned.store(true, Ordering::SeqCst);
+                        obskit::metrics::global().counter("wal.poisoned").incr();
+                        obskit::event!("wal.poisoned", "flush failed: {e}");
+                    }
+                    return Err(e);
+                }
                 tail.base += tail.buf.len() as u64;
                 tail.buf.clear();
                 self.flushed.store(tail.base, Ordering::Release);
@@ -624,6 +820,98 @@ mod tests {
         let recs = store.records_from(l2).unwrap();
         assert_eq!(recs.len(), 1);
         assert_eq!(recs[0].1, LogRecord::Begin { txn: 2 });
+    }
+
+    #[test]
+    fn torn_append_truncates_at_recover_tail() {
+        use faultkit::disk::DiskFaultKind;
+        let store = Arc::new(LogStore::new());
+        let log = LogManager::new(Arc::clone(&store));
+        log.append(&LogRecord::Begin { txn: 1 });
+        log.flush_all().unwrap();
+        let clean_len = store.durable_len();
+
+        store.set_fault_plan(Some(DiskPlan::at(DiskFaultKind::TornWrite, 1)));
+        log.append(&LogRecord::Commit { txn: 1 });
+        assert!(log.flush_all().is_err());
+        assert!(log.is_poisoned());
+        // The torn residue makes an untreated scan fail loudly...
+        assert!(matches!(
+            store.records_from(0),
+            Err(Error::Corruption { .. })
+        ));
+        // ...and recover_tail removes exactly the torn bytes.
+        let torn = store.recover_tail().unwrap();
+        assert!(torn > 0);
+        assert_eq!(store.durable_len(), clean_len);
+        assert_eq!(store.records_from(0).unwrap().len(), 1);
+        // Idempotent on a clean log.
+        assert_eq!(store.recover_tail().unwrap(), 0);
+    }
+
+    #[test]
+    fn bit_flip_is_midlog_corruption_not_tail() {
+        use faultkit::disk::DiskFaultKind;
+        let store = Arc::new(LogStore::new());
+        let log = LogManager::new(Arc::clone(&store));
+        store.set_fault_plan(Some(DiskPlan::at(DiskFaultKind::BitFlip, 1)));
+        log.append(&LogRecord::Begin { txn: 1 });
+        log.flush_all().unwrap(); // the flush lies about integrity
+        assert!(matches!(
+            store.records_from(0),
+            Err(Error::Corruption { .. })
+        ));
+        // recover_tail must refuse to truncate acknowledged records.
+        assert!(matches!(
+            store.recover_tail(),
+            Err(Error::Corruption { .. })
+        ));
+    }
+
+    #[test]
+    fn lying_fsync_detected_on_next_append() {
+        use faultkit::disk::DiskFaultKind;
+        let store = Arc::new(LogStore::new());
+        let log = LogManager::new(Arc::clone(&store));
+        store.set_fault_plan(Some(DiskPlan::at(DiskFaultKind::FsyncLie, 1)));
+        log.append(&LogRecord::Begin { txn: 1 });
+        log.flush_all().unwrap(); // lie: nothing landed
+        assert_eq!(store.durable_len(), 0);
+        log.append(&LogRecord::Commit { txn: 1 });
+        let err = log.flush_all().unwrap_err();
+        assert!(matches!(err, Error::Corruption { .. }), "got {err:?}");
+        assert!(log.is_poisoned());
+    }
+
+    #[test]
+    fn failed_flush_poisons_fail_stop() {
+        use faultkit::disk::DiskFaultKind;
+        let store = Arc::new(LogStore::new());
+        let log = LogManager::new(Arc::clone(&store));
+        store.set_fault_plan(Some(DiskPlan::at(DiskFaultKind::FsyncFail, 1)));
+        log.append(&LogRecord::Begin { txn: 1 });
+        assert!(log.flush_all().is_err());
+        assert!(log.is_poisoned());
+        // No retry: the next flush fails without touching the device,
+        // and nothing ever became durable.
+        assert!(log.flush_all().is_err());
+        assert_eq!(store.durable_len(), 0);
+        // A fresh manager (post-restart) starts clean.
+        store.set_fault_plan(None);
+        let log2 = LogManager::new(Arc::clone(&store));
+        log2.append(&LogRecord::Begin { txn: 2 });
+        log2.flush_all().unwrap();
+        assert_eq!(store.records_from(0).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn epoch_fence_does_not_poison() {
+        let store = Arc::new(LogStore::new());
+        let log = LogManager::new(Arc::clone(&store));
+        log.append(&LogRecord::Begin { txn: 1 });
+        store.bump_epoch();
+        assert_eq!(log.flush_all(), Err(Error::ServerShutdown));
+        assert!(!log.is_poisoned());
     }
 
     #[test]

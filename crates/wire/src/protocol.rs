@@ -113,8 +113,13 @@ fn error_code(e: &Error) -> u8 {
         Error::Internal(_) => 10,
         Error::Timeout => 11,
         Error::RecoveryExhausted => 12,
+        Error::Corruption { .. } => 13,
     }
 }
+
+/// Field separator for multi-part error payloads (Corruption carries
+/// device + detail in one string).
+const PAYLOAD_SEP: char = '\u{1f}';
 
 fn error_payload(e: &Error) -> String {
     match e {
@@ -126,6 +131,7 @@ fn error_payload(e: &Error) -> String {
         | Error::TxnAborted(m)
         | Error::Storage(m)
         | Error::Internal(m) => m.clone(),
+        Error::Corruption { device, detail } => format!("{device}{PAYLOAD_SEP}{detail}"),
         other => other.to_string(),
     }
 }
@@ -144,6 +150,13 @@ fn error_from(code: u8, msg: String) -> Error {
         9 => Error::Storage(msg),
         11 => Error::Timeout,
         12 => Error::RecoveryExhausted,
+        13 => {
+            let (device, detail) = msg
+                .split_once(PAYLOAD_SEP)
+                .map(|(d, r)| (d.to_string(), r.to_string()))
+                .unwrap_or(("unknown".into(), msg));
+            Error::Corruption { device, detail }
+        }
         _ => Error::Internal(msg),
     }
 }

@@ -34,6 +34,9 @@ pub struct ServerConfig {
     /// Initial network fault plan applied to every new connection's
     /// pipes (see [`DbServer::set_fault_plan`] for runtime control).
     pub faults: Option<NetPlan>,
+    /// Run a checksum scrub of every page as the final phase of restart
+    /// recovery, repairing latent corruption before clients reconnect.
+    pub scrub_on_restart: bool,
 }
 
 impl Default for ServerConfig {
@@ -45,6 +48,7 @@ impl Default for ServerConfig {
             net_s2c: NetConfig::default(),
             row_batch: 16,
             faults: None,
+            scrub_on_restart: false,
         }
     }
 }
@@ -117,6 +121,7 @@ impl DbServer {
             &self.inner.durable,
             RecoveryConfig {
                 pool_capacity: self.inner.config.pool_capacity,
+                scrub: self.inner.config.scrub_on_restart,
             },
         )?;
         let stats = engine.recovery_stats();
@@ -176,6 +181,17 @@ impl DbServer {
     /// makes, which is exactly what a chaos soak wants.
     pub fn set_fault_plan(&self, plan: Option<NetPlan>) {
         *self.inner.faults.lock() = plan;
+    }
+
+    /// Install (or clear) storage fault schedules on the durable half:
+    /// `data` drives page I/O, `wal` drives log flushes. Survives
+    /// crash/restart — the *media* is faulty, not the server process.
+    pub fn set_disk_fault_plan(
+        &self,
+        data: Option<faultkit::disk::DiskPlan>,
+        wal: Option<faultkit::disk::DiskPlan>,
+    ) {
+        self.inner.durable.set_disk_faults(data, wal);
     }
 
     /// Open a network connection to the server.

@@ -2,7 +2,8 @@
 //! harnesses the repo already has.
 //!
 //! 1. **Durability** — a function that emits a `wal.*` / `persist.*` /
-//!    `recovery.*` obskit name is a durability site; it must also contain
+//!    `disk.*` / `recovery.*` obskit name is a durability site; it must
+//!    also contain
 //!    a `crashpoint!` in the same family, or crash testing silently lost
 //!    coverage of that site. (Client-side `phoenix.recovery.*` phase
 //!    events are exempt: the client has no crashpoints by design.)
@@ -21,9 +22,14 @@ use std::path::PathBuf;
 
 use crate::{Rule, Violation};
 
-/// Names that flow into the durability cross-check.
+/// Names that flow into the durability cross-check. `disk` joined the
+/// family with the storage fault-injection layer: a function emitting
+/// `disk.*` events (fault draws, corruption repair, scrubbing) must be
+/// crash-testable like any other durability site.
 pub fn is_durability_name(name: &str) -> bool {
-    name.split('.').any(|seg| seg == "wal" || seg == "persist") || name.starts_with("recovery.")
+    name.split('.')
+        .any(|seg| seg == "wal" || seg == "persist" || seg == "disk")
+        || name.starts_with("recovery.")
 }
 
 /// `crashpoint!("name")` invocations in a token run.

@@ -333,6 +333,28 @@ fn ci() -> ExitCode {
                 .current_dir(&root),
         );
 
+    // Storage-fault soak: pinned seeds driving torn writes, bit flips,
+    // I/O errors and fsync failures on the simulated disk and WAL
+    // devices, mixed with crashes — asserting repair-or-surface for
+    // every injected corruption. Failing seeds print a
+    // FAULTKIT_REPLAY='disk_chaos:seed#<n>' line.
+    let disk_ok = soak_ok
+        && step(
+            "disk-fault soak (4 pinned seeds)",
+            Command::new(&cargo)
+                .args([
+                    "test",
+                    "-p",
+                    "integration-tests",
+                    "--test",
+                    "disk_chaos",
+                    "-q",
+                ])
+                .env("DISK_SOAK_SEEDS", "4")
+                .env("DISK_SOAK_BASE", "2026")
+                .current_dir(&root),
+        );
+
     // Observability smoke: one trace-enabled chaos seed exports an obskit
     // snapshot, which must come back as well-formed JSON with the schema
     // tag — guarding the exporter the bench twins and timeline dumps use.
@@ -342,7 +364,7 @@ fn ci() -> ExitCode {
     // which is then validated against the statically inferred graph.
     let snapshot = root.join("target").join("xtask-obskit-snapshot.json");
     let witness = root.join("target").join("xtask-lockcheck-witness.json");
-    let obs_ok = soak_ok
+    let obs_ok = disk_ok
         && step(
             "obskit snapshot + lockcheck witness (1 traced seed)",
             Command::new(&cargo)

@@ -1,0 +1,328 @@
+//! Seeded storage chaos soak: an order-entry workload runs while the
+//! simulated disk and WAL devices inject seeded faults — torn page
+//! writes, bit flips, read/write errors on the data device
+//! ([`DiskRates::mixed_data`]) and torn appends, write errors and fsync
+//! failures on the WAL device ([`DiskRates::mixed_wal`]) — interleaved
+//! with full server crashes, and must come out with **zero silent
+//! corruption**:
+//!
+//! * every injected page corruption is either repaired transparently
+//!   (WAL-redo on a pool miss, or the restart scrub) or surfaced as an
+//!   explicit error — never served as wrong rows;
+//! * a failed WAL flush poisons the log fail-stop; the soak restarts the
+//!   server (the fsyncgate discipline) and re-executes, and the final
+//!   tables still match the model exactly;
+//! * the `phx_status` ledger holds exactly one row per *successful*
+//!   wrapped modification (failed attempts burn a request id without a
+//!   row — a duplicate or an unexpected hole fails the run).
+//!
+//! Each seed is fully deterministic in both devices' fault schedules; a
+//! failing seed prints a one-line `FAULTKIT_REPLAY='disk_chaos:seed#<n>'`
+//! reproduction. `DISK_SOAK_SEEDS` / `DISK_SOAK_BASE` override how many
+//! and which seeds run.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use faultkit::disk::{DiskPlan, DiskRates};
+use integration_tests::{restart_with_retry, REPLAY_ENV};
+use phoenix::{ExecKind, PhoenixConfig, PhoenixConnection, ReconnectPolicy};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sqlengine::{Error, Value};
+use wire::{DbServer, ServerConfig};
+
+const SCENARIO: &str = "disk_chaos";
+
+fn soak_cfg(seed: u64) -> PhoenixConfig {
+    let mut cfg = PhoenixConfig {
+        reconnect: ReconnectPolicy {
+            max_attempts: 5_000,
+            initial_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(10),
+            deadline: Duration::from_secs(30),
+            masking_retries: 500,
+            jitter_seed: seed,
+        },
+        ..Default::default()
+    };
+    cfg.driver.query_timeout = Some(Duration::from_secs(10));
+    cfg
+}
+
+/// A query with storage-fault handling: Phoenix's session-persistence
+/// protocol writes durable cursor state, so even a SELECT can hit a
+/// poisoned WAL or an injected device error. Restart and retry — the
+/// rows delivered must still match the model exactly.
+fn query_recovering(
+    server: &DbServer,
+    px: &PhoenixConnection,
+    surfaced: &mut u64,
+    sql: &str,
+) -> Vec<Vec<Value>> {
+    let mut attempts = 0u32;
+    loop {
+        match px.query_all(sql) {
+            Ok(rows) => return rows,
+            Err(e) => {
+                attempts += 1;
+                assert!(attempts <= 25, "query kept failing: {sql:?}: {e}");
+                if matches!(e, Error::Corruption { .. }) {
+                    *surfaced += 1;
+                }
+                server.crash();
+                restart_with_retry(server, 500);
+            }
+        }
+    }
+}
+
+fn expect_rows(
+    server: &DbServer,
+    px: &PhoenixConnection,
+    surfaced: &mut u64,
+    model: &BTreeMap<i64, (i64, String)>,
+) {
+    let rows = query_recovering(
+        server,
+        px,
+        surfaced,
+        "SELECT id, qty, note FROM orders ORDER BY id",
+    );
+    let got: Vec<(i64, i64, String)> = rows
+        .iter()
+        .map(|r| {
+            let Value::Int(id) = r[0] else {
+                panic!("id: {r:?}")
+            };
+            let Value::Int(qty) = r[1] else {
+                panic!("qty: {r:?}")
+            };
+            let Value::Str(note) = &r[2] else {
+                panic!("note: {r:?}")
+            };
+            (id, qty, note.clone())
+        })
+        .collect();
+    let want: Vec<(i64, i64, String)> = model
+        .iter()
+        .map(|(id, (qty, note))| (*id, *qty, note.clone()))
+        .collect();
+    assert_eq!(got, want, "orders diverged from the model");
+}
+
+/// One wrapped modification with storage-fault handling. Every attempt
+/// burns one Phoenix request id; the id of the attempt that *succeeded*
+/// is pushed onto `status_ids` — the final ledger must hold exactly
+/// those. A failed attempt means the wrapped transaction aborted (a
+/// failed or torn WAL flush is never acknowledged, so it cannot have
+/// durably committed); the soak then restarts the server — clearing the
+/// fail-stop poison, truncating any torn tail, scrubbing pages — and
+/// re-executes.
+fn modify(
+    server: &DbServer,
+    px: &PhoenixConnection,
+    next_req: &mut i64,
+    status_ids: &mut Vec<i64>,
+    surfaced: &mut u64,
+    sql: &str,
+) -> u64 {
+    let mut attempts = 0u32;
+    loop {
+        *next_req += 1;
+        match px.exec(sql) {
+            Ok(ExecKind::RowCount(n)) => {
+                status_ids.push(*next_req);
+                return n;
+            }
+            Ok(other) => panic!("expected row count for {sql:?}, got {other:?}"),
+            Err(e) => {
+                attempts += 1;
+                assert!(attempts <= 25, "statement kept failing: {sql:?}: {e}");
+                if matches!(e, Error::Corruption { .. }) {
+                    *surfaced += 1;
+                }
+                // The device fault poisoned the WAL or broke the
+                // statement; restart to recover (recovery truncates any
+                // torn tail and the scrub repairs page images).
+                server.crash();
+                restart_with_retry(server, 500);
+            }
+        }
+    }
+}
+
+fn run_seed(seed: u64) {
+    let _trace = obskit::trace::session();
+    obskit::trace::clear();
+    let mut cfg = ServerConfig::instant_net();
+    cfg.scrub_on_restart = true;
+    let server = DbServer::start(cfg).unwrap();
+    {
+        let engine = server.engine().unwrap();
+        let sid = engine.create_session().unwrap();
+        engine
+            .execute(
+                sid,
+                "CREATE TABLE orders (id INT PRIMARY KEY, qty INT, note VARCHAR(24))",
+            )
+            .unwrap();
+        engine.close_session(sid);
+        engine.checkpoint().unwrap();
+    }
+    let px = PhoenixConnection::connect(&server, soak_cfg(seed)).unwrap();
+
+    // Storage chaos on: both devices draw decorrelated seeded schedules.
+    // The WAL mix holds only fail-stop-maskable faults (a bit flip inside
+    // acknowledged log records, or a lying fsync straddling a crash, is
+    // deliberately unmaskable and surfaces as `Error::Corruption`).
+    server.set_disk_fault_plan(
+        Some(DiskPlan::seeded(seed, DiskRates::mixed_data(), 6)),
+        Some(DiskPlan::seeded(seed, DiskRates::mixed_wal(), 6)),
+    );
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut model: BTreeMap<i64, (i64, String)> = BTreeMap::new();
+    let mut next_id = 0i64;
+    let mut next_req = 0i64;
+    let mut status_ids: Vec<i64> = Vec::new();
+    let mut surfaced = 0u64;
+    const STEPS: u32 = 50;
+    for step in 0..STEPS {
+        // Occasionally a full crash lands on top of the storage chaos.
+        if rng.gen_range(0..STEPS) < 3 {
+            server.crash();
+            restart_with_retry(&server, 500);
+        }
+        match rng.gen_range(0..10u32) {
+            0..=4 => {
+                let id = next_id;
+                next_id += 1;
+                let qty = rng.gen_range(1..100i64);
+                let note = format!("n-{id}-{step}");
+                let n = modify(
+                    &server,
+                    &px,
+                    &mut next_req,
+                    &mut status_ids,
+                    &mut surfaced,
+                    &format!("INSERT INTO orders VALUES ({id}, {qty}, '{note}')"),
+                );
+                assert_eq!(n, 1, "insert of {id} applied once");
+                model.insert(id, (qty, note));
+            }
+            5 | 6 if !model.is_empty() => {
+                let idx = rng.gen_range(0..model.len());
+                let (&id, _) = model.iter().nth(idx).unwrap();
+                let d = rng.gen_range(1..5i64);
+                let n = modify(
+                    &server,
+                    &px,
+                    &mut next_req,
+                    &mut status_ids,
+                    &mut surfaced,
+                    &format!("UPDATE orders SET qty = qty + {d} WHERE id = {id}"),
+                );
+                assert_eq!(n, 1, "update of {id} applied once");
+                if let Some(e) = model.get_mut(&id) {
+                    e.0 += d;
+                }
+            }
+            7 if !model.is_empty() => {
+                let idx = rng.gen_range(0..model.len());
+                let (&id, _) = model.iter().nth(idx).unwrap();
+                let n = modify(
+                    &server,
+                    &px,
+                    &mut next_req,
+                    &mut status_ids,
+                    &mut surfaced,
+                    &format!("DELETE FROM orders WHERE id = {id}"),
+                );
+                assert_eq!(n, 1, "delete of {id} applied once");
+                model.remove(&id);
+            }
+            _ => expect_rows(&server, &px, &mut surfaced, &model),
+        }
+    }
+
+    // The devices heal; one final restart scrubs any latent corruption.
+    server.set_disk_fault_plan(None, None);
+    server.crash();
+    restart_with_retry(&server, 500);
+
+    // Final verification: the table matches the model row for row, and a
+    // fresh scrub of the healed device finds nothing — no corruption
+    // survived silently.
+    expect_rows(&server, &px, &mut surfaced, &model);
+    let report = server.engine().unwrap().scrub().unwrap();
+    assert_eq!(
+        report.detected, 0,
+        "post-soak scrub found unrepaired corruption: {report:?} \
+         (corruption errors surfaced to the app: {surfaced})"
+    );
+    assert_eq!(px.stats().updates_wrapped, next_req as u64);
+
+    // The ledger holds exactly one row per successful wrapped request:
+    // no duplicates, and no holes beyond the ids burned by attempts that
+    // failed loudly before commit.
+    let status = px
+        .query_all("SELECT req_id FROM phx_status ORDER BY req_id")
+        .unwrap();
+    let req_ids: Vec<i64> = status
+        .iter()
+        .map(|r| {
+            let Value::Int(id) = r[0] else {
+                panic!("req_id: {r:?}")
+            };
+            id
+        })
+        .collect();
+    assert_eq!(
+        req_ids, status_ids,
+        "phx_status must record every successful wrapped request exactly once"
+    );
+    px.close();
+}
+
+#[test]
+fn disk_chaos_randomized_fault_schedules() {
+    // Replay mode: `FAULTKIT_REPLAY='disk_chaos:seed#<n>'` runs exactly
+    // that seed (specs naming other scenarios are ignored).
+    if let Ok(spec) = std::env::var(REPLAY_ENV) {
+        let (scen, plan_spec) = spec.rsplit_once(':').unwrap_or(("", spec.as_str()));
+        if !scen.is_empty() && scen != SCENARIO {
+            return;
+        }
+        let seed: u64 = plan_spec
+            .strip_prefix("seed#")
+            .and_then(|n| n.trim().parse().ok())
+            .unwrap_or_else(|| panic!("bad {REPLAY_ENV} spec {spec:?} (want {SCENARIO}:seed#<n>)"));
+        eprintln!("replaying single disk-chaos seed {seed}");
+        run_seed(seed);
+        return;
+    }
+
+    let count: u64 = std::env::var("DISK_SOAK_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    let base: u64 = std::env::var("DISK_SOAK_BASE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2026);
+    for seed in base..base + count {
+        let outcome = std::panic::catch_unwind(|| run_seed(seed));
+        if let Err(payload) = outcome {
+            eprintln!(
+                "\ndisk-chaos seed failed — reproduce with:\n  {REPLAY_ENV}='{SCENARIO}:seed#{seed}' \
+                 cargo test -p integration-tests --test disk_chaos\n"
+            );
+            eprintln!(
+                "trace timeline before the failure:\n{}",
+                obskit::trace::dump_last(40)
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
