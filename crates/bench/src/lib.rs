@@ -8,7 +8,7 @@ use std::path::PathBuf;
 use std::time::Duration;
 
 use sqlengine::storage::disk::DiskModel;
-use wire::{DbServer, NetConfig, ServerConfig};
+use wire::{DbServer, GroupCommit, NetConfig, ServerConfig};
 
 pub mod measure;
 
@@ -35,6 +35,8 @@ pub fn tpch_server() -> ServerConfig {
         row_batch: 16,
         faults: None,
         scrub_on_restart: false,
+        // Single-session sweeps: a commit window would only add latency.
+        group_commit: GroupCommit::default(),
     }
 }
 
@@ -50,6 +52,9 @@ pub fn tpcc_server(pool_pages: usize, io_latency: Duration) -> ServerConfig {
         row_batch: 16,
         faults: None,
         scrub_on_restart: false,
+        // The 4-user mix commits concurrently; one batch-leader fsync
+        // covers the window (`wal.flush.batch_size` in the JSON twin).
+        group_commit: GroupCommit::on(8, Duration::from_millis(2)),
     }
 }
 
@@ -157,6 +162,7 @@ impl TextTable {
 pub fn emit_json(name: &str, meta: &[(&str, String)]) {
     let reg = obskit::metrics::global();
     reg.histogram("odbcsim.roundtrip.exec");
+    reg.histogram("wal.flush.batch_size");
     for phase in phoenix::RecoveryPhases::NAMES {
         reg.histogram(phase);
     }

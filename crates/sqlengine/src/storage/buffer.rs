@@ -54,33 +54,48 @@ impl Drop for PageGuard {
     }
 }
 
-struct PoolInner {
+/// One lock stripe of the pool: pages hash here by id, and eviction is
+/// local to the stripe (each stripe owns `shard_capacity` frames).
+struct PoolShard {
     frames: HashMap<PageId, Arc<Frame>>,
     tick: u64,
 }
 
-/// The buffer pool.
+/// The buffer pool, lock-striped into [`PoolShard`]s so concurrent
+/// sessions touching different pages do not serialize on one latch.
 pub struct BufferPool {
     disk: Arc<MemDisk>,
     log: Arc<LogManager>,
     capacity: usize,
+    shard_capacity: usize,
     epoch: u64,
-    inner: Mutex<PoolInner>,
+    shards: Vec<Mutex<PoolShard>>,
 }
 
 impl BufferPool {
     /// Pool over `disk` enforcing the WAL rule via `log`.
     pub fn new(disk: Arc<MemDisk>, log: Arc<LogManager>, capacity: usize) -> Self {
         let epoch = disk.current_epoch();
+        let capacity = capacity.max(8);
+        // Tiny pools (the eviction tests, min-size servers) keep one
+        // stripe so their capacity semantics stay exact; big pools get
+        // up to 8 stripes.
+        let nshards = (capacity / 8).clamp(1, 8);
+        let shards = (0..nshards)
+            .map(|_| {
+                Mutex::new(PoolShard {
+                    frames: HashMap::new(),
+                    tick: 0,
+                })
+            })
+            .collect();
         BufferPool {
             disk,
             log,
-            capacity: capacity.max(8),
+            capacity,
+            shard_capacity: capacity.div_ceil(nshards),
             epoch,
-            inner: Mutex::new(PoolInner {
-                frames: HashMap::new(),
-                tick: 0,
-            }),
+            shards,
         }
     }
 
@@ -89,20 +104,26 @@ impl BufferPool {
         &self.disk
     }
 
+    /// Which stripe caches `id`.
+    fn shard_of(&self, id: PageId) -> usize {
+        id as usize % self.shards.len()
+    }
+
     /// Fetch a page into the pool (reading from disk on miss) and pin it.
     pub fn fetch(&self, id: PageId) -> Result<PageGuard> {
-        let mut inner = self.inner.lock();
-        let _lw = obskit::lockcheck::held("BufferPool::inner");
-        inner.tick += 1;
-        let tick = inner.tick;
-        if let Some(frame) = inner.frames.get(&id) {
+        let si = self.shard_of(id);
+        let mut shard = self.shards[si].lock();
+        let _lw = obskit::lockcheck::held("BufferPool::shards");
+        shard.tick += 1;
+        let tick = shard.tick;
+        if let Some(frame) = shard.frames.get(&id) {
             frame.pins.fetch_add(1, Ordering::AcqRel);
             frame.last_used.store(tick, Ordering::Relaxed);
             return Ok(PageGuard {
                 frame: Arc::clone(frame),
             });
         }
-        self.make_room(&mut inner)?;
+        self.make_room(&mut shard)?;
         let mut buf = Box::new([0u8; PAGE_SIZE]);
         self.disk.read_page(id, &mut buf)?;
         // Every miss is a verification point: a torn or bit-flipped
@@ -121,7 +142,7 @@ impl BufferPool {
             pins: AtomicUsize::new(1),
             last_used: AtomicU64::new(tick),
         });
-        inner.frames.insert(id, Arc::clone(&frame));
+        shard.frames.insert(id, Arc::clone(&frame));
         Ok(PageGuard { frame })
     }
 
@@ -184,11 +205,12 @@ impl BufferPool {
     /// return it pinned and dirty.
     pub fn new_page(&self, table_id: u32) -> Result<(PageId, PageGuard)> {
         let id = self.disk.allocate(self.epoch)?;
-        let mut inner = self.inner.lock();
-        let _lw = obskit::lockcheck::held("BufferPool::inner");
-        inner.tick += 1;
-        let tick = inner.tick;
-        self.make_room(&mut inner)?;
+        let si = self.shard_of(id);
+        let mut shard = self.shards[si].lock();
+        let _lw = obskit::lockcheck::held("BufferPool::shards");
+        shard.tick += 1;
+        let tick = shard.tick;
+        self.make_room(&mut shard)?;
         let mut buf = Box::new([0u8; PAGE_SIZE]);
         Page::init(&mut buf, table_id);
         let frame = Arc::new(Frame {
@@ -198,28 +220,28 @@ impl BufferPool {
             pins: AtomicUsize::new(1),
             last_used: AtomicU64::new(tick),
         });
-        inner.frames.insert(id, Arc::clone(&frame));
+        shard.frames.insert(id, Arc::clone(&frame));
         Ok((id, PageGuard { frame }))
     }
 
-    /// Evict an unpinned frame if the pool is at capacity.
-    fn make_room(&self, inner: &mut PoolInner) -> Result<()> {
-        while inner.frames.len() >= self.capacity {
-            let victim = inner
+    /// Evict an unpinned frame if this stripe is at capacity.
+    fn make_room(&self, shard: &mut PoolShard) -> Result<()> {
+        while shard.frames.len() >= self.shard_capacity {
+            let victim = shard
                 .frames
                 .values()
                 .filter(|f| f.pins.load(Ordering::Acquire) == 0)
                 .min_by_key(|f| f.last_used.load(Ordering::Relaxed))
                 .map(|f| f.id);
             let Some(vid) = victim else {
-                // Everything pinned: allow the pool to grow past capacity
+                // Everything pinned: allow the stripe to grow past capacity
                 // rather than deadlock. Large transactions at tiny pool
                 // sizes are an accepted overflow case.
                 return Ok(());
             };
             // The victim id was selected from this same map under the lock,
             // so the entry is still there; skip defensively if it is not.
-            let Some(frame) = inner.frames.remove(&vid) else {
+            let Some(frame) = shard.frames.remove(&vid) else {
                 continue;
             };
             if let Err(e) = self.flush_frame(&frame) {
@@ -228,7 +250,7 @@ impl BufferPool {
                 // content. Put it back, still dirty, and surface the
                 // error — a retry can evict it once the device behaves.
                 frame.dirty.store(true, Ordering::Release);
-                inner.frames.insert(vid, frame);
+                shard.frames.insert(vid, frame);
                 return Err(e);
             }
         }
@@ -250,11 +272,12 @@ impl BufferPool {
 
     /// Flush every dirty frame (checkpoint path).
     pub fn flush_all(&self) -> Result<()> {
-        let frames: Vec<Arc<Frame>> = {
-            let inner = self.inner.lock();
-            let _lw = obskit::lockcheck::held("BufferPool::inner");
-            inner.frames.values().cloned().collect()
-        };
+        let mut frames: Vec<Arc<Frame>> = Vec::new();
+        for si in 0..self.shards.len() {
+            let shard = self.shards[si].lock();
+            let _lw = obskit::lockcheck::held("BufferPool::shards");
+            frames.extend(shard.frames.values().cloned());
+        }
         for f in frames {
             self.flush_frame(&f)?;
         }
@@ -263,7 +286,7 @@ impl BufferPool {
 
     /// Number of cached frames (for tests/metrics).
     pub fn cached(&self) -> usize {
-        self.inner.lock().frames.len()
+        self.shards.iter().map(|s| s.lock().frames.len()).sum()
     }
 
     /// Walk every allocated page verifying its durable checksum,
@@ -283,11 +306,12 @@ impl BufferPool {
             if page_image_ok(&buf) {
                 continue;
             }
-            // Serialize against fetch/eviction of this page: under the
-            // pool lock nobody can flush a newer image between our
+            // Serialize against fetch/eviction of this page: under its
+            // stripe's lock nobody can flush a newer image between our
             // re-check and the repair write-back.
-            let _inner = self.inner.lock();
-            let _lw = obskit::lockcheck::held("BufferPool::inner");
+            let si = self.shard_of(id);
+            let _shard = self.shards[si].lock();
+            let _lw = obskit::lockcheck::held("BufferPool::shards");
             self.disk.read_page(id, &mut buf)?;
             if !page_image_ok(&buf) {
                 report.detected += 1;
@@ -377,6 +401,13 @@ mod tests {
         BufferPool::new(disk, log, capacity)
     }
 
+    /// Drop every cached frame (force misses on the next fetch).
+    fn evict_all(pool: &BufferPool) {
+        for s in &pool.shards {
+            s.lock().frames.clear();
+        }
+    }
+
     /// Build a pool whose page 0 is WAL-logged like the heap layer would
     /// log it, flushed to disk, and evicted — ready to be corrupted.
     fn logged_page(pool: &BufferPool) -> PageId {
@@ -422,7 +453,7 @@ mod tests {
         let pid = logged_page(&pool);
         corrupt_on_disk(&pool, pid);
         // Evicted + corrupt on disk: force a miss.
-        pool.inner.lock().frames.clear();
+        evict_all(&pool);
         let g = pool.fetch(pid).unwrap();
         with_page(&g, |p| {
             assert_eq!(p.table_id(), 7);
@@ -443,7 +474,7 @@ mod tests {
         let pool = pool(16);
         let pid = logged_page(&pool);
         corrupt_on_disk(&pool, pid);
-        pool.inner.lock().frames.clear();
+        evict_all(&pool);
         let report = pool.scrub().unwrap();
         assert_eq!(report.detected, 1);
         assert_eq!(report.repaired, 1);
@@ -540,6 +571,34 @@ mod tests {
             pool.new_page(1).unwrap();
         }
         assert!(pool.cached() <= 12);
+    }
+
+    #[test]
+    fn striped_pool_spreads_pages_and_bounds_capacity() {
+        let pool = pool(64);
+        assert_eq!(pool.shards.len(), 8);
+        assert_eq!(pool.shard_capacity, 8);
+        let mut pids = Vec::new();
+        for i in 0..128u32 {
+            let (pid, g) = pool.new_page(1).unwrap();
+            with_page_mut(&g, i as u64 + 1, |p| {
+                p.insert(format!("s{i}").as_bytes()).unwrap();
+                Ok(())
+            })
+            .unwrap();
+            pids.push(pid);
+        }
+        // Sequential page ids land round-robin: every stripe is in use
+        // and per-stripe eviction bounds the total.
+        assert!(pool.shards.iter().all(|s| !s.lock().frames.is_empty()));
+        assert!(pool.cached() <= pool.capacity);
+        // Nothing was lost to eviction churn across stripes.
+        for (i, pid) in pids.iter().enumerate() {
+            let g = pool.fetch(*pid).unwrap();
+            with_page(&g, |p| {
+                assert_eq!(p.get(0).unwrap(), format!("s{i}").as_bytes());
+            });
+        }
     }
 
     #[test]

@@ -119,10 +119,11 @@ impl Storage {
         txn
     }
 
-    /// Commit: log, force the log, release locks.
+    /// Commit: log, force the log (possibly riding a group-commit
+    /// batch leader's fsync), release locks.
     pub fn commit(&self, txn: &TxnHandle) -> Result<()> {
         let lsn = self.log.append(&LogRecord::Commit { txn: txn.id });
-        self.log.flush_to(lsn)?;
+        self.log.commit_flush(lsn)?;
         // Undo info no longer needed.
         txn.take_undo_reversed();
         self.locks.release_all(txn.id, txn.take_locks());

@@ -11,13 +11,20 @@
 //! with [`Error::Deadlock`] and the client retries — which the paper treats
 //! as a normal transaction abort the application already handles.
 
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
 use crate::error::{Error, Result};
 use crate::wal::log::TxnId;
+
+/// Number of lock-table partitions. Targets hash here by (table, row),
+/// so two sessions locking unrelated resources never contend on the
+/// same latch.
+const LOCK_SHARDS: usize = 8;
 
 /// Requested/held lock mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -112,10 +119,17 @@ impl TargetLock {
     }
 }
 
-/// The lock manager. One per engine instance (volatile).
-pub struct LockManager {
+/// One partition of the lock table: a slice of the target space with
+/// its own latch and wakeup channel.
+struct LockShard {
     state: Mutex<HashMap<LockTarget, TargetLock>>,
     cv: Condvar,
+}
+
+/// The lock manager. One per engine instance (volatile). Partitioned
+/// into [`LOCK_SHARDS`] independent lock tables by resource hash.
+pub struct LockManager {
+    shards: Vec<LockShard>,
     /// Upper bound on lock waits before declaring deadlock (safety net for
     /// waits-on-older chains that wait-die cannot break).
     wait_timeout: Duration,
@@ -137,11 +151,24 @@ impl LockManager {
     /// Lock manager with the given worst-case wait bound.
     pub fn new(wait_timeout: Duration) -> Self {
         LockManager {
-            state: Mutex::new(HashMap::new()),
-            cv: Condvar::new(),
+            shards: (0..LOCK_SHARDS)
+                .map(|_| LockShard {
+                    state: Mutex::new(HashMap::new()),
+                    cv: Condvar::new(),
+                })
+                .collect(),
             wait_timeout,
             young_grace: Duration::from_millis(20).min(wait_timeout / 4),
         }
+    }
+
+    /// Which partition owns `target`. Every target maps to exactly one
+    /// shard, so per-target wait-die semantics are unchanged by the
+    /// partitioning.
+    fn shard_of(target: &LockTarget) -> usize {
+        let mut h = DefaultHasher::new();
+        target.hash(&mut h);
+        h.finish() as usize % LOCK_SHARDS
     }
 
     /// Acquire `mode` on `target` for `txn`, blocking per wait-die (with
@@ -150,8 +177,9 @@ impl LockManager {
         let start = Instant::now();
         let deadline = start + self.wait_timeout;
         let young_deadline = start + self.young_grace;
-        let mut state = self.state.lock();
-        let _lw = obskit::lockcheck::held("LockManager::state");
+        let si = Self::shard_of(&target);
+        let mut state = self.shards[si].state.lock();
+        let _lw = obskit::lockcheck::held("LockShard::state");
         let mut waited = false;
         loop {
             let entry = state.entry(target).or_default();
@@ -191,7 +219,9 @@ impl LockManager {
             // or early wakeup can neither grant a conflicting lock nor
             // shorten/extend the timeout. The short tick also bounds the
             // window in which a lost notification could stall a waiter.
-            self.cv.wait_for(&mut state, Duration::from_millis(5));
+            self.shards[si]
+                .cv
+                .wait_for(&mut state, Duration::from_millis(5));
         }
     }
 
@@ -203,25 +233,39 @@ impl LockManager {
         }
     }
 
-    /// Release every lock `txn` holds on the given targets.
+    /// Release every lock `txn` holds on the given targets. Shard latches
+    /// are taken one at a time (never two at once), so the partitioned
+    /// release introduces no latch-ordering constraint.
     pub fn release_all(&self, txn: TxnId, targets: impl IntoIterator<Item = LockTarget>) {
-        let mut state = self.state.lock();
-        let _lw = obskit::lockcheck::held("LockManager::state");
+        let mut by_shard: Vec<Vec<LockTarget>> =
+            (0..self.shards.len()).map(|_| Vec::new()).collect();
         for t in targets {
-            if let Some(l) = state.get_mut(&t) {
-                l.holders.remove(&txn);
-                if l.holders.is_empty() {
-                    state.remove(&t);
+            by_shard[Self::shard_of(&t)].push(t);
+        }
+        for (si, ts) in by_shard.into_iter().enumerate() {
+            if ts.is_empty() {
+                continue;
+            }
+            let mut state = self.shards[si].state.lock();
+            let _lw = obskit::lockcheck::held("LockShard::state");
+            for t in ts {
+                if let Some(l) = state.get_mut(&t) {
+                    l.holders.remove(&txn);
+                    if l.holders.is_empty() {
+                        state.remove(&t);
+                    }
                 }
             }
+            drop(state);
+            self.shards[si].cv.notify_all();
         }
-        drop(state);
-        self.cv.notify_all();
     }
 
     /// Current holders of a target (tests/metrics).
     pub fn holders(&self, target: LockTarget) -> Vec<(TxnId, u8)> {
-        self.state
+        let si = Self::shard_of(&target);
+        self.shards[si]
+            .state
             .lock()
             .get(&target)
             .map(|l| l.holders.iter().map(|(&t, &m)| (t, m)).collect())
@@ -346,7 +390,9 @@ mod tests {
             let (m2, stop2) = (Arc::clone(&m), Arc::clone(&stop));
             std::thread::spawn(move || {
                 while !stop2.load(std::sync::atomic::Ordering::Relaxed) {
-                    m2.cv.notify_all();
+                    for s in &m2.shards {
+                        s.cv.notify_all();
+                    }
                     std::thread::yield_now();
                 }
             })
@@ -380,6 +426,31 @@ mod tests {
             assert!(h.join().unwrap().is_ok());
         }
         assert_eq!(m.holders(t(10)).len(), 3);
+    }
+
+    #[test]
+    fn targets_partition_across_shards() {
+        // The hash spreads the target space: a modest set of distinct
+        // resources must touch more than one partition (this is the whole
+        // point of sharding), while any single target always resolves to
+        // exactly one shard (wait-die semantics preserved).
+        let used: std::collections::HashSet<usize> = (0..64u64)
+            .map(|k| LockManager::shard_of(&r(10, k)))
+            .collect();
+        assert!(used.len() > 1, "all targets hashed to one shard");
+        for k in 0..64u64 {
+            assert_eq!(
+                LockManager::shard_of(&r(10, k)),
+                LockManager::shard_of(&r(10, k))
+            );
+        }
+        // Cross-shard independence: an X holder on one target never
+        // blocks a younger locker of a different target.
+        let m = mgr();
+        m.lock(1, r(10, 1), LockMode::Exclusive).unwrap();
+        for k in 2..10u64 {
+            m.lock(k, r(10, k), LockMode::Exclusive).unwrap();
+        }
     }
 
     #[test]

@@ -8,10 +8,10 @@
 
 use bytes::{Buf, BufMut};
 use faultkit::disk::{DiskDevice, DiskFault, DiskOp, DiskPlan, DiskSchedule};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crate::error::{Error, Result};
 use crate::schema::{decode_schema, encode_schema, get_str, put_str, TableSchema};
@@ -579,6 +579,64 @@ struct Tail {
     base: u64,
 }
 
+/// Group-commit tuning (the `ServerConfig::group_commit` knob).
+///
+/// When enabled, committing sessions enqueue their commit LSN and park;
+/// a batch leader performs one fsync covering every waiter whose record
+/// is in the flushed tail. `max_wait` bounds how long the first
+/// committer holds the batch open collecting company; `max_batch`
+/// releases the batch early once that many commits are parked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupCommit {
+    /// Route commits through the batching path.
+    pub enabled: bool,
+    /// Flush as soon as this many commits are parked.
+    pub max_batch: usize,
+    /// Upper bound on how long a commit waits for company before its
+    /// batch flushes anyway.
+    pub max_wait: Duration,
+}
+
+impl Default for GroupCommit {
+    fn default() -> Self {
+        GroupCommit {
+            enabled: false,
+            max_batch: 8,
+            max_wait: Duration::from_micros(500),
+        }
+    }
+}
+
+impl GroupCommit {
+    /// Batching on, with the given window.
+    pub fn on(max_batch: usize, max_wait: Duration) -> Self {
+        GroupCommit {
+            enabled: true,
+            max_batch: max_batch.max(1),
+            max_wait,
+        }
+    }
+}
+
+/// Shared state of the commit batch currently forming.
+struct Group {
+    /// Commit LSNs parked waiting for a covering flush.
+    pending: Vec<Lsn>,
+    /// Whether a batch leader is currently collecting or flushing.
+    leader: bool,
+    /// Terminal error of a failed batch flush, broadcast to every
+    /// waiter: fail-stop applies to the whole batch, never just the
+    /// leader.
+    dead: Option<Error>,
+}
+
+/// Outcome of one wait round on the group: either this commit's record
+/// became durable, or it is this session's turn to lead a flush.
+enum GroupTurn {
+    Covered,
+    Lead,
+}
+
 /// Volatile front end to the log: buffered appends + flush control.
 ///
 /// **Fail-stop flushes (fsyncgate discipline).** The first flush that
@@ -595,11 +653,19 @@ pub struct LogManager {
     flushed: AtomicU64,
     epoch: u64,
     poisoned: AtomicBool,
+    group_cfg: GroupCommit,
+    group: Mutex<Group>,
+    group_cv: Condvar,
 }
 
 impl LogManager {
-    /// Attach a volatile tail to the durable store.
+    /// Attach a volatile tail to the durable store (group commit off).
     pub fn new(store: Arc<LogStore>) -> Self {
+        Self::with_group(store, GroupCommit::default())
+    }
+
+    /// Attach a volatile tail with the given group-commit tuning.
+    pub fn with_group(store: Arc<LogStore>, group_cfg: GroupCommit) -> Self {
         let base = store.durable_len();
         let epoch = store.current_epoch();
         LogManager {
@@ -611,7 +677,19 @@ impl LogManager {
             flushed: AtomicU64::new(base),
             epoch,
             poisoned: AtomicBool::new(false),
+            group_cfg,
+            group: Mutex::new(Group {
+                pending: Vec::new(),
+                leader: false,
+                dead: None,
+            }),
+            group_cv: Condvar::new(),
         }
+    }
+
+    /// The active group-commit tuning.
+    pub fn group_config(&self) -> GroupCommit {
+        self.group_cfg
     }
 
     /// Whether a failed flush has poisoned this manager (fail-stop).
@@ -647,10 +725,157 @@ impl LogManager {
 
     /// Durably flush at least through `lsn` (record start offset).
     pub fn flush_to(&self, lsn: Lsn) -> Result<()> {
-        if self.flushed.load(Ordering::Acquire) > lsn {
+        if self.covered(lsn) {
             return Ok(());
         }
         self.flush_all()
+    }
+
+    /// Whether the record starting at `lsn` is durably flushed. The tail
+    /// flushes whole records, so the watermark passing a record's start
+    /// offset means its entire frame landed.
+    fn covered(&self, lsn: Lsn) -> bool {
+        self.flushed.load(Ordering::Acquire) > lsn
+    }
+
+    /// Durably flush a commit record at `lsn`, coalescing concurrent
+    /// committers into one fsync when group commit is enabled.
+    ///
+    /// The committing session enqueues its LSN and parks; the first
+    /// session whose window expires (or that fills the batch) leads one
+    /// `flush_all` covering every parked LSN. A failed batch flush is
+    /// broadcast to **all** waiters via [`Group::dead`] — fail-stop
+    /// semantics apply to the batch, never just the leader.
+    pub fn commit_flush(&self, lsn: Lsn) -> Result<()> {
+        if !self.group_cfg.enabled {
+            return self.flush_to(lsn);
+        }
+        // Crashpoints sit outside the group lock (same discipline as
+        // the tail lock): a crash action fences the durable store and
+        // restarts the server on this thread, and must never deadlock
+        // against the log.
+        faultkit::crashpoint!("wal.group.enqueue");
+        {
+            let mut g = self.group.lock();
+            let _lw = obskit::lockcheck::held("LogManager::group");
+            if self.covered(lsn) {
+                // An earlier flush (another batch, an eviction, an
+                // abort) already made this commit durable: zero fsyncs.
+                obskit::metrics::global()
+                    .counter("wal.flush.coalesced")
+                    .incr();
+                return Ok(());
+            }
+            g.pending.push(lsn);
+        }
+        let deadline = Instant::now() + self.group_cfg.max_wait;
+        let mut led = false;
+        loop {
+            match self.group_wait(lsn, deadline)? {
+                GroupTurn::Covered => {
+                    if !led {
+                        // This commit rode a flush it did not perform.
+                        obskit::metrics::global()
+                            .counter("wal.flush.coalesced")
+                            .incr();
+                    }
+                    faultkit::crashpoint!("wal.group.wake");
+                    return Ok(());
+                }
+                GroupTurn::Lead => {
+                    led = true;
+                    faultkit::crashpoint!("wal.group.lead");
+                    let r = self.flush_all();
+                    self.leader_done(&r);
+                    // Loop back: success exits via `Covered` (this
+                    // commit's record was in the flushed tail), failure
+                    // via the `dead` broadcast in `group_wait`.
+                }
+            }
+        }
+    }
+
+    /// Park on the group until this commit is durable, its batch dies,
+    /// or it is this session's turn to lead a flush.
+    fn group_wait(&self, lsn: Lsn, deadline: Instant) -> Result<GroupTurn> {
+        let mut g = self.group.lock();
+        let _lw = obskit::lockcheck::held("LogManager::group");
+        loop {
+            // Durability wins over a concurrent batch death: if some
+            // flush already covered this record, the commit is durable
+            // and must ack. An error therefore means the record never
+            // reached the device (fail-stop admits no later flush).
+            if self.covered(lsn) {
+                return Ok(GroupTurn::Covered);
+            }
+            if let Some(e) = &g.dead {
+                let e = e.clone();
+                Self::forget(&mut g, lsn);
+                return Err(e);
+            }
+            if self.is_poisoned() {
+                Self::forget(&mut g, lsn);
+                return Err(Self::poisoned_err());
+            }
+            if !g.leader
+                && (g.pending.len() >= self.group_cfg.max_batch || Instant::now() >= deadline)
+            {
+                g.leader = true;
+                return Ok(GroupTurn::Lead);
+            }
+            // Ticked wait: a lost notification only delays, never
+            // strands, a committer — the predicate re-check above is
+            // what grants.
+            self.group_cv.wait_for(&mut g, Duration::from_micros(200));
+        }
+    }
+
+    /// Release batch leadership and broadcast a failed flush to every
+    /// parked waiter.
+    fn leader_done(&self, r: &Result<()>) {
+        let mut g = self.group.lock();
+        let _lw = obskit::lockcheck::held("LogManager::group");
+        g.leader = false;
+        if let Err(e) = r {
+            if g.dead.is_none() {
+                g.dead = Some(e.clone());
+            }
+        }
+        self.group_cv.notify_all();
+    }
+
+    /// Drop a dead waiter's LSN from the pending batch.
+    fn forget(g: &mut Group, lsn: Lsn) {
+        if let Some(i) = g.pending.iter().position(|&l| l == lsn) {
+            g.pending.swap_remove(i);
+        }
+    }
+
+    /// Group-commit completion hook, run after every flush attempt:
+    /// drains the parked LSNs a successful flush covered (returning the
+    /// batch size) or broadcasts a failed flush to the whole batch.
+    fn group_note_flush(&self, outcome: &Result<()>) -> usize {
+        let mut g = self.group.lock();
+        let _lw = obskit::lockcheck::held("LogManager::group");
+        let batch = match outcome {
+            Ok(()) => {
+                let flushed = self.flushed.load(Ordering::Acquire);
+                let before = g.pending.len();
+                g.pending.retain(|&l| l >= flushed);
+                before - g.pending.len()
+            }
+            Err(e) => {
+                // Any flush failure is terminal for this incarnation
+                // (poison or epoch fence): waiters must not sit out
+                // their full window discovering that.
+                if g.dead.is_none() {
+                    g.dead = Some(e.clone());
+                }
+                0
+            }
+        };
+        self.group_cv.notify_all();
+        batch
     }
 
     /// Flush the whole tail. Fail-stop: the first I/O failure poisons
@@ -659,31 +884,51 @@ impl LogManager {
         // Crashpoints sit outside the tail lock: a crash action fences
         // the durable store and must never deadlock against the log.
         faultkit::crashpoint!("wal.flush.pre");
-        {
+        let outcome = {
             let mut tail = self.tail.lock();
             let _lw = obskit::lockcheck::held("LogManager::tail");
             if self.is_poisoned() {
-                return Err(Self::poisoned_err());
-            }
-            if !tail.buf.is_empty() {
+                Err(Self::poisoned_err())
+            } else if tail.buf.is_empty() {
+                Ok(())
+            } else {
                 let t_flush = Instant::now();
-                if let Err(e) = self.store.append(&tail.buf, self.epoch, tail.base) {
-                    // Epoch fencing means the server is gone, not that
-                    // the device failed: don't poison for it.
-                    if e != Error::ServerShutdown {
-                        self.poisoned.store(true, Ordering::SeqCst);
-                        obskit::metrics::global().counter("wal.poisoned").incr();
-                        obskit::event!("wal.poisoned", "flush failed: {e}");
+                match self.store.append(&tail.buf, self.epoch, tail.base) {
+                    Err(e) => {
+                        // Epoch fencing means the server is gone, not that
+                        // the device failed: don't poison for it.
+                        if e != Error::ServerShutdown {
+                            self.poisoned.store(true, Ordering::SeqCst);
+                            obskit::metrics::global().counter("wal.poisoned").incr();
+                            obskit::event!("wal.poisoned", "flush failed: {e}");
+                        }
+                        Err(e)
                     }
-                    return Err(e);
+                    Ok(()) => {
+                        tail.base += tail.buf.len() as u64;
+                        tail.buf.clear();
+                        self.flushed.store(tail.base, Ordering::Release);
+                        drop(tail);
+                        obskit::metrics::global().record("sqlengine.wal.flush", t_flush.elapsed());
+                        Ok(())
+                    }
                 }
-                tail.base += tail.buf.len() as u64;
-                tail.buf.clear();
-                self.flushed.store(tail.base, Ordering::Release);
-                drop(tail);
-                obskit::metrics::global().record("sqlengine.wal.flush", t_flush.elapsed());
+            }
+        };
+        // The group hook runs after every attempt, success or failure
+        // (the tail guard is gone either way): a success acks every
+        // parked commit the watermark now covers, a failure broadcasts
+        // fail-stop to the whole batch.
+        if self.group_cfg.enabled {
+            let batch = self.group_note_flush(&outcome);
+            if batch > 0 {
+                obskit::metrics::global()
+                    .histogram("wal.flush.batch_size")
+                    .record(batch as u64);
+                obskit::event!("wal.group.batch", "fsync covered {batch} commits");
             }
         }
+        outcome?;
         faultkit::crashpoint!("wal.flush.post");
         Ok(())
     }
@@ -922,5 +1167,135 @@ mod tests {
         assert_eq!(store.checkpoint(), Some(0));
         store.set_checkpoint(42);
         assert_eq!(store.checkpoint(), Some(42));
+    }
+
+    fn grouped(max_batch: usize, max_wait_us: u64) -> (Arc<LogStore>, Arc<LogManager>) {
+        let store = Arc::new(LogStore::new());
+        let log = Arc::new(LogManager::with_group(
+            Arc::clone(&store),
+            GroupCommit::on(max_batch, Duration::from_micros(max_wait_us)),
+        ));
+        (store, log)
+    }
+
+    #[test]
+    fn group_disabled_commit_flush_is_flush_to() {
+        let store = Arc::new(LogStore::new());
+        let log = LogManager::new(Arc::clone(&store));
+        assert!(!log.group_config().enabled);
+        let lsn = log.append(&LogRecord::Commit { txn: 1 });
+        log.commit_flush(lsn).unwrap();
+        assert_eq!(store.records_from(0).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn group_solo_commit_leads_its_own_flush() {
+        let (store, log) = grouped(8, 200);
+        let lsn = log.append(&LogRecord::Commit { txn: 1 });
+        log.commit_flush(lsn).unwrap();
+        assert!(log.flushed_lsn() > lsn);
+        assert_eq!(
+            store.records_from(0).unwrap(),
+            vec![(lsn, LogRecord::Commit { txn: 1 })]
+        );
+    }
+
+    #[test]
+    fn group_concurrent_commits_all_durable() {
+        let (store, log) = grouped(4, 500);
+        let n = 8;
+        std::thread::scope(|s| {
+            for t in 0..n {
+                let log = Arc::clone(&log);
+                s.spawn(move || {
+                    let lsn = log.append(&LogRecord::Commit { txn: t });
+                    log.commit_flush(lsn).unwrap();
+                    // Durability at ack: the watermark covers our record.
+                    assert!(log.flushed_lsn() > lsn);
+                });
+            }
+        });
+        let recs = store.records_from(0).unwrap();
+        assert_eq!(recs.len(), n as usize);
+        let mut txns: Vec<TxnId> = recs
+            .iter()
+            .map(|(_, r)| match r {
+                LogRecord::Commit { txn } => *txn,
+                other => panic!("unexpected record {other:?}"),
+            })
+            .collect();
+        txns.sort_unstable();
+        assert_eq!(txns, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn group_piggybacks_on_unrelated_flush() {
+        // A parked commit must be acked by ANY successful flush that
+        // covers it (e.g. a buffer-pool eviction enforcing the WAL
+        // rule), not only by a batch leader's.
+        let (_store, log) = grouped(64, 200_000);
+        let lsn = log.append(&LogRecord::Commit { txn: 1 });
+        let waiter = {
+            let log = Arc::clone(&log);
+            std::thread::spawn(move || log.commit_flush(lsn))
+        };
+        // Give the waiter time to park, then flush from outside.
+        std::thread::sleep(Duration::from_millis(10));
+        log.flush_all().unwrap();
+        waiter.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn poisoned_batch_errors_all_waiters() {
+        use faultkit::disk::DiskFaultKind;
+        let (store, log) = grouped(4, 300);
+        store.set_fault_plan(Some(DiskPlan::at(DiskFaultKind::FsyncFail, 1)));
+        let n = 6;
+        let mut errs = Vec::new();
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for t in 0..n {
+                let log = Arc::clone(&log);
+                handles.push(s.spawn(move || {
+                    let lsn = log.append(&LogRecord::Commit { txn: t });
+                    log.commit_flush(lsn)
+                }));
+            }
+            for h in handles {
+                errs.push(h.join().unwrap());
+            }
+        });
+        // Fail-stop covers the whole batch: every waiter sees the
+        // error, not just the leader that hit the device.
+        assert!(errs.iter().all(|r| r.is_err()), "got {errs:?}");
+        assert!(log.is_poisoned());
+        assert_eq!(store.durable_len(), 0);
+    }
+
+    #[test]
+    fn epoch_fenced_batch_errors_without_poison() {
+        let (store, log) = grouped(4, 300);
+        store.bump_epoch();
+        let n = 3;
+        let mut errs = Vec::new();
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for t in 0..n {
+                let log = Arc::clone(&log);
+                handles.push(s.spawn(move || {
+                    let lsn = log.append(&LogRecord::Commit { txn: t });
+                    log.commit_flush(lsn)
+                }));
+            }
+            for h in handles {
+                errs.push(h.join().unwrap());
+            }
+        });
+        for r in errs {
+            assert_eq!(r, Err(Error::ServerShutdown));
+        }
+        // Fencing means a newer incarnation owns the store, not that
+        // the device failed.
+        assert!(!log.is_poisoned());
     }
 }

@@ -22,7 +22,7 @@ use crate::storage::disk::MemDisk;
 use crate::storage::heap::Storage;
 use crate::storage::page::Page;
 use crate::txn::TxnManager;
-use crate::wal::log::{ClrAction, LogManager, LogRecord, LogStore, Lsn, TxnId};
+use crate::wal::log::{ClrAction, GroupCommit, LogManager, LogRecord, LogStore, Lsn, TxnId};
 
 /// Tuning for the recovered engine.
 #[derive(Debug, Clone, Copy)]
@@ -34,6 +34,10 @@ pub struct RecoveryConfig {
     /// page, which would skew the recovery-time experiments; servers
     /// that expect storage faults opt in.
     pub scrub: bool,
+    /// Group-commit window for the recovered engine's WAL manager.
+    /// Disabled by default: single-session workloads gain nothing from
+    /// batching, and the window adds commit latency.
+    pub group_commit: GroupCommit,
 }
 
 impl Default for RecoveryConfig {
@@ -41,6 +45,7 @@ impl Default for RecoveryConfig {
         RecoveryConfig {
             pool_capacity: 4096,
             scrub: false,
+            group_commit: GroupCommit::default(),
         }
     }
 }
@@ -78,7 +83,10 @@ pub fn recover(
         torn_tail_bytes: store.recover_tail()?,
         ..RecoveryStats::default()
     };
-    let log = Arc::new(LogManager::new(Arc::clone(&store)));
+    let log = Arc::new(LogManager::with_group(
+        Arc::clone(&store),
+        config.group_commit,
+    ));
 
     // --- Analysis: restore catalog from checkpoint ---
     faultkit::crashpoint!("recovery.analysis");

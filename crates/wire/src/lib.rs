@@ -14,5 +14,5 @@ pub mod server;
 pub mod transport;
 
 pub use protocol::{DoneKind, Request, Response, StmtId};
-pub use server::{ClientConn, DbServer, ServerConfig};
+pub use server::{ClientConn, DbServer, GroupCommit, ServerConfig};
 pub use transport::{Endpoint, NetConfig, Pipe};

@@ -15,6 +15,8 @@ use sqlengine::storage::disk::{DiskModel, IoSnapshot};
 use sqlengine::wal::recovery::{RecoveryConfig, RecoveryStats};
 use sqlengine::{Error, Result};
 
+pub use sqlengine::wal::log::GroupCommit;
+
 use crate::protocol::{columns_to_wire, DoneKind, Request, Response, StmtId};
 use crate::transport::{Endpoint, NetConfig};
 
@@ -37,6 +39,10 @@ pub struct ServerConfig {
     /// Run a checksum scrub of every page as the final phase of restart
     /// recovery, repairing latent corruption before clients reconnect.
     pub scrub_on_restart: bool,
+    /// Group-commit window: when enabled, concurrent committing
+    /// sessions coalesce into one WAL fsync per batch. Survives
+    /// crash/restart (it is server tuning, not volatile state).
+    pub group_commit: GroupCommit,
 }
 
 impl Default for ServerConfig {
@@ -49,6 +55,7 @@ impl Default for ServerConfig {
             row_batch: 16,
             faults: None,
             scrub_on_restart: false,
+            group_commit: GroupCommit::default(),
         }
     }
 }
@@ -122,6 +129,7 @@ impl DbServer {
             RecoveryConfig {
                 pool_capacity: self.inner.config.pool_capacity,
                 scrub: self.inner.config.scrub_on_restart,
+                group_commit: self.inner.config.group_commit,
             },
         )?;
         let stats = engine.recovery_stats();

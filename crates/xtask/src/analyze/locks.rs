@@ -484,8 +484,12 @@ fn let_binding_name(toks: &[Tok], j: usize) -> Option<String> {
 }
 
 /// Walk the `.`-separated receiver chain left of the method identifier at
-/// `j`: `self.frame.data.read(` → `["self", "frame", "data"]`. Stops at
-/// anything that is not `ident .` — a `)` leaves a partial chain.
+/// `j`: `self.frame.data.read(` → `["self", "frame", "data"]`. A balanced
+/// `[…]` index group is skipped — `self.shards[si].lock(` names the
+/// `shards` cell regardless of the index expression, which is how
+/// lock-striped `Vec<Mutex<_>>` / `[Mutex<_>; N]` fields are acquired.
+/// Stops at anything else that is not `ident .` — a `)` leaves a partial
+/// chain.
 fn receiver_chain(toks: &[Tok], j: usize) -> Vec<String> {
     let mut chain = Vec::new();
     let mut k = j as i64 - 1; // the `.`
@@ -493,12 +497,30 @@ fn receiver_chain(toks: &[Tok], j: usize) -> Vec<String> {
         if !toks[k as usize].is_punct('.') {
             break;
         }
-        let prev = &toks[k as usize - 1];
-        if prev.kind != TokKind::Ident {
+        let mut p = k - 1;
+        if p >= 0 && toks[p as usize].is_punct(']') {
+            let mut depth = 0i64;
+            while p >= 0 {
+                if toks[p as usize].is_punct(']') {
+                    depth += 1;
+                } else if toks[p as usize].is_punct('[') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                p -= 1;
+            }
+            if depth != 0 {
+                break;
+            }
+            p -= 1; // the token before `[`
+        }
+        if p < 0 || toks[p as usize].kind != TokKind::Ident {
             break;
         }
-        chain.push(prev.text.clone());
-        k -= 2;
+        chain.push(toks[p as usize].text.clone());
+        k = p - 1;
     }
     chain.reverse();
     chain

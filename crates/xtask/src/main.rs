@@ -214,6 +214,45 @@ fn validate_snapshot(path: &Path) -> bool {
     true
 }
 
+/// Parse the group-commit snapshot and check that the 4-session commit
+/// mix actually coalesced: the `wal.flush.batch_size` histogram must be
+/// present with a median batch of at least 2 commits per fsync.
+fn validate_group_commit_snapshot(path: &Path) -> bool {
+    println!("== xtask ci: validate group-commit batching ==");
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("xtask ci: snapshot {} unreadable: {e}", path.display());
+            return false;
+        }
+    };
+    let doc = match obskit::json::Json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("xtask ci: snapshot is not valid JSON: {e}");
+            return false;
+        }
+    };
+    let hist = doc
+        .get("histograms")
+        .and_then(|h| h.get("wal.flush.batch_size"));
+    let Some(hist) = hist else {
+        eprintln!("xtask ci: snapshot has no wal.flush.batch_size histogram");
+        return false;
+    };
+    let count = hist.get("count").and_then(|v| v.as_f64()).unwrap_or(0.0);
+    let p50 = hist.get("p50").and_then(|v| v.as_f64()).unwrap_or(0.0);
+    if count < 1.0 || p50 < 2.0 {
+        eprintln!(
+            "xtask ci: group commit did not coalesce under the 4-session mix \
+             (batch_size count: {count}, p50: {p50}, need p50 >= 2)"
+        );
+        return false;
+    }
+    println!("group commit ok: {count} covering fsyncs, batch p50 = {p50}");
+    true
+}
+
 /// Validate the runtime lockcheck witness against the statically
 /// inferred lock-order graph: every acquisition order observed at
 /// runtime must be consistent with (not contradict) the static edges.
@@ -385,7 +424,31 @@ fn ci() -> ExitCode {
         && validate_snapshot(&snapshot)
         && validate_witness(&witness);
 
-    if obs_ok {
+    // Group-commit batching gate: run the 4-session commit mix alone
+    // (its own process, so the global registry holds only this run) and
+    // check the exported wal.flush.batch_size histogram shows real
+    // coalescing — a median fsync covering at least 2 commits, i.e.
+    // strictly fewer than one fsync per commit.
+    let gc_snapshot = root.join("target").join("xtask-group-commit-snapshot.json");
+    let gc_ok = obs_ok
+        && step(
+            "group commit (4-session mix)",
+            Command::new(&cargo)
+                .args([
+                    "test",
+                    "-p",
+                    "integration-tests",
+                    "--test",
+                    "group_commit",
+                    "four_session_commit_mix_batches_fsyncs",
+                    "-q",
+                ])
+                .env("OBSKIT_SNAPSHOT", &gc_snapshot)
+                .current_dir(&root),
+        )
+        && validate_group_commit_snapshot(&gc_snapshot);
+
+    if gc_ok {
         println!("== xtask ci: all green ==");
         ExitCode::SUCCESS
     } else {

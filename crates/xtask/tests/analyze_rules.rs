@@ -81,6 +81,30 @@ fn bad_analyze_allow_is_flagged() {
 }
 
 #[test]
+fn sharded_cells_register_and_indexed_acquisitions_resolve() {
+    let a = analyze(&ws_of("analyze_sharded.rs", &[]));
+    assert!(a.violations.is_empty(), "{:#?}", a.violations);
+    assert_eq!(a.stats.cycles, 0);
+    // Every striped cell shape is a graph node: Vec<Mutex<_>>,
+    // Vec<Shard> with an inner mutex, and a [RwLock<_>; N] array.
+    for n in ["Pool::shards", "Stripe::state", "Pool::banks"] {
+        assert!(a.graph.nodes.contains(n), "missing node {n}");
+    }
+    // Indexed acquisitions resolved — none fell through as unresolved
+    // `.lock()`-shaped sites.
+    assert_eq!(a.stats.acq_unresolved, 0, "{:?}", a.stats);
+    // The two-stripe acquisition order is an inferred edge, with the
+    // index expressions (including a computed `self.pick(i)`) skipped.
+    assert!(
+        a.graph
+            .edges
+            .contains_key(&("Pool::shards".into(), "Stripe::state".into())),
+        "edges: {:#?}",
+        a.graph.edges.keys().collect::<Vec<_>>()
+    );
+}
+
+#[test]
 fn uncovered_crashpoint_is_flagged_and_prefix_literals_cover() {
     let a = analyze(&ws_of("analyze_uncovered_crashpoint.rs", &[]));
     let scen: Vec<_> = a
@@ -163,12 +187,12 @@ fn workspace_analysis_is_clean_and_finds_the_real_graph() {
     assert_eq!(a.stats.cycles, 0);
 
     // The storage stack's real acquisition order must be inferred: the
-    // buffer pool flushes a frame under its own lock (inner → data), the
-    // WAL rule flushes the log under the frame lock (data → tail), the
-    // flush appends to the durable store (tail → durable), and eviction
-    // writes the page out (data → pages).
+    // buffer pool flushes a frame under its stripe's lock (shards →
+    // data), the WAL rule flushes the log under the frame lock (data →
+    // tail), the flush appends to the durable store (tail → durable),
+    // and eviction writes the page out (data → pages).
     for (from, to) in [
-        ("BufferPool::inner", "Frame::data"),
+        ("BufferPool::shards", "Frame::data"),
         ("Frame::data", "LogManager::tail"),
         ("LogManager::tail", "LogStore::durable"),
         ("Frame::data", "MemDisk::pages"),
@@ -181,8 +205,9 @@ fn workspace_analysis_is_clean_and_finds_the_real_graph() {
     }
     // Every instrumented lockcheck cell is a node the witness can match.
     for n in [
-        "LockManager::state",
-        "BufferPool::inner",
+        "LockShard::state",
+        "BufferPool::shards",
+        "LogManager::group",
         "Frame::data",
         "LogManager::tail",
         "LogStore::durable",

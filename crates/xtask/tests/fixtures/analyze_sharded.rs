@@ -1,0 +1,49 @@
+//! Fixture: lock-striped cells. A `Vec<Mutex<_>>`, a `[RwLock<_>; N]`
+//! array, and a shard struct holding an inner mutex must all register as
+//! lock cells, and `receiver[index].lock()` acquisition sites must
+//! resolve to the striped cell regardless of the index expression.
+
+use parking_lot::{Mutex, RwLock};
+
+struct Stripe {
+    state: Mutex<u32>,
+}
+
+struct Pool {
+    shards: Vec<Mutex<u32>>,
+    stripes: Vec<Stripe>,
+    banks: [RwLock<u32>; 4],
+}
+
+impl Pool {
+    fn pick(&self, i: usize) -> usize {
+        i % 4
+    }
+
+    fn vec_cell(&self, i: usize) {
+        let g = self.shards[i].lock();
+        drop(g);
+    }
+
+    fn nested_cell(&self, i: usize) {
+        let g = self.stripes[i].state.lock();
+        drop(g);
+    }
+
+    fn array_cell(&self, i: usize) {
+        let g = self.banks[i].read();
+        drop(g);
+    }
+
+    fn computed_index(&self, i: usize) {
+        let g = self.shards[self.pick(i)].lock();
+        drop(g);
+    }
+
+    fn ordered(&self, i: usize) {
+        let a = self.shards[i].lock();
+        let b = self.stripes[i].state.lock();
+        drop(b);
+        drop(a);
+    }
+}

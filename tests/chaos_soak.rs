@@ -24,7 +24,7 @@ use phoenix::{ExecKind, PhoenixConfig, PhoenixConnection, ReconnectPolicy};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sqlengine::Value;
-use wire::{DbServer, ServerConfig};
+use wire::{DbServer, GroupCommit, ServerConfig};
 
 const SCENARIO: &str = "chaos_soak";
 
@@ -88,7 +88,12 @@ fn run_seed(seed: u64) {
     // timeline. Cleared per seed so a dump shows only the failing run.
     let _trace = obskit::trace::session();
     obskit::trace::clear();
-    let server = DbServer::start(ServerConfig::instant_net()).unwrap();
+    // Group commit on: the single session mostly forms batches of one,
+    // but every commit takes the park/lead/wake path, so the soak's
+    // crash schedule lands inside the batching protocol too.
+    let mut cfg = ServerConfig::instant_net();
+    cfg.group_commit = GroupCommit::on(4, Duration::from_micros(500));
+    let server = DbServer::start(cfg).unwrap();
     {
         let engine = server.engine().unwrap();
         let sid = engine.create_session().unwrap();

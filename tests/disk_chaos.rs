@@ -30,7 +30,7 @@ use phoenix::{ExecKind, PhoenixConfig, PhoenixConnection, ReconnectPolicy};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sqlengine::{Error, Value};
-use wire::{DbServer, ServerConfig};
+use wire::{DbServer, GroupCommit, ServerConfig};
 
 const SCENARIO: &str = "disk_chaos";
 
@@ -157,6 +157,10 @@ fn run_seed(seed: u64) {
     obskit::trace::clear();
     let mut cfg = ServerConfig::instant_net();
     cfg.scrub_on_restart = true;
+    // Group commit on: the seeded WAL-device faults (FsyncFail,
+    // FsyncLie, torn appends) now land on batch-leader flushes, so the
+    // fail-stop broadcast to parked waiters is under storage chaos too.
+    cfg.group_commit = GroupCommit::on(4, Duration::from_micros(500));
     let server = DbServer::start(cfg).unwrap();
     {
         let engine = server.engine().unwrap();

@@ -116,6 +116,7 @@ fn injected_read_error_is_transient() {
     let cfg = RecoveryConfig {
         pool_capacity: 4,
         scrub: false,
+        ..Default::default()
     };
     let engine = Engine::recover(&durable, cfg).unwrap();
     let sid = engine.create_session().unwrap();
