@@ -37,6 +37,7 @@ pub fn tpch_server() -> ServerConfig {
         scrub_on_restart: false,
         // Single-session sweeps: a commit window would only add latency.
         group_commit: GroupCommit::default(),
+        admission: wire::AdmissionConfig::default(),
     }
 }
 
@@ -55,6 +56,7 @@ pub fn tpcc_server(pool_pages: usize, io_latency: Duration) -> ServerConfig {
         // The 4-user mix commits concurrently; one batch-leader fsync
         // covers the window (`wal.flush.batch_size` in the JSON twin).
         group_commit: GroupCommit::on(8, Duration::from_millis(2)),
+        admission: wire::AdmissionConfig::default(),
     }
 }
 

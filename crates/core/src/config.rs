@@ -82,7 +82,19 @@ impl ReconnectPolicy {
     /// exponentially grown from `initial_backoff`, capped at
     /// `max_backoff`, plus deterministic jitter in `[0, delay/4]` drawn
     /// from `jitter_seed` — same policy and attempt, same delay.
+    ///
+    /// Stream 0 of [`backoff_delay_stream`](Self::backoff_delay_stream).
     pub fn backoff_delay(&self, attempt: u32) -> Duration {
+        self.backoff_delay_stream(0, attempt)
+    }
+
+    /// Per-stream backoff schedule: like
+    /// [`backoff_delay`](Self::backoff_delay), but the jitter is drawn
+    /// from a per-`stream` seed (one stream per virtual session, keyed by
+    /// its connection id). One shared `jitter_seed` would give every
+    /// session the *same* schedule — a reconnect storm would stay
+    /// synchronized on every retry; decorrelated streams spread it out.
+    pub fn backoff_delay_stream(&self, stream: u64, attempt: u32) -> Duration {
         let exp = attempt.saturating_sub(1).min(16);
         let base = self
             .initial_backoff
@@ -92,10 +104,24 @@ impl ReconnectPolicy {
         if quarter == 0 {
             return base;
         }
-        let jitter =
-            Duration::from_nanos(splitmix64(self.jitter_seed ^ attempt as u64) % (quarter + 1));
+        let jitter = Duration::from_nanos(
+            splitmix64(mix_stream(self.jitter_seed, stream) ^ attempt as u64) % (quarter + 1),
+        );
         base + jitter
     }
+}
+
+/// Decorrelate one policy seed into per-session jitter streams — the
+/// same index-mixing scheme `faultkit::net` uses for per-pipe fault
+/// schedules: a golden-ratio multiply of the stream index folded into
+/// the seed, then the splitmix64 finalizer. Stream 0 reproduces the
+/// historical single-stream schedule's structure but every stream is
+/// statistically independent of every other.
+fn mix_stream(seed: u64, stream: u64) -> u64 {
+    if stream == 0 {
+        return seed;
+    }
+    splitmix64(seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 
 /// SplitMix64 finalizer — the jitter source. Pure arithmetic, so the
@@ -114,15 +140,26 @@ fn splitmix64(x: u64) -> u64 {
 /// `RecoveryExhausted`.
 pub struct Backoff {
     policy: ReconnectPolicy,
+    stream: u64,
     attempt: u32,
     deadline: Option<Instant>,
 }
 
 impl Backoff {
-    /// Start a recovery budget: the deadline clock begins now.
+    /// Start a recovery budget: the deadline clock begins now. Jitter
+    /// stream 0 — single-session callers and tests.
     pub fn new(policy: &ReconnectPolicy) -> Backoff {
+        Backoff::for_stream(policy, 0)
+    }
+
+    /// Start a recovery budget on a per-session jitter stream (see
+    /// [`ReconnectPolicy::backoff_delay_stream`]). Phoenix passes the
+    /// virtual session's connection id, so concurrent recoveries draw
+    /// decorrelated schedules from one configured seed.
+    pub fn for_stream(policy: &ReconnectPolicy, stream: u64) -> Backoff {
         Backoff {
             policy: *policy,
+            stream,
             attempt: 0,
             deadline: Instant::now().checked_add(policy.deadline),
         }
@@ -141,7 +178,39 @@ impl Backoff {
             return false;
         }
         self.attempt += 1;
-        let mut delay = self.policy.backoff_delay(self.attempt);
+        let delay = self.policy.backoff_delay_stream(self.stream, self.attempt);
+        self.sleep_within_budget(delay)
+    }
+
+    /// Sleep before the next retry after the server shed us with a
+    /// `retry_after` hint: honor the hint plus this stream's seeded
+    /// jitter (in `[0, hint/4]`, so a shed herd does not re-arrive in
+    /// lockstep), all inside the one recovery budget — the hint is
+    /// clipped to the remaining deadline and never extends it. A zero
+    /// hint falls back to the ordinary backoff schedule.
+    pub fn wait_shed(&mut self, hint: Duration) -> bool {
+        if hint.is_zero() {
+            return self.wait();
+        }
+        if self.attempt >= self.policy.max_attempts {
+            return false;
+        }
+        self.attempt += 1;
+        let quarter = (hint / 4).as_nanos() as u64;
+        let jitter = if quarter == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos(
+                splitmix64(mix_stream(self.policy.jitter_seed, self.stream) ^ self.attempt as u64)
+                    % (quarter + 1),
+            )
+        };
+        self.sleep_within_budget(hint + jitter)
+    }
+
+    /// One bounded sleep: clipped to the remaining deadline, `false` when
+    /// the budget is already (or just became) spent.
+    fn sleep_within_budget(&mut self, mut delay: Duration) -> bool {
         if let Some(d) = self.deadline {
             let now = Instant::now();
             if now >= d {
@@ -235,6 +304,79 @@ mod tests {
             assert!(d >= p.initial_backoff);
         }
         assert!(p.backoff_delay(1) < p.backoff_delay(6));
+    }
+
+    #[test]
+    fn per_session_jitter_streams_diverge() {
+        // Two sessions sharing one configured seed must not share a
+        // retry schedule, or a reconnect storm stays synchronized on
+        // every attempt. Pin both divergence and per-stream determinism.
+        let p = ReconnectPolicy::default();
+        let schedule = |stream: u64| -> Vec<Duration> {
+            (1..=10)
+                .map(|a| p.backoff_delay_stream(stream, a))
+                .collect()
+        };
+        assert_eq!(schedule(1), schedule(1), "streams must be deterministic");
+        assert_ne!(
+            schedule(1),
+            schedule(2),
+            "two sessions' retry schedules must diverge"
+        );
+        let differing = (1..=10u32)
+            .filter(|&a| p.backoff_delay_stream(1, a) != p.backoff_delay_stream(2, a))
+            .count();
+        assert!(
+            differing >= 5,
+            "streams barely decorrelated: {differing}/10 attempts differ"
+        );
+        // Stream 0 is the historical shared-stream schedule.
+        assert_eq!(p.backoff_delay_stream(0, 3), p.backoff_delay(3));
+    }
+
+    #[test]
+    fn wait_shed_clips_hint_to_remaining_budget() {
+        // A shed server may hint a retry_after far beyond the client's
+        // recovery deadline; honoring it verbatim would burn the whole
+        // request budget asleep. The wait must clip to what remains.
+        let p = ReconnectPolicy {
+            max_attempts: u32::MAX,
+            deadline: Duration::from_millis(40),
+            ..ReconnectPolicy::default()
+        };
+        let mut b = Backoff::new(&p);
+        let t0 = Instant::now();
+        while b.wait_shed(Duration::from_secs(10)) {}
+        let spent = t0.elapsed();
+        assert!(
+            spent < Duration::from_secs(2),
+            "hint was honored past the deadline budget: {spent:?}"
+        );
+        assert!(
+            spent >= Duration::from_millis(30),
+            "gave up early: {spent:?}"
+        );
+    }
+
+    #[test]
+    fn wait_shed_adds_seeded_jitter_to_the_hint() {
+        let p = ReconnectPolicy {
+            max_attempts: 4,
+            deadline: Duration::from_secs(5),
+            ..ReconnectPolicy::default()
+        };
+        let mut a = Backoff::for_stream(&p, 1);
+        let mut b = Backoff::for_stream(&p, 2);
+        let hint = Duration::from_millis(5);
+        let t0 = Instant::now();
+        assert!(a.wait_shed(hint));
+        let ta = t0.elapsed();
+        let t1 = Instant::now();
+        assert!(b.wait_shed(hint));
+        let tb = t1.elapsed();
+        // Both honored at least the hint; jitter keeps them within 25%.
+        assert!(ta >= hint && tb >= hint);
+        assert!(ta <= Duration::from_millis(60) && tb <= Duration::from_millis(60));
     }
 
     #[test]

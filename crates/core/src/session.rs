@@ -282,6 +282,13 @@ impl PhoenixConnection {
         format!("phx_{}", self.conn_id)
     }
 
+    /// The key this connection's wrapped modifications are ledgered under
+    /// in `phx_status` — lets a test (or an auditor) read exactly this
+    /// session's exactly-once history.
+    pub fn app_key(&self) -> String {
+        self.status_key()
+    }
+
     // -- observability --------------------------------------------------------
 
     /// Counters describing this session's activity (a snapshot view over
@@ -758,6 +765,22 @@ impl PhoenixConnection {
                                 attempts += 1;
                                 self.recover(inner)?;
                             }
+                            Err(Error::Deadlock) => {
+                                // The ledger read lost a wait-die conflict
+                                // (e.g. against another session's status
+                                // write mid-storm): reads are safe to
+                                // retry after a decorrelated pause.
+                                if attempts >= self.cfg.reconnect.masking_retries {
+                                    return Err(Error::Deadlock);
+                                }
+                                attempts += 1;
+                                // lint:allow(sleep): deadlock-retry spacing, bounded by the policy's max_backoff
+                                std::thread::sleep(
+                                    self.cfg
+                                        .reconnect
+                                        .backoff_delay_stream(self.conn_id, attempts),
+                                );
+                            }
                             Err(e) => return Err(e),
                         }
                     };
@@ -771,9 +794,25 @@ impl PhoenixConnection {
                     // lint:allow(discard): the victim txn is already rolled back server-side
                     let _ = inner.app.exec_direct("ROLLBACK");
                     if attempts >= self.cfg.reconnect.masking_retries {
+                        // The victim transaction aborted, so this request
+                        // definitively did not apply (its status row cannot
+                        // exist). Return the req_id to the pool: an
+                        // application-level retry keeps the ledger dense.
+                        inner.next_req = req_id;
                         return Err(Error::Deadlock);
                     }
                     attempts += 1;
+                    // A fresh BEGIN is always the *youngest* transaction, so
+                    // under heavy contention an immediate retry just dies
+                    // again (victim livelock). Space retries out with the
+                    // session's own jittered backoff stream, the same
+                    // decorrelation that spreads a reconnect storm.
+                    // lint:allow(sleep): deadlock-retry spacing, bounded by the policy's max_backoff
+                    std::thread::sleep(
+                        self.cfg
+                            .reconnect
+                            .backoff_delay_stream(self.conn_id, attempts),
+                    );
                 }
                 Err(e) => {
                     // lint:allow(discard): ROLLBACK after a failed txn is best-effort; the error to surface is `e`
@@ -815,16 +854,39 @@ impl PhoenixConnection {
             return Ok(());
         }
 
+        // Concurrent-recovery telemetry: the inflight gauge (and its
+        // high-water mark) rises while this recovery is actively working
+        // and falls on every exit path — a reconnect storm shows up as
+        // the peak, and a leak would leave the gauge nonzero.
+        struct InflightGuard(std::sync::Arc<obskit::metrics::Gauge>);
+        impl Drop for InflightGuard {
+            fn drop(&mut self) {
+                self.0.add(-1);
+            }
+        }
+        let inflight = obskit::metrics::global().gauge("phoenix.recovery.inflight");
+        inflight.add(1);
+        obskit::metrics::global()
+            .gauge("phoenix.recovery.inflight.peak")
+            .max(inflight.get());
+        let _inflight = InflightGuard(inflight);
+
         // One budget governs both phases; a connection-fatal error in
         // phase 2 re-enters phase 1 on the same Backoff, so a crash during
         // recovery cannot leak `ServerShutdown` past this function.
         // Budget-exhausted exits flow through `exhausted` so the abandoned
-        // attempt still lands on the timeline.
-        let mut backoff = Backoff::new(&policy);
+        // attempt still lands on the timeline. The backoff draws jitter
+        // from this session's own stream (keyed by connection id): one
+        // configured seed, decorrelated schedules across a storm.
+        let mut backoff = Backoff::for_stream(&policy, self.conn_id);
         let exhausted = || {
             obskit::event!("phoenix.recovery.exhausted");
             Err(Error::RecoveryExhausted)
         };
+        // When the server sheds a reconnect (`ServerBusy`), its
+        // `retry_after` hint steers the next wait instead of the pure
+        // backoff schedule — still jittered, still inside the one budget.
+        let mut busy_hint: Option<Duration> = None;
         let (virtual_session, sql_state) = loop {
             // Phase 1: re-establish connections and the virtual session
             // (skipped when the links survived and only phase 2 remains).
@@ -843,12 +905,23 @@ impl PhoenixConnection {
                         // dead session, so the probe is informational.)
                         Some((app, private))
                     }
+                    Err(Error::ServerBusy { retry_after }) => {
+                        // Shed by admission control: a maskable phase-1
+                        // outcome, like the server still being down — but
+                        // the next wait honors the server's hint.
+                        obskit::event!("phoenix.recovery.shed");
+                        busy_hint = Some(retry_after);
+                        None
+                    }
                     _ => None,
                 };
                 phases.reconnect += t_reconnect.elapsed();
                 let Some((app, private)) = fresh else {
                     let t_wait = Instant::now();
-                    let retry = backoff.wait();
+                    let retry = match busy_hint.take() {
+                        Some(hint) => backoff.wait_shed(hint),
+                        None => backoff.wait(),
+                    };
                     phases.reconnect += t_wait.elapsed();
                     if !retry {
                         return exhausted();
@@ -859,9 +932,22 @@ impl PhoenixConnection {
                 let rebound = Self::install_session_context(&app, &private);
                 phases.rebind += t_rebind.elapsed();
                 if let Err(e) = rebound {
-                    if e.is_connection_fatal() {
+                    // Maskable rebind outcomes: the link died again, the
+                    // server shed us, or the context statements lost a
+                    // wait-die conflict with another recovering session —
+                    // all retryable inside the one budget.
+                    if e.is_connection_fatal()
+                        || matches!(e, Error::ServerBusy { .. } | Error::Deadlock)
+                    {
+                        if let Error::ServerBusy { retry_after } = e {
+                            obskit::event!("phoenix.recovery.shed");
+                            busy_hint = Some(retry_after);
+                        }
                         let t_wait = Instant::now();
-                        let retry = backoff.wait();
+                        let retry = match busy_hint.take() {
+                            Some(hint) => backoff.wait_shed(hint),
+                            None => backoff.wait(),
+                        };
                         phases.reconnect += t_wait.elapsed();
                         if !retry {
                             return exhausted();
@@ -880,9 +966,19 @@ impl PhoenixConnection {
             let t1 = Instant::now();
             match self.reinstall_sql_state(inner, &mut phases) {
                 Ok(()) => break (virtual_session, t1.elapsed()),
-                Err(e) if e.is_connection_fatal() => {
+                Err(e)
+                    if e.is_connection_fatal()
+                        || matches!(e, Error::ServerBusy { .. } | Error::Deadlock) =>
+                {
+                    if let Error::ServerBusy { retry_after } = e {
+                        obskit::event!("phoenix.recovery.shed");
+                        busy_hint = Some(retry_after);
+                    }
                     let t_wait = Instant::now();
-                    let retry = backoff.wait();
+                    let retry = match busy_hint.take() {
+                        Some(hint) => backoff.wait_shed(hint),
+                        None => backoff.wait(),
+                    };
                     phases.reconnect += t_wait.elapsed();
                     if !retry {
                         return exhausted();

@@ -35,6 +35,18 @@
 //! `<name>#<nth>` — fire at the `nth` (1-based) time crashpoint `name`
 //! is hit. [`FaultPlan::parse`] accepts exactly this shape, and
 //! [`TracePoint::spec`] produces it.
+//!
+//! ## Crashpoint families
+//!
+//! Names follow the `layer.component.action` convention shared with
+//! obskit, and tests enumerate whole families by prefix: `wal.*` /
+//! `persist.*` (durability steps), `disk.*` (storage faults),
+//! `phoenix.*` (session recovery protocol), and `admission.*` — the
+//! overload-control registry mutations (`admission.admit`,
+//! `admission.shed`, `admission.evict`), where a crash interleaved with
+//! a shed or eviction must not break a session's exactly-once
+//! guarantees. `cargo xtask analyze` cross-checks that every compiled
+//! family member is reachable from some scenario under `tests/`.
 
 pub mod disk;
 pub mod net;

@@ -52,6 +52,12 @@ impl Gauge {
         self.0.fetch_add(d, Ordering::Relaxed);
     }
 
+    /// Raise the level to at least `v` — a lock-free high-water mark,
+    /// used for peak-concurrency gauges (`admission.pending.peak`).
+    pub fn max(&self, v: i64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
     /// Current level.
     pub fn get(&self) -> i64 {
         self.0.load(Ordering::Relaxed)
@@ -182,6 +188,10 @@ mod tests {
         assert_eq!(reg.counter("test.reg.c").get(), 3);
         reg.gauge("test.reg.g").set(-5);
         assert_eq!(reg.gauge("test.reg.g").get(), -5);
+        reg.gauge("test.reg.g").max(3);
+        assert_eq!(reg.gauge("test.reg.g").get(), 3);
+        reg.gauge("test.reg.g").max(1);
+        assert_eq!(reg.gauge("test.reg.g").get(), 3, "max never lowers");
         reg.record("test.reg.h", std::time::Duration::from_nanos(100));
         assert_eq!(reg.histogram("test.reg.h").snapshot().count, 1);
     }

@@ -127,6 +127,16 @@ impl ConnInner {
     }
 }
 
+impl Drop for ConnInner {
+    fn drop(&mut self) {
+        // A handle dropped without `close()` (e.g. recovery abandoning a
+        // half-built connection pair after a shed) must still tear the
+        // endpoint down, or the server keeps its admission slot charged
+        // until the idle sweeper notices.
+        self.conn.close();
+    }
+}
+
 /// An ODBC-style connection (maps to one database session).
 pub struct OdbcConnection {
     inner: Arc<ConnInner>,

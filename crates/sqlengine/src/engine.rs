@@ -214,6 +214,22 @@ impl Engine {
         }
     }
 
+    /// Approximate resident bytes of one session's engine-side state
+    /// (its temp tables) — feeds the server's per-session memory budget.
+    /// `0` for an unknown session. The temps handle is cloned out before
+    /// measuring so the session map lock is never held across it.
+    pub fn session_state_bytes(&self, id: SessionId) -> u64 {
+        let temps = {
+            let sessions = self.sessions.lock();
+            match sessions.get(&id) {
+                Some(s) => Arc::clone(&s.temps),
+                None => return 0,
+            }
+        };
+        let bytes = temps.lock().approx_bytes();
+        bytes
+    }
+
     fn check_alive(&self) -> Result<()> {
         if self.is_shut_down() {
             Err(Error::ServerShutdown)

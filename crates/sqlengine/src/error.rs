@@ -1,6 +1,7 @@
 //! Error type shared across the engine.
 
 use std::fmt;
+use std::time::Duration;
 
 /// Engine-wide result alias.
 pub type Result<T> = std::result::Result<T, Error>;
@@ -41,6 +42,16 @@ pub enum Error {
     /// preserved: the call is *retryable*, and a later call on the same
     /// connection resumes recovery where it left off.
     RecoveryExhausted,
+    /// The server shed the request under overload (session registry
+    /// full, pending-accept queue full, or the session's memory budget
+    /// exceeded). Nothing was torn down and nothing executed: the call
+    /// is *retryable*, and `retry_after` is the server's hint for when
+    /// capacity is expected back (clients clip it to their own recovery
+    /// budget and add jitter before honoring it).
+    ServerBusy {
+        /// Server hint: earliest useful retry time.
+        retry_after: Duration,
+    },
     /// Storage-layer invariant violation (page full bookkeeping, etc.).
     Storage(String),
     /// Durable bytes failed verification: a page checksum or WAL record
@@ -73,7 +84,10 @@ impl Error {
     /// a scheduling outcome (deadlock victim) or an exhausted recovery
     /// budget that a later attempt may get past.
     pub fn is_retryable(&self) -> bool {
-        matches!(self, Error::Deadlock | Error::RecoveryExhausted)
+        matches!(
+            self,
+            Error::Deadlock | Error::RecoveryExhausted | Error::ServerBusy { .. }
+        )
     }
 }
 
@@ -94,6 +108,13 @@ impl fmt::Display for Error {
                 write!(
                     f,
                     "recovery budget exhausted; session preserved, retry later"
+                )
+            }
+            Error::ServerBusy { retry_after } => {
+                write!(
+                    f,
+                    "server busy; shed under overload, retry after {}ms",
+                    retry_after.as_millis()
                 )
             }
             Error::Storage(m) => write!(f, "storage error: {m}"),

@@ -41,6 +41,28 @@ pub struct TempTable {
     pub rows: Vec<Row>,
 }
 
+impl TempTables {
+    /// Approximate resident bytes across every temp table — the engine's
+    /// contribution to a session's memory-budget charge in the server's
+    /// admission controller. An accounting estimate (fixed widths plus
+    /// string payloads), not an allocator measurement.
+    pub fn approx_bytes(&self) -> u64 {
+        let mut total = 0u64;
+        for (name, t) in &self.tables {
+            total += 64 + name.len() as u64;
+            for row in &t.rows {
+                for v in row {
+                    total += match v {
+                        Value::Str(s) => 24 + s.len() as u64,
+                        _ => 8,
+                    };
+                }
+            }
+        }
+        total
+    }
+}
+
 /// Either a catalog table or a session temp table, resolved for reading.
 #[allow(missing_docs)]
 pub enum TableSource {

@@ -16,6 +16,12 @@ use crate::txn::TxnHandle;
 /// old ids dangle (`Error::NoSuchSession`), exactly like a real server.
 pub type SessionId = u64;
 
+/// Name prefix of Phoenix persisted-result tables
+/// (`phx_res_<conn>_<seq>`). Shared between the client that names them
+/// (`phoenix::intercept`) and the server's admission controller, which
+/// charges their materialized rows against the session memory budget.
+pub const RESULT_TABLE_PREFIX: &str = "phx_res_";
+
 /// State the engine tracks per session.
 pub struct SessionState {
     /// Session-local temp tables.

@@ -9,10 +9,12 @@
 // aimed at library code (enforced harder by `cargo xtask lint`).
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod admission;
 pub mod protocol;
 pub mod server;
 pub mod transport;
 
+pub use admission::{AdmissionConfig, AdmissionController, AdmissionStats};
 pub use protocol::{DoneKind, Request, Response, StmtId};
 pub use server::{ClientConn, DbServer, GroupCommit, ServerConfig};
 pub use transport::{Endpoint, NetConfig, Pipe};

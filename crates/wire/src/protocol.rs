@@ -114,6 +114,7 @@ fn error_code(e: &Error) -> u8 {
         Error::Timeout => 11,
         Error::RecoveryExhausted => 12,
         Error::Corruption { .. } => 13,
+        Error::ServerBusy { .. } => 14,
     }
 }
 
@@ -132,6 +133,7 @@ fn error_payload(e: &Error) -> String {
         | Error::Storage(m)
         | Error::Internal(m) => m.clone(),
         Error::Corruption { device, detail } => format!("{device}{PAYLOAD_SEP}{detail}"),
+        Error::ServerBusy { retry_after } => retry_after.as_millis().to_string(),
         other => other.to_string(),
     }
 }
@@ -157,6 +159,11 @@ fn error_from(code: u8, msg: String) -> Error {
                 .unwrap_or(("unknown".into(), msg));
             Error::Corruption { device, detail }
         }
+        14 => Error::ServerBusy {
+            // A garbled hint degrades to "retry immediately" — the
+            // client's own backoff still spaces the attempts.
+            retry_after: std::time::Duration::from_millis(msg.parse().unwrap_or(0)),
+        },
         _ => Error::Internal(msg),
     }
 }
@@ -480,6 +487,12 @@ mod tests {
             Response::Error {
                 stmt: 5,
                 error: Error::NotFound("table x".into()),
+            },
+            Response::Error {
+                stmt: 0,
+                error: Error::ServerBusy {
+                    retry_after: std::time::Duration::from_millis(37),
+                },
             },
         ];
         for r in resps {

@@ -17,6 +17,7 @@ use sqlengine::{Error, Result};
 
 pub use sqlengine::wal::log::GroupCommit;
 
+use crate::admission::{self, AdmissionConfig, AdmissionController, AdmissionStats};
 use crate::protocol::{columns_to_wire, DoneKind, Request, Response, StmtId};
 use crate::transport::{Endpoint, NetConfig};
 
@@ -43,6 +44,10 @@ pub struct ServerConfig {
     /// sessions coalesce into one WAL fsync per batch. Survives
     /// crash/restart (it is server tuning, not volatile state).
     pub group_commit: GroupCommit,
+    /// Admission control: bounded session registry, pending-accept gate,
+    /// idle eviction and per-session memory budgets (see
+    /// [`crate::admission`]). Defaults are permissive.
+    pub admission: AdmissionConfig,
 }
 
 impl Default for ServerConfig {
@@ -56,6 +61,7 @@ impl Default for ServerConfig {
             faults: None,
             scrub_on_restart: false,
             group_commit: GroupCommit::default(),
+            admission: AdmissionConfig::default(),
         }
     }
 }
@@ -88,6 +94,13 @@ struct ServerInner {
     /// Monotonic pipe index: each connection consumes two (c2s, s2c),
     /// so seeded plans give every pipe its own deterministic stream.
     pipe_seq: AtomicU64,
+    /// Admission control. Lives with the durable half — it models the
+    /// listener, which outlives database-process crashes.
+    admission: AdmissionController,
+    /// Incarnation counter, bumped by every successful [`DbServer::restart`].
+    /// Admission slots record the epoch they were admitted under so a
+    /// post-restart sweep never closes a recycled engine session id.
+    epoch: AtomicU64,
 }
 
 /// A crashable database server.
@@ -111,6 +124,8 @@ impl DbServer {
             last_recovery: Mutex::new(None),
             faults: Mutex::new(config.faults),
             pipe_seq: AtomicU64::new(0),
+            admission: AdmissionController::new(config.admission),
+            epoch: AtomicU64::new(0),
         });
         let server = DbServer { inner };
         server.restart()?;
@@ -138,7 +153,64 @@ impl DbServer {
             engine: Arc::new(engine),
             conns: Mutex::new(Vec::new()),
         }));
+        let epoch = self.inner.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+        drop(proc_slot);
+        self.spawn_idle_sweeper(epoch);
         Ok(stats)
+    }
+
+    /// Background idle-session sweeper for one server incarnation: ticks
+    /// at a quarter of the idle timeout and exits as soon as its epoch is
+    /// over (crash, or a newer restart took its place).
+    fn spawn_idle_sweeper(&self, epoch: u64) {
+        let server = self.clone();
+        let tick = (self.inner.config.admission.idle_timeout / 4).max(Duration::from_millis(10));
+        std::thread::spawn(move || loop {
+            std::thread::sleep(tick);
+            if !server.is_up() || server.epoch() != epoch {
+                return;
+            }
+            server.sweep_idle_sessions();
+        });
+    }
+
+    /// Evict every session idle past the admission timeout. Returns the
+    /// number evicted. The background sweeper calls this on a timer;
+    /// tests call it directly for determinism.
+    pub fn sweep_idle_sessions(&self) -> usize {
+        let evicted = self.inner.admission.sweep_idle(Instant::now());
+        if evicted.is_empty() {
+            return 0;
+        }
+        let epoch = self.epoch();
+        let engine = self.engine();
+        for ev in &evicted {
+            // Engine session ids are reissued from 1 after a restart: only
+            // close the engine session when the slot was admitted under
+            // the current incarnation, or a stale slot would tear down an
+            // unrelated session that recycled its id.
+            if ev.epoch == epoch {
+                if let Some(engine) = &engine {
+                    engine.close_session(ev.sid);
+                }
+            }
+        }
+        evicted.len()
+    }
+
+    /// The current server incarnation (bumped by every restart).
+    pub fn epoch(&self) -> u64 {
+        self.inner.epoch.load(Ordering::Relaxed)
+    }
+
+    /// The admission controller (stats, budgets, sweep bookkeeping).
+    pub fn admission(&self) -> &AdmissionController {
+        &self.inner.admission
+    }
+
+    /// Point-in-time admission statistics.
+    pub fn admission_stats(&self) -> AdmissionStats {
+        self.inner.admission.stats()
     }
 
     /// Kill the server immediately: every connection breaks, all volatile
@@ -203,11 +275,16 @@ impl DbServer {
     }
 
     /// Open a network connection to the server.
+    ///
+    /// Sheds with [`Error::ServerBusy`] when the pending-accept gate is
+    /// full — before any endpoint, thread, or engine resource is spent —
+    /// bounding the concurrent (re)connects a post-crash herd can land.
     pub fn connect(&self) -> Result<ClientConn> {
         let proc = {
             let slot = self.inner.process.lock();
             slot.as_ref().cloned().ok_or(Error::ServerShutdown)?
         };
+        self.inner.admission.begin_pending()?;
         let (client_ep, server_ep) =
             Endpoint::pair(self.inner.config.net_c2s, self.inner.config.net_s2c);
         if let Some(plan) = *self.inner.faults.lock() {
@@ -276,36 +353,88 @@ fn reply(ep: &Endpoint, resp: Response, cancel: Option<&AtomicBool>) {
     let _ = ep.tx.send(resp.encode(), cancel);
 }
 
+/// Releases the pending-accept gate slot taken in [`DbServer::connect`]
+/// when the handshake resolves — on every path, including link death.
+struct PendingGuard<'a>(&'a AdmissionController);
+
+impl Drop for PendingGuard<'_> {
+    fn drop(&mut self) {
+        self.0.end_pending();
+    }
+}
+
+/// Releases an admitted session — registry slot and engine session — on
+/// every connection-loop exit path (disconnect, link death, corrupt
+/// frame, shutdown statement, panic). `release` reports whether the slot
+/// was still registered; an idle eviction may have removed it (and closed
+/// the engine session) first, in which case both cleanups are no-ops.
+struct SlotGuard<'a> {
+    admission: &'a AdmissionController,
+    engine: &'a Engine,
+    admit_id: u64,
+    sid: u64,
+}
+
+impl Drop for SlotGuard<'_> {
+    fn drop(&mut self) {
+        self.admission.release(self.admit_id);
+        self.engine.close_session(self.sid);
+    }
+}
+
 fn connection_loop(server: DbServer, engine: Arc<Engine>, ep: Arc<Endpoint>, cfg: ServerConfig) {
-    // Handshake.
-    let sid = loop {
-        let Ok(frame) = ep.rx.recv(None) else {
-            ep.close();
-            return;
-        };
-        match Request::decode(&frame) {
-            Ok(Request::Connect { .. }) => match engine.create_session() {
-                Ok(sid) => {
-                    reply(&ep, Response::Connected { session: sid }, None);
-                    break sid;
+    let admission = server.admission();
+    let epoch = server.epoch();
+    // Handshake. The pending-gate slot taken in `connect()` is held until
+    // this resolves, bounding concurrent handshakes under a herd.
+    let (sid, admit_id) = {
+        let _pending = PendingGuard(admission);
+        loop {
+            let Ok(frame) = ep.rx.recv(None) else {
+                ep.close();
+                return;
+            };
+            match Request::decode(&frame) {
+                Ok(Request::Connect { .. }) => match admission.admit(epoch, Arc::clone(&ep)) {
+                    Ok(admit_id) => match engine.create_session() {
+                        Ok(sid) => {
+                            admission.bind(admit_id, sid);
+                            reply(&ep, Response::Connected { session: sid }, None);
+                            break (sid, admit_id);
+                        }
+                        Err(e) => {
+                            admission.release(admit_id);
+                            reply(&ep, Response::Error { stmt: 0, error: e }, None);
+                            ep.close();
+                            return;
+                        }
+                    },
+                    Err(e) => {
+                        // Shed: tell the client when to retry, then drop
+                        // the link — no server-side state remains.
+                        reply(&ep, Response::Error { stmt: 0, error: e }, None);
+                        ep.close();
+                        return;
+                    }
+                },
+                Ok(Request::Ping) => {
+                    reply(&ep, Response::Pong, None);
                 }
-                Err(e) => {
-                    reply(&ep, Response::Error { stmt: 0, error: e }, None);
+                _ => {
+                    // Corrupt or unexpected pre-session frame: drop the link.
                     ep.close();
                     return;
                 }
-            },
-            Ok(Request::Ping) => {
-                reply(&ep, Response::Pong, None);
-            }
-            _ => {
-                // Corrupt or unexpected pre-session frame: drop the link.
-                ep.close();
-                return;
             }
         }
     };
 
+    let _slot = SlotGuard {
+        admission,
+        engine: &engine,
+        admit_id,
+        sid,
+    };
     let cancels: Arc<Mutex<HashMap<StmtId, Arc<AtomicBool>>>> =
         Arc::new(Mutex::new(HashMap::new()));
 
@@ -313,10 +442,12 @@ fn connection_loop(server: DbServer, engine: Arc<Engine>, ep: Arc<Endpoint>, cfg
         let Ok(frame) = ep.rx.recv(None) else {
             // Link dead (crash or client close). Close our half too so
             // producer threads blocked on the outbound pipe wake up.
-            engine.close_session(sid);
             ep.close();
             return;
         };
+        // Any inbound frame is liveness for the idle-eviction clock (and
+        // traffic for the per-session footprint accounting).
+        admission.touch(admit_id, frame.len() as u64);
         // Frame received but not yet acted on: a crash here loses the
         // request entirely (client must re-submit).
         faultkit::crashpoint!("wire.exec.recv");
@@ -326,7 +457,6 @@ fn connection_loop(server: DbServer, engine: Arc<Engine>, ep: Arc<Endpoint>, cfg
                 // Corrupt request frame (e.g. truncated in transit): the
                 // stream cannot be resynchronized — treat it like a dead
                 // link, exactly as a real server drops a broken socket.
-                engine.close_session(sid);
                 ep.close();
                 return;
             }
@@ -336,7 +466,6 @@ fn connection_loop(server: DbServer, engine: Arc<Engine>, ep: Arc<Endpoint>, cfg
                 reply(&ep, Response::Pong, None);
             }
             Request::Disconnect => {
-                engine.close_session(sid);
                 ep.close();
                 return;
             }
@@ -347,12 +476,35 @@ fn connection_loop(server: DbServer, engine: Arc<Engine>, ep: Arc<Endpoint>, cfg
             }
             Request::Exec { stmt, sql, skip } => {
                 faultkit::crashpoint!("wire.exec.pre");
+                // Memory-budget gate: an over-budget session has the
+                // statement shed (nothing executes, session preserved)
+                // until it drops state. Statements that *release* state
+                // (dropping a result table) are always let through — the
+                // gate must never block the only way out of it.
+                if admission::dropped_result_table(&sql).is_none() {
+                    if let Some(e) = admission.over_budget(admit_id) {
+                        reply(&ep, Response::Error { stmt, error: e }, None);
+                        continue;
+                    }
+                }
                 match engine.execute(sid, &sql) {
                     Err(e) => {
                         reply(&ep, Response::Error { stmt, error: e }, None);
                     }
                     Ok(res) => match res.outcome {
                         ExecOutcome::Affected(n) => {
+                            // Phoenix result materialization is charged
+                            // against the session's memory budget; the
+                            // engine-side state estimate is refreshed on
+                            // the same cadence.
+                            if let Some(table) = admission::materialized_result_table(&sql) {
+                                admission.charge_result(
+                                    admit_id,
+                                    &table,
+                                    n.saturating_mul(admission::RESULT_ROW_BYTES),
+                                );
+                            }
+                            admission.set_state_bytes(admit_id, engine.session_state_bytes(sid));
                             // Executed (and, for modifications, committed)
                             // but the reply has not been sent: the
                             // paper's "crash after commit, before reply"
@@ -368,6 +520,10 @@ fn connection_loop(server: DbServer, engine: Arc<Engine>, ep: Arc<Endpoint>, cfg
                             );
                         }
                         ExecOutcome::Ok => {
+                            if let Some(table) = admission::dropped_result_table(&sql) {
+                                admission.release_result(admit_id, &table);
+                            }
+                            admission.set_state_bytes(admit_id, engine.session_state_bytes(sid));
                             faultkit::crashpoint!("wire.exec.post.ok");
                             reply(
                                 &ep,

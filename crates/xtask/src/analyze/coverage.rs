@@ -14,6 +14,11 @@
 //! 3. **Phase** — the `RecoveryPhases` struct, its `NAMES` table and the
 //!    emitting code must stay in sync: every phase field needs a
 //!    `phoenix.recovery.<field>` entry and vice versa.
+//! 4. **Gauge balance** — a gauge that is only ever `.add()`-ed a
+//!    constant positive amount can never come back down: it is a level
+//!    leak by construction (a session count that rises on admit must
+//!    fall somewhere on release/evict). Gauges driven through `set`/`max`
+//!    or through variable deltas are out of scope.
 
 use super::items::FnDef;
 use super::lexer::{Tok, TokKind};
@@ -23,12 +28,14 @@ use std::path::PathBuf;
 use crate::{Rule, Violation};
 
 /// Names that flow into the durability cross-check. `disk` joined the
-/// family with the storage fault-injection layer: a function emitting
-/// `disk.*` events (fault draws, corruption repair, scrubbing) must be
+/// family with the storage fault-injection layer, and `admission` with
+/// overload shedding: a function emitting `disk.*` events (fault draws,
+/// corruption repair, scrubbing) or `admission.*` events (shed, admit,
+/// evict — the registry mutations a crash can interleave with) must be
 /// crash-testable like any other durability site.
 pub fn is_durability_name(name: &str) -> bool {
     name.split('.')
-        .any(|seg| seg == "wal" || seg == "persist" || seg == "disk")
+        .any(|seg| seg == "wal" || seg == "persist" || seg == "disk" || seg == "admission")
         || name.starts_with("recovery.")
 }
 
@@ -153,6 +160,89 @@ pub fn scenario_pass(ws: &Workspace) -> Vec<Violation> {
                 });
             }
         }
+    }
+    out
+}
+
+/// One directly chained `gauge("<name>").add(<integer literal>)` site.
+struct GaugeAdd {
+    name: String,
+    line: u32,
+    negative: bool,
+}
+
+/// `gauge("name").add(±N)` chains in a token run. Only literal deltas
+/// are reported: a handle bound to a variable or a computed delta can't
+/// be sign-checked statically and is deliberately ignored.
+fn gauge_adds_in(toks: &[Tok]) -> Vec<GaugeAdd> {
+    let mut out = Vec::new();
+    for j in 0..toks.len() {
+        if !toks[j].is_ident("gauge")
+            || !toks.get(j + 1).is_some_and(|t| t.is_punct('('))
+            || !toks.get(j + 3).is_some_and(|t| t.is_punct(')'))
+            || !toks.get(j + 4).is_some_and(|t| t.is_punct('.'))
+            || !toks.get(j + 5).is_some_and(|t| t.is_ident("add"))
+            || !toks.get(j + 6).is_some_and(|t| t.is_punct('('))
+        {
+            continue;
+        }
+        let Some(name) = toks.get(j + 2).filter(|t| t.kind == TokKind::Str) else {
+            continue;
+        };
+        let negative = toks.get(j + 7).is_some_and(|t| t.is_punct('-'));
+        let delta = toks.get(j + 7 + usize::from(negative));
+        if delta.is_some_and(|t| t.kind == TokKind::Num) {
+            out.push(GaugeAdd {
+                name: name.text.clone(),
+                line: name.line,
+                negative,
+            });
+        }
+    }
+    out
+}
+
+/// Pass 4: every gauge with constant positive `.add()` sites needs at
+/// least one negative site, or the level can only ratchet upward — a
+/// leak the storm tests would see as `sessions.active` never draining.
+pub fn gauge_balance_pass(ws: &Workspace) -> Vec<Violation> {
+    #[derive(Default)]
+    struct Balance {
+        first_pos: Option<(String, u32)>,
+        has_neg: bool,
+        waived: bool,
+    }
+    let mut gauges: std::collections::BTreeMap<String, Balance> = std::collections::BTreeMap::new();
+    for file in &ws.files {
+        for add in file.items.fns.iter().flat_map(|d| gauge_adds_in(&d.body)) {
+            let entry = gauges.entry(add.name).or_default();
+            if add.negative {
+                entry.has_neg = true;
+            } else {
+                entry.waived |= file.allows.waives("gauge_balance", add.line as usize);
+                if entry.first_pos.is_none() {
+                    entry.first_pos = Some((file.rel.clone(), add.line));
+                }
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for (name, bal) in gauges {
+        let Some((rel, line)) = bal.first_pos else {
+            continue;
+        };
+        if bal.has_neg || bal.waived {
+            continue;
+        }
+        out.push(Violation {
+            file: PathBuf::from(rel),
+            line: line as usize,
+            rule: Rule::GaugeBalance,
+            message: format!(
+                "gauge {name:?} has constant positive add sites but no negative site — \
+                 the level can only ratchet up (leak by construction)"
+            ),
+        });
     }
     out
 }

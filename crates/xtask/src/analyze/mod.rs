@@ -15,8 +15,8 @@
 //!
 //! False positives are waived in-source with
 //! `// analyze:allow(<pass>): reason` (passes: `lock_edge`,
-//! `durability`, `scenario`, `phase`) — same own-line / next-line
-//! semantics as `lint:allow`, and a reason is mandatory.
+//! `durability`, `scenario`, `phase`, `gauge_balance`) — same own-line /
+//! next-line semantics as `lint:allow`, and a reason is mandatory.
 
 pub mod coverage;
 pub mod items;
@@ -40,7 +40,13 @@ impl AllowMap {
     }
 }
 
-pub const ANALYZE_PASSES: &[&str] = &["lock_edge", "durability", "scenario", "phase"];
+pub const ANALYZE_PASSES: &[&str] = &[
+    "lock_edge",
+    "durability",
+    "scenario",
+    "phase",
+    "gauge_balance",
+];
 
 /// Parse `// analyze:allow(<pass>): reason` annotations. Returns the
 /// allow map and any malformed annotations (line, complaint). A match
@@ -263,6 +269,7 @@ pub fn analyze(ws: &Workspace) -> Analysis {
     }
     violations.extend(coverage::durability_pass(ws));
     violations.extend(coverage::scenario_pass(ws));
+    violations.extend(coverage::gauge_balance_pass(ws));
     let (phases_checked, phase_violations) = coverage::phase_pass(ws);
     violations.extend(phase_violations);
     for file in &ws.files {

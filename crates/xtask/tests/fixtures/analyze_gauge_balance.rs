@@ -1,0 +1,14 @@
+//! Fixture for the gauge-balance pass: `conn.leak` only ever goes up,
+//! `conn.live` is balanced, `conn.peak` is max-driven (exempt), and
+//! `conn.sized` takes a variable delta (out of scope).
+
+fn open() {
+    obskit::metrics::global().gauge("conn.leak").add(1);
+    obskit::metrics::global().gauge("conn.live").add(1);
+}
+
+fn close(n: i64) {
+    obskit::metrics::global().gauge("conn.live").add(-1);
+    obskit::metrics::global().gauge("conn.peak").max(3);
+    obskit::metrics::global().gauge("conn.sized").add(n);
+}
