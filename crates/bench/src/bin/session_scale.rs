@@ -11,7 +11,10 @@
 //! Output: a text table of p50/p99 per point plus the machine-readable
 //! twin `bench_results/session_scale.json` (obskit snapshot with the
 //! `session_scale.admit` / `session_scale.recover` histograms and
-//! per-point quantiles in the metadata).
+//! per-point quantiles in the metadata), plus the streaming series twin
+//! `bench_results/session_scale.series.jsonl` — one interval per sweep
+//! point, validated by `cargo xtask bench-gate --series` (pending peak
+//! bounded by the gate cap, every session drained by the final mark).
 //!
 //! Env: `PHX_SCALE_SWEEP` (comma list, default `100,250,500,1000,2000`),
 //! `PHX_SCALE_PENDING` (pending-accept cap, default 32), `PHX_SCALE_SEED`.
@@ -86,6 +89,7 @@ fn run_point(sessions: usize, pending_cap: usize, seed: u64) -> Point {
         pending_accepts: pending_cap,
         idle_timeout: Duration::from_secs(60),
         session_budget_bytes: u64::MAX,
+        handshake_timeout: Duration::from_secs(10),
     };
     let server = DbServer::start(cfg).unwrap();
     {
@@ -197,6 +201,14 @@ fn main() {
     let reg = obskit::metrics::global();
     let admit_hist = reg.histogram("session_scale.admit");
     let recover_hist = reg.histogram("session_scale.recover");
+    let series = bench::series_recorder(
+        "session_scale",
+        &[
+            ("pending_cap", pending_cap.to_string()),
+            ("seed", seed.to_string()),
+        ],
+    );
+    series.mark("setup", &reg.snapshot()).expect("series mark");
 
     let mut table = TextTable::new(
         format!("Session scale sweep (pending gate {pending_cap}, seed {seed})"),
@@ -251,7 +263,11 @@ fn main() {
         ] {
             meta.push((format!("n{sessions}.{k}"), v.to_string()));
         }
+        series
+            .mark(&format!("n{sessions}"), &reg.snapshot())
+            .expect("series mark");
     }
+    series.mark("done", &reg.snapshot()).expect("series mark");
     table.emit("session_scale");
     let meta_refs: Vec<(&str, String)> =
         meta.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();

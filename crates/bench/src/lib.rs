@@ -175,8 +175,37 @@ pub fn emit_json(name: &str, meta: &[(&str, String)]) {
     }
     let json = obskit::export::snapshot_json(&m, &reg.snapshot(), &obskit::trace::snapshot());
     let dir = results_dir();
-    let _ = fs::create_dir_all(&dir);
-    let _ = fs::write(dir.join(format!("{name}.json")), json);
+    // A missing twin must never pass silently: `cargo xtask bench-gate`
+    // treats the JSON as the bench's output of record, so failing to
+    // write it is a failed run, not a skipped nicety.
+    fs::create_dir_all(&dir).unwrap_or_else(|e| {
+        panic!(
+            "emit_json({name}): cannot create results dir {}: {e}",
+            dir.display()
+        )
+    });
+    let path = dir.join(format!("{name}.json"));
+    fs::write(&path, json)
+        .unwrap_or_else(|e| panic!("emit_json({name}): cannot write {}: {e}", path.display()));
+}
+
+/// Open the streaming JSON-lines series twin for a harness (see
+/// [`obskit::stream`]): `bench_results/<name>.series.jsonl`, tagged with
+/// the same metadata as the snapshot twin. Panics on I/O error for the
+/// same reason [`emit_json`] does.
+pub fn series_recorder(name: &str, meta: &[(&str, String)]) -> obskit::stream::Recorder {
+    let mut m = std::collections::BTreeMap::new();
+    m.insert("source".to_string(), name.to_string());
+    for (k, v) in meta {
+        m.insert((*k).to_string(), v.clone());
+    }
+    let path = results_dir().join(format!("{name}.series.jsonl"));
+    obskit::stream::Recorder::create(&path, &m).unwrap_or_else(|e| {
+        panic!(
+            "series_recorder({name}): cannot create {}: {e}",
+            path.display()
+        )
+    })
 }
 
 /// Where harnesses drop their outputs.

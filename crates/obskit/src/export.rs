@@ -172,6 +172,60 @@ pub fn snapshot_json(meta: &BTreeMap<String, String>, snap: &Snapshot, events: &
     out
 }
 
+/// Header line of a JSON-lines time series (see [`crate::stream`]):
+/// schema tag plus the run metadata, on one line.
+pub fn series_header_json(meta: &BTreeMap<String, String>) -> String {
+    let mut out = String::from("{\"obskit_series\": 1, \"meta\": {");
+    let mut first = true;
+    for (k, v) in meta {
+        if !first {
+            out.push_str(", ");
+        }
+        first = false;
+        let _ = write!(out, "{}: {}", json_str(k), json_str(v));
+    }
+    out.push_str("}}\n");
+    out
+}
+
+/// One interval line of a JSON-lines time series: counters and histograms
+/// are the *delta* since the previous mark ([`Snapshot::diff`]), gauges
+/// are absolute levels at the mark. Single line, deterministic field
+/// order.
+pub fn series_line_json(seq: u64, label: &str, delta: &Snapshot) -> String {
+    let mut out = String::from("{");
+    let _ = write!(out, "\"seq\": {seq}, \"label\": {}", json_str(label));
+    out.push_str(", \"counters\": {");
+    let mut first = true;
+    for (k, v) in &delta.counters {
+        if !first {
+            out.push_str(", ");
+        }
+        first = false;
+        let _ = write!(out, "{}: {v}", json_str(k));
+    }
+    out.push_str("}, \"gauges\": {");
+    first = true;
+    for (k, v) in &delta.gauges {
+        if !first {
+            out.push_str(", ");
+        }
+        first = false;
+        let _ = write!(out, "{}: {v}", json_str(k));
+    }
+    out.push_str("}, \"histograms\": {");
+    first = true;
+    for (k, h) in &delta.hists {
+        if !first {
+            out.push_str(", ");
+        }
+        first = false;
+        let _ = write!(out, "{}: {}", json_str(k), hist_json(h));
+    }
+    out.push_str("}}\n");
+    out
+}
+
 /// Render a snapshot as aligned human-readable text (for stdout dumps
 /// and quick inspection; the JSON twin is the machine-readable form).
 pub fn render_text(snap: &Snapshot) -> String {

@@ -136,6 +136,29 @@ impl HistogramSnapshot {
         }
     }
 
+    /// The inverse of [`Self::merge`] for a *growing* observation stream:
+    /// `earlier.diff(later)` returns the histogram of exactly the
+    /// observations recorded between the two snapshots, so
+    /// `earlier.merge(&earlier.diff(later)) == *later` whenever `later`
+    /// extends `earlier`. Counts and buckets subtract saturating (a
+    /// shrunken field — possible only across a registry reset — clamps to
+    /// zero rather than wrapping); `min`/`max` adopt `later`'s bounds when
+    /// the delta is non-empty, and stay at their empty-histogram
+    /// identities otherwise so merging them back is a no-op.
+    pub fn diff(&self, later: &HistogramSnapshot) -> HistogramSnapshot {
+        let count = later.count.saturating_sub(self.count);
+        if count == 0 {
+            return HistogramSnapshot::default();
+        }
+        HistogramSnapshot {
+            count,
+            sum: later.sum.wrapping_sub(self.sum),
+            min: later.min,
+            max: later.max,
+            buckets: std::array::from_fn(|i| later.buckets[i].saturating_sub(self.buckets[i])),
+        }
+    }
+
     /// Estimated `q`-quantile (`0.0 ..= 1.0`): the upper bound of the
     /// bucket containing the rank-`⌈q·count⌉` observation, clamped to the
     /// observed max — so the estimate always lands in the same log2
@@ -241,6 +264,40 @@ mod tests {
                 hboth.record(v);
             }
             prop_assert_eq!(ha.snapshot().merge(&hb.snapshot()), hboth.snapshot());
+        }
+
+        #[test]
+        fn diff_inverts_merge_for_growing_streams(
+            early in prop::collection::vec(any::<u64>(), 0..100),
+            late in prop::collection::vec(any::<u64>(), 0..100),
+        ) {
+            // `later` is `earlier` plus the `late` observations — the only
+            // shape a live registry can produce between two snapshots.
+            let h_early = Histogram::new();
+            let h_later = Histogram::new();
+            for &v in &early {
+                h_early.record(v);
+                h_later.record(v);
+            }
+            for &v in &late {
+                h_later.record(v);
+            }
+            let a = h_early.snapshot();
+            let b = h_later.snapshot();
+            let d = a.diff(&b);
+            // The delta is never negative anywhere: counts, sum and every
+            // bucket are the late stream's alone.
+            prop_assert_eq!(d.count, late.len() as u64);
+            prop_assert_eq!(d.buckets.iter().sum::<u64>(), late.len() as u64);
+            for (i, &c) in d.buckets.iter().enumerate() {
+                prop_assert!(c <= b.buckets[i]);
+            }
+            // Round trip: merging the delta back onto the earlier snapshot
+            // reconstructs the later one exactly.
+            prop_assert_eq!(a.merge(&d), b);
+            // Self-diff is the empty histogram (merge identity).
+            prop_assert_eq!(a.diff(&a.clone()), HistogramSnapshot::default());
+            prop_assert_eq!(a.merge(&a.diff(&a.clone())), a);
         }
 
         #[test]

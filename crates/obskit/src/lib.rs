@@ -28,6 +28,7 @@ pub mod hist;
 pub mod json;
 pub mod lockcheck;
 pub mod metrics;
+pub mod stream;
 pub mod trace;
 
 pub use hist::{Histogram, HistogramSnapshot};

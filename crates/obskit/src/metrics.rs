@@ -172,6 +172,38 @@ impl Snapshot {
         }
         out
     }
+
+    /// The inverse of [`Self::merge`] for a growing registry:
+    /// `earlier.diff(later)` is the activity between the two snapshots, so
+    /// `earlier.merge(&earlier.diff(later))` reconstructs `later` exactly.
+    /// Counters subtract saturating (never negative — a metric that shrank
+    /// means a registry reset and clamps to zero); gauges are levels, not
+    /// flows, so the delta carries `later`'s value verbatim (merge is
+    /// last-write-wins); histograms take the bucket-wise
+    /// [`HistogramSnapshot::diff`]. Metrics present only in `self` are
+    /// dropped — a live registry never loses a name, so they too indicate
+    /// a reset.
+    pub fn diff(&self, later: &Snapshot) -> Snapshot {
+        Snapshot {
+            counters: later
+                .counters
+                .iter()
+                .map(|(k, v)| {
+                    let base = self.counters.get(k).copied().unwrap_or(0);
+                    (k.clone(), v.saturating_sub(base))
+                })
+                .collect(),
+            gauges: later.gauges.clone(),
+            hists: later
+                .hists
+                .iter()
+                .map(|(k, v)| match self.hists.get(k) {
+                    Some(mine) => (k.clone(), mine.diff(v)),
+                    None => (k.clone(), v.clone()),
+                })
+                .collect(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -212,5 +244,108 @@ mod tests {
         assert_eq!(m.counters.get("only_b"), Some(&7));
         assert_eq!(m.gauges.get("g"), Some(&9));
         assert_eq!(m.hists.get("h").map(|h| h.count), Some(2));
+    }
+
+    #[test]
+    fn diff_is_the_between_snapshot_activity() {
+        let reg = Registry::new();
+        reg.counter("c").add(5);
+        reg.gauge("g").set(3);
+        reg.histogram("h").record(100);
+        let before = reg.snapshot();
+        reg.counter("c").add(2);
+        reg.counter("fresh").incr();
+        reg.gauge("g").set(-1);
+        reg.histogram("h").record(7);
+        let after = reg.snapshot();
+        let d = before.diff(&after);
+        assert_eq!(d.counters.get("c"), Some(&2));
+        assert_eq!(d.counters.get("fresh"), Some(&1));
+        assert_eq!(d.gauges.get("g"), Some(&-1), "gauges carry the level");
+        let dh = d.hists.get("h").expect("h delta");
+        assert_eq!(dh.count, 1);
+        assert_eq!(dh.sum, 7);
+        assert_eq!(before.merge(&d), after, "merge(diff) round-trips");
+        // Idle window: the diff is empty activity and merging it back is
+        // the identity.
+        let idle = after.diff(&after);
+        assert!(idle.counters.values().all(|&v| v == 0));
+        assert!(idle.hists.values().all(|h| h.count == 0));
+        assert_eq!(after.merge(&idle), after);
+    }
+
+    #[test]
+    fn diff_clamps_registry_resets_to_zero() {
+        // A counter that went *down* can only mean the registry restarted;
+        // the delta clamps to zero instead of wrapping to ~u64::MAX.
+        let big = Registry::new();
+        big.counter("c").add(10);
+        let small = Registry::new();
+        small.counter("c").add(4);
+        let d = big.snapshot().diff(&small.snapshot());
+        assert_eq!(d.counters.get("c"), Some(&0));
+    }
+
+    mod diff_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Random registry mutations: counter adds, gauge sets, and
+        /// histogram records, each keyed by a small name index.
+        type Activity = (Vec<(u8, u64)>, Vec<(u8, i64)>, Vec<(u8, u64)>);
+
+        fn arb_activity() -> impl Strategy<Value = Activity> {
+            (
+                prop::collection::vec((0u8..6, 0u64..1000), 0..12),
+                prop::collection::vec((0u8..4, -50i64..50), 0..8),
+                prop::collection::vec((0u8..4, 0u64..1_000_000), 0..20),
+            )
+        }
+
+        const COUNTER_NAMES: [&str; 6] = ["c0", "c1", "c2", "c3", "c4", "c5"];
+        const GAUGE_NAMES: [&str; 4] = ["g0", "g1", "g2", "g3"];
+        const HIST_NAMES: [&str; 4] = ["h0", "h1", "h2", "h3"];
+
+        fn apply(reg: &Registry, act: &Activity) {
+            for &(i, n) in &act.0 {
+                reg.counter(COUNTER_NAMES[i as usize % 6]).add(n);
+            }
+            for &(i, v) in &act.1 {
+                reg.gauge(GAUGE_NAMES[i as usize % 4]).set(v);
+            }
+            for &(i, v) in &act.2 {
+                reg.histogram(HIST_NAMES[i as usize % 4]).record(v);
+            }
+        }
+
+        proptest! {
+            #[test]
+            fn merge_of_diff_reconstructs_the_later_snapshot(
+                first in arb_activity(),
+                second in arb_activity(),
+            ) {
+                // One registry, two snapshots with activity in between —
+                // the only shape a live process produces.
+                let reg = Registry::new();
+                apply(&reg, &first);
+                let a = reg.snapshot();
+                apply(&reg, &second);
+                let b = reg.snapshot();
+                let d = a.diff(&b);
+                // Monotone-counter deltas are never "negative": every
+                // delta fits under the later value.
+                for (k, v) in &d.counters {
+                    prop_assert!(*v <= *b.counters.get(k).unwrap_or(&0));
+                }
+                for (k, h) in &d.hists {
+                    let later = b.hists.get(k).expect("later superset");
+                    prop_assert!(h.count <= later.count);
+                    for i in 0..crate::hist::BUCKETS {
+                        prop_assert!(h.buckets[i] <= later.buckets[i]);
+                    }
+                }
+                prop_assert_eq!(a.merge(&d), b);
+            }
+        }
     }
 }

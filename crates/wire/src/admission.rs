@@ -69,6 +69,12 @@ pub struct AdmissionConfig {
     /// `Exec` requests shed (statement-level, session preserved) until
     /// it drops state, e.g. `DROP TABLE phx_res_*`.
     pub session_budget_bytes: u64,
+    /// How long an accepted connection may sit in the handshake without
+    /// delivering its `Connect` frame before the link is dropped. The
+    /// pending-accept gate is a hard cap on concurrent handshakes, so
+    /// an unbounded wait here lets one stalled (or malicious) client
+    /// pin a gate slot forever — a slowloris on the reconnect path.
+    pub handshake_timeout: Duration,
 }
 
 impl Default for AdmissionConfig {
@@ -80,6 +86,7 @@ impl Default for AdmissionConfig {
             pending_accepts: 1024,
             idle_timeout: Duration::from_secs(60),
             session_budget_bytes: u64::MAX,
+            handshake_timeout: Duration::from_secs(10),
         }
     }
 }
@@ -452,6 +459,7 @@ mod tests {
             pending_accepts: pending,
             idle_timeout: idle,
             session_budget_bytes: 10_000,
+            handshake_timeout: Duration::from_secs(10),
         })
     }
 

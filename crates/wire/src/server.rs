@@ -386,11 +386,16 @@ fn connection_loop(server: DbServer, engine: Arc<Engine>, ep: Arc<Endpoint>, cfg
     let admission = server.admission();
     let epoch = server.epoch();
     // Handshake. The pending-gate slot taken in `connect()` is held until
-    // this resolves, bounding concurrent handshakes under a herd.
+    // this resolves, bounding concurrent handshakes under a herd — so the
+    // wait for the `Connect` frame is itself bounded: a link whose hello
+    // never arrives (client died mid-connect, or the frame is stalled by
+    // a network fault) must not pin a gate slot past `handshake_timeout`.
     let (sid, admit_id) = {
         let _pending = PendingGuard(admission);
+        let handshake_deadline = Instant::now() + cfg.admission.handshake_timeout;
         loop {
-            let Ok(frame) = ep.rx.recv(None) else {
+            let left = handshake_deadline.saturating_duration_since(Instant::now());
+            let Ok(frame) = ep.rx.recv(Some(left)) else {
                 ep.close();
                 return;
             };
@@ -707,6 +712,44 @@ mod tests {
         assert_eq!(cols.len(), 2);
         assert_eq!(rows.len(), 2);
         assert_eq!(kind, DoneKind::Rows(2));
+    }
+
+    #[test]
+    fn stalled_handshake_frees_its_pending_slot() {
+        let mut cfg = ServerConfig::instant_net();
+        cfg.admission.pending_accepts = 1;
+        cfg.admission.handshake_timeout = Duration::from_millis(300);
+        let server = DbServer::start(cfg).unwrap();
+        // Take the only handshake slot and never send the hello.
+        let silent = server.connect().unwrap();
+        // The gate is full: a second arrival sheds instead of queueing.
+        assert!(matches!(server.connect(), Err(Error::ServerBusy { .. })));
+        // The slowloris link is cut at the handshake bound and the slot
+        // drains — a later arrival gets through and completes normally.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let conn = loop {
+            match server.connect() {
+                Ok(c) => break c,
+                Err(Error::ServerBusy { .. }) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) => panic!("unexpected connect error: {e:?}"),
+            }
+        };
+        conn.send(&Request::Connect {
+            login: "late".into(),
+        })
+        .unwrap();
+        assert!(matches!(
+            conn.recv(Some(Duration::from_secs(5))).unwrap(),
+            Response::Connected { .. }
+        ));
+        // The abandoned link was torn down server-side at the bound.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !silent.is_closed() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(silent.is_closed());
     }
 
     #[test]

@@ -11,13 +11,18 @@
 //!   crashpoints, crashpoints are reachable from test scenarios, and the
 //!   recovery-phase table is internally consistent;
 //! * the **lockcheck witness** ([`check_witness`]): a runtime acquisition
-//!   log from `obskit::lockcheck` is validated against the static graph.
+//!   log from `obskit::lockcheck` is validated against the static graph;
+//! * **bench coverage** ([`bench`]): every bench binary emits its JSON
+//!   twin, and every blessed baseline under `bench_baselines/` still
+//!   corresponds to a bench binary (or a `[gate] extra` manifest entry).
 //!
 //! False positives are waived in-source with
 //! `// analyze:allow(<pass>): reason` (passes: `lock_edge`,
-//! `durability`, `scenario`, `phase`, `gauge_balance`) — same own-line /
-//! next-line semantics as `lint:allow`, and a reason is mandatory.
+//! `durability`, `scenario`, `phase`, `gauge_balance`, `bench`) — same
+//! own-line / next-line semantics as `lint:allow`, and a reason is
+//! mandatory.
 
+pub mod bench;
 pub mod coverage;
 pub mod items;
 pub mod lexer;
@@ -46,6 +51,7 @@ pub const ANALYZE_PASSES: &[&str] = &[
     "scenario",
     "phase",
     "gauge_balance",
+    "bench",
 ];
 
 /// Parse `// analyze:allow(<pass>): reason` annotations. Returns the
@@ -123,6 +129,10 @@ pub struct SrcFile {
 pub struct Workspace {
     pub files: Vec<SrcFile>,
     pub test_literals: Vec<String>,
+    /// Blessed perf-baseline directories (`bench_baselines/` and its
+    /// subsets) for the bench-coverage pass. Empty for fixture
+    /// workspaces unless the test populates it.
+    pub baseline_dirs: Vec<bench::BaselineDir>,
 }
 
 impl Workspace {
@@ -161,6 +171,7 @@ impl Workspace {
         Workspace {
             files,
             test_literals,
+            baseline_dirs: Vec::new(),
         }
     }
 }
@@ -210,7 +221,9 @@ pub fn load_workspace(root: &Path) -> std::io::Result<Workspace> {
         .map(|(rel, crate_name, src)| (rel.as_str(), crate_name.as_str(), src.as_str()))
         .collect::<Vec<_>>();
     let tests = test_sources.iter().map(String::as_str).collect::<Vec<_>>();
-    Ok(Workspace::from_sources(&files, &tests))
+    let mut ws = Workspace::from_sources(&files, &tests);
+    ws.baseline_dirs = bench::load_baseline_dirs(root)?;
+    Ok(ws)
 }
 
 fn walk_rs(dir: &Path, f: &mut dyn FnMut(&Path) -> std::io::Result<()>) -> std::io::Result<()> {
@@ -245,6 +258,7 @@ pub struct Stats {
     pub cycles: usize,
     pub crashpoints: usize,
     pub phases_checked: usize,
+    pub bench_bins: usize,
 }
 
 pub struct Analysis {
@@ -270,6 +284,7 @@ pub fn analyze(ws: &Workspace) -> Analysis {
     violations.extend(coverage::durability_pass(ws));
     violations.extend(coverage::scenario_pass(ws));
     violations.extend(coverage::gauge_balance_pass(ws));
+    violations.extend(bench::bench_pass(ws));
     let (phases_checked, phase_violations) = coverage::phase_pass(ws);
     violations.extend(phase_violations);
     for file in &ws.files {
@@ -303,6 +318,7 @@ pub fn analyze(ws: &Workspace) -> Analysis {
         cycles: cycles.len(),
         crashpoints,
         phases_checked,
+        bench_bins: bench::bench_bins(ws).len(),
     };
     Analysis {
         graph,
@@ -450,7 +466,8 @@ pub fn analysis_json(a: &Analysis) -> String {
         s,
         "\"files\":{},\"functions\":{},\"acquisitions\":{},\"acq_unresolved\":{},\
          \"calls_resolved\":{},\"calls_unresolved\":{},\"nodes\":{},\"edges\":{},\
-         \"edges_waived\":{},\"cycles\":{},\"crashpoints\":{},\"phases_checked\":{}",
+         \"edges_waived\":{},\"cycles\":{},\"crashpoints\":{},\"phases_checked\":{},\
+         \"bench_bins\":{}",
         st.files,
         st.functions,
         st.acquisitions,
@@ -462,7 +479,8 @@ pub fn analysis_json(a: &Analysis) -> String {
         st.edges_waived,
         st.cycles,
         st.crashpoints,
-        st.phases_checked
+        st.phases_checked,
+        st.bench_bins
     );
     s.push_str("}}\n");
     s

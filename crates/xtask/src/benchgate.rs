@@ -1,0 +1,1496 @@
+//! bench-gate: the perf-regression gate over the benchmark JSON twins.
+//!
+//! Every harness under `crates/bench/src/bin` emits a machine-readable
+//! obskit snapshot (`bench_results/<name>.json`). This module compares
+//! those against the *blessed* copies under `bench_baselines/` with
+//! per-metric tolerance bands from a small in-tree manifest
+//! (`bench_baselines/gate.toml`, parsed by [`GateConfig::parse`] — a
+//! hand-rolled TOML subset, no external deps), and renders a readable
+//! per-metric delta report plus a `--json` twin for CI artifacts.
+//!
+//! Semantics:
+//!
+//! * **counters** drift-check in both directions (`counter_rel`): a
+//!   counter that halved is as suspicious as one that doubled;
+//! * **gauges** must land within `gauge_abs` of the baseline — residual
+//!   levels (sessions not drained, pending slots leaked) are bugs, so
+//!   the default band is exactly 0;
+//! * **histograms** compare sample counts in both directions
+//!   (`count_rel`) and p50/p95/p99 upward only (`quantile_rel`; a faster
+//!   run is reported as *improved*, never failed). `quantile_floor`
+//!   suppresses regressions whose absolute delta is below the floor —
+//!   sub-microsecond jitter in a nanosecond histogram is not a signal;
+//! * metrics present only in the current run are *new* (informational;
+//!   blessing adopts them), metrics missing from the current run fail.
+//!
+//! Baselines change only through an explicit `--bless`, which copies the
+//! current results over the baselines verbatim.
+//!
+//! `--series` validates the JSON-lines time series the streaming
+//! exporter ([`obskit::stream`]) writes during long soaks: schema and
+//! line-by-line parseability, strictly sequential interval numbers,
+//! non-negative counter/histogram deltas, and the manifest's gauge
+//! invariants — `monotone` gauges never decrease, `bounded` gauges never
+//! exceed a cap named in the series header meta, `zero_final` gauges are
+//! back to zero by the final interval.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+use obskit::json::Json;
+
+// ---------------------------------------------------------------------------
+// Manifest (gate.toml)
+// ---------------------------------------------------------------------------
+
+/// Tolerance bands; every field optional so bench- and metric-level
+/// overrides can shadow individual knobs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Tol {
+    /// Relative band for counters, both directions (0.5 = ±50%).
+    pub counter_rel: Option<f64>,
+    /// Absolute band for gauges.
+    pub gauge_abs: Option<f64>,
+    /// Relative band for histogram p50/p95/p99, upward only
+    /// (3.0 = up to 4× the baseline passes).
+    pub quantile_rel: Option<f64>,
+    /// Relative band for histogram sample counts, both directions.
+    pub count_rel: Option<f64>,
+    /// Absolute floor under which a quantile increase is never a
+    /// regression (nanoseconds for duration histograms).
+    pub quantile_floor: Option<f64>,
+}
+
+/// Hard defaults when neither the manifest default nor an override sets
+/// a knob.
+const HARD: Tol = Tol {
+    counter_rel: Some(0.5),
+    gauge_abs: Some(0.0),
+    quantile_rel: Some(3.0),
+    count_rel: Some(0.5),
+    quantile_floor: Some(0.0),
+};
+
+impl Tol {
+    fn overlay(&self, over: &Tol) -> Tol {
+        Tol {
+            counter_rel: over.counter_rel.or(self.counter_rel),
+            gauge_abs: over.gauge_abs.or(self.gauge_abs),
+            quantile_rel: over.quantile_rel.or(self.quantile_rel),
+            count_rel: over.count_rel.or(self.count_rel),
+            quantile_floor: over.quantile_floor.or(self.quantile_floor),
+        }
+    }
+
+    fn set(&mut self, key: &str, v: f64) -> bool {
+        match key {
+            "counter_rel" => self.counter_rel = Some(v),
+            "gauge_abs" => self.gauge_abs = Some(v),
+            "quantile_rel" => self.quantile_rel = Some(v),
+            "count_rel" => self.count_rel = Some(v),
+            "quantile_floor" => self.quantile_floor = Some(v),
+            _ => return false,
+        }
+        true
+    }
+}
+
+/// Per-benchmark configuration: tolerance overrides, skip patterns, and
+/// per-metric overrides.
+#[derive(Debug, Clone, Default)]
+pub struct BenchCfg {
+    pub tol: Tol,
+    /// Metric-name patterns to exclude from comparison (exact, or a
+    /// trailing-`*` prefix like `"sqlengine.*"`).
+    pub skip: Vec<String>,
+    /// Per-metric tolerance overrides (exact names).
+    pub metrics: BTreeMap<String, Tol>,
+}
+
+/// Invariants for `--series` validation.
+#[derive(Debug, Clone)]
+pub struct SeriesCfg {
+    /// Minimum number of interval lines a series must contain.
+    pub min_intervals: u64,
+    /// Gauges that must read 0 in the final interval (if present at all).
+    pub zero_final: Vec<String>,
+    /// Gauges that must never decrease across intervals (high-water
+    /// marks).
+    pub monotone: Vec<String>,
+    /// `(gauge, meta_key)`: the gauge must never exceed the numeric cap
+    /// stored under `meta_key` in the series header. Skipped when the
+    /// header has no such key (workloads without that cap).
+    pub bounded: Vec<(String, String)>,
+}
+
+impl Default for SeriesCfg {
+    fn default() -> SeriesCfg {
+        SeriesCfg {
+            min_intervals: 1,
+            zero_final: Vec::new(),
+            monotone: Vec::new(),
+            bounded: Vec::new(),
+        }
+    }
+}
+
+/// The parsed manifest.
+#[derive(Debug, Clone, Default)]
+pub struct GateConfig {
+    pub default: Tol,
+    pub benches: BTreeMap<String, BenchCfg>,
+    pub series: SeriesCfg,
+    /// Baseline names that do not correspond to a bench binary (e.g.
+    /// snapshots exported by CI test steps) — consumed by the
+    /// `cargo xtask analyze` stale-baseline pass.
+    pub extra: Vec<String>,
+}
+
+/// A parsed manifest value.
+#[derive(Debug, Clone, PartialEq)]
+enum Val {
+    Num(f64),
+    Str(String),
+    Arr(Vec<Val>),
+}
+
+impl Val {
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Val::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn as_str_list(&self) -> Option<Vec<String>> {
+        match self {
+            Val::Arr(items) => items
+                .iter()
+                .map(|v| match v {
+                    Val::Str(s) => Some(s.clone()),
+                    _ => None,
+                })
+                .collect(),
+            _ => None,
+        }
+    }
+}
+
+fn parse_key(s: &str) -> Result<(String, &str), String> {
+    let s = s.trim_start();
+    if let Some(rest) = s.strip_prefix('"') {
+        let end = rest.find('"').ok_or("unterminated quoted key")?;
+        Ok((rest[..end].to_string(), &rest[end + 1..]))
+    } else {
+        let end = s
+            .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.'))
+            .unwrap_or(s.len());
+        if end == 0 {
+            return Err(format!("expected key at {s:?}"));
+        }
+        Ok((s[..end].to_string(), &s[end..]))
+    }
+}
+
+fn parse_val(s: &str) -> Result<Val, String> {
+    let s = s.trim();
+    if let Some(rest) = s.strip_prefix('"') {
+        let end = rest.find('"').ok_or("unterminated string value")?;
+        if !rest[end + 1..].trim().is_empty() {
+            return Err(format!("trailing garbage after string in {s:?}"));
+        }
+        return Ok(Val::Str(rest[..end].to_string()));
+    }
+    if let Some(body) = s.strip_prefix('[') {
+        let body = body
+            .strip_suffix(']')
+            .ok_or_else(|| format!("unterminated array in {s:?}"))?;
+        let mut items = Vec::new();
+        let mut rest = body.trim();
+        while !rest.is_empty() {
+            let item_end = if let Some(inner) = rest.strip_prefix('"') {
+                // A quoted item may contain commas.
+                inner
+                    .find('"')
+                    .map(|i| i + 2)
+                    .ok_or("unterminated string in array")?
+            } else {
+                rest.find(',').unwrap_or(rest.len())
+            };
+            items.push(parse_val(&rest[..item_end])?);
+            rest = rest[item_end..].trim_start();
+            rest = rest.strip_prefix(',').unwrap_or(rest).trim_start();
+        }
+        return Ok(Val::Arr(items));
+    }
+    s.parse::<f64>()
+        .map(Val::Num)
+        .map_err(|_| format!("bad value {s:?} (expected number, \"string\" or [array])"))
+}
+
+/// Split a `[section.path."with.quoted".segments]` header.
+fn parse_section(line: &str) -> Result<Vec<String>, String> {
+    let inner = line
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| format!("bad section header {line:?}"))?;
+    let mut segs = Vec::new();
+    let mut rest = inner.trim();
+    loop {
+        let (seg, after) = if let Some(r) = rest.strip_prefix('"') {
+            let end = r.find('"').ok_or("unterminated quoted segment")?;
+            (r[..end].to_string(), r[end + 1..].trim_start())
+        } else {
+            let end = r_ident_end(rest);
+            if end == 0 {
+                return Err(format!("empty segment in section {line:?}"));
+            }
+            (rest[..end].to_string(), rest[end..].trim_start())
+        };
+        segs.push(seg);
+        if after.is_empty() {
+            return Ok(segs);
+        }
+        rest = after
+            .strip_prefix('.')
+            .ok_or_else(|| format!("expected '.' between segments in {line:?}"))?
+            .trim_start();
+    }
+}
+
+fn r_ident_end(s: &str) -> usize {
+    s.find(|c: char| !(c.is_ascii_alphanumeric() || c == '_' || c == '-'))
+        .unwrap_or(s.len())
+}
+
+impl GateConfig {
+    /// Parse a manifest. Unknown sections or keys are hard errors: a
+    /// typo'd tolerance that silently parses is a gate that silently
+    /// stopped gating.
+    pub fn parse(text: &str) -> Result<GateConfig, String> {
+        let mut cfg = GateConfig::default();
+        let mut section: Vec<String> = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            // Strip comments (the manifest never puts '#' inside strings).
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line.starts_with('[') {
+                section = parse_section(line).map_err(|e| format!("line {lineno}: {e}"))?;
+                let known = matches!(
+                    section_kind(&section),
+                    Some(SectionKind::Default)
+                        | Some(SectionKind::Series)
+                        | Some(SectionKind::Gate)
+                        | Some(SectionKind::Bench(_))
+                        | Some(SectionKind::Metric(_, _))
+                );
+                if !known {
+                    return Err(format!(
+                        "line {lineno}: unknown section [{}] (expected default, series, gate, \
+                         bench.<name> or bench.<name>.metric.\"<metric>\")",
+                        section.join(".")
+                    ));
+                }
+                continue;
+            }
+            let (key, rest) = parse_key(line).map_err(|e| format!("line {lineno}: {e}"))?;
+            let rest = rest.trim_start();
+            let Some(rest) = rest.strip_prefix('=') else {
+                return Err(format!("line {lineno}: expected '=' after key {key:?}"));
+            };
+            let val = parse_val(rest).map_err(|e| format!("line {lineno}: {e}"))?;
+            cfg.apply(&section, &key, val)
+                .map_err(|e| format!("line {lineno}: {e}"))?;
+        }
+        Ok(cfg)
+    }
+
+    /// Load `<dir>/gate.toml`; a missing manifest yields the defaults.
+    pub fn load(baselines: &Path) -> Result<GateConfig, String> {
+        let path = baselines.join("gate.toml");
+        if !path.exists() {
+            return Ok(GateConfig::default());
+        }
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        GateConfig::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    fn apply(&mut self, section: &[String], key: &str, val: Val) -> Result<(), String> {
+        let bad_key = || format!("unknown key {key:?} in [{}]", section.join("."));
+        let num = |v: &Val| v.as_f64().ok_or_else(|| format!("{key} must be a number"));
+        match section_kind(section) {
+            Some(SectionKind::Default) => {
+                if !self.default.set(key, num(&val)?) {
+                    return Err(bad_key());
+                }
+            }
+            Some(SectionKind::Series) => match key {
+                "min_intervals" => self.series.min_intervals = num(&val)? as u64,
+                "zero_final" => {
+                    self.series.zero_final = val
+                        .as_str_list()
+                        .ok_or("zero_final must be a string array")?;
+                }
+                "monotone" => {
+                    self.series.monotone =
+                        val.as_str_list().ok_or("monotone must be a string array")?;
+                }
+                "bounded" => {
+                    let entries = val.as_str_list().ok_or("bounded must be a string array")?;
+                    self.series.bounded = entries
+                        .iter()
+                        .map(|e| {
+                            let (g, m) = e.split_once("<=").ok_or_else(|| {
+                                format!("bounded entry {e:?} needs `gauge <= meta.key`")
+                            })?;
+                            let m = m.trim().strip_prefix("meta.").ok_or_else(|| {
+                                format!("bounded cap in {e:?} must be `meta.<key>`")
+                            })?;
+                            Ok((g.trim().to_string(), m.to_string()))
+                        })
+                        .collect::<Result<Vec<_>, String>>()?;
+                }
+                _ => return Err(bad_key()),
+            },
+            Some(SectionKind::Gate) => match key {
+                "extra" => {
+                    self.extra = val.as_str_list().ok_or("extra must be a string array")?;
+                }
+                _ => return Err(bad_key()),
+            },
+            Some(SectionKind::Bench(name)) => {
+                let bench = self.benches.entry(name.to_string()).or_default();
+                if key == "skip" {
+                    bench.skip = val.as_str_list().ok_or("skip must be a string array")?;
+                } else if !bench.tol.set(key, num(&val)?) {
+                    return Err(bad_key());
+                }
+            }
+            Some(SectionKind::Metric(name, metric)) => {
+                let bench = self.benches.entry(name.to_string()).or_default();
+                let tol = bench.metrics.entry(metric.to_string()).or_default();
+                if !tol.set(key, num(&val)?) {
+                    return Err(bad_key());
+                }
+            }
+            None => {
+                return Err(if section.is_empty() {
+                    format!("key {key:?} outside any section")
+                } else {
+                    format!("unknown section [{}]", section.join("."))
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The effective tolerances for one metric of one bench.
+    fn tol_for(&self, bench: &str, metric: &str) -> Tol {
+        let mut t = HARD.overlay(&self.default);
+        if let Some(b) = self.benches.get(bench) {
+            t = t.overlay(&b.tol);
+            if let Some(m) = b.metrics.get(metric) {
+                t = t.overlay(m);
+            }
+        }
+        t
+    }
+
+    fn skipped(&self, bench: &str, metric: &str) -> bool {
+        self.benches
+            .get(bench)
+            .is_some_and(|b| b.skip.iter().any(|p| pat_matches(p, metric)))
+    }
+}
+
+enum SectionKind<'a> {
+    Default,
+    Series,
+    Gate,
+    Bench(&'a str),
+    Metric(&'a str, &'a str),
+}
+
+fn section_kind(section: &[String]) -> Option<SectionKind<'_>> {
+    match section {
+        [a] if a == "default" => Some(SectionKind::Default),
+        [a] if a == "series" => Some(SectionKind::Series),
+        [a] if a == "gate" => Some(SectionKind::Gate),
+        [a, name] if a == "bench" => Some(SectionKind::Bench(name)),
+        [a, name, b, metric] if a == "bench" && b == "metric" => {
+            Some(SectionKind::Metric(name, metric))
+        }
+        _ => None,
+    }
+}
+
+fn pat_matches(pat: &str, name: &str) -> bool {
+    match pat.strip_suffix('*') {
+        Some(prefix) => name.starts_with(prefix),
+        None => pat == name,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Comparison
+// ---------------------------------------------------------------------------
+
+/// Outcome of one metric comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Within band.
+    Ok,
+    /// A quantile got meaningfully better (outside the band, downward).
+    Improved,
+    /// Present in the current run only; blessing will adopt it.
+    New,
+    /// Outside the band in the failing direction.
+    Regressed,
+    /// The baseline has it, the current run lost it.
+    Missing,
+    /// Excluded by a manifest skip pattern.
+    Skipped,
+}
+
+impl Status {
+    pub fn name(self) -> &'static str {
+        match self {
+            Status::Ok => "ok",
+            Status::Improved => "improved",
+            Status::New => "new",
+            Status::Regressed => "REGRESSED",
+            Status::Missing => "MISSING",
+            Status::Skipped => "skipped",
+        }
+    }
+
+    fn failing(self) -> bool {
+        matches!(self, Status::Regressed | Status::Missing)
+    }
+}
+
+/// One compared metric.
+#[derive(Debug, Clone)]
+pub struct MetricDelta {
+    pub bench: String,
+    /// `counter <name>`, `gauge <name>`, or `<name> p50/p95/p99/count`.
+    pub metric: String,
+    pub kind: &'static str,
+    pub baseline: f64,
+    pub current: f64,
+    /// The band the comparison used (relative, except `gauge`: absolute).
+    pub band: f64,
+    pub status: Status,
+}
+
+/// The full gate outcome.
+#[derive(Debug, Default)]
+pub struct GateReport {
+    pub deltas: Vec<MetricDelta>,
+    /// Hard errors: unreadable/malformed files, missing current results.
+    pub errors: Vec<String>,
+    /// Non-failing observations (results without baselines, bless log).
+    pub notes: Vec<String>,
+    /// `--series` outcomes: `(path, errors)`.
+    pub series: Vec<(String, Vec<String>)>,
+}
+
+impl GateReport {
+    pub fn failed(&self) -> bool {
+        !self.errors.is_empty()
+            || self.deltas.iter().any(|d| d.status.failing())
+            || self.series.iter().any(|(_, errs)| !errs.is_empty())
+    }
+}
+
+fn load_snapshot(path: &Path) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let doc =
+        Json::parse(&text).map_err(|e| format!("{} is not valid JSON: {e}", path.display()))?;
+    if doc.get("obskit").and_then(Json::as_f64) != Some(1.0) {
+        return Err(format!(
+            "{} is not an obskit v1 snapshot (missing/wrong \"obskit\" tag)",
+            path.display()
+        ));
+    }
+    Ok(doc)
+}
+
+fn num_map(doc: &Json, key: &str) -> BTreeMap<String, f64> {
+    doc.get(key)
+        .and_then(Json::as_obj)
+        .map(|m| {
+            m.iter()
+                .filter_map(|(k, v)| v.as_f64().map(|n| (k.clone(), n)))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Histogram fields the gate compares.
+fn hist_fields(h: &Json) -> Vec<(&'static str, f64)> {
+    let mut out = Vec::new();
+    for k in ["count", "p50", "p95", "p99"] {
+        if let Some(v) = h.get(k).and_then(Json::as_f64) {
+            out.push((
+                match k {
+                    "count" => "count",
+                    "p50" => "p50",
+                    "p95" => "p95",
+                    _ => "p99",
+                },
+                v,
+            ));
+        }
+    }
+    out
+}
+
+/// Compare one bench's current snapshot against its baseline.
+pub fn compare_bench(
+    bench: &str,
+    baseline: &Json,
+    current: &Json,
+    cfg: &GateConfig,
+) -> Vec<MetricDelta> {
+    let mut out = Vec::new();
+    let mut push = |metric: &str, kind: &'static str, b: f64, c: f64, band: f64, status: Status| {
+        out.push(MetricDelta {
+            bench: bench.to_string(),
+            metric: metric.to_string(),
+            kind,
+            baseline: b,
+            current: c,
+            band,
+            status,
+        });
+    };
+
+    // Counters: both directions, relative.
+    let (bc, cc) = (num_map(baseline, "counters"), num_map(current, "counters"));
+    for (name, &b) in &bc {
+        let tol = cfg.tol_for(bench, name);
+        let band = tol.counter_rel.unwrap_or(0.5);
+        if cfg.skipped(bench, name) {
+            push(
+                name,
+                "counter",
+                b,
+                cc.get(name).copied().unwrap_or(0.0),
+                band,
+                Status::Skipped,
+            );
+            continue;
+        }
+        let Some(&c) = cc.get(name) else {
+            push(name, "counter", b, 0.0, band, Status::Missing);
+            continue;
+        };
+        let rel = (c - b).abs() / b.max(1.0);
+        let status = if rel <= band {
+            Status::Ok
+        } else {
+            Status::Regressed
+        };
+        push(name, "counter", b, c, band, status);
+    }
+    for (name, &c) in &cc {
+        if !bc.contains_key(name) && !cfg.skipped(bench, name) {
+            push(name, "counter", 0.0, c, 0.0, Status::New);
+        }
+    }
+
+    // Gauges: absolute band.
+    let (bg, cg) = (num_map(baseline, "gauges"), num_map(current, "gauges"));
+    for (name, &b) in &bg {
+        let tol = cfg.tol_for(bench, name);
+        let band = tol.gauge_abs.unwrap_or(0.0);
+        if cfg.skipped(bench, name) {
+            push(
+                name,
+                "gauge",
+                b,
+                cg.get(name).copied().unwrap_or(0.0),
+                band,
+                Status::Skipped,
+            );
+            continue;
+        }
+        let Some(&c) = cg.get(name) else {
+            push(name, "gauge", b, 0.0, band, Status::Missing);
+            continue;
+        };
+        let status = if (c - b).abs() <= band {
+            Status::Ok
+        } else {
+            Status::Regressed
+        };
+        push(name, "gauge", b, c, band, status);
+    }
+    for (name, &c) in &cg {
+        if !bg.contains_key(name) && !cfg.skipped(bench, name) {
+            push(name, "gauge", 0.0, c, 0.0, Status::New);
+        }
+    }
+
+    // Histograms: count both ways, quantiles upward only.
+    let empty = BTreeMap::new();
+    let bh = baseline
+        .get("histograms")
+        .and_then(Json::as_obj)
+        .unwrap_or(&empty);
+    let ch = current
+        .get("histograms")
+        .and_then(Json::as_obj)
+        .unwrap_or(&empty);
+    for (name, bhist) in bh {
+        let tol = cfg.tol_for(bench, name);
+        if cfg.skipped(bench, name) {
+            push(name, "histogram", 0.0, 0.0, 0.0, Status::Skipped);
+            continue;
+        }
+        let Some(chist) = ch.get(name) else {
+            push(name, "histogram", 0.0, 0.0, 0.0, Status::Missing);
+            continue;
+        };
+        let bfields: BTreeMap<&str, f64> = hist_fields(bhist).into_iter().collect();
+        let cfields: BTreeMap<&str, f64> = hist_fields(chist).into_iter().collect();
+        for (kind, &b) in &bfields {
+            let c = cfields.get(kind).copied();
+            if *kind == "count" {
+                let band = tol.count_rel.unwrap_or(0.5);
+                let c = c.unwrap_or(0.0);
+                let rel = (c - b).abs() / b.max(1.0);
+                let status = if rel <= band {
+                    Status::Ok
+                } else {
+                    Status::Regressed
+                };
+                push(name, "count", b, c, band, status);
+            } else {
+                let band = tol.quantile_rel.unwrap_or(3.0);
+                let floor = tol.quantile_floor.unwrap_or(0.0);
+                let Some(c) = c else {
+                    // Quantile vanished: the count comparison above already
+                    // flags the empty histogram; skip the quantile row.
+                    continue;
+                };
+                let status = if c > b * (1.0 + band) && (c - b) > floor {
+                    Status::Regressed
+                } else if c * (1.0 + band) < b && (b - c) > floor {
+                    Status::Improved
+                } else {
+                    Status::Ok
+                };
+                push(name, kind, b, c, band, status);
+            }
+        }
+    }
+    for (name, chist) in ch {
+        if !bh.contains_key(name) && !cfg.skipped(bench, name) {
+            let c = chist.get("count").and_then(Json::as_f64).unwrap_or(0.0);
+            push(name, "count", 0.0, c, 0.0, Status::New);
+        }
+    }
+    out
+}
+
+/// Baseline JSON files directly under `dir` (no recursion — `ci/` is its
+/// own gate), sorted by name.
+pub fn baseline_names(dir: &Path) -> std::io::Result<Vec<String>> {
+    let mut names = Vec::new();
+    for e in std::fs::read_dir(dir)? {
+        let p = e?.path();
+        if p.is_file() && p.extension().and_then(|x| x.to_str()) == Some("json") {
+            if let Some(stem) = p.file_stem().and_then(|s| s.to_str()) {
+                names.push(stem.to_string());
+            }
+        }
+    }
+    names.sort();
+    Ok(names)
+}
+
+/// Run the gate: every baseline under `baselines` is compared against
+/// `results/<name>.json`.
+pub fn run_gate(results: &Path, baselines: &Path, cfg: &GateConfig) -> GateReport {
+    let mut report = GateReport::default();
+    let names = match baseline_names(baselines) {
+        Ok(n) => n,
+        Err(e) => {
+            report.errors.push(format!(
+                "cannot list baselines {}: {e}",
+                baselines.display()
+            ));
+            return report;
+        }
+    };
+    if names.is_empty() {
+        report.errors.push(format!(
+            "no baselines under {} — nothing to gate",
+            baselines.display()
+        ));
+        return report;
+    }
+    for name in &names {
+        let bpath = baselines.join(format!("{name}.json"));
+        let cpath = results.join(format!("{name}.json"));
+        let baseline = match load_snapshot(&bpath) {
+            Ok(d) => d,
+            Err(e) => {
+                report.errors.push(e);
+                continue;
+            }
+        };
+        if !cpath.exists() {
+            report.errors.push(format!(
+                "baseline {name} has no current result {} — run the bench or drop the stale \
+                 baseline",
+                cpath.display()
+            ));
+            continue;
+        }
+        let current = match load_snapshot(&cpath) {
+            Ok(d) => d,
+            Err(e) => {
+                report.errors.push(e);
+                continue;
+            }
+        };
+        report
+            .deltas
+            .extend(compare_bench(name, &baseline, &current, cfg));
+    }
+    // Current results that have no baseline yet: informational.
+    if let Ok(current_names) = baseline_names(results) {
+        for n in current_names {
+            if !names.contains(&n) {
+                report.notes.push(format!(
+                    "result {n}.json has no baseline — bless to adopt it"
+                ));
+            }
+        }
+    }
+    report
+}
+
+/// `--bless`: copy every `results/*.json` over `baselines/<name>.json`.
+/// Returns the blessed names.
+pub fn bless(results: &Path, baselines: &Path) -> Result<Vec<String>, String> {
+    let names = baseline_names(results)
+        .map_err(|e| format!("cannot list results {}: {e}", results.display()))?;
+    if names.is_empty() {
+        return Err(format!(
+            "no results under {} — nothing to bless",
+            results.display()
+        ));
+    }
+    std::fs::create_dir_all(baselines)
+        .map_err(|e| format!("cannot create {}: {e}", baselines.display()))?;
+    for name in &names {
+        let from = results.join(format!("{name}.json"));
+        // Validate before blessing: a malformed result must never become
+        // the baseline the gate trusts.
+        load_snapshot(&from)?;
+        let to = baselines.join(format!("{name}.json"));
+        std::fs::copy(&from, &to)
+            .map_err(|e| format!("cannot bless {} -> {}: {e}", from.display(), to.display()))?;
+    }
+    Ok(names)
+}
+
+// ---------------------------------------------------------------------------
+// Series validation
+// ---------------------------------------------------------------------------
+
+/// Validate one JSON-lines series file against the manifest invariants.
+/// Returns the violations (empty = valid).
+pub fn check_series(path: &Path, cfg: &SeriesCfg) -> Vec<String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => return vec![format!("cannot read series {}: {e}", path.display())],
+    };
+    check_series_text(&text, cfg, &path.display().to_string())
+}
+
+/// Same, over in-memory text (fixture tests).
+pub fn check_series_text(text: &str, cfg: &SeriesCfg, origin: &str) -> Vec<String> {
+    let mut errs = Vec::new();
+    let mut lines = text.lines().enumerate();
+    let Some((_, header)) = lines.next() else {
+        return vec![format!("{origin}: empty series file")];
+    };
+    let header = match Json::parse(header) {
+        Ok(h) => h,
+        Err(e) => return vec![format!("{origin}:1: header is not valid JSON: {e}")],
+    };
+    if header.get("obskit_series").and_then(Json::as_f64) != Some(1.0) {
+        return vec![format!(
+            "{origin}:1: missing \"obskit_series\": 1 header tag"
+        )];
+    }
+    let meta: BTreeMap<String, f64> = header
+        .get("meta")
+        .and_then(Json::as_obj)
+        .map(|m| {
+            m.iter()
+                .filter_map(|(k, v)| {
+                    v.as_str()
+                        .and_then(|s| s.parse::<f64>().ok())
+                        .map(|n| (k.clone(), n))
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+
+    let mut intervals = 0u64;
+    let mut last_gauges: BTreeMap<String, f64> = BTreeMap::new();
+    let mut monotone_prev: BTreeMap<String, f64> = BTreeMap::new();
+    for (idx, line) in lines {
+        let lineno = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let doc = match Json::parse(line) {
+            Ok(d) => d,
+            Err(e) => {
+                errs.push(format!(
+                    "{origin}:{lineno}: interval is not valid JSON: {e}"
+                ));
+                continue;
+            }
+        };
+        intervals += 1;
+        match doc.get("seq").and_then(Json::as_f64) {
+            Some(s) if s == intervals as f64 => {}
+            other => errs.push(format!(
+                "{origin}:{lineno}: seq {other:?} breaks the 1,2,3,… interval sequence \
+                 (expected {intervals})"
+            )),
+        }
+        for (name, v) in num_map(&doc, "counters") {
+            if v < 0.0 {
+                errs.push(format!(
+                    "{origin}:{lineno}: counter delta {name:?} is negative ({v}) — monotone \
+                     counters can only grow"
+                ));
+            }
+        }
+        if let Some(hists) = doc.get("histograms").and_then(Json::as_obj) {
+            for (name, h) in hists {
+                for (k, v) in hist_fields(h) {
+                    if k == "count" && v < 0.0 {
+                        errs.push(format!(
+                            "{origin}:{lineno}: histogram delta {name:?} has negative count ({v})"
+                        ));
+                    }
+                }
+            }
+        }
+        let gauges = num_map(&doc, "gauges");
+        for g in &cfg.monotone {
+            if let (Some(&prev), Some(&cur)) = (monotone_prev.get(g), gauges.get(g)) {
+                if cur < prev {
+                    errs.push(format!(
+                        "{origin}:{lineno}: monotone gauge {g:?} decreased ({prev} -> {cur})"
+                    ));
+                }
+            }
+            if let Some(&cur) = gauges.get(g) {
+                monotone_prev.insert(g.clone(), cur);
+            }
+        }
+        for (g, meta_key) in &cfg.bounded {
+            if let (Some(&cur), Some(&cap)) = (gauges.get(g), meta.get(meta_key)) {
+                if cur > cap {
+                    errs.push(format!(
+                        "{origin}:{lineno}: gauge {g:?} = {cur} exceeds meta.{meta_key} cap {cap}"
+                    ));
+                }
+            }
+        }
+        last_gauges = gauges;
+    }
+    if intervals < cfg.min_intervals {
+        errs.push(format!(
+            "{origin}: only {intervals} interval(s); the series gate requires at least {}",
+            cfg.min_intervals
+        ));
+    }
+    for g in &cfg.zero_final {
+        if let Some(&v) = last_gauges.get(g) {
+            if v != 0.0 {
+                errs.push(format!(
+                    "{origin}: gauge {g:?} is {v} in the final interval — must drain to zero"
+                ));
+            }
+        }
+    }
+    errs
+}
+
+// ---------------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------------
+
+fn pct(delta: f64, base: f64) -> String {
+    let rel = 100.0 * (delta / base.max(1e-12));
+    format!("{rel:+.1}%")
+}
+
+/// Human-readable delta report: failures in full, healthy benches as a
+/// one-line summary each.
+pub fn render_text(report: &GateReport) -> String {
+    let mut out = String::new();
+    let mut by_bench: BTreeMap<&str, Vec<&MetricDelta>> = BTreeMap::new();
+    for d in &report.deltas {
+        by_bench.entry(&d.bench).or_default().push(d);
+    }
+    for (bench, deltas) in &by_bench {
+        let count = |s: Status| deltas.iter().filter(|d| d.status == s).count();
+        let _ = writeln!(
+            out,
+            "{bench}: {} compared — {} ok, {} improved, {} new, {} skipped, {} regressed, \
+             {} missing",
+            deltas.len(),
+            count(Status::Ok),
+            count(Status::Improved),
+            count(Status::New),
+            count(Status::Skipped),
+            count(Status::Regressed),
+            count(Status::Missing),
+        );
+        for d in deltas {
+            if d.status.failing() || d.status == Status::Improved {
+                let band = if d.kind == "gauge" {
+                    format!("band ±{}", d.band)
+                } else if d.kind == "counter" || d.kind == "count" {
+                    format!("band ±{:.0}%", d.band * 100.0)
+                } else {
+                    format!("band +{:.0}%", d.band * 100.0)
+                };
+                let _ = writeln!(
+                    out,
+                    "  {:9} {} {}: {} -> {} ({}, {band})",
+                    d.status.name(),
+                    d.kind,
+                    d.metric,
+                    d.baseline,
+                    d.current,
+                    pct(d.current - d.baseline, d.baseline),
+                );
+            }
+        }
+    }
+    for (path, errs) in &report.series {
+        if errs.is_empty() {
+            let _ = writeln!(out, "series {path}: ok");
+        } else {
+            let _ = writeln!(out, "series {path}: {} violation(s)", errs.len());
+            for e in errs {
+                let _ = writeln!(out, "  {e}");
+            }
+        }
+    }
+    for n in &report.notes {
+        let _ = writeln!(out, "note: {n}");
+    }
+    for e in &report.errors {
+        let _ = writeln!(out, "error: {e}");
+    }
+    let _ = writeln!(
+        out,
+        "bench-gate: {}",
+        if report.failed() { "FAILED" } else { "clean" }
+    );
+    out
+}
+
+fn jstr(s: &str) -> String {
+    obskit::export::json_str(s)
+}
+
+/// Machine-readable report, schema-versioned like the other artifacts.
+pub fn render_json(report: &GateReport) -> String {
+    let mut out = String::from("{\"bench_gate\":1,");
+    let _ = write!(out, "\"failed\":{},", report.failed());
+    out.push_str("\"deltas\":[");
+    for (i, d) in report.deltas.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"bench\":{},\"metric\":{},\"kind\":{},\"baseline\":{},\"current\":{},\
+             \"band\":{},\"status\":{}}}",
+            jstr(&d.bench),
+            jstr(&d.metric),
+            jstr(d.kind),
+            d.baseline,
+            d.current,
+            d.band,
+            jstr(d.status.name())
+        );
+    }
+    out.push_str("],\"series\":[");
+    for (i, (path, errs)) in report.series.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{{\"path\":{},\"errors\":[", jstr(path));
+        for (j, e) in errs.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&jstr(e));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("],\"notes\":[");
+    for (i, n) in report.notes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&jstr(n));
+    }
+    out.push_str("],\"errors\":[");
+    for (i, e) in report.errors.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&jstr(e));
+    }
+    out.push_str("]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn snap(counters: &str, gauges: &str, hists: &str) -> String {
+        format!(
+            "{{\"obskit\": 1, \"meta\": {{\"bench\": \"demo\"}}, \"counters\": {{{counters}}}, \
+             \"gauges\": {{{gauges}}}, \"histograms\": {{{hists}}}, \"events\": []}}"
+        )
+    }
+
+    fn hist(count: u64, p50: u64, p95: u64, p99: u64) -> String {
+        format!(
+            "\"lat\": {{\"count\": {count}, \"sum\": 0, \"min\": 1, \"max\": {p99}, \
+             \"mean\": 1.0, \"p50\": {p50}, \"p95\": {p95}, \"p99\": {p99}, \"buckets\": []}}"
+        )
+    }
+
+    fn parse(doc: &str) -> Json {
+        Json::parse(doc).expect("fixture JSON")
+    }
+
+    fn statuses(deltas: &[MetricDelta]) -> BTreeMap<String, Status> {
+        deltas
+            .iter()
+            .map(|d| (format!("{} {}", d.kind, d.metric), d.status))
+            .collect()
+    }
+
+    #[test]
+    fn manifest_parses_every_section_kind() {
+        let cfg = GateConfig::parse(
+            r#"
+            # comment
+            [default]
+            counter_rel = 0.25
+            quantile_rel = 2.0
+
+            [series]
+            min_intervals = 3
+            zero_final = ["sessions.active", "admission.pending"]
+            monotone = ["admission.pending.peak"]
+            bounded = ["admission.pending.peak <= meta.pending_cap"]
+
+            [gate]
+            extra = ["ci_group_commit"]
+
+            [bench.session_scale]
+            skip = ["sqlengine.*"]
+            quantile_rel = 7.0
+
+            [bench.session_scale.metric."session_scale.admit"]
+            quantile_rel = 1.0
+            "#,
+        )
+        .expect("manifest parses");
+        assert_eq!(cfg.default.counter_rel, Some(0.25));
+        assert_eq!(cfg.series.min_intervals, 3);
+        assert_eq!(cfg.series.zero_final.len(), 2);
+        assert_eq!(
+            cfg.series.bounded,
+            vec![(
+                "admission.pending.peak".to_string(),
+                "pending_cap".to_string()
+            )]
+        );
+        assert_eq!(cfg.extra, vec!["ci_group_commit".to_string()]);
+        // Resolution order: hard default -> [default] -> bench -> metric.
+        let t = cfg.tol_for("session_scale", "session_scale.admit");
+        assert_eq!(t.quantile_rel, Some(1.0));
+        assert_eq!(t.counter_rel, Some(0.25));
+        let t = cfg.tol_for("session_scale", "other");
+        assert_eq!(t.quantile_rel, Some(7.0));
+        let t = cfg.tol_for("table1_power", "other");
+        assert_eq!(t.quantile_rel, Some(2.0));
+        assert!(cfg.skipped("session_scale", "sqlengine.wal.flush"));
+        assert!(!cfg.skipped("session_scale", "wal.flush.batch_size"));
+        assert!(!cfg.skipped("table1_power", "sqlengine.wal.flush"));
+    }
+
+    #[test]
+    fn manifest_rejects_typos_loudly() {
+        for bad in [
+            "[default]\ncounter_rell = 0.5",
+            "[defaults]\ncounter_rel = 0.5",
+            "[bench.x]\ncounter_rel = \"high\"",
+            "[series]\nbounded = [\"no-operator\"]",
+            "counter_rel = 0.5",
+            "[bench.x.metric]\nrel = 1",
+        ] {
+            assert!(GateConfig::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn identical_snapshots_pass_clean() {
+        let doc = parse(&snap("\"c\": 100", "\"g\": 0", &hist(10, 100, 180, 200)));
+        let deltas = compare_bench("demo", &doc, &doc, &GateConfig::default());
+        assert!(deltas.iter().all(|d| d.status == Status::Ok), "{deltas:?}");
+        assert!(!deltas.is_empty());
+    }
+
+    #[test]
+    fn counter_band_edges_are_inclusive() {
+        let cfg = GateConfig::default(); // counter_rel 0.5
+        let base = parse(&snap("\"c\": 100", "", ""));
+        // 150 sits exactly on the band: passes.
+        let on_edge = parse(&snap("\"c\": 150", "", ""));
+        let d = compare_bench("demo", &base, &on_edge, &cfg);
+        assert_eq!(statuses(&d)["counter c"], Status::Ok);
+        // 151 is outside; so is halving beyond the band (both directions).
+        let over = parse(&snap("\"c\": 151", "", ""));
+        let d = compare_bench("demo", &base, &over, &cfg);
+        assert_eq!(statuses(&d)["counter c"], Status::Regressed);
+        let under = parse(&snap("\"c\": 40", "", ""));
+        let d = compare_bench("demo", &base, &under, &cfg);
+        assert_eq!(statuses(&d)["counter c"], Status::Regressed);
+    }
+
+    #[test]
+    fn quantile_regressions_fail_upward_only() {
+        let cfg = GateConfig::default(); // quantile_rel 3.0 => 4x passes
+        let base = parse(&snap("", "", &hist(10, 100, 180, 200)));
+        let fast = parse(&snap("", "", &hist(10, 10, 20, 30)));
+        let d = compare_bench("demo", &base, &fast, &cfg);
+        assert_eq!(
+            statuses(&d)["p99 lat"],
+            Status::Improved,
+            "faster never fails"
+        );
+        let on_edge = parse(&snap("", "", &hist(10, 100, 180, 800)));
+        let d = compare_bench("demo", &base, &on_edge, &cfg);
+        assert_eq!(statuses(&d)["p99 lat"], Status::Ok);
+        let slow = parse(&snap("", "", &hist(10, 100, 180, 801)));
+        let d = compare_bench("demo", &base, &slow, &cfg);
+        assert_eq!(statuses(&d)["p99 lat"], Status::Regressed);
+        assert_eq!(statuses(&d)["p50 lat"], Status::Ok);
+    }
+
+    #[test]
+    fn quantile_floor_suppresses_jitter() {
+        let mut cfg = GateConfig::default();
+        cfg.default.quantile_floor = Some(1000.0);
+        let base = parse(&snap("", "", &hist(10, 50, 60, 70)));
+        let noisy = parse(&snap("", "", &hist(10, 400, 500, 600)));
+        let d = compare_bench("demo", &base, &noisy, &cfg);
+        assert!(
+            d.iter().all(|d| d.status != Status::Regressed),
+            "sub-floor deltas must not regress: {d:?}"
+        );
+    }
+
+    #[test]
+    fn lost_metrics_fail_and_new_metrics_inform() {
+        let cfg = GateConfig::default();
+        let base = parse(&snap("\"old\": 5", "", ""));
+        let cur = parse(&snap("\"fresh\": 5", "", ""));
+        let s = statuses(&compare_bench("demo", &base, &cur, &cfg));
+        assert_eq!(s["counter old"], Status::Missing);
+        assert_eq!(s["counter fresh"], Status::New);
+    }
+
+    #[test]
+    fn skip_patterns_exclude_noise() {
+        let mut cfg = GateConfig::default();
+        cfg.benches.entry("demo".into()).or_default().skip = vec!["noise.*".into()];
+        let base = parse(&snap("\"noise.c\": 100", "", ""));
+        let cur = parse(&snap("\"noise.c\": 100000", "", ""));
+        let d = compare_bench("demo", &base, &cur, &cfg);
+        assert_eq!(statuses(&d)["counter noise.c"], Status::Skipped);
+        let report = GateReport {
+            deltas: d,
+            ..Default::default()
+        };
+        assert!(!report.failed());
+    }
+
+    // -- fs-level tests -----------------------------------------------------
+
+    struct TmpDirs {
+        root: PathBuf,
+    }
+
+    impl TmpDirs {
+        fn new(tag: &str) -> TmpDirs {
+            let root = std::env::temp_dir().join(format!(
+                "benchgate-{tag}-{}-{:?}",
+                std::process::id(),
+                std::thread::current().id()
+            ));
+            let _ = std::fs::remove_dir_all(&root);
+            std::fs::create_dir_all(root.join("results")).expect("mk results");
+            std::fs::create_dir_all(root.join("baselines")).expect("mk baselines");
+            TmpDirs { root }
+        }
+
+        fn results(&self) -> PathBuf {
+            self.root.join("results")
+        }
+
+        fn baselines(&self) -> PathBuf {
+            self.root.join("baselines")
+        }
+
+        fn write(&self, rel: &str, content: &str) {
+            std::fs::write(self.root.join(rel), content).expect("write fixture");
+        }
+    }
+
+    impl Drop for TmpDirs {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.root);
+        }
+    }
+
+    #[test]
+    fn gate_passes_on_matching_dirs_and_fails_on_doctored_baseline() {
+        let t = TmpDirs::new("doctored");
+        let good = snap(
+            "\"admission.admit\": 100",
+            "\"sessions.active\": 0",
+            &hist(50, 100, 180, 200),
+        );
+        t.write("results/session_scale.json", &good);
+        t.write("baselines/session_scale.json", &good);
+        let cfg = GateConfig::default();
+        let report = run_gate(&t.results(), &t.baselines(), &cfg);
+        assert!(
+            !report.failed(),
+            "clean HEAD must pass: {}",
+            render_text(&report)
+        );
+
+        // Doctor the baseline the way a perf regression would look: the
+        // blessed p99 was 4x better than what the current run measures.
+        let doctored = snap(
+            "\"admission.admit\": 100",
+            "\"sessions.active\": 0",
+            &hist(50, 20, 30, 40),
+        );
+        t.write("baselines/session_scale.json", &doctored);
+        let report = run_gate(&t.results(), &t.baselines(), &cfg);
+        assert!(report.failed(), "doctored baseline must fail the gate");
+        assert!(
+            report
+                .deltas
+                .iter()
+                .any(|d| d.status == Status::Regressed && d.kind == "p99"),
+            "failure must name the regressed quantile: {}",
+            render_text(&report)
+        );
+        let json = render_json(&report);
+        let doc = Json::parse(&json).expect("report json parses");
+        assert_eq!(
+            doc.get("failed").map(|f| f == &Json::Bool(true)),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn bless_rewrites_baselines_from_results() {
+        let t = TmpDirs::new("bless");
+        let old = snap("\"c\": 10", "", &hist(5, 10, 20, 30));
+        let new = snap("\"c\": 10000", "", &hist(5, 10, 20, 30));
+        t.write("baselines/demo.json", &old);
+        t.write("results/demo.json", &new);
+        t.write("results/brand_new.json", &old);
+        let cfg = GateConfig::default();
+        assert!(run_gate(&t.results(), &t.baselines(), &cfg).failed());
+        let blessed = bless(&t.results(), &t.baselines()).expect("bless");
+        assert_eq!(blessed, vec!["brand_new".to_string(), "demo".to_string()]);
+        assert_eq!(
+            std::fs::read_to_string(t.baselines().join("demo.json")).expect("read"),
+            new,
+            "bless copies the current result verbatim"
+        );
+        let report = run_gate(&t.results(), &t.baselines(), &cfg);
+        assert!(
+            !report.failed(),
+            "gate is clean after bless: {}",
+            render_text(&report)
+        );
+    }
+
+    #[test]
+    fn malformed_and_missing_files_are_hard_errors() {
+        let t = TmpDirs::new("malformed");
+        t.write("baselines/demo.json", &snap("\"c\": 1", "", ""));
+        // Missing current result.
+        let report = run_gate(&t.results(), &t.baselines(), &GateConfig::default());
+        assert!(report.failed());
+        assert!(
+            report.errors[0].contains("no current result"),
+            "{:?}",
+            report.errors
+        );
+        // Malformed current result.
+        t.write("results/demo.json", "{\"obskit\": 1, truncated");
+        let report = run_gate(&t.results(), &t.baselines(), &GateConfig::default());
+        assert!(report.failed());
+        assert!(
+            report.errors[0].contains("not valid JSON"),
+            "{:?}",
+            report.errors
+        );
+        // Wrong schema tag.
+        t.write("results/demo.json", "{\"not_obskit\": 2}");
+        let report = run_gate(&t.results(), &t.baselines(), &GateConfig::default());
+        assert!(report.failed());
+        assert!(
+            report.errors[0].contains("not an obskit v1 snapshot"),
+            "{:?}",
+            report.errors
+        );
+        // Bless refuses to adopt garbage.
+        assert!(bless(&t.results(), &t.baselines()).is_err());
+    }
+
+    // -- series tests -------------------------------------------------------
+
+    fn series_cfg() -> SeriesCfg {
+        SeriesCfg {
+            min_intervals: 3,
+            zero_final: vec!["sessions.active".into()],
+            monotone: vec!["admission.pending.peak".into()],
+            bounded: vec![("admission.pending.peak".into(), "pending_cap".into())],
+        }
+    }
+
+    const GOOD_SERIES: &str = concat!(
+        "{\"obskit_series\": 1, \"meta\": {\"source\": \"t\", \"pending_cap\": \"8\"}}\n",
+        "{\"seq\": 1, \"label\": \"a\", \"counters\": {\"c\": 3}, \"gauges\": \
+         {\"sessions.active\": 2, \"admission.pending.peak\": 4}, \"histograms\": {}}\n",
+        "{\"seq\": 2, \"label\": \"b\", \"counters\": {\"c\": 0}, \"gauges\": \
+         {\"sessions.active\": 1, \"admission.pending.peak\": 8}, \"histograms\": \
+         {\"h\": {\"count\": 2, \"p50\": 5, \"p95\": 5, \"p99\": 5}}}\n",
+        "{\"seq\": 3, \"label\": \"c\", \"counters\": {\"c\": 1}, \"gauges\": \
+         {\"sessions.active\": 0, \"admission.pending.peak\": 8}, \"histograms\": {}}\n",
+    );
+
+    #[test]
+    fn valid_series_passes() {
+        let errs = check_series_text(GOOD_SERIES, &series_cfg(), "t");
+        assert!(errs.is_empty(), "{errs:?}");
+    }
+
+    #[test]
+    fn series_invariant_violations_are_caught() {
+        let cases: &[(&str, &str)] = &[
+            // Too few intervals.
+            (
+                "{\"obskit_series\": 1, \"meta\": {}}\n{\"seq\": 1, \"label\": \"a\", \
+                 \"counters\": {}, \"gauges\": {}, \"histograms\": {}}\n",
+                "at least 3",
+            ),
+            // Negative counter delta.
+            (
+                &GOOD_SERIES.replace("\"counters\": {\"c\": 0}", "\"counters\": {\"c\": -2}"),
+                "negative",
+            ),
+            // Broken sequence numbering.
+            (
+                &GOOD_SERIES.replace("\"seq\": 2", "\"seq\": 7"),
+                "interval sequence",
+            ),
+            // Bounded gauge above the header cap.
+            (
+                &GOOD_SERIES.replace(
+                    "\"admission.pending.peak\": 8}, \"histograms\": {}}",
+                    "\"admission.pending.peak\": 9}, \"histograms\": {}}",
+                ),
+                "exceeds meta.pending_cap",
+            ),
+            // Monotone gauge decreasing.
+            (
+                &GOOD_SERIES.replacen(
+                    "\"admission.pending.peak\": 8",
+                    "\"admission.pending.peak\": 3",
+                    1,
+                ),
+                "decreased",
+            ),
+            // Gauge not drained by the final interval.
+            (
+                &GOOD_SERIES.replace("{\"sessions.active\": 0,", "{\"sessions.active\": 5,"),
+                "drain to zero",
+            ),
+            // Malformed interval line.
+            (
+                &GOOD_SERIES.replace("{\"seq\": 3", "{\"seq\": oops 3"),
+                "not valid JSON",
+            ),
+            // Missing header tag.
+            ("{\"seq\": 1}\n", "obskit_series"),
+        ];
+        for (text, want) in cases {
+            let errs = check_series_text(text, &series_cfg(), "t");
+            assert!(
+                errs.iter().any(|e| e.contains(want)),
+                "expected a violation containing {want:?}, got {errs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_rule_skips_series_without_the_cap() {
+        // A chaos-soak series has no pending_cap in its header; the rule
+        // must not fire.
+        let text = GOOD_SERIES.replace(", \"pending_cap\": \"8\"", "");
+        let errs = check_series_text(
+            &text.replace(
+                "\"admission.pending.peak\": 4",
+                "\"admission.pending.peak\": 400",
+            ),
+            &SeriesCfg {
+                monotone: vec![],
+                ..series_cfg()
+            },
+            "t",
+        );
+        assert!(errs.is_empty(), "{errs:?}");
+    }
+}

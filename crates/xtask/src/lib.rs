@@ -35,6 +35,7 @@
 //! scanned).
 
 pub mod analyze;
+pub mod benchgate;
 
 use std::fmt;
 use std::fs;
@@ -82,6 +83,10 @@ pub enum Rule {
     GaugeBalance,
     /// Runtime lockcheck witness contradicting the static graph.
     Witness,
+    /// Bench/baseline drift: a bench binary that never emits its JSON
+    /// twin, a blessed baseline with no corresponding binary, or a
+    /// `[gate] extra` manifest entry with no baseline file.
+    Bench,
 }
 
 impl Rule {
@@ -103,6 +108,7 @@ impl Rule {
             Rule::Phase => "phase",
             Rule::GaugeBalance => "gauge_balance",
             Rule::Witness => "witness",
+            Rule::Bench => "bench",
         }
     }
 }

@@ -7,10 +7,15 @@
 //!   deadlock-cycle detection, instrumentation-coverage cross-checks,
 //!   and (with `--witness`) validation of a runtime lockcheck log
 //!   against the static graph.
+//! * `cargo xtask bench-gate [--json] [--bless] [--results <dir>]
+//!   [--baselines <dir>] [--series <path>]... [--series-only]` — compare
+//!   the benchmark JSON twins against the blessed baselines with the
+//!   tolerance bands from `<baselines>/gate.toml`, and/or validate
+//!   streaming JSON-lines series files (see [`xtask::benchgate`]).
 //! * `cargo xtask ci` — the full pre-merge gate: `fmt --check`,
 //!   `clippy`, `lint`, `analyze`, `test`, fault enumeration, chaos soak,
-//!   obskit snapshot and lockcheck witness validation, failing fast on
-//!   the first broken step.
+//!   obskit snapshot and lockcheck witness validation, perf baselines
+//!   via `bench-gate`, failing fast on the first broken step.
 
 use std::env;
 use std::path::{Path, PathBuf};
@@ -27,6 +32,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("lint") => lint(json),
         Some("analyze") => analyze(json, witness.as_deref()),
+        Some("bench-gate") => bench_gate(&args[1..]),
         Some("ci") => ci(),
         Some("help") | None => {
             print_help();
@@ -52,9 +58,17 @@ fn print_help() {
          \x20        deadlock-cycle detection, instrumentation-coverage passes\n\
          \x20        (waive with `// analyze:allow(<pass>): why`); --witness checks\n\
          \x20        a runtime lockcheck log against the static graph\n\
+         \x20 bench-gate [--json] [--bless] [--results <dir>] [--baselines <dir>]\n\
+         \x20            [--series <path>]... [--series-only]\n\
+         \x20        compare bench_results/*.json against the blessed baselines\n\
+         \x20        under bench_baselines/ using <baselines>/gate.toml tolerance\n\
+         \x20        bands; --bless adopts the current results as the new\n\
+         \x20        baselines; --series validates streaming JSON-lines series\n\
+         \x20        files (--series-only skips the baseline compare)\n\
          \x20 ci     full pre-merge gate: fmt --check, clippy, lint, analyze,\n\
          \x20        test, seeded fault enumeration, bounded chaos soak,\n\
-         \x20        obskit snapshot + lockcheck witness validation"
+         \x20        obskit snapshot + lockcheck witness validation,\n\
+         \x20        bench-gate perf baselines (checked-in twins + fast subset)"
     );
 }
 
@@ -135,7 +149,8 @@ fn analyze(json: bool, witness: Option<&str>) -> ExitCode {
     let st = &analysis.stats;
     println!(
         "xtask analyze: {} files, {} fns, {} lock nodes, {} edges \
-         ({} waived), {} cycles, {} crashpoints, {} recovery phases checked",
+         ({} waived), {} cycles, {} crashpoints, {} recovery phases checked, \
+         {} bench bins",
         st.files,
         st.functions,
         st.nodes,
@@ -143,7 +158,8 @@ fn analyze(json: bool, witness: Option<&str>) -> ExitCode {
         st.edges_waived,
         st.cycles,
         st.crashpoints,
-        st.phases_checked
+        st.phases_checked,
+        st.bench_bins
     );
     if analysis.violations.is_empty() {
         println!("xtask analyze: clean");
@@ -159,6 +175,100 @@ fn analyze(json: bool, witness: Option<&str>) -> ExitCode {
         xtask::analyze::ANALYZE_PASSES.join(", ")
     );
     ExitCode::FAILURE
+}
+
+/// `cargo xtask bench-gate`: the perf-regression gate. Compares every
+/// baseline under `bench_baselines/` against `bench_results/<name>.json`
+/// with the tolerance bands from `bench_baselines/gate.toml`, optionally
+/// validates streaming series files, and with `--bless` adopts the
+/// current results as the new baselines first.
+fn bench_gate(args: &[String]) -> ExitCode {
+    let root = workspace_root();
+    let mut json = false;
+    let mut do_bless = false;
+    let mut series_only = false;
+    let mut series: Vec<PathBuf> = Vec::new();
+    let mut results = root.join("bench_results");
+    let mut baselines = root.join("bench_baselines");
+    let mut i = 0;
+    while i < args.len() {
+        let take_value = |i: &mut usize| -> Option<PathBuf> {
+            *i += 1;
+            args.get(*i).map(PathBuf::from)
+        };
+        match args[i].as_str() {
+            "--json" => json = true,
+            "--bless" => do_bless = true,
+            "--series-only" => series_only = true,
+            "--series" => match take_value(&mut i) {
+                Some(p) => series.push(p),
+                None => {
+                    eprintln!("xtask bench-gate: --series needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--results" => match take_value(&mut i) {
+                Some(p) => results = p,
+                None => {
+                    eprintln!("xtask bench-gate: --results needs a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--baselines" => match take_value(&mut i) {
+                Some(p) => baselines = p,
+                None => {
+                    eprintln!("xtask bench-gate: --baselines needs a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("xtask bench-gate: unknown flag `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+    let cfg = match xtask::benchgate::GateConfig::load(&baselines) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("xtask bench-gate: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut report = xtask::benchgate::GateReport::default();
+    if do_bless {
+        match xtask::benchgate::bless(&results, &baselines) {
+            Ok(names) => report.notes.push(format!(
+                "blessed {} baseline(s): {}",
+                names.len(),
+                names.join(", ")
+            )),
+            Err(e) => {
+                eprintln!("xtask bench-gate: bless failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if !series_only {
+        let dir_report = xtask::benchgate::run_gate(&results, &baselines, &cfg);
+        report.deltas.extend(dir_report.deltas);
+        report.errors.extend(dir_report.errors);
+        report.notes.extend(dir_report.notes);
+    }
+    for path in &series {
+        let errs = xtask::benchgate::check_series(path, &cfg.series);
+        report.series.push((path.display().to_string(), errs));
+    }
+    if json {
+        print!("{}", xtask::benchgate::render_json(&report));
+    } else {
+        print!("{}", xtask::benchgate::render_text(&report));
+    }
+    if report.failed() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 /// One step of the CI gate, run from the workspace root.
@@ -422,7 +532,10 @@ fn ci() -> ExitCode {
 
     // Bounded chaos soak: a pinned block of seeds so the gate replays
     // the same randomized fault schedules on every run. The full 64-seed
-    // sweep stays a local/manual job (CHAOS_SOAK_SEEDS=64).
+    // sweep stays a local/manual job (CHAOS_SOAK_SEEDS=64). The soak
+    // also streams a per-seed JSON-lines series, validated by the
+    // bench-gate series step below.
+    let chaos_series = root.join("target").join("xtask-chaos-soak.series.jsonl");
     let soak_ok = faults_ok
         && step(
             "chaos soak (8 pinned seeds)",
@@ -437,6 +550,7 @@ fn ci() -> ExitCode {
                 ])
                 .env("CHAOS_SOAK_SEEDS", "8")
                 .env("CHAOS_SOAK_BASE", "2026")
+                .env("OBSKIT_SERIES", &chaos_series)
                 .current_dir(&root),
         );
 
@@ -445,6 +559,7 @@ fn ci() -> ExitCode {
     // devices, mixed with crashes — asserting repair-or-surface for
     // every injected corruption. Failing seeds print a
     // FAULTKIT_REPLAY='disk_chaos:seed#<n>' line.
+    let disk_series = root.join("target").join("xtask-disk-chaos.series.jsonl");
     let disk_ok = soak_ok
         && step(
             "disk-fault soak (4 pinned seeds)",
@@ -459,6 +574,7 @@ fn ci() -> ExitCode {
                 ])
                 .env("DISK_SOAK_SEEDS", "4")
                 .env("DISK_SOAK_BASE", "2026")
+                .env("OBSKIT_SERIES", &disk_series)
                 .current_dir(&root),
         );
 
@@ -540,7 +656,105 @@ fn ci() -> ExitCode {
         )
         && validate_storm_snapshot(&storm_snapshot);
 
-    if storm_ok {
+    // Perf gate 1/3 — checked-in twins: every bench_results/*.json must
+    // match its blessed bench_baselines/ copy within the gate.toml
+    // tolerance bands. In a clean tree these are identical files; drift
+    // means someone regenerated results without running
+    // `cargo xtask bench-gate --bless`.
+    let twins_ok = storm_ok && {
+        println!("== xtask ci: bench-gate (checked-in twins) ==");
+        bench_gate(&[]) == ExitCode::SUCCESS
+    };
+
+    // Perf gate 2/3 — fast live subset: re-measure one recovery sweep
+    // (fig3 at the default SF 0.02) and a small session-scale sweep with
+    // pinned seeds, adopt the group-commit snapshot from the step above,
+    // and compare against bench_baselines/ci/ (its own manifest, with
+    // bands wide enough for cross-machine wall-clock noise but tight on
+    // the deterministic counters).
+    let ci_results = root.join("target").join("ci-bench-results");
+    let ci_baselines = root.join("bench_baselines").join("ci");
+    let scale_series = ci_results.join("session_scale.series.jsonl");
+    let subset_ok = twins_ok
+        && {
+            let _ = std::fs::remove_dir_all(&ci_results);
+            step(
+                "bench fig3_recovery_client (fast subset, seed 42)",
+                Command::new(&cargo)
+                    .args([
+                        "run",
+                        "--release",
+                        "-q",
+                        "-p",
+                        "bench",
+                        "--bin",
+                        "fig3_recovery_client",
+                    ])
+                    .env("PHX_SF", "0.02")
+                    .env("PHX_SEED", "42")
+                    .env("PHX_RESULTS_DIR", &ci_results)
+                    .current_dir(&root),
+            )
+        }
+        && step(
+            "bench session_scale (fast subset, seed 2026)",
+            Command::new(&cargo)
+                .args([
+                    "run",
+                    "--release",
+                    "-q",
+                    "-p",
+                    "bench",
+                    "--bin",
+                    "session_scale",
+                ])
+                .env("PHX_SCALE_SWEEP", "16,32,64")
+                .env("PHX_SCALE_PENDING", "8")
+                .env("PHX_SCALE_SEED", "2026")
+                .env("PHX_RESULTS_DIR", &ci_results)
+                .current_dir(&root),
+        )
+        && {
+            let to = ci_results.join("ci_group_commit.json");
+            match std::fs::copy(&gc_snapshot, &to) {
+                Ok(_) => true,
+                Err(e) => {
+                    eprintln!(
+                        "xtask ci: cannot adopt group-commit snapshot as {}: {e}",
+                        to.display()
+                    );
+                    false
+                }
+            }
+        }
+        && {
+            println!("== xtask ci: bench-gate (fast subset) ==");
+            bench_gate(&[
+                "--results".to_string(),
+                ci_results.display().to_string(),
+                "--baselines".to_string(),
+                ci_baselines.display().to_string(),
+            ]) == ExitCode::SUCCESS
+        };
+
+    // Perf gate 3/3 — streaming series invariants: the soak and scale
+    // series written above must be well-formed interval sequences with
+    // non-negative deltas, a monotone pending high-water mark bounded by
+    // the admission cap, and every session drained by the final mark.
+    let series_ok = subset_ok && {
+        println!("== xtask ci: bench-gate (series invariants) ==");
+        bench_gate(&[
+            "--series-only".to_string(),
+            "--series".to_string(),
+            chaos_series.display().to_string(),
+            "--series".to_string(),
+            disk_series.display().to_string(),
+            "--series".to_string(),
+            scale_series.display().to_string(),
+        ]) == ExitCode::SUCCESS
+    };
+
+    if series_ok {
         println!("== xtask ci: all green ==");
         ExitCode::SUCCESS
     } else {

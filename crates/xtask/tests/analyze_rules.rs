@@ -248,4 +248,116 @@ fn workspace_analysis_is_clean_and_finds_the_real_graph() {
     assert!(a.stats.crashpoints >= 10, "{:?}", a.stats);
     assert!(a.stats.phases_checked >= 6, "{:?}", a.stats);
     assert!(a.stats.functions > 100, "{:?}", a.stats);
+    // The bench-coverage pass sees every bench binary and, in a real
+    // checkout, the blessed baseline directories (full set + ci subset).
+    assert!(a.stats.bench_bins >= 11, "{:?}", a.stats);
+    assert!(ws.baseline_dirs.len() >= 2, "{:?}", ws.baseline_dirs);
+}
+
+#[test]
+fn bench_bin_without_emit_json_is_flagged_and_waivable() {
+    let flagged = "fn main() {\n    run_workload();\n}\n";
+    let a = analyze(&Workspace::from_sources(
+        &[("crates/bench/src/bin/fig9_lag.rs", "bench", flagged)],
+        &[],
+    ));
+    assert_eq!(a.violations.len(), 1, "{:#?}", a.violations);
+    assert_eq!(a.violations[0].rule, Rule::Bench);
+    assert!(
+        a.violations[0].message.contains("never calls emit_json"),
+        "{}",
+        a.violations[0].message
+    );
+    assert_eq!(a.stats.bench_bins, 1);
+
+    // A twin-emitting bin is clean, and the waiver silences the rest.
+    let emitting = "fn main() {\n    bench::emit_json(\"fig9_lag\", &[]);\n}\n";
+    let waived = "// analyze:allow(bench): prints a table only, by design\nfn main() {\n    run_workload();\n}\n";
+    for src in [emitting, waived] {
+        let a = analyze(&Workspace::from_sources(
+            &[("crates/bench/src/bin/fig9_lag.rs", "bench", src)],
+            &[],
+        ));
+        assert!(a.violations.is_empty(), "{src:?}: {:#?}", a.violations);
+    }
+
+    // Helper modules under bin/ are not binaries and carry no duty.
+    let a = analyze(&Workspace::from_sources(
+        &[("crates/bench/src/bin/common/util.rs", "bench", flagged)],
+        &[],
+    ));
+    assert!(a.violations.is_empty(), "{:#?}", a.violations);
+    assert_eq!(a.stats.bench_bins, 0);
+}
+
+#[test]
+fn baseline_drift_is_flagged_in_both_directions() {
+    use xtask::analyze::bench::BaselineDir;
+    let fig9 = "fn main() { bench::emit_json(\"fig9_lag\", &[]); }\n";
+    let fig10 = "fn main() { bench::emit_json(\"fig10_jitter\", &[]); }\n";
+    let mut ws = Workspace::from_sources(
+        &[
+            ("crates/bench/src/bin/fig9_lag.rs", "bench", fig9),
+            ("crates/bench/src/bin/fig10_jitter.rs", "bench", fig10),
+        ],
+        &[],
+    );
+    ws.baseline_dirs = vec![
+        BaselineDir {
+            rel: "bench_baselines".to_string(),
+            // fig10_jitter has no baseline here; "ghost" has no binary;
+            // "adopted" is declared via [gate] extra; "dangling" is an
+            // extra entry with no file.
+            stems: vec![
+                "adopted".to_string(),
+                "fig9_lag".to_string(),
+                "ghost".to_string(),
+            ],
+            extra: vec!["adopted".to_string(), "dangling".to_string()],
+            manifest_error: None,
+        },
+        BaselineDir {
+            // A curated subset: the stale check applies, completeness
+            // does not (fig10_jitter missing here is fine).
+            rel: "bench_baselines/ci".to_string(),
+            stems: vec!["fig9_lag".to_string(), "stale_sub".to_string()],
+            extra: Vec::new(),
+            manifest_error: Some("gate.toml:3: unknown key `tolerance`".to_string()),
+        },
+    ];
+    let a = analyze(&ws);
+    let msgs: Vec<&str> = a
+        .violations
+        .iter()
+        .map(|v| {
+            assert_eq!(v.rule, Rule::Bench, "{v:#?}");
+            v.message.as_str()
+        })
+        .collect();
+    assert_eq!(msgs.len(), 5, "{msgs:#?}");
+    assert!(
+        msgs.iter()
+            .any(|m| m.contains("stale baseline") && m.contains("\"ghost\"")),
+        "{msgs:#?}"
+    );
+    assert!(
+        msgs.iter()
+            .any(|m| m.contains("stale baseline") && m.contains("\"stale_sub\"")),
+        "{msgs:#?}"
+    );
+    assert!(
+        msgs.iter()
+            .any(|m| m.contains("\"dangling\"") && m.contains("no bench_baselines/dangling.json")),
+        "{msgs:#?}"
+    );
+    assert!(
+        msgs.iter()
+            .any(|m| m.contains("\"fig10_jitter\"") && m.contains("no blessed baseline")),
+        "{msgs:#?}"
+    );
+    assert!(
+        msgs.iter()
+            .any(|m| m.contains("unreadable gate manifest") && m.contains("unknown key")),
+        "{msgs:#?}"
+    );
 }

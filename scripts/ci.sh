@@ -6,7 +6,9 @@
 #   -> xtask analyze (lock-order graph + instrumentation coverage)
 #   -> cargo test --workspace -> fault enumeration -> chaos soak
 #   -> obskit snapshot + lockcheck witness validation
-# Machine-readable lint/analyze reports are archived under
+#   -> bench-gate perf baselines (checked-in twins, fast live subset,
+#      streaming-series invariants)
+# Machine-readable lint/analyze/bench-gate reports are archived under
 # target/ci-artifacts/ regardless of pass/fail, so a red run still
 # leaves its findings behind for tooling.
 set -euo pipefail
@@ -17,5 +19,6 @@ cargo build --release
 mkdir -p target/ci-artifacts
 cargo xtask lint --json > target/ci-artifacts/lint.json || true
 cargo xtask analyze --json > target/ci-artifacts/analyze.json || true
+cargo xtask bench-gate --json > target/ci-artifacts/bench-gate.json || true
 
 cargo xtask ci

@@ -93,6 +93,11 @@ fn run_seed(seed: u64) {
     // crash schedule lands inside the batching protocol too.
     let mut cfg = ServerConfig::instant_net();
     cfg.group_commit = GroupCommit::on(4, Duration::from_micros(500));
+    // A crash can abandon a connection mid-handshake with its hello
+    // frame stalled by a net fault; a short handshake bound drains the
+    // pending-accept slot promptly so the per-seed series marks see
+    // clean teardown levels.
+    cfg.admission.handshake_timeout = Duration::from_millis(100);
     let server = DbServer::start(cfg).unwrap();
     {
         let engine = server.engine().unwrap();
@@ -223,8 +228,13 @@ fn chaos_soak_randomized_fault_schedules() {
     if std::env::var("OBSKIT_LOCKCHECK").is_ok() {
         obskit::lockcheck::enable();
     }
+    let series = series_recorder_if_requested(base, count);
     for seed in base..base + count {
         let outcome = std::panic::catch_unwind(|| run_seed(seed));
+        if let Some(rec) = &series {
+            rec.mark(&format!("seed-{seed}"), &settled_snapshot())
+                .expect("series mark");
+        }
         if let Err(payload) = outcome {
             eprintln!(
                 "\nchaos seed failed — reproduce with:\n  {REPLAY_ENV}='{SCENARIO}:seed#{seed}' \
@@ -239,6 +249,42 @@ fn chaos_soak_randomized_fault_schedules() {
     }
     write_snapshot_if_requested(base, count);
     write_lockcheck_if_requested();
+}
+
+/// When `OBSKIT_SERIES=<path>` is set, stream a JSON-lines time series
+/// with one interval per soak seed (counter/histogram deltas, absolute
+/// gauge levels) — `cargo xtask bench-gate --series` validates the file:
+/// sequential intervals, non-negative deltas, the pending high-water
+/// mark monotone, and every session/pending slot drained by the final
+/// interval.
+fn series_recorder_if_requested(base: u64, count: u64) -> Option<obskit::stream::Recorder> {
+    let path = std::env::var("OBSKIT_SERIES").ok()?;
+    let mut meta = BTreeMap::new();
+    meta.insert("source".to_string(), SCENARIO.to_string());
+    meta.insert("base".to_string(), base.to_string());
+    meta.insert("seeds".to_string(), count.to_string());
+    Some(
+        obskit::stream::Recorder::create(std::path::Path::new(&path), &meta)
+            .expect("create OBSKIT_SERIES"),
+    )
+}
+
+/// The per-seed harness joins its client threads before returning, but
+/// a server-side accept thread can still be dropping its pending-
+/// admission guard when the seed's mark fires. Settle briefly so the
+/// recorded gauge levels reflect teardown, not the race with it — the
+/// series gate asserts `admission.pending` is zero by the final
+/// interval, which is true once the guards finish dropping.
+fn settled_snapshot() -> obskit::metrics::Snapshot {
+    let deadline = std::time::Instant::now() + Duration::from_millis(500);
+    loop {
+        let snap = obskit::metrics::global().snapshot();
+        let pending = snap.gauges.get("admission.pending").copied().unwrap_or(0);
+        if pending == 0 || std::time::Instant::now() >= deadline {
+            return snap;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
 }
 
 /// When `OBSKIT_SNAPSHOT=<path>` is set, export the global metrics

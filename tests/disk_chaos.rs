@@ -161,6 +161,10 @@ fn run_seed(seed: u64) {
     // FsyncLie, torn appends) now land on batch-leader flushes, so the
     // fail-stop broadcast to parked waiters is under storage chaos too.
     cfg.group_commit = GroupCommit::on(4, Duration::from_micros(500));
+    // Short handshake bound so a connection abandoned mid-handshake by
+    // a crash drains its pending-accept slot before the seed's series
+    // mark (see chaos_soak.rs).
+    cfg.admission.handshake_timeout = Duration::from_millis(100);
     let server = DbServer::start(cfg).unwrap();
     {
         let engine = server.engine().unwrap();
@@ -315,8 +319,13 @@ fn disk_chaos_randomized_fault_schedules() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(2026);
+    let series = series_recorder_if_requested(base, count);
     for seed in base..base + count {
         let outcome = std::panic::catch_unwind(|| run_seed(seed));
+        if let Some(rec) = &series {
+            rec.mark(&format!("seed-{seed}"), &settled_snapshot())
+                .expect("series mark");
+        }
         if let Err(payload) = outcome {
             eprintln!(
                 "\ndisk-chaos seed failed — reproduce with:\n  {REPLAY_ENV}='{SCENARIO}:seed#{seed}' \
@@ -328,5 +337,39 @@ fn disk_chaos_randomized_fault_schedules() {
             );
             std::panic::resume_unwind(payload);
         }
+    }
+}
+
+/// When `OBSKIT_SERIES=<path>` is set, stream a JSON-lines time series
+/// with one interval per soak seed — validated by `cargo xtask
+/// bench-gate --series` (sequential intervals, non-negative deltas,
+/// every session drained by the final interval).
+fn series_recorder_if_requested(base: u64, count: u64) -> Option<obskit::stream::Recorder> {
+    let path = std::env::var("OBSKIT_SERIES").ok()?;
+    let mut meta = BTreeMap::new();
+    meta.insert("source".to_string(), SCENARIO.to_string());
+    meta.insert("base".to_string(), base.to_string());
+    meta.insert("seeds".to_string(), count.to_string());
+    Some(
+        obskit::stream::Recorder::create(std::path::Path::new(&path), &meta)
+            .expect("create OBSKIT_SERIES"),
+    )
+}
+
+/// The per-seed harness joins its client threads before returning, but
+/// a server-side accept thread can still be dropping its pending-
+/// admission guard when the seed's mark fires. Settle briefly so the
+/// recorded gauge levels reflect teardown, not the race with it — the
+/// series gate asserts `admission.pending` is zero by the final
+/// interval, which is true once the guards finish dropping.
+fn settled_snapshot() -> obskit::metrics::Snapshot {
+    let deadline = std::time::Instant::now() + Duration::from_millis(500);
+    loop {
+        let snap = obskit::metrics::global().snapshot();
+        let pending = snap.gauges.get("admission.pending").copied().unwrap_or(0);
+        if pending == 0 || std::time::Instant::now() >= deadline {
+            return snap;
+        }
+        std::thread::sleep(Duration::from_millis(5));
     }
 }

@@ -144,6 +144,7 @@ fn run_storm(seed: u64) {
         pending_accepts: PENDING_CAP,
         idle_timeout: Duration::from_secs(2),
         session_budget_bytes: u64::MAX,
+        handshake_timeout: Duration::from_secs(10),
     };
     let server = DbServer::start(cfg).unwrap();
     create_orders(&server);
@@ -333,6 +334,7 @@ fn evicted_idle_session_runs_full_recovery_repositioned_at_delivered() {
         pending_accepts: 64,
         idle_timeout: Duration::from_millis(250),
         session_budget_bytes: u64::MAX,
+        handshake_timeout: Duration::from_secs(10),
     };
     let server = DbServer::start(cfg).unwrap();
     create_orders(&server);
@@ -461,6 +463,7 @@ fn shed_hint_is_clipped_to_recovery_budget_and_exhaustion_resumes() {
         pending_accepts: 64,
         idle_timeout: Duration::from_secs(60),
         session_budget_bytes: u64::MAX,
+        handshake_timeout: Duration::from_secs(10),
     };
     let server = DbServer::start(cfg).unwrap();
     create_orders(&server);
@@ -549,6 +552,7 @@ fn lifecycle_setup() -> (DbServer, PhoenixConnection) {
         pending_accepts: 64,
         idle_timeout: Duration::from_millis(120),
         session_budget_bytes: u64::MAX,
+        handshake_timeout: Duration::from_secs(10),
     };
     let server = DbServer::start(cfg).unwrap();
     create_orders(&server);
